@@ -1,0 +1,87 @@
+// Ablation — memory pool block size (the paper fixes 1 KB; §3.2.1).
+//
+// Sweeps the block granularity and reports internal fragmentation (rounding
+// waste) and metadata pressure (node counts) under a real training churn
+// trace, plus wall-clock cost of the pool operations.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/liveness.hpp"
+#include "mem/mem_pool.hpp"
+
+namespace {
+
+using namespace sn;
+
+struct ChurnResult {
+  double waste_pct = 0;   ///< internal fragmentation at peak
+  size_t max_nodes = 0;   ///< peak free+allocated node count
+  double ns_per_op = 0;   ///< wall-clock per alloc/free
+  bool ok = true;
+};
+
+ChurnResult churn(graph::Net& net, uint64_t block) {
+  core::Liveness lv(net);
+  mem::MemoryPool pool(24ull << 30, block);
+  std::vector<uint64_t> handle(net.registry().size(), 0);
+  std::vector<uint64_t> reserved_of(net.registry().size(), 0);
+  uint64_t requested = 0, reserved = 0, peak_requested = 0;
+  double waste_at_peak = 0;
+  size_t max_nodes = 0;
+  size_t ops = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const auto& step : net.steps()) {
+    for (uint64_t uid : lv.defs(step.index)) {
+      if (handle[uid]) continue;
+      const auto* t = net.registry().get(uid);
+      auto a = pool.allocate(t->bytes());
+      if (!a) return {0, 0, 0, false};
+      handle[uid] = a->id;
+      reserved_of[uid] = a->bytes;
+      requested += t->bytes();
+      reserved += a->bytes;
+      ++ops;
+      if (requested > peak_requested) {
+        peak_requested = requested;
+        waste_at_peak = 100.0 * (static_cast<double>(reserved) - requested) / requested;
+      }
+    }
+    for (uint64_t uid : lv.free_after(step.index)) {
+      if (!handle[uid]) continue;
+      const auto* t = net.registry().get(uid);
+      pool.deallocate(handle[uid]);
+      handle[uid] = 0;
+      requested -= t->bytes();
+      reserved -= reserved_of[uid];
+      reserved_of[uid] = 0;
+      ++ops;
+    }
+    auto st = pool.stats();
+    max_nodes = std::max(max_nodes, st.free_nodes + st.allocated_nodes);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  ChurnResult r;
+  r.waste_pct = waste_at_peak;
+  r.max_nodes = max_nodes;
+  r.ns_per_op = std::chrono::duration<double, std::nano>(t1 - t0).count() / ops;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: memory-pool block size (ResNet50 b32 iteration churn)\n\n");
+  util::Table t({"block", "frag waste @ peak", "peak node count", "ns per pool op"});
+  auto net = sn::bench::build_network("ResNet50", 32);
+  for (uint64_t block : {256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
+    auto r = churn(*net, block);
+    t.add_row({util::format_bytes(block), util::format_double(r.waste_pct, 3) + "%",
+               std::to_string(r.max_nodes), util::format_double(r.ns_per_op, 0)});
+  }
+  t.print();
+  std::printf("\nReading: small blocks minimize rounding waste at higher metadata cost; the\n"
+              "paper's 1 KB sits at negligible waste with manageable node counts.\n");
+  return 0;
+}

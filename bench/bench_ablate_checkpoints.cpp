@@ -1,0 +1,57 @@
+// Ablation — recomputation strategy cost/benefit per network.
+//
+// For each network, compares the three recomputation strategies' iteration
+// time overhead (vs no recomputation) and memory demand — the design space
+// behind the paper's cost-aware choice (§3.4, Fig. 9).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace sn;
+
+namespace {
+
+struct Point {
+  double seconds = 0;
+  uint64_t peak = 0;
+};
+
+Point run(const char* name, int batch, core::RecomputeMode mode) {
+  auto net = sn::bench::build_network(name, batch);
+  core::RuntimeOptions o;
+  o.real = false;
+  o.offload = false;
+  o.tensor_cache = false;
+  o.recompute = mode;
+  o.allow_workspace = false;  // workspaces grow into freed memory by design;
+                              // disable them to expose the footprint itself
+  o.device_capacity = 96ull << 30;
+  auto st = sn::bench::run_sim_iteration(*net, o);
+  return {st.seconds, st.peak_mem};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: recomputation strategies — time overhead vs memory demand\n\n");
+  util::Table t({"Network", "none peak(GB)", "speed t(+%) / peak(GB)", "memory t(+%) / peak(GB)",
+                 "cost-aware t(+%) / peak(GB)"});
+  struct Cfg {
+    const char* name;
+    int batch;
+  } cfgs[] = {{"AlexNet", 128}, {"VGG16", 32}, {"ResNet50", 32}, {"InceptionV4", 16}};
+  for (const auto& cfg : cfgs) {
+    Point none = run(cfg.name, cfg.batch, core::RecomputeMode::kNone);
+    auto cell = [&](core::RecomputeMode m) {
+      Point p = run(cfg.name, cfg.batch, m);
+      return util::format_double(100.0 * (p.seconds / none.seconds - 1.0), 1) + "% / " +
+             sn::bench::gb(p.peak);
+    };
+    t.add_row({cfg.name, sn::bench::gb(none.peak), cell(core::RecomputeMode::kSpeedCentric),
+               cell(core::RecomputeMode::kMemoryCentric), cell(core::RecomputeMode::kCostAware)});
+  }
+  t.print();
+  std::printf("\nReading: cost-aware tracks speed-centric's overhead while matching\n"
+              "memory-centric's footprint — the paper's Table 1 trade-off, per network.\n");
+  return 0;
+}

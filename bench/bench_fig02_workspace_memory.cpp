@@ -1,0 +1,65 @@
+// Fig. 2 — Network-wide memory usage with and without convolution
+// workspaces, and the training speedup workspaces buy.
+//
+// Paper setup: AlexNet batch 200, all others batch 32; left axis memory
+// (baseline tensor allocation), right axis speedup (img/s with workspaces /
+// img/s without).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/workspace.hpp"
+
+namespace {
+
+using namespace sn;
+
+uint64_t total_best_workspace(const graph::Net& net) {
+  uint64_t total = 0;
+  for (const auto& l : net.layers()) {
+    if (l->type() != graph::LayerType::kConv) continue;
+    const auto* conv = static_cast<const graph::ConvLayer*>(l.get());
+    auto fwd = core::choose_conv_algo(*conv, true, UINT64_MAX);
+    auto bwd = core::choose_conv_algo(*conv, false, UINT64_MAX);
+    total += fwd.best_workspace_bytes + bwd.best_workspace_bytes;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 2: memory usage with/without conv workspaces + speedup\n");
+  std::printf("(batch: AlexNet 200, others 32; device: K40c-sim, ample capacity)\n\n");
+
+  sn::util::Table t({"Network", "Memory (GB)", "Memory w/ ConvBuff (GB)", "SpeedUp w/ ConvBuff"});
+  struct Cfg {
+    const char* name;
+    int batch;
+  } cfgs[] = {{"AlexNet", 200}, {"VGG16", 32},    {"VGG19", 32},     {"InceptionV4", 32},
+              {"ResNet50", 32}, {"ResNet101", 32}, {"ResNet152", 32}};
+
+  for (const auto& cfg : cfgs) {
+    auto net = sn::bench::build_network(cfg.name, cfg.batch);
+    uint64_t mem = net->total_tensor_bytes();
+    uint64_t mem_ws = mem + total_best_workspace(*net);
+
+    // Speedup: dynamic workspaces (fastest feasible algorithm) vs no
+    // workspace at all (direct convolution only).
+    sn::core::RuntimeOptions fast = sn::core::make_policy(sn::core::PolicyPreset::kSuperNeurons);
+    fast.device_capacity = 96ull << 30;  // measure speed, not capacity
+    sn::core::RuntimeOptions slow = fast;
+    slow.allow_workspace = false;  // forces the zero-workspace algorithm
+    auto net_a = sn::bench::build_network(cfg.name, cfg.batch);
+    auto net_b = sn::bench::build_network(cfg.name, cfg.batch);
+    double with_ws = sn::bench::sim_img_per_s(*net_a, fast);
+    double without_ws = sn::bench::sim_img_per_s(*net_b, slow);
+
+    t.add_row({cfg.name, sn::bench::gb(mem), sn::bench::gb(mem_ws),
+               sn::util::format_double(with_ws / without_ws, 2) + "x"});
+  }
+  t.print();
+  std::printf(
+      "\nShape check vs paper: non-linear nets (InceptionV4 ~44 GB, ResNet152 ~18 GB @ b32)\n"
+      "dominate linear ones; conv workspaces add memory but buy 1.3-2.5x speed.\n");
+  return 0;
+}

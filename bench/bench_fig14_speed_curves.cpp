@@ -1,0 +1,63 @@
+// Fig. 14 — End-to-end training speed (img/s) vs batch size for each
+// framework policy on six networks (TITAN-Xp-class device, 12 GB).
+//
+// The shape to reproduce: SuperNeurons leads at every batch size, keeps
+// scaling to batches where the static policies have long OOM'd, and its
+// speed decays gently at extreme batches as tensor swapping grows.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace sn;
+
+namespace {
+
+/// img/s or 0 when the policy OOMs at this batch.
+double ips_or_zero(const std::string& name, core::PolicyPreset preset, int batch) {
+  try {
+    auto net = bench::build_network(name, batch);
+    auto opts = core::make_policy(preset, sim::titan_xp_spec());
+    return bench::sim_img_per_s(*net, opts);
+  } catch (const core::OomError&) {
+    return 0.0;
+  }
+}
+
+void curves_for(const std::string& name, const std::vector<double>& batches) {
+  const struct {
+    core::PolicyPreset preset;
+    const char* label;
+  } kSeries[] = {{core::PolicyPreset::kCaffeLike, "Caffe"},
+                 {core::PolicyPreset::kTfLike, "TF"},
+                 {core::PolicyPreset::kMxnetLike, "MXNet"},
+                 {core::PolicyPreset::kTorchLike, "Torch"},
+                 {core::PolicyPreset::kSuperNeurons, "Ours"}};
+  std::vector<util::Series> series;
+  for (const auto& s : kSeries) {
+    util::Series ser{s.label, {}};
+    for (double b : batches) {
+      ser.y.push_back(ips_or_zero(name, s.preset, static_cast<int>(b)));
+    }
+    series.push_back(std::move(ser));
+  }
+  std::fputs(util::render_series(name + " speed (img/s; 0 = OOM)", "batch", batches, series, 1)
+                 .c_str(),
+             stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 14: img/s vs batch size per policy (TITANXp-sim, 12 GB)\n\n");
+  curves_for("AlexNet", {128, 256, 512, 768, 1024, 1280, 1408});
+  curves_for("ResNet50", {16, 32, 64, 96, 128, 160, 200});
+  curves_for("VGG16", {16, 32, 48, 64, 96, 128, 160});
+  curves_for("ResNet101", {16, 32, 48, 64, 96, 120});
+  curves_for("InceptionV4", {8, 16, 24, 32, 48, 64, 80});
+  curves_for("ResNet152", {8, 16, 24, 32, 48, 64, 80});
+  std::printf(
+      "Shape check vs paper: Ours dominates every curve and extends to batches where the\n"
+      "others read 0 (OOM); speed decays slowly at extreme batches as swapping grows.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 3 — Communication volume (GB per iteration) with and without the
+// Tensor Cache, AlexNet batch 256 -> 1024 on a 12 GB device.
+//
+// Paper: without the cache, traffic grows linearly with batch (2.56 ->
+// 9.50 GB); with the cache, zero until DRAM is actually insufficient
+// (0.88 GB at batch 1024).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace sn;
+
+namespace {
+
+double comm_gb(int batch, bool cache) {
+  auto net = graph::build_alexnet(batch);
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+  o.recompute = core::RecomputeMode::kNone;  // isolate the transfer behaviour
+  o.tensor_cache = cache;
+  o.offload = true;
+  auto st = bench::run_sim_iteration(*net, o);
+  return static_cast<double>(st.bytes_d2h + st.bytes_h2d) / (1024.0 * 1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 3: communications (GB/iteration) with/without Tensor Cache\n");
+  std::printf("(AlexNet on 12 GB K40c-sim)\n\n");
+  util::Table t({"Batch", "Without Tensor Cache (GB)", "Tensor Cache (GB)"});
+  for (int batch : {256, 384, 512, 640, 896, 1024}) {
+    t.add_row({std::to_string(batch), util::format_double(comm_gb(batch, false), 2),
+               util::format_double(comm_gb(batch, true), 2)});
+  }
+  t.print();
+  std::printf(
+      "\nShape check vs paper: without the cache traffic grows ~linearly in batch;\n"
+      "with the cache it stays 0 until the working set exceeds 12 GB.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// schedule_report: inspect what the SuperNeurons scheduler decides for any
+// zoo network — liveness intervals, recomputation segments, per-step memory,
+// and a policy comparison — without running anything for real.
+//
+//   $ ./build/examples/schedule_report [network] [batch]
+//   networks: AlexNet VGG16 VGG19 InceptionV4 ResNet50 ResNet101 ResNet152
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/liveness.hpp"
+#include "core/recompute.hpp"
+#include "core/runtime.hpp"
+#include "graph/zoo.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace sn;
+
+namespace {
+
+std::unique_ptr<graph::Net> build(const std::string& name, int batch) {
+  if (name == "AlexNet") return graph::build_alexnet(batch);
+  if (name == "VGG16") return graph::build_vgg(16, batch);
+  if (name == "VGG19") return graph::build_vgg(19, batch);
+  if (name == "InceptionV4") return graph::build_inception_v4(batch);
+  if (name == "ResNet50") return graph::build_resnet_preset(50, batch);
+  if (name == "ResNet101") return graph::build_resnet_preset(101, batch);
+  if (name == "ResNet152") return graph::build_resnet_preset(152, batch);
+  std::fprintf(stderr, "unknown network %s\n", name.c_str());
+  std::exit(1);
+}
+
+std::string mb(uint64_t b) { return util::format_double(b / 1048576.0, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = argc > 1 ? argv[1] : "AlexNet";
+  int batch = argc > 2 ? std::atoi(argv[2]) : 64;
+  auto net = build(name, batch);
+
+  std::printf("=== %s (batch %d) ===\n", name.c_str(), batch);
+  std::printf("layers: %zu   tensors: %zu   baseline demand: %s MB   max layer: %s MB\n\n",
+              net->num_layers(), net->registry().size(), mb(net->total_tensor_bytes()).c_str(),
+              mb(net->max_layer_bytes()).c_str());
+
+  // Liveness summary: how many tensors die in forward vs backward.
+  core::Liveness lv(*net);
+  int nfwd = static_cast<int>(net->route().size());
+  int die_fwd = 0, die_bwd = 0, persistent = 0;
+  for (const auto& t : net->registry().all()) {
+    if (lv.is_persistent(t->uid())) {
+      ++persistent;
+    } else if (lv.last_occurrence(t->uid()) < nfwd) {
+      ++die_fwd;
+    } else if (lv.last_occurrence(t->uid()) >= 0) {
+      ++die_bwd;
+    }
+  }
+  std::printf("liveness: %d tensors die in forward, %d in backward, %d persistent (params)\n",
+              die_fwd, die_bwd, persistent);
+
+  // Recompute plan summary.
+  core::RecomputePlan plan(*net, core::RecomputeMode::kCostAware);
+  int speed = 0;
+  size_t seg_layers = 0, longest = 0;
+  for (const auto& seg : plan.segments()) {
+    if (seg.speed_centric) ++speed;
+    seg_layers += seg.layers.size();
+    longest = std::max(longest, seg.layers.size());
+  }
+  std::printf("recompute: %zu segments over %zu layers (longest %zu); cost-aware picks\n"
+              "  speed-centric for %d and memory-centric for %zu; predicted replays: %llu\n\n",
+              plan.segments().size(), seg_layers, longest, speed,
+              plan.segments().size() - static_cast<size_t>(speed),
+              static_cast<unsigned long long>(
+                  plan.predicted_extra_forwards(core::RecomputeMode::kCostAware)));
+
+  // Policy comparison on the simulated 12 GB device.
+  util::Table t({"policy", "status", "peak (MB)", "iter (ms)", "img/s", "D2H (MB)", "replays"});
+  for (auto preset : {core::PolicyPreset::kCaffeLike, core::PolicyPreset::kTorchLike,
+                      core::PolicyPreset::kMxnetLike, core::PolicyPreset::kTfLike,
+                      core::PolicyPreset::kSuperNeurons}) {
+    auto fresh = build(name, batch);
+    core::RuntimeOptions o = core::make_policy(preset);
+    try {
+      core::Runtime rt(*fresh, o);
+      rt.train_iteration(nullptr, nullptr);
+      auto st = rt.train_iteration(nullptr, nullptr);
+      t.add_row({core::policy_name(preset), "ok", mb(st.peak_mem),
+                 util::format_double(st.seconds * 1e3, 1),
+                 util::format_double(batch / st.seconds, 1), mb(st.bytes_d2h),
+                 std::to_string(st.extra_forwards)});
+    } catch (const core::OomError& e) {
+      t.add_row({core::policy_name(preset), "OOM", "-", "-", "-", "-", "-"});
+      (void)e;
+    }
+  }
+  t.print();
+
+  // Per-step trace of the SuperNeurons schedule (first/last few steps).
+  auto fresh = build(name, batch);
+  core::Runtime rt(*fresh, core::make_policy(core::PolicyPreset::kSuperNeurons));
+  try {
+    rt.train_iteration(nullptr, nullptr);
+  } catch (const core::OomError&) {
+    std::printf("\n(SuperNeurons itself OOMs at this batch; no step trace)\n");
+    return 0;
+  }
+  const auto& tele = rt.step_telemetry();
+  std::printf("\nSuperNeurons step trace (first 8 and last 8 of %zu steps):\n", tele.size());
+  util::Table tr({"step", "layer", "pass", "mem (MB)", "live tensors", "conv algo"});
+  auto add = [&](const core::StepTelemetry& s) {
+    tr.add_row({std::to_string(s.step), s.layer->name(), s.forward ? "fwd" : "bwd",
+                mb(s.mem_in_use), std::to_string(s.live_tensors),
+                s.layer->type() == graph::LayerType::kConv ? nn::algo_name(s.algo) : "-"});
+  };
+  for (size_t i = 0; i < tele.size() && i < 8; ++i) add(tele[i]);
+  for (size_t i = tele.size() > 8 ? tele.size() - 8 : 8; i < tele.size(); ++i) add(tele[i]);
+  tr.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Going wider (the paper's Table 5 scenario as a runnable story):
+//
+// Sweep AlexNet's batch size on a simulated 12 GB device and report, per
+// framework policy, whether the batch fits and at what speed — the
+// trade-off curve behind the paper's Fig. 14.
+#include <cstdio>
+
+#include "core/runtime.hpp"
+#include "graph/zoo.hpp"
+
+using namespace sn;
+
+namespace {
+
+/// img/s at this batch, or a negative value on OOM.
+double probe(core::PolicyPreset preset, int batch) {
+  try {
+    auto net = graph::build_alexnet(batch);
+    auto opts = core::make_policy(preset);
+    core::Runtime rt(*net, opts);
+    rt.train_iteration(nullptr, nullptr);  // warm-up: params placed, cache primed
+    auto st = rt.train_iteration(nullptr, nullptr);
+    return batch / st.seconds;
+  } catch (const core::OomError&) {
+    return -1.0;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int batches[] = {128, 256, 512, 1024, 1536, 1792};
+  const core::PolicyPreset presets[] = {core::PolicyPreset::kCaffeLike,
+                                        core::PolicyPreset::kMxnetLike,
+                                        core::PolicyPreset::kTfLike,
+                                        core::PolicyPreset::kSuperNeurons};
+
+  std::printf("AlexNet batch scaling on a 12 GB device (img/s; OOM where marked)\n\n");
+  std::printf("%8s", "batch");
+  for (auto p : presets) std::printf("  %12s", core::policy_name(p));
+  std::printf("\n");
+  int sn_wins = 0;
+  for (int b : batches) {
+    std::printf("%8d", b);
+    double best_other = -1, sn = -1;
+    for (auto p : presets) {
+      double ips = probe(p, b);
+      if (ips < 0) {
+        std::printf("  %12s", "OOM");
+      } else {
+        std::printf("  %12.1f", ips);
+      }
+      if (p == core::PolicyPreset::kSuperNeurons) {
+        sn = ips;
+      } else if (ips > best_other) {
+        best_other = ips;
+      }
+    }
+    if (sn > 0 && sn >= best_other) ++sn_wins;
+    std::printf("\n");
+  }
+  std::printf("\nSuperNeurons leads (or is the only survivor) at %d of %zu batch sizes.\n",
+              sn_wins, std::size(batches));
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "core/options.hpp"
+
+namespace sn::core {
+
+const char* recompute_mode_name(RecomputeMode m) {
+  switch (m) {
+    case RecomputeMode::kNone: return "none";
+    case RecomputeMode::kSpeedCentric: return "speed-centric";
+    case RecomputeMode::kMemoryCentric: return "memory-centric";
+    case RecomputeMode::kCostAware: return "cost-aware";
+  }
+  return "?";
+}
+
+const char* policy_name(PolicyPreset p) {
+  switch (p) {
+    case PolicyPreset::kBaselineNaive: return "Baseline";
+    case PolicyPreset::kCaffeLike: return "Caffe";
+    case PolicyPreset::kTorchLike: return "Torch";
+    case PolicyPreset::kMxnetLike: return "MXNet";
+    case PolicyPreset::kTfLike: return "TensorFlow";
+    case PolicyPreset::kSuperNeurons: return "SuperNeurons";
+  }
+  return "?";
+}
+
+RuntimeOptions make_policy(PolicyPreset preset, sim::DeviceSpec spec) {
+  RuntimeOptions o;
+  o.spec = spec;
+  o.device_capacity = spec.dram_bytes;
+  switch (preset) {
+    case PolicyPreset::kBaselineNaive:
+      o.use_liveness = false;
+      o.use_pool_allocator = false;
+      o.offload = false;
+      o.tensor_cache = false;
+      o.recompute = RecomputeMode::kNone;
+      o.dynamic_workspace = false;
+      break;
+    case PolicyPreset::kCaffeLike:
+      // Caffe keeps the whole net resident and allocates with cudaMalloc at
+      // setup; no swap, no recompute, fixed algorithm choice. It does reuse
+      // forward tensors for backward data propagation (§2.2).
+      o.use_liveness = false;
+      o.use_pool_allocator = false;
+      o.offload = false;
+      o.tensor_cache = false;
+      o.recompute = RecomputeMode::kNone;
+      o.dynamic_workspace = false;
+      o.reuse_grad_buffers = true;
+      break;
+    case PolicyPreset::kTorchLike:
+      o.use_liveness = false;
+      o.use_pool_allocator = false;
+      o.offload = false;
+      o.tensor_cache = false;
+      o.recompute = RecomputeMode::kNone;
+      o.dynamic_workspace = false;
+      o.reuse_grad_buffers = true;
+      o.inplace_act = true;
+      break;
+    case PolicyPreset::kMxnetLike:
+      // DAG engine frees dead tensors; per-layer speed-centric recompute that
+      // ignores memory variation across layers (paper §2.2); no swapping.
+      o.use_liveness = true;
+      o.use_pool_allocator = true;
+      o.offload = false;
+      o.tensor_cache = false;
+      o.recompute = RecomputeMode::kSpeedCentric;
+      o.dynamic_workspace = false;
+      break;
+    case PolicyPreset::kTfLike:
+      // Swaps long-lived tensors but through pageable memory (>= 50% slower
+      // transfers, paper §2.2) and without a reuse cache.
+      o.use_liveness = true;
+      o.use_pool_allocator = true;
+      o.offload = true;
+      o.tensor_cache = false;
+      o.pinned_host = false;
+      o.recompute = RecomputeMode::kNone;
+      o.dynamic_workspace = false;
+      break;
+    case PolicyPreset::kSuperNeurons:
+      break;  // defaults are the full runtime
+  }
+  return o;
+}
+
+}  // namespace sn::core

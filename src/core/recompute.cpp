@@ -1,0 +1,112 @@
+#include "core/recompute.hpp"
+
+namespace sn::core {
+
+bool RecomputePlan::is_checkpoint_layer(const graph::Layer* l) {
+  // Compute-intensive layers keep their outputs (paper §3.3: "checkpoints
+  // represent the compute-intensive layers such as FC and CONV"). DATA is the
+  // replay source; the loss layer's output is consumed by the immediately
+  // following backward step, so dropping it would only add a pointless replay.
+  switch (l->type()) {
+    case graph::LayerType::kData:
+    case graph::LayerType::kConv:
+    case graph::LayerType::kFc:
+    case graph::LayerType::kSoftmax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RecomputePlan::RecomputePlan(const graph::Net& net, RecomputeMode mode) : mode_(mode) {
+  l_peak_ = net.max_layer_bytes();
+  layer_segment_.assign(net.num_layers(), -1);
+  tensor_droppable_.assign(net.registry().size(), false);
+  if (mode == RecomputeMode::kNone) return;
+
+  // Route-consecutive runs of non-checkpoint layers form segments.
+  Segment current;
+  auto flush = [&] {
+    if (current.layers.empty()) return;
+    current.id = static_cast<int>(segments_.size());
+    // memcost = Σ l_f over the segment + l_b at the segment end (Fig. 9).
+    uint64_t cost = 0;
+    for (const graph::Layer* l : current.layers) {
+      cost += l->output()->bytes();
+      for (const tensor::Tensor* a : l->aux()) cost += a->bytes();
+    }
+    if (const tensor::Tensor* g = current.layers.back()->output_grad()) cost += g->bytes();
+    current.memcost = cost;
+    switch (mode_) {
+      case RecomputeMode::kSpeedCentric: current.speed_centric = true; break;
+      case RecomputeMode::kMemoryCentric: current.speed_centric = false; break;
+      case RecomputeMode::kCostAware: current.speed_centric = current.memcost <= l_peak_; break;
+      case RecomputeMode::kNone: break;
+    }
+    for (const graph::Layer* l : current.layers) layer_segment_[l->id()] = current.id;
+    segments_.push_back(std::move(current));
+    current = Segment{};
+  };
+
+  for (graph::Layer* l : net.route()) {
+    if (is_checkpoint_layer(l)) {
+      flush();
+    } else {
+      current.layers.push_back(l);
+    }
+  }
+  flush();
+
+  for (const Segment& seg : segments_) {
+    for (const graph::Layer* l : seg.layers) {
+      tensor_droppable_[l->output()->uid()] = true;
+      for (const tensor::Tensor* a : l->aux()) tensor_droppable_[a->uid()] = true;
+    }
+  }
+}
+
+int RecomputePlan::segment_of(const graph::Layer* l) const {
+  return layer_segment_[static_cast<size_t>(l->id())];
+}
+
+bool RecomputePlan::droppable(const tensor::Tensor* t) const {
+  return tensor_droppable_[t->uid()];
+}
+
+uint64_t RecomputePlan::predicted_extra_forwards(RecomputeMode as_mode) const {
+  uint64_t total = 0;
+  for (const Segment& seg : segments_) {
+    uint64_t n = seg.layers.size();
+    uint64_t speed = n;
+    // Memory-centric on a linear segment (upper bound): the consuming
+    // checkpoint's backward replays the full chain (n), then each segment
+    // layer i replays its ancestor prefix including itself (i+1, when the
+    // backward kernel reads the layer's own output / aux) — n + Σ_{i=1..n} i.
+    // Layers whose backward reads only their input (ReLU) shorten chains, so
+    // the measured count can fall below this. The paper's simpler model
+    // yields n(n+1)/2 — same triangular shape.
+    uint64_t memory = n + n * (n + 1) / 2;
+    switch (as_mode) {
+      case RecomputeMode::kNone: break;
+      case RecomputeMode::kSpeedCentric: total += speed; break;
+      case RecomputeMode::kMemoryCentric: total += memory; break;
+      case RecomputeMode::kCostAware: total += seg.memcost <= l_peak_ ? speed : memory; break;
+    }
+  }
+  return total;
+}
+
+uint64_t RecomputePlan::predicted_peak_memcost(RecomputeMode as_mode) const {
+  // Memory-centric keeps only one layer's working set at a time, so its
+  // recompute peak never exceeds l_peak. Speed-centric materializes whole
+  // segments, exceeding l_peak whenever a segment's memcost does. Cost-aware
+  // only picks speed-centric for segments below the threshold == l_peak.
+  uint64_t peak = l_peak_;
+  if (as_mode == RecomputeMode::kSpeedCentric) {
+    for (const Segment& seg : segments_)
+      if (seg.memcost > peak) peak = seg.memcost;
+  }
+  return peak;
+}
+
+}  // namespace sn::core

@@ -1,0 +1,74 @@
+// Cost-Aware Recomputation planner (paper §3.4).
+//
+// Checkpoint layers (DATA, CONV, FC — the compute-intensive classes, §3.3)
+// keep their forward outputs; everything between two checkpoints forms a
+// *recomputation segment* whose cheap outputs (POOL/ACT/LRN/BN/DROPOUT data
+// and aux) are dropped during the forward pass and reconstructed on demand
+// during back-propagation.
+//
+// Per-segment strategy (Fig. 9):
+//   speed-centric  — replay the segment once; keep the regenerated tensors
+//                    for the remaining backward steps of the segment.
+//                    Extra forwards: |seg|. Memcost: Σ l_f(seg) + l_b(end).
+//   memory-centric — replay the minimal ancestor chain for every backward
+//                    layer and re-drop afterwards. Extra forwards ~ n(n+1)/2.
+//                    Memcost: l_b of the single layer.
+//   cost-aware     — speed-centric iff the segment's memcost ≤ l_peak =
+//                    max_i(l_i), else memory-centric. Guarantees
+//                    peak_m == l_peak with near-speed-centric replay counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/net.hpp"
+
+namespace sn::core {
+
+struct Segment {
+  int id = -1;
+  /// Route-consecutive non-checkpoint layers forming the segment.
+  std::vector<graph::Layer*> layers;
+  /// True: replay once and keep; false: replay per backward layer, re-drop.
+  bool speed_centric = true;
+  /// Σ forward bytes of the segment + the gradient bytes at its end — the
+  /// quantity compared against l_peak (paper §3.4 procedure 2).
+  uint64_t memcost = 0;
+};
+
+class RecomputePlan {
+ public:
+  RecomputePlan(const graph::Net& net, RecomputeMode mode);
+
+  RecomputeMode mode() const { return mode_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Segment id of a layer; -1 for checkpoints (and for mode kNone).
+  int segment_of(const graph::Layer* l) const;
+
+  /// Whether this tensor is dropped after its forward consumers finish.
+  bool droppable(const tensor::Tensor* t) const;
+
+  /// l_peak = max_i(l_i): the cost-aware threshold (paper step 1).
+  uint64_t l_peak() const { return l_peak_; }
+
+  /// Analytic extra-forward counts (Table 1): speed-centric Σ|seg|,
+  /// memory-centric Σ n(n+1)/2, cost-aware mixes by segment decision.
+  uint64_t predicted_extra_forwards(RecomputeMode as_mode) const;
+
+  /// Predicted peak recompute memcost across segments for a given strategy
+  /// (Table 1's peak_m columns, in bytes).
+  uint64_t predicted_peak_memcost(RecomputeMode as_mode) const;
+
+  static bool is_checkpoint_layer(const graph::Layer* l);
+
+ private:
+  RecomputeMode mode_;
+  std::vector<Segment> segments_;
+  std::vector<int> layer_segment_;   ///< layer id -> segment id (-1 checkpoint)
+  std::vector<bool> tensor_droppable_;
+  uint64_t l_peak_ = 0;
+};
+
+}  // namespace sn::core

@@ -1,0 +1,710 @@
+#include "core/runtime.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace sn::core {
+
+namespace {
+
+bool is_offloadable_producer(const graph::Layer* l) {
+  // UTP offloads checkpoint-layer outputs; the paper restricts offloading to
+  // CONV layers (§3.3.1) since FC/Dropout/Softmax hold <1% of memory. DATA
+  // behaves like a CONV output for this purpose (large, forward-produced,
+  // backward-consumed).
+  return l->type() == graph::LayerType::kConv || l->type() == graph::LayerType::kData;
+}
+
+}  // namespace
+
+Runtime::Runtime(graph::Net& net, RuntimeOptions opts)
+    : net_(net),
+      opts_(opts),
+      machine_(opts.spec),
+      cost_(opts.spec),
+      host_pool_(opts.host_capacity, opts.pinned_host, opts.real),
+      liveness_(net, opts.recompute != RecomputeMode::kNone),
+      plan_(net, opts.recompute),
+      rng_(opts.seed) {
+  if (!net.finalized()) throw std::logic_error("Runtime: net must be finalized");
+  if (opts_.use_pool_allocator) {
+    allocator_ = std::make_unique<mem::PoolAllocator>(machine_, opts_.device_capacity,
+                                                      mem::MemoryPool::kDefaultBlockBytes,
+                                                      opts_.real);
+  } else {
+    allocator_ = std::make_unique<mem::NativeAllocator>(machine_, opts_.device_capacity,
+                                                        opts_.real);
+  }
+
+  const size_t ntensors = net.registry().size();
+  producer_.assign(ntensors, nullptr);
+  last_forward_use_.assign(ntensors, -1);
+  is_offload_target_.assign(ntensors, false);
+
+  const int nfwd = static_cast<int>(net.route().size());
+  for (const auto& l : net.layers()) {
+    for (tensor::Tensor* t : l->forward_defs()) producer_[t->uid()] = l.get();
+    for (tensor::Tensor* t : l->param_grads()) producer_[t->uid()] = l.get();
+    if (tensor::Tensor* g = l->output_grad()) producer_[g->uid()] = l.get();
+    if (is_offloadable_producer(l.get())) is_offload_target_[l->output()->uid()] = true;
+  }
+  for (const auto& step : net.steps()) {
+    if (step.index >= nfwd) break;
+    for (auto* t : step.layer->forward_uses()) last_forward_use_[t->uid()] = step.index;
+    for (auto* t : step.layer->forward_defs()) {
+      if (last_forward_use_[t->uid()] < step.index) last_forward_use_[t->uid()] = step.index;
+    }
+  }
+
+  // Precompute the per-forward-step drop lists for recomputation: droppable
+  // tensors whose forward consumers are done but that backward still needs.
+  // fwd_free_lists_ additionally covers every tensor (inference mode).
+  drop_after_fwd_.resize(nfwd);
+  fwd_free_lists_.resize(nfwd);
+  for (const auto& t : net.registry().all()) {
+    uint64_t uid = t->uid();
+    int lf = last_forward_use_[uid];
+    if (lf < 0 || lf >= nfwd) continue;
+    if (!liveness_.is_persistent(uid)) fwd_free_lists_[lf].push_back(uid);
+    if (!plan_.droppable(t.get())) continue;
+    if (liveness_.last_occurrence(uid) > lf) drop_after_fwd_[lf].push_back(uid);
+  }
+}
+
+// --------------------------------------------------------------------------
+// memory state transitions
+
+float* Runtime::device_ptr(const tensor::Tensor* t) {
+  if (!opts_.real) return nullptr;
+  if (!t->gpu_handle) return nullptr;
+  return static_cast<float*>(allocator_->ptr(*t->gpu_handle));
+}
+
+void Runtime::alloc_device(tensor::Tensor* t) {
+  ++alloc_count_;
+  auto h = allocator_->allocate(t->bytes());
+  if (!h && opts_.tensor_cache) {
+    // Alg. 2 LRU.out: evict least-recently-used unlocked tensors one at a
+    // time, retrying the allocation after each, until it fits. Pass 1 frees
+    // clean entries (host copy already valid); pass 2 offloads/drops.
+    for (int pass = 0; pass < 2 && !h; ++pass) {
+      for (uint64_t uid : cache_.eviction_order()) {
+        tensor::Tensor* c = tensor_by_uid(uid);
+        if (c->locked() || !c->on_device()) continue;
+        if (pass == 0) {
+          if (c->residency != tensor::Residency::kBoth) continue;
+          release_offloaded(c);
+        } else {
+          evict_one(c);
+        }
+        ++evictions_;
+        h = allocator_->allocate(t->bytes());
+        if (h) break;
+      }
+    }
+  }
+  if (!h) {
+    throw OomError{t->bytes(), allocator_->largest_free(),
+                   "device OOM allocating " + t->name()};
+  }
+  t->gpu_handle = *h;
+  ++live_count_;
+  if (opts_.tensor_cache && !liveness_.is_persistent(t->uid())) cache_.insert(t->uid());
+}
+
+void Runtime::free_device(tensor::Tensor* t) {
+  if (t->gpu_handle) {
+    allocator_->deallocate(*t->gpu_handle);
+    t->gpu_handle.reset();
+    --live_count_;
+  } else if (t->residency == tensor::Residency::kDevice ||
+             t->residency == tensor::Residency::kBoth) {
+    --live_count_;  // aliased (in-place) tensor: counted live without a handle
+  }
+  cache_.erase(t->uid());
+  pending_d2h_.erase(t->uid());
+  pending_h2d_.erase(t->uid());
+}
+
+void Runtime::evict_one(tensor::Tensor* t) {
+  if (plan_.droppable(t)) {
+    drop_tensor(t);  // recomputation restores it without any transfer
+    return;
+  }
+  // Synchronous offload: the memory is reused immediately, so the copy must
+  // complete before the allocation proceeds.
+  offload_to_host(t, /*async=*/false);
+}
+
+void Runtime::offload_to_host(tensor::Tensor* t, bool async) {
+  if (t->host_handle == 0) {
+    t->host_handle = host_pool_.allocate(t->bytes());
+    if (t->host_handle == 0) {
+      throw OomError{t->bytes(), host_pool_.free_bytes(), "host pool OOM for " + t->name()};
+    }
+  }
+  if (opts_.real) {
+    void* dst = host_pool_.ptr(t->host_handle);
+    const float* src = device_ptr(t);
+    if (dst && src) std::memcpy(dst, src, t->bytes());
+  }
+  sim::Event e = machine_.async_copy(sim::CopyDir::kD2H, t->bytes(), host_pool_.pinned());
+  if (async && opts_.async_transfers) {
+    pending_d2h_[t->uid()] = e;
+    t->residency = tensor::Residency::kBoth;
+  } else {
+    machine_.wait_event(e);
+    t->residency = tensor::Residency::kBoth;
+    release_offloaded(t);
+  }
+}
+
+void Runtime::release_offloaded(tensor::Tensor* t) {
+  if (t->locked()) return;  // retried on a later poll
+  assert(t->on_host());
+  free_device(t);
+  t->residency = tensor::Residency::kHost;
+}
+
+void Runtime::drop_tensor(tensor::Tensor* t) {
+  free_device(t);
+  if (t->host_handle) {
+    host_pool_.deallocate(t->host_handle);
+    t->host_handle = 0;
+  }
+  t->residency = tensor::Residency::kDropped;
+}
+
+void Runtime::fetch_from_host(tensor::Tensor* t) {
+  alloc_device(t);
+  sim::Event e = machine_.async_copy(sim::CopyDir::kH2D, t->bytes(), host_pool_.pinned());
+  machine_.wait_event(e);  // on-demand: the consumer needs the bytes now
+  if (opts_.real) {
+    float* dst = device_ptr(t);
+    const void* src = host_pool_.ptr(t->host_handle);
+    if (dst && src) std::memcpy(dst, src, t->bytes());
+  }
+  t->residency = tensor::Residency::kBoth;
+  if (opts_.tensor_cache) cache_.count_miss();
+}
+
+void Runtime::materialize(tensor::Tensor* t) {
+  // A prefetch may be in flight for this tensor: its device buffer exists
+  // but the data lands only when the event completes.
+  auto pend = pending_h2d_.find(t->uid());
+  if (pend != pending_h2d_.end()) {
+    machine_.wait_event(pend->second);
+    pending_h2d_.erase(pend);
+  }
+  if (t->on_device()) {
+    if (opts_.tensor_cache && !liveness_.is_persistent(t->uid())) {
+      cache_.touch(t->uid());
+      cache_.count_hit();
+    }
+    return;
+  }
+  if (t->on_host()) {
+    fetch_from_host(t);
+    return;
+  }
+  if (t->residency == tensor::Residency::kDropped) {
+    graph::Layer* prod = producer_of(t);
+    int seg = plan_.segment_of(prod);
+    if (!in_replay_ && seg >= 0 && plan_.segments()[seg].speed_centric) {
+      // Speed-centric: replay the whole segment once; later backward steps
+      // in the segment reuse the regenerated tensors (Fig. 9a). Under severe
+      // memory pressure a later replay may evict an earlier regeneration,
+      // so a targeted chain replay below backstops the specific tensor.
+      in_replay_ = true;
+      for (graph::Layer* l : plan_.segments()[seg].layers) replay_forward(l);
+      in_replay_ = false;
+      if (t->on_device()) return;
+    }
+    // Memory-centric (and nested-replay) path: replay only the ancestor
+    // chain of this tensor; post_step() re-drops what was regenerated
+    // (Fig. 9b). The chain holds locks top-down, so the target cannot be
+    // evicted before it is returned to the caller.
+    bool saved = in_replay_;
+    in_replay_ = true;
+    replay_forward(prod);
+    in_replay_ = saved;
+    if (!t->on_device()) {
+      throw std::logic_error("recompute failed to materialize " + t->name());
+    }
+    return;
+  }
+  throw std::logic_error("use of never-defined tensor " + t->name());
+}
+
+void Runtime::replay_forward(graph::Layer* layer) {
+  // Skip when everything this layer defines is already live.
+  bool live = layer->output()->on_device();
+  for (const tensor::Tensor* a : layer->aux()) live = live && a->on_device();
+  if (live) return;
+
+  auto uses = layer->forward_uses();
+  auto defs = layer->forward_defs();
+  // Lock as we go: materializing a later dependency may trigger eviction,
+  // which must not reclaim dependencies staged moments earlier.
+  for (tensor::Tensor* u : uses) {
+    materialize(u);
+    u->lock();
+  }
+  for (tensor::Tensor* d : defs) {
+    ensure_def(d);
+    d->lock();
+  }
+
+  StepTelemetry scratch;
+  run_layer_pass(layer, /*forward=*/true, nullptr, nullptr, nullptr, &scratch);
+  ++extra_forwards_;
+  for (const tensor::Tensor* d : defs) regenerated_.push_back(d->uid());
+
+  lock(uses, false);
+  lock(defs, false);
+  note_peak();
+}
+
+void Runtime::ensure_def(tensor::Tensor* t) {
+  if (!t->on_device()) {
+    if (t->on_host()) {
+      // Definitions can be read-modify-write (gradient accumulation across
+      // fan-out consumers): an evicted partial result must round-trip back,
+      // not be re-allocated blank. Falls through to the first-def zeroing
+      // check below, which is a no-op within the same iteration.
+      fetch_from_host(t);
+    } else {
+      // Aliased definitions consume no new device memory (simulation-only
+      // accounting of framework-specific reuse): Torch-style in-place
+      // activations, and Caffe/Torch reuse of forward tensors as backward
+      // data buffers (§2.2).
+      graph::Layer* prod = producer_of(t);
+      bool alias_act = opts_.inplace_act && prod && prod->type() == graph::LayerType::kAct &&
+                       t->kind() == tensor::TensorKind::kData;
+      bool alias_grad = opts_.reuse_grad_buffers && t->kind() == tensor::TensorKind::kGrad;
+      if (!opts_.real && (alias_act || alias_grad)) {
+        t->residency = tensor::Residency::kDevice;
+        ++live_count_;
+        return;
+      }
+      alloc_device(t);
+      t->residency = tensor::Residency::kDevice;
+    }
+  }
+  if (t->kind() == tensor::TensorKind::kGrad && !zeroed_grads_.count(t->uid())) {
+    zeroed_grads_.insert(t->uid());
+    if (opts_.real) {
+      if (float* p = device_ptr(t)) std::memset(p, 0, t->bytes());
+    }
+    machine_.run_compute(cost_.bandwidth_time(t->bytes()));
+  }
+}
+
+// --------------------------------------------------------------------------
+// step execution
+
+void Runtime::charge_layer_time(const graph::Layer* layer, bool forward, nn::ConvAlgo algo) {
+  double flops, eff;
+  uint64_t bytes;
+  if (layer->type() == graph::LayerType::kConv) {
+    const auto* conv = static_cast<const graph::ConvLayer*>(layer);
+    nn::ConvPass pass = forward ? nn::ConvPass::kForward : nn::ConvPass::kBackwardData;
+    flops = nn::conv_flops(conv->desc(), pass) * (forward ? 1.0 : 2.0);  // data + filter
+    eff = nn::conv_algo_efficiency(conv->desc(), algo, pass);
+    bytes = forward ? layer->forward_bytes() : layer->backward_bytes();
+  } else {
+    flops = forward ? layer->forward_flops() : layer->backward_flops();
+    eff = layer->compute_efficiency();
+    bytes = forward ? layer->forward_bytes() : layer->backward_bytes();
+  }
+  machine_.run_compute(cost_.compute_time(flops, static_cast<double>(bytes), eff));
+}
+
+void Runtime::run_layer_pass(graph::Layer* layer, bool forward, const float* input,
+                             const int32_t* labels, double* loss_out, StepTelemetry* tele) {
+  graph::ExecContext ctx;
+  ctx.real = opts_.real;
+  ctx.inference = inference_mode_;
+  ctx.buf = [this](const tensor::Tensor* t) { return device_ptr(t); };
+  ctx.iter = iter_;
+  ctx.seed = opts_.seed;
+  ctx.input_data = input;
+  ctx.labels = labels;
+  ctx.loss_out = loss_out;
+
+  // Dynamic convolution-workspace allocation (§3.5): measure what is free
+  // *now*, after the memory techniques have run for this step.
+  std::optional<uint64_t> ws_handle;
+  if (layer->type() == graph::LayerType::kConv) {
+    auto* conv = static_cast<graph::ConvLayer*>(layer);
+    uint64_t budget = opts_.allow_workspace ? allocator_->largest_free() : 0;
+    AlgoChoice choice = opts_.dynamic_workspace
+                            ? choose_conv_algo(*conv, forward, budget)
+                            : choose_conv_algo_static(*conv, forward, budget);
+    if (choice.workspace_bytes > 0) {
+      ws_handle = allocator_->allocate(choice.workspace_bytes);
+      if (!ws_handle) {
+        // Fragmentation race: fall back to the workspace-free algorithm.
+        choice.algo = nn::ConvAlgo::kDirect;
+        choice.workspace_bytes = 0;
+      }
+    }
+    ctx.conv_algo = choice.algo;
+    ctx.workspace_bytes = choice.workspace_bytes;
+    if (ws_handle) ctx.workspace = static_cast<float*>(allocator_->ptr(*ws_handle));
+    tele->algo = choice.algo;
+    tele->ws_assigned = choice.workspace_bytes;
+    tele->ws_max_speed = choice.best_workspace_bytes;
+  }
+
+  note_peak();
+  if (forward) {
+    layer->forward(ctx);
+  } else {
+    layer->backward(ctx);
+  }
+  charge_layer_time(layer, forward, ctx.conv_algo);
+
+  if (ws_handle) allocator_->deallocate(*ws_handle);
+}
+
+void Runtime::lock(const std::vector<tensor::Tensor*>& ts, bool locked) {
+  for (tensor::Tensor* t : ts) {
+    if (locked) {
+      t->lock();
+    } else {
+      t->unlock();
+    }
+  }
+}
+
+void Runtime::note_peak() {
+  uint64_t u = allocator_->in_use();
+  if (u > iter_peak_) iter_peak_ = u;
+}
+
+void Runtime::exec_step(const graph::Step& step, const float* input, const int32_t* labels,
+                        double* loss_out) {
+  graph::Layer* layer = step.layer;
+  const bool fwd = step.forward;
+  regenerated_.clear();
+
+  auto uses = fwd ? layer->forward_uses() : layer->backward_uses();
+  auto defs = fwd ? layer->forward_defs() : layer->backward_defs();
+
+  // Materialize-and-lock one at a time: materializing a later dependency may
+  // trigger eviction, which must not touch dependencies already staged.
+  for (tensor::Tensor* u : uses) {
+    materialize(u);
+    u->lock();
+  }
+  for (tensor::Tensor* d : defs) {
+    ensure_def(d);
+    d->lock();
+  }
+
+  StepTelemetry tele;
+  tele.step = step.index;
+  tele.layer = layer;
+  tele.forward = fwd;
+
+  run_layer_pass(layer, fwd, fwd && layer->type() == graph::LayerType::kData ? input : nullptr,
+                 labels, loss_out, &tele);
+
+  tele.mem_in_use = allocator_->in_use();
+  tele.live_tensors = live_count_;
+  tele.clock = machine_.now();
+  telemetry_.push_back(tele);
+
+  lock(uses, false);
+  lock(defs, false);
+}
+
+void Runtime::poll_offloads(int step) {
+  for (auto it = pending_d2h_.begin(); it != pending_d2h_.end();) {
+    tensor::Tensor* t = tensor_by_uid(it->first);
+    // Release the device copy once the copy landed AND the tensor's forward
+    // consumers are done with it (vDNN-style release point).
+    if (machine_.query_event(it->second) && !t->locked() &&
+        last_forward_use_[t->uid()] <= step) {
+      it = pending_d2h_.erase(it);
+      release_offloaded(t);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Runtime::issue_prefetches(int step) {
+  // Paper §3.3.1: at a CONV layer's backward step, asynchronously fetch what
+  // the *previous* CONV layer's backward span needs. Scan ahead to (and
+  // including) the next checkpoint's backward step and stage every
+  // host-resident dependency that fits without eviction.
+  const auto& steps = net_.steps();
+  for (size_t s = static_cast<size_t>(step) + 1; s < steps.size(); ++s) {
+    const auto& st = steps[s];
+    for (tensor::Tensor* u : st.layer->backward_uses()) {
+      if (u->residency != tensor::Residency::kHost) continue;
+      if (pending_h2d_.count(u->uid())) continue;
+      if (allocator_->largest_free() < u->bytes()) return;  // no room: stop staging
+      alloc_device(u);
+      u->residency = tensor::Residency::kBoth;
+      if (opts_.real) {
+        float* dst = device_ptr(u);
+        const void* src = host_pool_.ptr(u->host_handle);
+        if (dst && src) std::memcpy(dst, src, u->bytes());
+      }
+      pending_h2d_[u->uid()] = machine_.async_copy(sim::CopyDir::kH2D, u->bytes(),
+                                                   host_pool_.pinned());
+    }
+    if (RecomputePlan::is_checkpoint_layer(st.layer)) break;
+  }
+}
+
+void Runtime::post_step(const graph::Step& step) {
+  graph::Layer* layer = step.layer;
+  const bool fwd = step.forward;
+  const int nfwd = static_cast<int>(net_.route().size());
+
+  // Memory-centric re-drop: tensors regenerated for THIS backward step are
+  // dropped again unless their segment runs speed-centric (Fig. 9b).
+  if (!fwd) {
+    for (uint64_t uid : regenerated_) {
+      tensor::Tensor* t = tensor_by_uid(uid);
+      graph::Layer* prod = producer_of(t);
+      int seg = prod ? plan_.segment_of(prod) : -1;
+      if (seg >= 0 && !plan_.segments()[seg].speed_centric && plan_.droppable(t) &&
+          liveness_.last_occurrence(uid) > step.index && t->on_device() && !t->locked()) {
+        drop_tensor(t);
+      }
+    }
+  }
+
+  // Liveness Analysis: free tensors whose last use is this step (§3.2).
+  if (opts_.use_liveness) {
+    for (uint64_t uid : liveness_.free_after(step.index)) {
+      tensor::Tensor* t = tensor_by_uid(uid);
+      if (t->locked()) continue;
+      free_device(t);
+      if (t->host_handle) {
+        host_pool_.deallocate(t->host_handle);
+        t->host_handle = 0;
+      }
+      t->residency = tensor::Residency::kNone;
+    }
+  }
+
+  // Recomputation: during the forward pass, drop cheap tensors once their
+  // forward consumers finished; backward will reconstruct them (§3.4).
+  if (fwd && plan_.mode() != RecomputeMode::kNone &&
+      step.index < static_cast<int>(drop_after_fwd_.size())) {
+    for (uint64_t uid : drop_after_fwd_[step.index]) {
+      tensor::Tensor* t = tensor_by_uid(uid);
+      if (t->on_device() && !t->locked()) drop_tensor(t);
+    }
+  }
+
+  // UTP eager offload: without the Tensor Cache, CONV outputs stream out as
+  // soon as they are produced (§3.3.1). The cache replaces this with lazy,
+  // pressure-driven eviction (§3.3.2).
+  if (fwd && opts_.offload && !opts_.tensor_cache &&
+      is_offload_target_[layer->output()->uid()] &&
+      liveness_.last_occurrence(layer->output()->uid()) >= nfwd) {
+    tensor::Tensor* t = layer->output();
+    if (t->on_device() && !pending_d2h_.count(t->uid())) {
+      offload_to_host(t, /*async=*/true);
+    }
+  }
+  poll_offloads(step.index);
+
+  // UTP prefetch: stage the next checkpoint span's dependencies under the
+  // current backward compute (§3.3.1).
+  if (!fwd && opts_.offload && opts_.async_transfers &&
+      RecomputePlan::is_checkpoint_layer(layer)) {
+    issue_prefetches(step.index);
+  }
+
+  note_peak();
+}
+
+// --------------------------------------------------------------------------
+// lifecycle
+
+void Runtime::initialize() {
+  assert(!initialized_);
+  for (const auto& l : net_.layers()) {
+    auto init_param = [&](tensor::Tensor* t, bool weight) {
+      alloc_device(t);
+      t->residency = tensor::Residency::kDevice;
+      t->lock();  // parameters are never eviction candidates
+      if (!opts_.real) return;
+      float* p = device_ptr(t);
+      if (!p) return;
+      int64_t n = t->shape().elems();
+      if (!weight) {
+        // Biases and BN beta start at zero; BN gamma at one.
+        bool is_gamma = t->name().find(":gamma") != std::string::npos;
+        for (int64_t i = 0; i < n; ++i) p[i] = is_gamma ? 1.0f : 0.0f;
+        return;
+      }
+      // He-normal fan-in initialization for conv / FC weights.
+      int64_t fan_in = t->shape().c * t->shape().h * t->shape().w;
+      float stddev = std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+      for (int64_t i = 0; i < n; ++i) p[i] = rng_.normal(0.0f, stddev);
+    };
+    const auto& params = l->params();
+    for (size_t i = 0; i < params.size(); ++i) {
+      bool weight = params[i]->name().find(":W") != std::string::npos;
+      init_param(params[i], weight);
+    }
+    for (tensor::Tensor* g : l->param_grads()) {
+      alloc_device(g);
+      g->residency = tensor::Residency::kDevice;
+      g->lock();
+      if (opts_.real) {
+        if (float* p = device_ptr(g)) std::memset(p, 0, g->bytes());
+      }
+    }
+  }
+  initialized_ = true;
+}
+
+IterationStats Runtime::train_iteration(const float* input, const int32_t* labels) {
+  if (!initialized_) initialize();
+  telemetry_.clear();
+  zeroed_grads_.clear();
+  iter_peak_ = allocator_->in_use();
+  extra_forwards_ = 0;
+  evictions_ = 0;
+  alloc_count_ = 0;
+  const auto c0 = machine_.counters();
+  const double t0 = machine_.now();
+  const uint64_t hits0 = cache_.hits(), misses0 = cache_.misses();
+
+  double loss = 0.0;
+  for (const auto& step : net_.steps()) {
+    exec_step(step, input, labels, &loss);
+    post_step(step);
+  }
+
+  // Drain outstanding DMA so the next iteration starts clean.
+  for (auto& [uid, e] : pending_d2h_) {
+    machine_.wait_event(e);
+    release_offloaded(tensor_by_uid(uid));
+  }
+  pending_d2h_.clear();
+  for (auto& [uid, e] : pending_h2d_) machine_.wait_event(e);
+  pending_h2d_.clear();
+
+  const auto c1 = machine_.counters();
+  IterationStats st;
+  st.loss = loss;
+  st.seconds = machine_.now() - t0;
+  st.peak_mem = iter_peak_;
+  st.bytes_d2h = c1.bytes_d2h - c0.bytes_d2h;
+  st.bytes_h2d = c1.bytes_h2d - c0.bytes_h2d;
+  st.extra_forwards = extra_forwards_;
+  st.evictions = evictions_;
+  st.cache_hits = cache_.hits() - hits0;
+  st.cache_misses = cache_.misses() - misses0;
+  st.allocs = alloc_count_;
+  st.malloc_seconds = c1.malloc_time - c0.malloc_time;
+  st.stall_seconds = c1.stall_time - c0.stall_time;
+  ++iter_;
+  return st;
+}
+
+IterationStats Runtime::forward_iteration(const float* input, const int32_t* labels,
+                                          std::vector<float>* probs_out) {
+  if (!initialized_) initialize();
+  inference_mode_ = true;
+  telemetry_.clear();
+  zeroed_grads_.clear();
+  iter_peak_ = allocator_->in_use();
+  const auto c0 = machine_.counters();
+  const double t0 = machine_.now();
+
+  const int nfwd = static_cast<int>(net_.route().size());
+  double loss = 0.0;
+  for (const auto& step : net_.steps()) {
+    if (step.index >= nfwd) break;
+    exec_step(step, input, labels, &loss);
+    // Inference liveness: free every non-persistent tensor at its last
+    // FORWARD use — backward dependencies do not exist here.
+    for (uint64_t uid : fwd_free_lists_[static_cast<size_t>(step.index)]) {
+      tensor::Tensor* t = tensor_by_uid(uid);
+      if (liveness_.is_persistent(uid) || t->locked()) continue;
+      if (t == net_.loss_layer()->output()) continue;  // caller may read it
+      free_device(t);
+      if (t->host_handle) {
+        host_pool_.deallocate(t->host_handle);
+        t->host_handle = 0;
+      }
+      t->residency = tensor::Residency::kNone;
+    }
+    poll_offloads(step.index);
+  }
+
+  if (probs_out && opts_.real) {
+    tensor::Tensor* p = net_.loss_layer()->output();
+    *probs_out = read_tensor(p);
+  }
+  // Release the retained loss output now that it has been read.
+  tensor::Tensor* p = net_.loss_layer()->output();
+  if (!liveness_.is_persistent(p->uid())) {
+    free_device(p);
+    p->residency = tensor::Residency::kNone;
+  }
+
+  const auto c1 = machine_.counters();
+  IterationStats st;
+  st.loss = loss;
+  st.seconds = machine_.now() - t0;
+  st.peak_mem = iter_peak_;
+  st.bytes_d2h = c1.bytes_d2h - c0.bytes_d2h;
+  st.bytes_h2d = c1.bytes_h2d - c0.bytes_h2d;
+  ++iter_;
+  inference_mode_ = false;
+  return st;
+}
+
+void Runtime::apply_sgd(float lr, float momentum, float weight_decay) {
+  for (const auto& l : net_.layers()) {
+    const auto& params = l->params();
+    const auto& grads = l->param_grads();
+    for (size_t i = 0; i < params.size() && i < grads.size(); ++i) {
+      tensor::Tensor* w = params[i];
+      tensor::Tensor* g = grads[i];
+      machine_.run_compute(cost_.bandwidth_time(3 * w->bytes()));
+      if (!opts_.real) continue;
+      float* wp = device_ptr(w);
+      float* gp = device_ptr(g);
+      if (!wp || !gp) continue;
+      auto& v = momentum_[w];
+      if (v.empty()) v.assign(static_cast<size_t>(w->shape().elems()), 0.0f);
+      for (size_t k = 0; k < v.size(); ++k) {
+        float grad = gp[k] + weight_decay * wp[k];
+        v[k] = momentum * v[k] - lr * grad;
+        wp[k] += v[k];
+      }
+    }
+  }
+}
+
+std::vector<float> Runtime::read_tensor(const tensor::Tensor* t) {
+  std::vector<float> out(static_cast<size_t>(t->shape().elems()), 0.0f);
+  if (const float* p = device_ptr(t)) std::memcpy(out.data(), p, t->bytes());
+  return out;
+}
+
+void Runtime::write_tensor(const tensor::Tensor* t, const std::vector<float>& data) {
+  if (float* p = device_ptr(t)) {
+    std::memcpy(p, data.data(), std::min<uint64_t>(t->bytes(), data.size() * sizeof(float)));
+  }
+}
+
+}  // namespace sn::core

@@ -1,0 +1,167 @@
+// The SuperNeurons runtime: a dynamic GPU-memory scheduling executor.
+//
+// Orchestrates one training iteration over the 2N-step route, combining
+// (per RuntimeOptions):
+//   * Liveness Analysis     — free tensors at their last use (§3.2)
+//   * GPU Memory Pool       — amortized alloc/free (§3.2.1, Table 2)
+//   * Unified Tensor Pool   — offload CONV outputs to pinned host memory,
+//                             prefetch them ahead of the backward pass,
+//                             overlapping DMA with compute (§3.3.1)
+//   * Tensor Cache          — LRU over device tensors; transfers fire only
+//                             under memory pressure (§3.3.2, Alg. 2)
+//   * Cost-Aware Recompute  — drop cheap tensors, replay segments (§3.4)
+//   * Dynamic Workspaces    — fastest memory-feasible conv algorithm per
+//                             step (§3.5)
+//
+// The same scheduler runs in two modes: `real` (backed memory, kernels
+// execute, numerics verifiable) and simulation (accounting + virtual time
+// only), letting tests verify that scheduling NEVER changes training results
+// while benches run paper-scale configurations.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/liveness.hpp"
+#include "core/options.hpp"
+#include "core/recompute.hpp"
+#include "core/telemetry.hpp"
+#include "core/tensor_cache.hpp"
+#include "core/workspace.hpp"
+#include "graph/net.hpp"
+#include "mem/gpu_allocator.hpp"
+#include "mem/host_pool.hpp"
+#include "sim/costmodel.hpp"
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+
+namespace sn::core {
+
+class Runtime {
+ public:
+  /// `net` must be finalized and outlive the runtime.
+  Runtime(graph::Net& net, RuntimeOptions opts);
+
+  /// Place parameters (and their gradients) permanently on the device and,
+  /// in real mode, initialize weights (He-normal, seeded). Throws OomError
+  /// if parameters alone exceed capacity.
+  void initialize();
+
+  /// Run one forward+backward pass. `input` / `labels` may be null in
+  /// simulation mode. Returns per-iteration stats; per-step telemetry for
+  /// the iteration is kept in step_telemetry().
+  IterationStats train_iteration(const float* input, const int32_t* labels);
+
+  /// Forward-only pass (inference). Tensors are freed at their last
+  /// *forward* use, so the scheduled footprint is far below training's. If
+  /// `probs_out` is non-null (real mode) it receives the loss layer's output.
+  IterationStats forward_iteration(const float* input, const int32_t* labels,
+                                   std::vector<float>* probs_out = nullptr);
+
+  /// Vanilla SGD over all parameters (momentum kept host-side).
+  void apply_sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f);
+
+  const std::vector<StepTelemetry>& step_telemetry() const { return telemetry_; }
+  const Liveness& liveness() const { return liveness_; }
+  const RecomputePlan& recompute_plan() const { return plan_; }
+  sim::Machine& machine() { return machine_; }
+  mem::GpuAllocator& allocator() { return *allocator_; }
+  const RuntimeOptions& options() const { return opts_; }
+  graph::Net& net() { return net_; }
+
+  /// Copy a parameter's device contents out (real mode; for tests/examples).
+  std::vector<float> read_tensor(const tensor::Tensor* t);
+  /// Overwrite a parameter's device contents (real mode).
+  void write_tensor(const tensor::Tensor* t, const std::vector<float>& data);
+
+  uint64_t current_iteration() const { return iter_; }
+
+ private:
+  // --- memory state transitions -------------------------------------------
+  float* device_ptr(const tensor::Tensor* t);
+  void alloc_device(tensor::Tensor* t);       ///< may evict; throws OomError
+  void free_device(tensor::Tensor* t);
+  void evict_one(tensor::Tensor* t);
+  void offload_to_host(tensor::Tensor* t, bool async);
+  void fetch_from_host(tensor::Tensor* t);
+  void release_offloaded(tensor::Tensor* t);  ///< drop device copy, keep host
+  void drop_tensor(tensor::Tensor* t);        ///< recompute will restore it
+
+  /// Make `t` usable on device right now (cache-hit / prefetch-wait /
+  /// on-demand fetch / recomputation).
+  void materialize(tensor::Tensor* t);
+
+  /// Replay `layer`'s forward pass to regenerate its outputs (recompute).
+  void replay_forward(graph::Layer* layer);
+
+  /// Ensure a definition target is allocated; zero gradients on first def.
+  void ensure_def(tensor::Tensor* t);
+
+  // --- step execution -------------------------------------------------------
+  void exec_step(const graph::Step& step, const float* input, const int32_t* labels,
+                 double* loss_out);
+  void post_step(const graph::Step& step);
+  void run_layer_pass(graph::Layer* layer, bool forward, const float* input,
+                      const int32_t* labels, double* loss_out, StepTelemetry* tele);
+  void charge_layer_time(const graph::Layer* layer, bool forward, nn::ConvAlgo algo);
+  void poll_offloads(int step);
+  void issue_prefetches(int step);
+
+  void lock(const std::vector<tensor::Tensor*>& ts, bool locked);
+  void note_peak();
+
+  tensor::Tensor* tensor_by_uid(uint64_t uid) { return net_.registry().get(uid); }
+  graph::Layer* producer_of(const tensor::Tensor* t) {
+    return producer_[t->uid()];
+  }
+
+  graph::Net& net_;
+  RuntimeOptions opts_;
+  sim::Machine machine_;
+  sim::CostModel cost_;
+  std::unique_ptr<mem::GpuAllocator> allocator_;
+  mem::HostPool host_pool_;
+  Liveness liveness_;
+  RecomputePlan plan_;
+  TensorCache cache_;
+  util::Rng rng_;
+
+  std::vector<graph::Layer*> producer_;        ///< tensor uid -> defining layer
+  std::vector<int> last_forward_use_;          ///< uid -> last forward step using it
+  std::vector<bool> is_offload_target_;        ///< uid -> CONV/DATA output
+  /// Per forward step: droppable tensors whose forward consumers finish
+  /// there but that are still needed by the backward pass.
+  std::vector<std::vector<uint64_t>> drop_after_fwd_;
+  /// Per forward step: every non-persistent tensor whose last forward use is
+  /// that step (inference-mode free lists).
+  std::vector<std::vector<uint64_t>> fwd_free_lists_;
+
+  // transfer bookkeeping
+  std::unordered_map<uint64_t, sim::Event> pending_h2d_;  ///< prefetch events
+  std::unordered_map<uint64_t, sim::Event> pending_d2h_;  ///< offload events
+
+  // per-iteration state
+  std::unordered_set<uint64_t> zeroed_grads_;
+  std::vector<uint64_t> regenerated_;          ///< uids replayed this backward step
+  uint64_t iter_ = 0;
+  uint64_t iter_peak_ = 0;
+  uint64_t live_count_ = 0;
+  uint64_t extra_forwards_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t alloc_count_ = 0;
+  bool initialized_ = false;
+  /// True while a recompute replay is on the stack: nested materializations
+  /// then use targeted chain replays instead of whole-segment eagerness
+  /// (prevents replay/eviction livelock under extreme pressure).
+  bool in_replay_ = false;
+  /// Set during forward_iteration: dropout becomes identity etc.
+  bool inference_mode_ = false;
+
+  std::vector<StepTelemetry> telemetry_;
+  std::unordered_map<const tensor::Tensor*, std::vector<float>> momentum_;
+};
+
+}  // namespace sn::core

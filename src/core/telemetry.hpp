@@ -1,0 +1,49 @@
+// Per-step and per-iteration telemetry the benches read.
+//
+// Fig. 10 plots stepwise memory and live-tensor counts; Table 3 reads
+// communication volumes; Fig. 12 reads per-CONV workspace assignments. All
+// of that is captured here rather than printf'd, so tests can assert on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/conv.hpp"
+
+namespace sn::graph {
+class Layer;
+}
+
+namespace sn::core {
+
+struct StepTelemetry {
+  int step = -1;
+  const graph::Layer* layer = nullptr;
+  bool forward = true;
+
+  uint64_t mem_in_use = 0;     ///< device bytes live right after the kernel
+  uint64_t live_tensors = 0;   ///< tensors resident on device at that point
+  double clock = 0.0;          ///< virtual time when the step completed
+
+  // Convolution workspace decision (0 / kDirect for non-conv steps).
+  nn::ConvAlgo algo = nn::ConvAlgo::kDirect;
+  uint64_t ws_assigned = 0;
+  uint64_t ws_max_speed = 0;
+};
+
+struct IterationStats {
+  double loss = 0.0;
+  double seconds = 0.0;         ///< virtual wall time of the iteration
+  uint64_t peak_mem = 0;        ///< max device bytes in use during the iteration
+  uint64_t bytes_d2h = 0;
+  uint64_t bytes_h2d = 0;
+  uint64_t extra_forwards = 0;  ///< recomputation replays
+  uint64_t evictions = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t allocs = 0;
+  double malloc_seconds = 0.0;  ///< compute time lost to allocator latency
+  double stall_seconds = 0.0;   ///< compute time lost waiting on DMA
+};
+
+}  // namespace sn::core

@@ -1,0 +1,32 @@
+#include "core/tensor_cache.hpp"
+
+namespace sn::core {
+
+void TensorCache::insert(uint64_t uid) {
+  if (pos_.count(uid)) {
+    touch(uid);
+    return;
+  }
+  lru_.push_front(uid);
+  pos_[uid] = lru_.begin();
+}
+
+void TensorCache::touch(uint64_t uid) {
+  auto it = pos_.find(uid);
+  if (it == pos_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+void TensorCache::erase(uint64_t uid) {
+  auto it = pos_.find(uid);
+  if (it == pos_.end()) return;
+  lru_.erase(it->second);
+  pos_.erase(it);
+}
+
+std::vector<uint64_t> TensorCache::eviction_order() const {
+  return {lru_.rbegin(), lru_.rend()};
+}
+
+}  // namespace sn::core

@@ -1,0 +1,53 @@
+// Tensor Cache: LRU over GPU-resident tensors (paper §3.3.2, Alg. 2).
+//
+// Back-propagation revisits tensors tail-to-head, so the most recently used
+// tensors are reused earliest — the access pattern LRU fits. The cache keeps
+// tensors on the device until memory pressure forces eviction; with enough
+// DRAM a training iteration performs zero transfers (Table 3).
+//
+// Locking: a layer locks its dependent tensors for the duration of its
+// computation; locked entries are never eviction candidates (Alg. 2 LRU.in /
+// getLastUnlockedTensor). The actual offload on eviction is performed by the
+// runtime — the cache only decides the order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace sn::core {
+
+class TensorCache {
+ public:
+  /// Insert at the MRU position (Alg. 2 LRU.in). No-op if already present.
+  void insert(uint64_t uid);
+
+  /// Move to the MRU front (Alg. 2 Check cache-hit path).
+  void touch(uint64_t uid);
+
+  /// Remove (tensor freed or evicted).
+  void erase(uint64_t uid);
+
+  bool contains(uint64_t uid) const { return pos_.count(uid) != 0; }
+  size_t size() const { return lru_.size(); }
+
+  /// Eviction candidates, least-recently-used first (Alg. 2 LRU.out walks
+  /// from the tail). The runtime filters locked tensors itself since lock
+  /// state lives on the Tensor.
+  std::vector<uint64_t> eviction_order() const;
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void count_hit() { ++hits_; }
+  void count_miss() { ++misses_; }
+
+ private:
+  std::list<uint64_t> lru_;  ///< front = MRU, back = LRU
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> pos_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace sn::core

@@ -1,0 +1,51 @@
+#include "core/workspace.hpp"
+
+namespace sn::core {
+
+namespace {
+constexpr nn::ConvAlgo kAllAlgos[] = {nn::ConvAlgo::kDirect, nn::ConvAlgo::kIm2colGemm,
+                                      nn::ConvAlgo::kWinograd, nn::ConvAlgo::kFftTiled};
+}
+
+AlgoChoice choose_conv_algo(const graph::ConvLayer& layer, bool forward, uint64_t budget) {
+  const nn::ConvDesc& d = layer.desc();
+  const nn::ConvPass pass = forward ? nn::ConvPass::kForward : nn::ConvPass::kBackwardData;
+  AlgoChoice choice;
+  double best_feasible = -1.0, best_any = -1.0;
+  for (nn::ConvAlgo algo : kAllAlgos) {
+    if (!nn::conv_algo_supported(d, algo)) continue;
+    double eff = nn::conv_algo_efficiency(d, algo, pass);
+    uint64_t ws = layer.workspace_bytes(algo, forward);
+    if (eff > best_any) {
+      best_any = eff;
+      choice.best_algo = algo;
+      choice.best_workspace_bytes = ws;
+    }
+    if (ws <= budget && eff > best_feasible) {
+      best_feasible = eff;
+      choice.algo = algo;
+      choice.workspace_bytes = ws;
+      choice.efficiency = eff;
+    }
+  }
+  return choice;
+}
+
+AlgoChoice choose_conv_algo_static(const graph::ConvLayer& layer, bool forward, uint64_t budget) {
+  const nn::ConvDesc& d = layer.desc();
+  const nn::ConvPass pass = forward ? nn::ConvPass::kForward : nn::ConvPass::kBackwardData;
+  AlgoChoice choice;
+  choice.best_algo = nn::ConvAlgo::kIm2colGemm;
+  choice.best_workspace_bytes = layer.workspace_bytes(nn::ConvAlgo::kIm2colGemm, forward);
+  if (choice.best_workspace_bytes <= budget) {
+    choice.algo = nn::ConvAlgo::kIm2colGemm;
+    choice.workspace_bytes = choice.best_workspace_bytes;
+  } else {
+    choice.algo = nn::ConvAlgo::kDirect;
+    choice.workspace_bytes = 0;
+  }
+  choice.efficiency = nn::conv_algo_efficiency(d, choice.algo, pass);
+  return choice;
+}
+
+}  // namespace sn::core

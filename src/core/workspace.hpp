@@ -1,0 +1,36 @@
+// Dynamic convolution-workspace allocation (paper §3.5).
+//
+// The memory left for workspaces changes at every step as liveness, UTP and
+// recomputation run; the allocator therefore re-selects, per CONV pass, the
+// fastest algorithm whose scratch demand fits the bytes currently free.
+// Functional tensors are always prioritized — workspace is taken from what
+// remains, never the other way around.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/layers.hpp"
+#include "nn/conv.hpp"
+
+namespace sn::core {
+
+struct AlgoChoice {
+  nn::ConvAlgo algo = nn::ConvAlgo::kDirect;
+  uint64_t workspace_bytes = 0;
+  double efficiency = 0.0;
+  /// The unconstrained optimum (Fig. 12's "MAX Speed WS" series).
+  nn::ConvAlgo best_algo = nn::ConvAlgo::kDirect;
+  uint64_t best_workspace_bytes = 0;
+};
+
+/// Fastest memory-feasible algorithm for this conv pass under `budget`
+/// free bytes. Algorithms whose workspace exceeds the budget are skipped
+/// (paper: "the runtime skips convolution algorithms that require more
+/// memory than it can provide"); kDirect (zero workspace) always fits.
+AlgoChoice choose_conv_algo(const graph::ConvLayer& layer, bool forward, uint64_t budget);
+
+/// The static strategy baseline frameworks use: im2col-GEMM when its buffer
+/// fits, otherwise direct — no per-step adaptation.
+AlgoChoice choose_conv_algo_static(const graph::ConvLayer& layer, bool forward, uint64_t budget);
+
+}  // namespace sn::core

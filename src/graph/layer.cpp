@@ -1,0 +1,71 @@
+#include "graph/layer.hpp"
+
+namespace sn::graph {
+
+const char* layer_type_name(LayerType t) {
+  switch (t) {
+    case LayerType::kData: return "DATA";
+    case LayerType::kConv: return "CONV";
+    case LayerType::kPool: return "POOL";
+    case LayerType::kAct: return "ACT";
+    case LayerType::kLrn: return "LRN";
+    case LayerType::kBn: return "BN";
+    case LayerType::kFc: return "FC";
+    case LayerType::kDropout: return "DROPOUT";
+    case LayerType::kSoftmax: return "SOFTMAX";
+    case LayerType::kEltwise: return "ELTWISE";
+    case LayerType::kConcat: return "CONCAT";
+  }
+  return "?";
+}
+
+void Layer::create_tensors(tensor::TensorRegistry& reg) {
+  output_ = reg.create(name_ + ":y", out_shape_, tensor::TensorKind::kData);
+  if (needs_output_grad()) {
+    output_grad_ = reg.create(name_ + ":dy", out_shape_, tensor::TensorKind::kGrad);
+  }
+}
+
+std::vector<tensor::Tensor*> Layer::forward_uses() const {
+  std::vector<tensor::Tensor*> uses;
+  for (const Layer* p : prevs_) uses.push_back(p->output());
+  for (tensor::Tensor* t : params_) uses.push_back(t);
+  return uses;
+}
+
+std::vector<tensor::Tensor*> Layer::forward_defs() const {
+  std::vector<tensor::Tensor*> defs{output_};
+  for (tensor::Tensor* t : aux_) defs.push_back(t);
+  return defs;
+}
+
+std::vector<tensor::Tensor*> Layer::backward_defs() const {
+  std::vector<tensor::Tensor*> defs;
+  for (const Layer* p : prevs_) {
+    if (p->output_grad()) defs.push_back(p->output_grad());
+  }
+  for (tensor::Tensor* t : param_grads_) defs.push_back(t);
+  return defs;
+}
+
+uint64_t Layer::forward_bytes() const {
+  uint64_t b = output_ ? output_->bytes() : 0;
+  for (const Layer* p : prevs_) b += p->output()->bytes();
+  return b;
+}
+
+uint64_t Layer::layer_tensor_bytes() const {
+  uint64_t b = 0;
+  if (output_) b += output_->bytes();
+  if (output_grad_) b += output_grad_->bytes();
+  for (const tensor::Tensor* t : params_) b += t->bytes();
+  for (const tensor::Tensor* t : param_grads_) b += t->bytes();
+  for (const tensor::Tensor* t : aux_) b += t->bytes();
+  for (const Layer* p : prevs_) {
+    b += p->output()->bytes();
+    if (p->output_grad()) b += p->output_grad()->bytes();
+  }
+  return b;
+}
+
+}  // namespace sn::graph

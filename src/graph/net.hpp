@@ -1,0 +1,91 @@
+// Net: a non-linear layer graph plus its execution route.
+//
+// Networks are DAGs with fan (one output consumed by several layers) and
+// join (a layer with several inputs) connections — Fig. 1/3 of the paper.
+// `finalize()` runs the paper's Algorithm 1 (DFS with join counters) to
+// linearize the graph into forward steps, mirrors them into backward steps,
+// infers shapes, and registers every tensor.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/layers.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sn::graph {
+
+/// One scheduling step: a layer pass. A training iteration is the forward
+/// route (steps 0..N-1) followed by the mirrored backward route (N..2N-1).
+struct Step {
+  Layer* layer = nullptr;
+  bool forward = true;
+  int index = -1;  ///< position in the 2N-step iteration
+};
+
+class Net {
+ public:
+  Net() = default;
+
+  /// Add a layer; `inputs` wires prev/next edges (empty only for DataLayer).
+  Layer* add(std::unique_ptr<Layer> layer, const std::vector<Layer*>& inputs);
+
+  // Convenience builders (thin wrappers over add()).
+  Layer* data(const std::string& name, tensor::Shape shape);
+  Layer* conv(const std::string& name, Layer* in, int k, int kh, int stride, int pad,
+              bool bias = true);
+  Layer* pool_max(const std::string& name, Layer* in, int kh, int stride, int pad = 0);
+  Layer* pool_avg(const std::string& name, Layer* in, int kh, int stride, int pad = 0);
+  Layer* relu(const std::string& name, Layer* in);
+  Layer* sigmoid(const std::string& name, Layer* in);
+  Layer* tanh_act(const std::string& name, Layer* in);
+  Layer* lrn(const std::string& name, Layer* in, int size = 5);
+  Layer* bn(const std::string& name, Layer* in);
+  Layer* fc(const std::string& name, Layer* in, int k, bool bias = true);
+  Layer* dropout(const std::string& name, Layer* in, float ratio = 0.5f);
+  Layer* softmax_loss(const std::string& name, Layer* in);
+  Layer* eltwise(const std::string& name, const std::vector<Layer*>& ins);
+  Layer* concat(const std::string& name, const std::vector<Layer*>& ins);
+
+  /// Build the execution route (Algorithm 1), infer shapes, create tensors.
+  /// Must be called exactly once after the full graph is wired.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t num_layers() const { return layers_.size(); }
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+
+  /// Forward execution order (Algorithm 1 output).
+  const std::vector<Layer*>& route() const { return route_; }
+
+  /// The 2N-step iteration: forward route then mirrored backward route
+  /// (paper Fig. 6: left digit = forward step, right digit = backward step).
+  const std::vector<Step>& steps() const { return steps_; }
+
+  Layer* input_layer() const { return input_; }
+  Layer* loss_layer() const { return loss_; }
+
+  tensor::TensorRegistry& registry() { return registry_; }
+  const tensor::TensorRegistry& registry() const { return registry_; }
+
+  /// Total bytes of all registered tensors (the paper's baseline peak_m:
+  /// every tensor allocated independently, nothing freed).
+  uint64_t total_tensor_bytes() const;
+
+  /// max_i(l_i): the layer-wise lower bound on peak memory (paper §3).
+  uint64_t max_layer_bytes() const;
+
+ private:
+  void build_route();
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Layer*> route_;
+  std::vector<Step> steps_;
+  tensor::TensorRegistry registry_;
+  Layer* input_ = nullptr;
+  Layer* loss_ = nullptr;
+  bool finalized_ = false;
+};
+
+}  // namespace sn::graph

@@ -1,0 +1,386 @@
+#include "graph/zoo.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace sn::graph {
+
+namespace {
+
+std::string nm(const std::string& base, int i) { return base + std::to_string(i); }
+
+/// conv -> BN -> ReLU, the standard modern block (rectangular kernels OK).
+Layer* conv_bn_relu(Net& net, const std::string& name, Layer* in, int k, int kh, int kw,
+                    int stride, int pad_h, int pad_w) {
+  Layer* c = net.add(
+      std::make_unique<ConvLayer>(name, k, kh, kw, stride, pad_h, pad_w, /*has_bias=*/false),
+      {in});
+  Layer* b = net.bn(name + "_bn", c);
+  return net.relu(name + "_relu", b);
+}
+
+Layer* conv_bn_relu_sq(Net& net, const std::string& name, Layer* in, int k, int kh, int stride,
+                       int pad) {
+  return conv_bn_relu(net, name, in, k, kh, kh, stride, pad, pad);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ AlexNet
+
+std::unique_ptr<Net> build_alexnet(int batch, int image, int classes) {
+  auto net = std::make_unique<Net>();
+  Layer* d = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  Layer* x = net->conv("CONV1", d, 96, 11, 4, 0);
+  x = net->relu("RELU1", x);
+  x = net->lrn("LRN1", x);
+  x = net->pool_max("POOL1", x, 3, 2);
+  x = net->conv("CONV2", x, 256, 5, 1, 2);
+  x = net->relu("RELU2", x);
+  x = net->lrn("LRN2", x);
+  x = net->pool_max("POOL2", x, 3, 2);
+  x = net->conv("CONV3", x, 384, 3, 1, 1);
+  x = net->relu("RELU3", x);
+  x = net->conv("CONV4", x, 384, 3, 1, 1);
+  x = net->relu("RELU4", x);
+  x = net->conv("CONV5", x, 256, 3, 1, 1);
+  x = net->relu("RELU5", x);
+  x = net->pool_max("POOL5", x, 3, 2);
+  x = net->fc("FC1", x, 4096);
+  x = net->relu("RELU6", x);
+  x = net->dropout("DROPOUT1", x, 0.5f);
+  x = net->fc("FC2", x, 4096);
+  x = net->relu("RELU7", x);
+  x = net->dropout("DROPOUT2", x, 0.5f);
+  x = net->fc("FC3", x, classes);
+  net->softmax_loss("SOFTMAX", x);
+  net->finalize();
+  return net;
+}
+
+// --------------------------------------------------------------------- VGG
+
+std::unique_ptr<Net> build_vgg(int depth, int batch, int image, int classes) {
+  if (depth != 16 && depth != 19) throw std::invalid_argument("VGG depth must be 16 or 19");
+  // Convs per block: VGG16 = 2,2,3,3,3; VGG19 = 2,2,4,4,4.
+  const int convs3 = depth == 16 ? 3 : 4;
+  const int block_convs[5] = {2, 2, convs3, convs3, convs3};
+  const int block_ch[5] = {64, 128, 256, 512, 512};
+
+  auto net = std::make_unique<Net>();
+  Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  int ci = 1;
+  for (int b = 0; b < 5; ++b) {
+    for (int i = 0; i < block_convs[b]; ++i, ++ci) {
+      x = net->conv(nm("CONV", ci), x, block_ch[b], 3, 1, 1);
+      x = net->relu(nm("RELU", ci), x);
+    }
+    x = net->pool_max(nm("POOL", b + 1), x, 2, 2);
+  }
+  x = net->fc("FC1", x, 4096);
+  x = net->relu("RELU_FC1", x);
+  x = net->dropout("DROPOUT1", x, 0.5f);
+  x = net->fc("FC2", x, 4096);
+  x = net->relu("RELU_FC2", x);
+  x = net->dropout("DROPOUT2", x, 0.5f);
+  x = net->fc("FC3", x, classes);
+  net->softmax_loss("SOFTMAX", x);
+  net->finalize();
+  return net;
+}
+
+// ------------------------------------------------------------------ ResNet
+
+namespace {
+
+/// Bottleneck unit: 1x1/m -> 3x3/m -> 1x1/4m with BN+ReLU, eltwise shortcut.
+Layer* bottleneck(Net& net, const std::string& name, Layer* in, int mid, int stride) {
+  const int out_ch = 4 * mid;
+  const int in_ch = static_cast<int>(in->output() ? in->output()->shape().c : 0);
+  // Shapes are not inferred yet at build time; track channels via the conv
+  // params instead: rely on caller passing correct `stride` and project the
+  // shortcut whenever stride != 1 or this is the first unit of a stage
+  // (signalled by mid*4 != previous out channels, which the caller knows).
+  (void)in_ch;
+
+  Layer* b = conv_bn_relu_sq(net, name + "_1x1a", in, mid, 1, stride, 0);
+  b = conv_bn_relu_sq(net, name + "_3x3", b, mid, 3, 1, 1);
+  b = net.add(std::make_unique<ConvLayer>(name + "_1x1b", out_ch, 1, 1, 1, 0, 0, false), {b});
+  b = net.bn(name + "_1x1b_bn", b);
+  return b;
+}
+
+Layer* residual_stage(Net& net, const std::string& name, Layer* x, int mid, int units,
+                      int first_stride, bool project_first) {
+  for (int u = 0; u < units; ++u) {
+    int stride = u == 0 ? first_stride : 1;
+    Layer* branch = bottleneck(net, name + "_u" + std::to_string(u), x, mid, stride);
+    Layer* shortcut = x;
+    if (u == 0 && (project_first || first_stride != 1)) {
+      shortcut = net.add(
+          std::make_unique<ConvLayer>(name + "_u0_proj", 4 * mid, 1, 1, stride, 0, 0, false), {x});
+      shortcut = net.bn(name + "_u0_proj_bn", shortcut);
+    }
+    x = net.eltwise(name + "_u" + std::to_string(u) + "_add", {branch, shortcut});
+    x = net.relu(name + "_u" + std::to_string(u) + "_relu", x);
+  }
+  return x;
+}
+
+}  // namespace
+
+int resnet_depth(int n1, int n2, int n3, int n4) { return 3 * (n1 + n2 + n3 + n4) + 2; }
+
+std::unique_ptr<Net> build_resnet(int n1, int n2, int n3, int n4, int batch, int image,
+                                  int classes) {
+  auto net = std::make_unique<Net>();
+  Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  x = conv_bn_relu_sq(*net, "CONV1", x, 64, 7, 2, 3);
+  x = net->pool_max("POOL1", x, 3, 2, 1);
+  x = residual_stage(*net, "stage1", x, 64, n1, 1, /*project_first=*/true);
+  x = residual_stage(*net, "stage2", x, 128, n2, 2, true);
+  x = residual_stage(*net, "stage3", x, 256, n3, 2, true);
+  x = residual_stage(*net, "stage4", x, 512, n4, 2, true);
+  // Global average pool (kernel = remaining spatial extent).
+  int spatial = image / 32;  // 224 -> 7
+  if (spatial < 1) spatial = 1;
+  x = net->pool_avg("POOL5", x, spatial, 1);
+  x = net->fc("FC", x, classes);
+  net->softmax_loss("SOFTMAX", x);
+  net->finalize();
+  return net;
+}
+
+std::unique_ptr<Net> build_resnet_preset(int depth, int batch, int image, int classes) {
+  switch (depth) {
+    case 50: return build_resnet(3, 4, 6, 3, batch, image, classes);
+    case 101: return build_resnet(3, 4, 23, 3, batch, image, classes);
+    case 152: return build_resnet(3, 8, 36, 3, batch, image, classes);
+    default: throw std::invalid_argument("resnet preset must be 50/101/152");
+  }
+}
+
+// -------------------------------------------------------------- InceptionV4
+
+namespace {
+
+/// Inception-A: four branches at 35x35, 96 channels each -> concat 384.
+Layer* inception_a(Net& net, const std::string& name, Layer* in) {
+  Layer* b0 = net.pool_avg(name + "_b0_pool", in, 3, 1, 1);
+  b0 = conv_bn_relu_sq(net, name + "_b0_1x1", b0, 96, 1, 1, 0);
+  Layer* b1 = conv_bn_relu_sq(net, name + "_b1_1x1", in, 96, 1, 1, 0);
+  Layer* b2 = conv_bn_relu_sq(net, name + "_b2_1x1", in, 64, 1, 1, 0);
+  b2 = conv_bn_relu_sq(net, name + "_b2_3x3", b2, 96, 3, 1, 1);
+  Layer* b3 = conv_bn_relu_sq(net, name + "_b3_1x1", in, 64, 1, 1, 0);
+  b3 = conv_bn_relu_sq(net, name + "_b3_3x3a", b3, 96, 3, 1, 1);
+  b3 = conv_bn_relu_sq(net, name + "_b3_3x3b", b3, 96, 3, 1, 1);
+  return net.concat(name + "_concat", {b0, b1, b2, b3});
+}
+
+/// Reduction-A: 35x35 -> 17x17.
+Layer* reduction_a(Net& net, const std::string& name, Layer* in) {
+  Layer* b0 = net.pool_max(name + "_b0_pool", in, 3, 2, 0);
+  Layer* b1 = conv_bn_relu_sq(net, name + "_b1_3x3", in, 384, 3, 2, 0);
+  Layer* b2 = conv_bn_relu_sq(net, name + "_b2_1x1", in, 192, 1, 1, 0);
+  b2 = conv_bn_relu_sq(net, name + "_b2_3x3a", b2, 224, 3, 1, 1);
+  b2 = conv_bn_relu_sq(net, name + "_b2_3x3b", b2, 256, 3, 2, 0);
+  return net.concat(name + "_concat", {b0, b1, b2});
+}
+
+/// Inception-B with 7x1/1x7 factorized convolutions at 17x17.
+Layer* inception_b(Net& net, const std::string& name, Layer* in) {
+  Layer* b0 = net.pool_avg(name + "_b0_pool", in, 3, 1, 1);
+  b0 = conv_bn_relu_sq(net, name + "_b0_1x1", b0, 128, 1, 1, 0);
+  Layer* b1 = conv_bn_relu_sq(net, name + "_b1_1x1", in, 384, 1, 1, 0);
+  Layer* b2 = conv_bn_relu_sq(net, name + "_b2_1x1", in, 192, 1, 1, 0);
+  b2 = conv_bn_relu(net, name + "_b2_1x7", b2, 224, 1, 7, 1, 0, 3);
+  b2 = conv_bn_relu(net, name + "_b2_7x1", b2, 256, 7, 1, 1, 3, 0);
+  Layer* b3 = conv_bn_relu_sq(net, name + "_b3_1x1", in, 192, 1, 1, 0);
+  b3 = conv_bn_relu_sq(net, name + "_b3_7x7a", b3, 224, 7, 1, 3);
+  b3 = conv_bn_relu_sq(net, name + "_b3_7x7b", b3, 256, 7, 1, 3);
+  return net.concat(name + "_concat", {b0, b1, b2, b3});
+}
+
+/// Reduction-B: 17x17 -> 8x8.
+Layer* reduction_b(Net& net, const std::string& name, Layer* in) {
+  Layer* b0 = net.pool_max(name + "_b0_pool", in, 3, 2, 0);
+  Layer* b1 = conv_bn_relu_sq(net, name + "_b1_1x1", in, 192, 1, 1, 0);
+  b1 = conv_bn_relu_sq(net, name + "_b1_3x3", b1, 192, 3, 2, 0);
+  Layer* b2 = conv_bn_relu_sq(net, name + "_b2_1x1", in, 256, 1, 1, 0);
+  b2 = conv_bn_relu_sq(net, name + "_b2_7x7", b2, 320, 7, 1, 3);
+  b2 = conv_bn_relu_sq(net, name + "_b2_3x3", b2, 320, 3, 2, 0);
+  return net.concat(name + "_concat", {b0, b1, b2});
+}
+
+/// Inception-C at 8x8.
+Layer* inception_c(Net& net, const std::string& name, Layer* in) {
+  Layer* b0 = net.pool_avg(name + "_b0_pool", in, 3, 1, 1);
+  b0 = conv_bn_relu_sq(net, name + "_b0_1x1", b0, 256, 1, 1, 0);
+  Layer* b1 = conv_bn_relu_sq(net, name + "_b1_1x1", in, 256, 1, 1, 0);
+  Layer* b2 = conv_bn_relu_sq(net, name + "_b2_1x1", in, 384, 1, 1, 0);
+  Layer* b2a = conv_bn_relu(net, name + "_b2_1x3", b2, 256, 1, 3, 1, 0, 1);
+  Layer* b2b = conv_bn_relu(net, name + "_b2_3x1", b2, 256, 3, 1, 1, 1, 0);
+  Layer* b3 = conv_bn_relu_sq(net, name + "_b3_1x1", in, 384, 1, 1, 0);
+  b3 = conv_bn_relu_sq(net, name + "_b3_3x3", b3, 512, 3, 1, 1);
+  Layer* b3a = conv_bn_relu(net, name + "_b3_1x3", b3, 256, 1, 3, 1, 0, 1);
+  Layer* b3b = conv_bn_relu(net, name + "_b3_3x1", b3, 256, 3, 1, 1, 1, 0);
+  return net.concat(name + "_concat", {b0, b1, b2a, b2b, b3a, b3b});
+}
+
+}  // namespace
+
+std::unique_ptr<Net> build_inception_v4(int batch, int image, int classes) {
+  auto net = std::make_unique<Net>();
+  Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  // Stem: 299 -> 35x35x384.
+  x = conv_bn_relu_sq(*net, "stem_conv1", x, 32, 3, 2, 0);   // 149
+  x = conv_bn_relu_sq(*net, "stem_conv2", x, 32, 3, 1, 0);   // 147
+  x = conv_bn_relu_sq(*net, "stem_conv3", x, 64, 3, 1, 1);   // 147
+  {
+    Layer* p = net->pool_max("stem_pool1", x, 3, 2, 0);                 // 73
+    Layer* c = conv_bn_relu_sq(*net, "stem_conv4", x, 96, 3, 2, 0);     // 73
+    x = net->concat("stem_cat1", {p, c});                               // 160ch
+  }
+  {
+    Layer* a = conv_bn_relu_sq(*net, "stem_a_1x1", x, 64, 1, 1, 0);
+    a = conv_bn_relu_sq(*net, "stem_a_3x3", a, 96, 3, 1, 0);            // 71
+    Layer* b = conv_bn_relu_sq(*net, "stem_b_1x1", x, 64, 1, 1, 0);
+    b = conv_bn_relu_sq(*net, "stem_b_7x7", b, 64, 7, 1, 3);
+    b = conv_bn_relu_sq(*net, "stem_b_3x3", b, 96, 3, 1, 0);            // 71
+    x = net->concat("stem_cat2", {a, b});                               // 192ch
+  }
+  {
+    Layer* c = conv_bn_relu_sq(*net, "stem_conv5", x, 192, 3, 2, 0);    // 35
+    Layer* p = net->pool_max("stem_pool2", x, 3, 2, 0);                 // 35
+    x = net->concat("stem_cat3", {c, p});                               // 384ch
+  }
+  for (int i = 0; i < 4; ++i) x = inception_a(*net, nm("inceptA", i), x);
+  x = reduction_a(*net, "reductA", x);
+  for (int i = 0; i < 7; ++i) x = inception_b(*net, nm("inceptB", i), x);
+  x = reduction_b(*net, "reductB", x);
+  for (int i = 0; i < 3; ++i) x = inception_c(*net, nm("inceptC", i), x);
+  int spatial = 8;
+  x = net->pool_avg("POOL_FINAL", x, spatial, 1);
+  x = net->dropout("DROPOUT", x, 0.2f);
+  x = net->fc("FC", x, classes);
+  net->softmax_loss("SOFTMAX", x);
+  net->finalize();
+  return net;
+}
+
+// ---------------------------------------------------------------- DenseNet
+
+std::unique_ptr<Net> build_densenet121(int batch, int image, int classes, int growth) {
+  auto net = std::make_unique<Net>();
+  Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  x = conv_bn_relu_sq(*net, "CONV1", x, 2 * growth, 7, 2, 3);
+  x = net->pool_max("POOL1", x, 3, 2, 1);
+  const int blocks[4] = {6, 12, 24, 16};
+  int channels = 2 * growth;
+  for (int b = 0; b < 4; ++b) {
+    for (int u = 0; u < blocks[b]; ++u) {
+      std::string name = "dense" + std::to_string(b) + "_u" + std::to_string(u);
+      Layer* y = net->bn(name + "_bn1", x);
+      y = net->relu(name + "_relu1", y);
+      y = net->conv(name + "_1x1", y, 4 * growth, 1, 1, 0, false);
+      y = net->bn(name + "_bn2", y);
+      y = net->relu(name + "_relu2", y);
+      y = net->conv(name + "_3x3", y, growth, 3, 1, 1, false);
+      x = net->concat(name + "_cat", {x, y});  // full join: concat everything so far
+      channels += growth;
+    }
+    if (b < 3) {
+      std::string name = "trans" + std::to_string(b);
+      channels /= 2;
+      Layer* t = net->bn(name + "_bn", x);
+      t = net->relu(name + "_relu", t);
+      t = net->conv(name + "_1x1", t, channels, 1, 1, 0, false);
+      x = net->pool_avg(name + "_pool", t, 2, 2);
+    }
+  }
+  int spatial = image / 32;
+  if (spatial < 1) spatial = 1;
+  x = net->pool_avg("POOL_FINAL", x, spatial, 1);
+  x = net->fc("FC", x, classes);
+  net->softmax_loss("SOFTMAX", x);
+  net->finalize();
+  return net;
+}
+
+// ------------------------------------------------------------- tiny models
+
+std::unique_ptr<Net> build_tiny_linear(int batch, int image, int classes) {
+  auto net = std::make_unique<Net>();
+  Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  x = net->conv("CONV1", x, 8, 3, 1, 1);
+  x = net->relu("RELU1", x);
+  x = net->pool_max("POOL1", x, 2, 2);
+  x = net->fc("FC1", x, classes);
+  net->softmax_loss("SOFTMAX", x);
+  net->finalize();
+  return net;
+}
+
+std::unique_ptr<Net> build_tiny_fanjoin(int batch, int image, int classes) {
+  auto net = std::make_unique<Net>();
+  Layer* d = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  // Fig. 3c: DATA forks two branches that join before FC.
+  Layer* a = net->conv("CONV_A", d, 8, 3, 1, 1);
+  a = net->relu("RELU_A", a);
+  Layer* b = net->conv("CONV_B", d, 8, 3, 1, 1);
+  Layer* j = net->concat("JOIN", {a, b});
+  Layer* p = net->pool_max("POOL", j, 2, 2);
+  Layer* f = net->fc("FC", p, classes);
+  net->softmax_loss("SOFTMAX", f);
+  net->finalize();
+  return net;
+}
+
+std::unique_ptr<Net> build_tiny_resnet(int batch, int units, int image, int classes) {
+  auto net = std::make_unique<Net>();
+  Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  x = net->conv("CONV0", x, 8, 3, 1, 1, false);
+  x = net->bn("BN0", x);
+  x = net->relu("RELU0", x);
+  for (int u = 0; u < units; ++u) {
+    std::string name = "res" + std::to_string(u);
+    Layer* b = net->conv(name + "_conv1", x, 8, 3, 1, 1, false);
+    b = net->bn(name + "_bn1", b);
+    b = net->relu(name + "_relu1", b);
+    b = net->conv(name + "_conv2", b, 8, 3, 1, 1, false);
+    b = net->bn(name + "_bn2", b);
+    x = net->eltwise(name + "_add", {b, x});
+    x = net->relu(name + "_relu2", x);
+  }
+  x = net->pool_avg("POOL", x, 2, 2);
+  x = net->dropout("DROPOUT", x, 0.3f);
+  x = net->fc("FC", x, classes);
+  net->softmax_loss("SOFTMAX", x);
+  net->finalize();
+  return net;
+}
+
+std::unique_ptr<Net> build_mini_alexnet(int batch, int image, int classes) {
+  auto net = std::make_unique<Net>();
+  Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
+  x = net->conv("CONV1", x, 8, 3, 1, 1);
+  x = net->relu("RELU1", x);
+  x = net->lrn("LRN1", x, 3);
+  x = net->pool_max("POOL1", x, 2, 2);
+  x = net->conv("CONV2", x, 16, 3, 1, 1);
+  x = net->relu("RELU2", x);
+  x = net->lrn("LRN2", x, 3);
+  x = net->pool_max("POOL2", x, 2, 2);
+  x = net->conv("CONV3", x, 16, 3, 1, 1);
+  x = net->relu("RELU3", x);
+  x = net->fc("FC1", x, 32);
+  x = net->relu("RELU6", x);
+  x = net->dropout("DROPOUT1", x, 0.5f);
+  x = net->fc("FC2", x, classes);
+  net->softmax_loss("SOFTMAX", x);
+  net->finalize();
+  return net;
+}
+
+}  // namespace sn::graph

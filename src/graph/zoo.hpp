@@ -1,0 +1,58 @@
+// Network zoo: every architecture the paper evaluates.
+//
+//   * AlexNet     — the 23-layer structure from the paper's footnote 3
+//   * VGG16/19    — linear deep nets
+//   * ResNet-N    — bottleneck residual nets with the paper's Table-4
+//                   parameterization depth = 3*(n1+n2+n3+n4) + 2
+//   * InceptionV4 — fan/join heavy (stem + A/B/C blocks + reductions)
+//   * DenseNet    — full-join connectivity (Fig. 1b right)
+//
+// Plus tiny nets with the same structural motifs for real-numerics tests.
+// Builders return finalized networks.
+#pragma once
+
+#include <memory>
+
+#include "graph/net.hpp"
+
+namespace sn::graph {
+
+std::unique_ptr<Net> build_alexnet(int batch, int image = 227, int classes = 1000);
+
+/// depth must be 16 or 19.
+std::unique_ptr<Net> build_vgg(int depth, int batch, int image = 224, int classes = 1000);
+
+/// Bottleneck ResNet; depth = 3*(n1+n2+n3+n4) + 2 (paper Table 4).
+std::unique_ptr<Net> build_resnet(int n1, int n2, int n3, int n4, int batch, int image = 224,
+                                  int classes = 1000);
+
+/// Standard presets: depth in {50, 101, 152}.
+std::unique_ptr<Net> build_resnet_preset(int depth, int batch, int image = 224,
+                                         int classes = 1000);
+
+int resnet_depth(int n1, int n2, int n3, int n4);
+
+std::unique_ptr<Net> build_inception_v4(int batch, int image = 299, int classes = 1000);
+
+/// DenseNet-BC; `block_sizes` defaults to DenseNet-121's (6,12,24,16).
+std::unique_ptr<Net> build_densenet121(int batch, int image = 224, int classes = 1000,
+                                       int growth = 32);
+
+// --- miniature networks for real-numerics tests and examples -------------
+
+/// DATA-CONV-RELU-POOL-FC-SOFTMAX on small images.
+std::unique_ptr<Net> build_tiny_linear(int batch, int image = 8, int classes = 4);
+
+/// The fan network of paper Fig. 3c: DATA forks a CONV branch and a POOL
+/// branch, concat-joins them, then FC + Softmax.
+std::unique_ptr<Net> build_tiny_fanjoin(int batch, int image = 8, int classes = 4);
+
+/// A small residual net: `units` bottleneck-free residual blocks with
+/// eltwise joins, plus BN and dropout coverage.
+std::unique_ptr<Net> build_tiny_resnet(int batch, int units, int image = 8, int classes = 4);
+
+/// AlexNet's exact layer sequence at miniature scale (LRN + dropout
+/// included) — used to exercise the paper's Fig. 10 pipeline in real mode.
+std::unique_ptr<Net> build_mini_alexnet(int batch, int image = 16, int classes = 8);
+
+}  // namespace sn::graph

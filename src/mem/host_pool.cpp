@@ -1,0 +1,28 @@
+#include "mem/host_pool.hpp"
+
+namespace sn::mem {
+
+uint64_t HostPool::allocate(uint64_t bytes) {
+  if (in_use_ + bytes > capacity_) return 0;
+  uint64_t id = next_id_++;
+  sizes_.emplace(id, bytes);
+  in_use_ += bytes;
+  if (in_use_ > peak_in_use_) peak_in_use_ = in_use_;
+  if (backed_) buffers_[id].resize(bytes);
+  return id;
+}
+
+void HostPool::deallocate(uint64_t handle) {
+  auto it = sizes_.find(handle);
+  if (it == sizes_.end()) return;
+  in_use_ -= it->second;
+  sizes_.erase(it);
+  buffers_.erase(handle);
+}
+
+void* HostPool::ptr(uint64_t handle) {
+  auto it = buffers_.find(handle);
+  return it == buffers_.end() ? nullptr : it->second.data();
+}
+
+}  // namespace sn::mem

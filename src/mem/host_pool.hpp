@@ -1,0 +1,46 @@
+// Pinned host-memory pool: the offload target of the Unified Tensor Pool.
+//
+// The paper pre-allocates pinned CPU DRAM so that offload/prefetch transfers
+// run at full PCIe speed (TensorFlow's pageable transfers lose >= 50%,
+// paper §2.2). We model the pool as capacity accounting plus, in backed mode,
+// per-allocation real buffers that hold offloaded tensor contents for the
+// real execution engine.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sn::mem {
+
+class HostPool {
+ public:
+  /// `pinned` determines the transfer speed tensors offloaded here get.
+  explicit HostPool(uint64_t capacity, bool pinned = true, bool backed = false)
+      : capacity_(capacity), pinned_(pinned), backed_(backed) {}
+
+  /// Reserve `bytes`; returns a handle (0 is never returned) or 0 on OOM.
+  uint64_t allocate(uint64_t bytes);
+  void deallocate(uint64_t handle);
+
+  /// Buffer for a backed allocation (nullptr otherwise).
+  void* ptr(uint64_t handle);
+
+  bool pinned() const { return pinned_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t in_use() const { return in_use_; }
+  uint64_t peak_in_use() const { return peak_in_use_; }
+  uint64_t free_bytes() const { return capacity_ - in_use_; }
+
+ private:
+  uint64_t capacity_;
+  bool pinned_;
+  bool backed_;
+  uint64_t in_use_ = 0;
+  uint64_t peak_in_use_ = 0;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, uint64_t> sizes_;
+  std::unordered_map<uint64_t, std::vector<std::byte>> buffers_;
+};
+
+}  // namespace sn::mem

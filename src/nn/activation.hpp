@@ -1,0 +1,34 @@
+// ReLU activation, forward + backward.
+//
+// The backward pass gates on the *forward input* (bottom data), matching the
+// Caffe/cuDNN convention the paper's stack uses. This choice is load-bearing
+// for the memory study: it makes every CONV output a backward dependency of
+// its ReLU, which is exactly why the paper offloads CONV outputs (§3.3.1).
+// (Gating on the output would be numerically identical — x > 0 <=> y > 0 —
+// but would let most CONV outputs die in the forward pass.)
+#pragma once
+
+#include <cstdint>
+
+namespace sn::nn {
+
+void relu_forward(uint64_t elems, const float* x, float* y);
+
+/// dx += dy * (x > 0). ACCUMULATES (caller zeroes once per iteration).
+void relu_backward(uint64_t elems, const float* x, const float* dy, float* dx);
+
+// Sigmoid and tanh backwards are functions of the *output* (dσ = y(1-y),
+// dtanh = 1-y²) — the opposite dependency shape from ReLU, which matters to
+// the scheduler: these keep their outputs alive into the backward pass.
+
+void sigmoid_forward(uint64_t elems, const float* x, float* y);
+
+/// dx += dy * y * (1 - y). ACCUMULATES.
+void sigmoid_backward(uint64_t elems, const float* y, const float* dy, float* dx);
+
+void tanh_forward(uint64_t elems, const float* x, float* y);
+
+/// dx += dy * (1 - y^2). ACCUMULATES.
+void tanh_backward(uint64_t elems, const float* y, const float* dy, float* dx);
+
+}  // namespace sn::nn

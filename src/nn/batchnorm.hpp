@@ -1,0 +1,30 @@
+// Spatial batch normalization (training mode), forward + backward.
+//
+// Per-channel statistics over N*H*W; the saved (mean, inv_std) pair is the
+// layer's aux state — tiny (2*C floats) but required by backward, so it is
+// never an offload candidate.
+#pragma once
+
+#include <cstdint>
+
+namespace sn::nn {
+
+struct BnDesc {
+  int n = 1, c = 1, h = 1, w = 1;
+  float eps = 1e-5f;
+
+  uint64_t elems() const { return static_cast<uint64_t>(n) * c * h * w; }
+  long per_channel() const { return static_cast<long>(n) * h * w; }
+};
+
+/// gamma/beta: C params. save_mean/save_invstd: C aux floats each.
+void bn_forward(const BnDesc& d, const float* x, const float* gamma, const float* beta, float* y,
+                float* save_mean, float* save_invstd);
+
+/// dgamma/dbeta are overwritten; dx is ACCUMULATED (caller zeroes once per
+/// iteration). Needs x plus saved statistics.
+void bn_backward(const BnDesc& d, const float* x, const float* gamma, const float* save_mean,
+                 const float* save_invstd, const float* dy, float* dx, float* dgamma,
+                 float* dbeta);
+
+}  // namespace sn::nn

@@ -1,0 +1,35 @@
+#include "nn/concat.hpp"
+
+#include <cstring>
+
+namespace sn::nn {
+
+void concat_forward(const ConcatDesc& d, const std::vector<const float*>& xs, float* y) {
+  const long spatial = static_cast<long>(d.h) * d.w;
+  const int tc = d.total_c();
+  for (int n = 0; n < d.n; ++n) {
+    long c_off = 0;
+    for (size_t b = 0; b < xs.size(); ++b) {
+      long bytes = static_cast<long>(d.channels[b]) * spatial;
+      std::memcpy(y + (static_cast<long>(n) * tc + c_off) * spatial,
+                  xs[b] + static_cast<long>(n) * d.channels[b] * spatial,
+                  sizeof(float) * static_cast<size_t>(bytes));
+      c_off += d.channels[b];
+    }
+  }
+}
+
+void concat_backward(const ConcatDesc& d, const float* dy, int idx, float* dx) {
+  const long spatial = static_cast<long>(d.h) * d.w;
+  const int tc = d.total_c();
+  long c_off = 0;
+  for (int b = 0; b < idx; ++b) c_off += d.channels[b];
+  for (int n = 0; n < d.n; ++n) {
+    float* dst = dx + static_cast<long>(n) * d.channels[idx] * spatial;
+    const float* src = dy + (static_cast<long>(n) * tc + c_off) * spatial;
+    long cnt = static_cast<long>(d.channels[idx]) * spatial;
+    for (long i = 0; i < cnt; ++i) dst[i] += src[i];
+  }
+}
+
+}  // namespace sn::nn

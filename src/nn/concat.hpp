@@ -1,0 +1,28 @@
+// Channel-wise concatenation — the "fan-in" join of Inception and DenseNet.
+//
+// Inputs share (N, H, W); output channel count is the sum. Backward slices
+// the gradient back per branch.
+#pragma once
+
+#include <vector>
+
+namespace sn::nn {
+
+struct ConcatDesc {
+  int n = 1, h = 1, w = 1;
+  std::vector<int> channels;  ///< per-input channel counts
+
+  int total_c() const {
+    int t = 0;
+    for (int c : channels) t += c;
+    return t;
+  }
+};
+
+void concat_forward(const ConcatDesc& d, const std::vector<const float*>& xs, float* y);
+
+/// Accumulate branch `idx`'s gradient slice from dy into dx (caller zeroes
+/// once per iteration).
+void concat_backward(const ConcatDesc& d, const float* dy, int idx, float* dx);
+
+}  // namespace sn::nn

@@ -1,0 +1,20 @@
+// Inverted dropout, forward + backward.
+//
+// The mask is generated from an explicit seed rather than hidden RNG state:
+// cost-aware recomputation replays forward passes, and the replayed dropout
+// MUST reproduce the identical mask or training numerics would silently
+// diverge. The runtime passes a seed derived from (layer id, iteration).
+#pragma once
+
+#include <cstdint>
+
+namespace sn::nn {
+
+/// mask[i] in {0, 1/(1-ratio)}; y = x * mask. `mask` is elems() aux floats.
+void dropout_forward(uint64_t elems, float ratio, uint64_t seed, const float* x, float* y,
+                     float* mask);
+
+/// dx += dy * mask. ACCUMULATES (caller zeroes once per iteration).
+void dropout_backward(uint64_t elems, const float* mask, const float* dy, float* dx);
+
+}  // namespace sn::nn

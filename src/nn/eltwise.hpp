@@ -1,0 +1,18 @@
+// Element-wise sum — the "join" primitive of residual networks (Fig. 1).
+//
+// Forward adds any number of equally-shaped inputs; backward broadcasts the
+// output gradient to every branch. This is the layer that creates the
+// long-range tensor dependencies liveness analysis must respect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sn::nn {
+
+void eltwise_sum_forward(uint64_t elems, const std::vector<const float*>& xs, float* y);
+
+/// dx_branch += dy. ACCUMULATES (caller zeroes once per iteration).
+void eltwise_sum_backward(uint64_t elems, const float* dy, float* dx);
+
+}  // namespace sn::nn

@@ -1,0 +1,35 @@
+#include "nn/fc.hpp"
+
+#include "nn/gemm.hpp"
+
+namespace sn::nn {
+
+void fc_forward(const FcDesc& f, const float* x, const float* w, const float* bias, float* y) {
+  // y = x * Wᵀ
+  sgemm(false, true, f.n, f.k, f.d, 1.0f, x, f.d, w, f.d, 0.0f, y, f.k);
+  if (f.has_bias && bias) {
+    for (int n = 0; n < f.n; ++n) {
+      float* row = y + static_cast<long>(n) * f.k;
+      for (int k = 0; k < f.k; ++k) row[k] += bias[k];
+    }
+  }
+}
+
+void fc_backward_data(const FcDesc& f, const float* w, const float* dy, float* dx) {
+  // dx += dy * W (beta = 1: accumulate, caller zeroes once per iteration)
+  sgemm(false, false, f.n, f.d, f.k, 1.0f, dy, f.k, w, f.d, 1.0f, dx, f.d);
+}
+
+void fc_backward_filter(const FcDesc& f, const float* x, const float* dy, float* dw, float* db) {
+  // dW = dyᵀ * x
+  sgemm(true, false, f.k, f.d, f.n, 1.0f, dy, f.k, x, f.d, 0.0f, dw, f.d);
+  if (db) {
+    for (int k = 0; k < f.k; ++k) {
+      double acc = 0.0;
+      for (int n = 0; n < f.n; ++n) acc += dy[static_cast<long>(n) * f.k + k];
+      db[k] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace sn::nn

@@ -1,0 +1,27 @@
+// Fully-connected layer, forward + backward (GEMM-based).
+//
+//   y (N x K) = x (N x D) * Wᵀ (D x K) + b
+//
+// Weights are stored (K x D), matching the convolution filter convention.
+#pragma once
+
+#include <cstdint>
+
+namespace sn::nn {
+
+struct FcDesc {
+  int n = 1;  ///< batch
+  int d = 1;  ///< input features
+  int k = 1;  ///< output features
+  bool has_bias = true;
+};
+
+void fc_forward(const FcDesc& f, const float* x, const float* w, const float* bias, float* y);
+
+/// dx (N x D) += dy (N x K) * W (K x D). ACCUMULATES (caller zeroes once).
+void fc_backward_data(const FcDesc& f, const float* w, const float* dy, float* dx);
+
+/// dW (K x D) = dyᵀ (K x N) * x (N x D); db = column sums of dy. Overwritten.
+void fc_backward_filter(const FcDesc& f, const float* x, const float* dy, float* dw, float* db);
+
+}  // namespace sn::nn

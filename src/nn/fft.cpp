@@ -1,0 +1,129 @@
+#include "nn/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace sn::nn {
+
+namespace {
+
+uint64_t next_pow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void fft_1d(std::complex<float>* data, uint64_t n, bool inverse) {
+  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  // Bit-reversal permutation.
+  for (uint64_t i = 1, j = 0; i < n; ++i) {
+    uint64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (uint64_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    std::complex<float> wlen(static_cast<float>(std::cos(angle)),
+                             static_cast<float>(std::sin(angle)));
+    for (uint64_t i = 0; i < n; i += len) {
+      std::complex<float> w(1.0f, 0.0f);
+      for (uint64_t j = 0; j < len / 2; ++j) {
+        std::complex<float> u = data[i + j];
+        std::complex<float> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fft_2d(std::complex<float>* plane, uint64_t hp, uint64_t wp, bool inverse) {
+  for (uint64_t r = 0; r < hp; ++r) fft_1d(plane + r * wp, wp, inverse);
+  // Columns: gather-transform-scatter with a small stack-friendly buffer.
+  std::vector<std::complex<float>> col(hp);
+  for (uint64_t c = 0; c < wp; ++c) {
+    for (uint64_t r = 0; r < hp; ++r) col[r] = plane[r * wp + c];
+    fft_1d(col.data(), hp, inverse);
+    for (uint64_t r = 0; r < hp; ++r) plane[r * wp + c] = col[r];
+  }
+}
+
+FftPlan fft_plan(const Conv2dGeom& g) {
+  FftPlan p;
+  p.hp = next_pow2(static_cast<uint64_t>(g.h) + 2 * g.pad_h);
+  p.wp = next_pow2(static_cast<uint64_t>(g.w) + 2 * g.pad_w);
+  // The kernel must also fit without wraparound.
+  p.hp = std::max(p.hp, next_pow2(static_cast<uint64_t>(g.h + 2 * g.pad_h)));
+  p.hp = std::max(p.hp, next_pow2(static_cast<uint64_t>(g.kh)));
+  p.wp = std::max(p.wp, next_pow2(static_cast<uint64_t>(g.kw)));
+  return p;
+}
+
+uint64_t fft_conv_workspace_floats(const Conv2dGeom& g) {
+  FftPlan p = fft_plan(g);
+  return 2ull * (static_cast<uint64_t>(g.c) + 2) * p.plane();
+}
+
+void fft_conv_forward_image(const Conv2dGeom& g, int k, const float* x, const float* w,
+                            const float* bias, float* y, float* ws) {
+  assert(g.stride_h == 1 && g.stride_w == 1);
+  const FftPlan p = fft_plan(g);
+  const uint64_t plane = p.plane();
+  const int oh = g.out_h(), ow = g.out_w();
+
+  auto* cws = reinterpret_cast<std::complex<float>*>(ws);
+  std::complex<float>* xf = cws;                 // C input spectra
+  std::complex<float>* wf = cws + static_cast<uint64_t>(g.c) * plane;  // filter spectrum
+  std::complex<float>* acc = wf + plane;         // accumulator plane
+
+  // Input spectra: embed each channel at offset (pad_h, pad_w).
+  for (int c = 0; c < g.c; ++c) {
+    std::complex<float>* xp = xf + static_cast<uint64_t>(c) * plane;
+    std::memset(reinterpret_cast<void*>(xp), 0, plane * sizeof(std::complex<float>));
+    const float* src = x + static_cast<long>(c) * g.h * g.w;
+    for (int r = 0; r < g.h; ++r) {
+      for (int col = 0; col < g.w; ++col) {
+        xp[(static_cast<uint64_t>(r) + g.pad_h) * p.wp + col + g.pad_w] =
+            src[static_cast<long>(r) * g.w + col];
+      }
+    }
+    fft_2d(xp, p.hp, p.wp, false);
+  }
+
+  const float inv_scale = 1.0f / static_cast<float>(plane);
+  for (int kk = 0; kk < k; ++kk) {
+    std::memset(reinterpret_cast<void*>(acc), 0, plane * sizeof(std::complex<float>));
+    for (int c = 0; c < g.c; ++c) {
+      // Filter spectrum (embedded at the origin).
+      std::memset(reinterpret_cast<void*>(wf), 0, plane * sizeof(std::complex<float>));
+      const float* wk = w + (static_cast<long>(kk) * g.c + c) * g.kh * g.kw;
+      for (int r = 0; r < g.kh; ++r) {
+        for (int col = 0; col < g.kw; ++col) {
+          wf[static_cast<uint64_t>(r) * p.wp + col] = wk[static_cast<long>(r) * g.kw + col];
+        }
+      }
+      fft_2d(wf, p.hp, p.wp, false);
+      // Cross-correlation: X(f) * conj(W(f)).
+      const std::complex<float>* xp = xf + static_cast<uint64_t>(c) * plane;
+      for (uint64_t i = 0; i < plane; ++i) acc[i] += xp[i] * std::conj(wf[i]);
+    }
+    fft_2d(acc, p.hp, p.wp, true);
+    float* yo = y + static_cast<long>(kk) * oh * ow;
+    float bv = bias ? bias[kk] : 0.0f;
+    for (int r = 0; r < oh; ++r) {
+      for (int col = 0; col < ow; ++col) {
+        yo[static_cast<long>(r) * ow + col] =
+            acc[static_cast<uint64_t>(r) * p.wp + col].real() * inv_scale + bv;
+      }
+    }
+  }
+}
+
+}  // namespace sn::nn

@@ -1,0 +1,45 @@
+// Frequency-domain convolution for the kFftTiled algorithm.
+//
+// Real implementation (not a cost-model stand-in): inputs are zero-embedded
+// into power-of-two planes, transformed with an iterative radix-2 FFT,
+// multiplied by the conjugated filter spectra (convolution layers compute
+// cross-correlation), and inverse-transformed. Stride-1 only — the same
+// envelope cuDNN's FFT algorithms have.
+//
+// The workspace holds the input spectra (C complex planes), one filter
+// spectrum and one accumulator plane; conv_workspace_bytes(kFftTiled)
+// reserves more than that, mirroring cuDNN's appetite.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+#include "nn/im2col.hpp"
+
+namespace sn::nn {
+
+/// In-place iterative radix-2 FFT; `n` must be a power of two.
+/// `inverse` performs the unscaled inverse transform (caller divides by n).
+void fft_1d(std::complex<float>* data, uint64_t n, bool inverse);
+
+/// In-place 2-D FFT over an hp x wp row-major plane (both dims pow2).
+void fft_2d(std::complex<float>* plane, uint64_t hp, uint64_t wp, bool inverse);
+
+/// Plane geometry used by the FFT convolution for a given conv shape.
+struct FftPlan {
+  uint64_t hp = 1, wp = 1;
+  uint64_t plane() const { return hp * wp; }
+};
+
+FftPlan fft_plan(const Conv2dGeom& g);
+
+/// Complex workspace floats needed per image: (C + 2) planes of complex
+/// values = 2 * (C + 2) * hp * wp floats.
+uint64_t fft_conv_workspace_floats(const Conv2dGeom& g);
+
+/// y (K,OH,OW) for one image via frequency-domain cross-correlation.
+/// Requires stride 1; `ws` must hold fft_conv_workspace_floats() floats.
+void fft_conv_forward_image(const Conv2dGeom& g, int k, const float* x, const float* w,
+                            const float* bias, float* y, float* ws);
+
+}  // namespace sn::nn

@@ -1,0 +1,58 @@
+#include "nn/im2col.hpp"
+
+#include <cstring>
+
+namespace sn::nn {
+
+void im2col(const Conv2dGeom& g, const float* data, float* col) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const long ospatial = static_cast<long>(oh) * ow;
+  long row = 0;
+  for (int c = 0; c < g.c; ++c) {
+    const float* plane = data + static_cast<long>(c) * g.h * g.w;
+    for (int ki = 0; ki < g.kh; ++ki) {
+      for (int kj = 0; kj < g.kw; ++kj, ++row) {
+        float* crow = col + row * ospatial;
+        for (int oy = 0; oy < oh; ++oy) {
+          int iy = oy * g.stride_h - g.pad_h + ki;
+          if (iy < 0 || iy >= g.h) {
+            std::memset(crow + static_cast<long>(oy) * ow, 0, sizeof(float) * static_cast<size_t>(ow));
+            continue;
+          }
+          const float* irow = plane + static_cast<long>(iy) * g.w;
+          float* orow = crow + static_cast<long>(oy) * ow;
+          for (int ox = 0; ox < ow; ++ox) {
+            int ix = ox * g.stride_w - g.pad_w + kj;
+            orow[ox] = (ix >= 0 && ix < g.w) ? irow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Conv2dGeom& g, const float* col, float* data) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const long ospatial = static_cast<long>(oh) * ow;
+  long row = 0;
+  for (int c = 0; c < g.c; ++c) {
+    float* plane = data + static_cast<long>(c) * g.h * g.w;
+    for (int ki = 0; ki < g.kh; ++ki) {
+      for (int kj = 0; kj < g.kw; ++kj, ++row) {
+        const float* crow = col + row * ospatial;
+        for (int oy = 0; oy < oh; ++oy) {
+          int iy = oy * g.stride_h - g.pad_h + ki;
+          if (iy < 0 || iy >= g.h) continue;
+          float* irow = plane + static_cast<long>(iy) * g.w;
+          const float* orow = crow + static_cast<long>(oy) * ow;
+          for (int ox = 0; ox < ow; ++ox) {
+            int ix = ox * g.stride_w - g.pad_w + kj;
+            if (ix >= 0 && ix < g.w) irow[ix] += orow[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sn::nn

@@ -1,0 +1,29 @@
+// im2col / col2im lowering for GEMM-based convolution.
+//
+// For one image (C,H,W) and a KHxKW/stride/pad window, im2col produces a
+// (C*KH*KW) x (OH*OW) column matrix; convolution is then a single GEMM with
+// the (K x C*KH*KW) filter matrix. col2im is the adjoint scatter used by the
+// data-gradient pass. The column buffer IS the convolution workspace whose
+// size the paper's dynamic workspace allocator reasons about.
+#pragma once
+
+namespace sn::nn {
+
+struct Conv2dGeom {
+  int c = 1, h = 1, w = 1;      ///< input channels / spatial dims
+  int kh = 1, kw = 1;           ///< kernel
+  int stride_h = 1, stride_w = 1;
+  int pad_h = 0, pad_w = 0;
+
+  int out_h() const { return (h + 2 * pad_h - kh) / stride_h + 1; }
+  int out_w() const { return (w + 2 * pad_w - kw) / stride_w + 1; }
+};
+
+/// data (C,H,W) -> col ((C*KH*KW) x (OH*OW)), zero-padding out-of-range taps.
+void im2col(const Conv2dGeom& g, const float* data, float* col);
+
+/// col ((C*KH*KW) x (OH*OW)) -> accumulate into data (C,H,W); caller zeroes
+/// `data` first when overwrite semantics are wanted.
+void col2im(const Conv2dGeom& g, const float* col, float* data);
+
+}  // namespace sn::nn

@@ -1,0 +1,32 @@
+// Local Response Normalization across channels (AlexNet-style), fwd + bwd.
+//
+//   scale[n,c,s] = k + (alpha/size) * sum_{c' in window(c)} x[n,c',s]^2
+//   y = x * scale^{-beta}
+//
+// The scale buffer is kept as layer aux state: backward needs it, and it is
+// as large as the activation itself — one reason LRN layers are memory-heavy
+// but compute-cheap (Fig. 8), making them prime recomputation targets.
+#pragma once
+
+#include <cstdint>
+
+namespace sn::nn {
+
+struct LrnDesc {
+  int n = 1, c = 1, h = 1, w = 1;
+  int size = 5;
+  float alpha = 1e-4f;
+  float beta = 0.75f;
+  float k = 2.0f;
+
+  uint64_t elems() const { return static_cast<uint64_t>(n) * c * h * w; }
+};
+
+/// `scale` holds elems() floats of aux state for backward.
+void lrn_forward(const LrnDesc& d, const float* x, float* y, float* scale);
+
+/// ACCUMULATES into dx (caller zeroes once per iteration).
+void lrn_backward(const LrnDesc& d, const float* x, const float* y, const float* scale,
+                  const float* dy, float* dx);
+
+}  // namespace sn::nn

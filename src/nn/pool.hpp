@@ -1,0 +1,34 @@
+// Spatial pooling (max and average), forward + backward.
+//
+// Max pooling records the argmax index of every output element in an aux
+// buffer so the backward pass is an exact scatter; this aux buffer is part of
+// the layer's memory footprint the scheduler accounts for.
+#pragma once
+
+#include <cstdint>
+
+namespace sn::nn {
+
+struct PoolDesc {
+  int n = 1, c = 1, h = 1, w = 1;
+  int kh = 2, kw = 2;
+  int stride_h = 2, stride_w = 2;
+  int pad_h = 0, pad_w = 0;
+  bool max_pool = true;  ///< false = average pooling
+
+  int out_h() const { return (h + 2 * pad_h - kh) / stride_h + 1; }
+  int out_w() const { return (w + 2 * pad_w - kw) / stride_w + 1; }
+  uint64_t out_elems() const {
+    return static_cast<uint64_t>(n) * c * out_h() * out_w();
+  }
+  uint64_t in_elems() const { return static_cast<uint64_t>(n) * c * h * w; }
+};
+
+/// `argmax` must hold out_elems() int32 slots for max pooling (ignored for
+/// average pooling; may be null then).
+void pool_forward(const PoolDesc& d, const float* x, float* y, int32_t* argmax);
+
+/// ACCUMULATES into dx (caller zeroes once per iteration).
+void pool_backward(const PoolDesc& d, const float* dy, const int32_t* argmax, float* dx);
+
+}  // namespace sn::nn

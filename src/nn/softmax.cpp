@@ -1,0 +1,43 @@
+#include "nn/softmax.hpp"
+
+#include <cmath>
+
+namespace sn::nn {
+
+void softmax_forward(int n, int c, const float* x, float* p) {
+  for (int i = 0; i < n; ++i) {
+    const float* row = x + static_cast<long>(i) * c;
+    float* out = p + static_cast<long>(i) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j)
+      if (row[j] > mx) mx = row[j];
+    double sum = 0.0;
+    for (int j = 0; j < c; ++j) {
+      out[j] = std::exp(row[j] - mx);
+      sum += out[j];
+    }
+    float inv = static_cast<float>(1.0 / sum);
+    for (int j = 0; j < c; ++j) out[j] *= inv;
+  }
+}
+
+double nll_loss(int n, int c, const float* p, const int32_t* labels) {
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    float pi = p[static_cast<long>(i) * c + labels[i]];
+    loss -= std::log(pi > 1e-12f ? pi : 1e-12f);
+  }
+  return loss / n;
+}
+
+void softmax_nll_backward(int n, int c, const float* p, const int32_t* labels, float* dx) {
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    const float* pi = p + static_cast<long>(i) * c;
+    float* di = dx + static_cast<long>(i) * c;
+    for (int j = 0; j < c; ++j) di[j] += pi[j] * inv_n;
+    di[labels[i]] -= inv_n;
+  }
+}
+
+}  // namespace sn::nn

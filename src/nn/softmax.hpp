@@ -1,0 +1,21 @@
+// Softmax over the channel dimension + negative log-likelihood loss.
+//
+// Follows the fused cuDNN/Caffe SoftmaxWithLoss shape: forward produces the
+// probability tensor and the scalar mean loss; backward emits
+// (p - onehot(label)) / N directly from the probabilities.
+#pragma once
+
+#include <cstdint>
+
+namespace sn::nn {
+
+/// x, p: (N x C). Row-wise softmax with the max-subtraction trick.
+void softmax_forward(int n, int c, const float* x, float* p);
+
+/// Mean NLL of `labels` (size n, values in [0, c)).
+double nll_loss(int n, int c, const float* p, const int32_t* labels);
+
+/// dx += (p - onehot) / n. ACCUMULATES (caller zeroes once per iteration).
+void softmax_nll_backward(int n, int c, const float* p, const int32_t* labels, float* dx);
+
+}  // namespace sn::nn

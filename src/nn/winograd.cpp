@@ -1,0 +1,154 @@
+#include "nn/winograd.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "nn/gemm.hpp"
+
+namespace sn::nn {
+
+namespace {
+
+// U = G g Gᵀ for one 3x3 filter g; out is 4x4.
+// G = [[1,0,0],[.5,.5,.5],[.5,-.5,.5],[0,0,1]]
+void transform_weight(const float* g, float* u) {
+  float t[4][3];
+  for (int j = 0; j < 3; ++j) {
+    float g0 = g[0 * 3 + j], g1 = g[1 * 3 + j], g2 = g[2 * 3 + j];
+    t[0][j] = g0;
+    t[1][j] = 0.5f * (g0 + g1 + g2);
+    t[2][j] = 0.5f * (g0 - g1 + g2);
+    t[3][j] = g2;
+  }
+  for (int i = 0; i < 4; ++i) {
+    float a = t[i][0], b = t[i][1], c = t[i][2];
+    u[i * 4 + 0] = a;
+    u[i * 4 + 1] = 0.5f * (a + b + c);
+    u[i * 4 + 2] = 0.5f * (a - b + c);
+    u[i * 4 + 3] = c;
+  }
+}
+
+// V = Bᵀ d B for one 4x4 input tile d.
+// Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]
+void transform_input(const float d[16], float v[16]) {
+  float t[16];
+  for (int j = 0; j < 4; ++j) {
+    float d0 = d[0 * 4 + j], d1 = d[1 * 4 + j], d2 = d[2 * 4 + j], d3 = d[3 * 4 + j];
+    t[0 * 4 + j] = d0 - d2;
+    t[1 * 4 + j] = d1 + d2;
+    t[2 * 4 + j] = d2 - d1;
+    t[3 * 4 + j] = d1 - d3;
+  }
+  for (int i = 0; i < 4; ++i) {
+    float t0 = t[i * 4 + 0], t1 = t[i * 4 + 1], t2 = t[i * 4 + 2], t3 = t[i * 4 + 3];
+    v[i * 4 + 0] = t0 - t2;
+    v[i * 4 + 1] = t1 + t2;
+    v[i * 4 + 2] = t2 - t1;
+    v[i * 4 + 3] = t1 - t3;
+  }
+}
+
+// y = Aᵀ m A for one 4x4 product tile; y is 2x2.
+// Aᵀ = [[1,1,1,0],[0,1,-1,-1]]
+void transform_output(const float m[16], float y[4]) {
+  float t[8];
+  for (int j = 0; j < 4; ++j) {
+    float m0 = m[0 * 4 + j], m1 = m[1 * 4 + j], m2 = m[2 * 4 + j], m3 = m[3 * 4 + j];
+    t[0 * 4 + j] = m0 + m1 + m2;
+    t[1 * 4 + j] = m1 - m2 - m3;
+  }
+  for (int i = 0; i < 2; ++i) {
+    float t0 = t[i * 4 + 0], t1 = t[i * 4 + 1], t2 = t[i * 4 + 2], t3 = t[i * 4 + 3];
+    y[i * 2 + 0] = t0 + t1 + t2;
+    y[i * 2 + 1] = t1 - t2 - t3;
+  }
+}
+
+}  // namespace
+
+uint64_t winograd_workspace_floats(int k, int c, int out_h, int out_w) {
+  uint64_t tiles = static_cast<uint64_t>((out_h + 1) / 2) * static_cast<uint64_t>((out_w + 1) / 2);
+  return 16ull * (static_cast<uint64_t>(k) * c + static_cast<uint64_t>(c) * tiles +
+                  static_cast<uint64_t>(k) * tiles);
+}
+
+void winograd_forward_image(const Conv2dGeom& g, int k, const float* x, const float* w,
+                            const float* bias, float* y, float* ws) {
+  assert(g.kh == 3 && g.kw == 3 && g.stride_h == 1 && g.stride_w == 1);
+  const int oh = g.out_h(), ow = g.out_w();
+  const int th = (oh + 1) / 2, tw = (ow + 1) / 2;
+  const long tiles = static_cast<long>(th) * tw;
+  const int c = g.c;
+
+  // Workspace layout: U[16][K][C], V[16][C][T], M[16][K][T].
+  float* u = ws;
+  float* v = u + 16l * k * c;
+  float* m = v + 16l * c * tiles;
+
+  // Transform weights: scatter each filter's 4x4 into 16 (K x C) planes.
+  for (int kk = 0; kk < k; ++kk) {
+    for (int cc = 0; cc < c; ++cc) {
+      float tu[16];
+      transform_weight(w + (static_cast<long>(kk) * c + cc) * 9, tu);
+      for (int p = 0; p < 16; ++p) u[(static_cast<long>(p) * k + kk) * c + cc] = tu[p];
+    }
+  }
+
+  // Transform input tiles with virtual zero padding.
+  for (int cc = 0; cc < c; ++cc) {
+    const float* plane = x + static_cast<long>(cc) * g.h * g.w;
+    for (int ty = 0; ty < th; ++ty) {
+      for (int tx = 0; tx < tw; ++tx) {
+        float d[16];
+        int iy0 = ty * 2 - g.pad_h, ix0 = tx * 2 - g.pad_w;
+        for (int i = 0; i < 4; ++i) {
+          int iy = iy0 + i;
+          for (int j = 0; j < 4; ++j) {
+            int ix = ix0 + j;
+            d[i * 4 + j] = (iy >= 0 && iy < g.h && ix >= 0 && ix < g.w)
+                               ? plane[static_cast<long>(iy) * g.w + ix]
+                               : 0.0f;
+          }
+        }
+        float tv[16];
+        transform_input(d, tv);
+        long t = static_cast<long>(ty) * tw + tx;
+        for (int p = 0; p < 16; ++p) v[(static_cast<long>(p) * c + cc) * tiles + t] = tv[p];
+      }
+    }
+  }
+
+  // 16 independent (K x C) * (C x T) products.
+  for (int p = 0; p < 16; ++p) {
+    sgemm(false, false, k, static_cast<int>(tiles), c, 1.0f, u + 16l * 0 + static_cast<long>(p) * k * c,
+          c, v + static_cast<long>(p) * c * tiles, static_cast<int>(tiles), 0.0f,
+          m + static_cast<long>(p) * k * tiles, static_cast<int>(tiles));
+  }
+
+  // Inverse transform into y, clipping the last partial tile row/col.
+  for (int kk = 0; kk < k; ++kk) {
+    float* oplane = y + static_cast<long>(kk) * oh * ow;
+    float bv = bias ? bias[kk] : 0.0f;
+    for (int ty = 0; ty < th; ++ty) {
+      for (int tx = 0; tx < tw; ++tx) {
+        long t = static_cast<long>(ty) * tw + tx;
+        float tm[16];
+        for (int p = 0; p < 16; ++p) tm[p] = m[(static_cast<long>(p) * k + kk) * tiles + t];
+        float ty2[4];
+        transform_output(tm, ty2);
+        for (int i = 0; i < 2; ++i) {
+          int oy = ty * 2 + i;
+          if (oy >= oh) break;
+          for (int j = 0; j < 2; ++j) {
+            int ox = tx * 2 + j;
+            if (ox >= ow) break;
+            oplane[static_cast<long>(oy) * ow + ox] = ty2[i * 2 + j] + bv;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sn::nn

@@ -1,0 +1,26 @@
+// Winograd F(2x2, 3x3) convolution forward pass.
+//
+// Real minimal-filtering implementation: weights are transformed once per
+// call (U = G g Gᵀ), each 4x4 input tile is transformed (V = Bᵀ d B), the
+// 16 per-position (K x C)·(C x T) products run through sgemm, and tiles are
+// inverse-transformed (Y = Aᵀ M A). Only 3x3 / stride-1 kernels qualify —
+// exactly the envelope cuDNN's Winograd path has, which is what makes the
+// runtime's per-layer algorithm choice (paper §3.5) non-trivial.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/im2col.hpp"
+
+namespace sn::nn {
+
+/// Workspace floats needed for one image: transformed weights + transformed
+/// input tiles + per-position products.
+uint64_t winograd_workspace_floats(int k, int c, int out_h, int out_w);
+
+/// y (K,OH,OW) per image; `ws` must hold winograd_workspace_floats() floats.
+/// Requires g.kh == g.kw == 3 and stride 1 (checked).
+void winograd_forward_image(const Conv2dGeom& g, int k, const float* x, const float* w,
+                            const float* bias, float* y, float* ws);
+
+}  // namespace sn::nn

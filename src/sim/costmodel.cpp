@@ -1,0 +1,4 @@
+#include "sim/costmodel.hpp"
+
+// CostModel is header-only today; this TU anchors the library and reserves a
+// home for future profile-driven calibration tables.

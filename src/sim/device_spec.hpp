@@ -1,0 +1,55 @@
+// Simulated GPU device descriptors.
+//
+// The paper evaluates on a 12 GB NVIDIA K40c (memory experiments, Tables 4/5)
+// and a TITAN Xp (speed curves, Fig. 14). We model each as a small set of
+// published-spec-derived constants; see DESIGN.md §6 for the calibration
+// rationale. Absolute times are model-derived, but all *relative* effects the
+// paper studies (overlap, bandwidth ratios, malloc overhead, capacity limits)
+// are faithfully represented.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sn::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  /// Device DRAM capacity in bytes (the budget all policies schedule against).
+  uint64_t dram_bytes = 12ull << 30;
+
+  /// Peak fp32 throughput in FLOP/s; per-op efficiency factors are applied by
+  /// the cost model.
+  double peak_flops = 4.29e12;
+
+  /// Device memory bandwidth in bytes/s (bounds elementwise layers).
+  double mem_bw = 288.0e9;
+
+  /// PCIe effective bandwidths (paper §3.3.2: ~8 GB/s pinned CPU<->GPU;
+  /// §2.2: pageable transfers lose >= 50%).
+  double pcie_h2d_pinned = 8.0e9;
+  double pcie_d2h_pinned = 8.0e9;
+  double pageable_factor = 0.5;
+
+  /// Native allocator latency model: cudaMalloc synchronizes the device and
+  /// costs base + per-byte; cudaFree costs a flat latency (paper §3.2.1:
+  /// ResNet50 wastes 36.28% of step time on native alloc/free).
+  double malloc_base_s = 250e-6;
+  double malloc_per_gb_s = 25e-6;
+  double free_base_s = 120e-6;
+
+  /// Fixed kernel-launch overhead per layer op.
+  double launch_overhead_s = 5e-6;
+
+  /// Latency component of any DMA transfer.
+  double dma_latency_s = 10e-6;
+};
+
+/// The K40c-class device used for all memory-capacity experiments.
+DeviceSpec k40c_spec();
+
+/// The TITAN-Xp-class device used for the Fig. 14 speed curves.
+DeviceSpec titan_xp_spec();
+
+}  // namespace sn::sim

@@ -1,0 +1,76 @@
+#include "sim/machine.hpp"
+
+namespace sn::sim {
+
+DeviceSpec k40c_spec() {
+  DeviceSpec s;
+  s.name = "K40c-sim";
+  s.dram_bytes = 12ull << 30;
+  s.peak_flops = 4.29e12;
+  s.mem_bw = 288.0e9;
+  return s;
+}
+
+DeviceSpec titan_xp_spec() {
+  DeviceSpec s;
+  s.name = "TITANXp-sim";
+  s.dram_bytes = 12ull << 30;
+  s.peak_flops = 12.15e12;
+  s.mem_bw = 547.0e9;
+  return s;
+}
+
+void Machine::run_compute(double seconds) {
+  compute_.enqueue(seconds, compute_.busy_until());
+  counters_.compute_time += seconds;
+}
+
+void Machine::native_malloc(uint64_t bytes) {
+  double t = spec_.malloc_base_s +
+             spec_.malloc_per_gb_s * (static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  compute_.enqueue(t, compute_.busy_until());
+  counters_.native_mallocs++;
+  counters_.malloc_time += t;
+}
+
+void Machine::native_free() {
+  compute_.enqueue(spec_.free_base_s, compute_.busy_until());
+  counters_.native_frees++;
+  counters_.malloc_time += spec_.free_base_s;
+}
+
+double Machine::copy_seconds(CopyDir dir, uint64_t bytes, bool pinned) const {
+  double bw = dir == CopyDir::kH2D ? spec_.pcie_h2d_pinned : spec_.pcie_d2h_pinned;
+  if (!pinned) bw *= spec_.pageable_factor;
+  return spec_.dma_latency_s + static_cast<double>(bytes) / bw;
+}
+
+Event Machine::async_copy(CopyDir dir, uint64_t bytes, bool pinned) {
+  Stream& s = dir == CopyDir::kH2D ? h2d_ : d2h_;
+  double done = s.enqueue(copy_seconds(dir, bytes, pinned), now());
+  if (dir == CopyDir::kH2D) {
+    counters_.bytes_h2d += bytes;
+    counters_.copies_h2d++;
+  } else {
+    counters_.bytes_d2h += bytes;
+    counters_.copies_d2h++;
+  }
+  return Event{done};
+}
+
+void Machine::wait_event(const Event& e) {
+  double t = now();
+  if (e.done_at > t) {
+    counters_.stall_time += e.done_at - t;
+    compute_.enqueue(e.done_at - t, t);
+  }
+}
+
+void Machine::reset() {
+  compute_.reset();
+  h2d_.reset();
+  d2h_.reset();
+  counters_ = MachineCounters{};
+}
+
+}  // namespace sn::sim

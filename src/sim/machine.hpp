@@ -1,0 +1,95 @@
+// Virtual-time execution machine: one compute stream plus independent H2D and
+// D2H DMA streams, mirroring a GPU with dual copy engines.
+//
+// The runtime drives this machine instead of wall-clock time: kernel launches
+// advance the compute timeline; offload/prefetch enqueue asynchronous copies
+// on the DMA timelines and return events; waiting on an event stalls compute
+// until the copy's completion timestamp. Overlap therefore falls out of the
+// model exactly as on hardware: a copy enqueued early enough finishes "for
+// free" under subsequent compute.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device_spec.hpp"
+
+namespace sn::sim {
+
+/// Completion timestamp of an asynchronous operation (virtual seconds).
+struct Event {
+  double done_at = 0.0;
+};
+
+/// A single in-order timeline (compute stream or one DMA engine).
+class Stream {
+ public:
+  /// Enqueue work of `duration` seconds that may not start before
+  /// `not_before`; returns the completion time.
+  double enqueue(double duration, double not_before) {
+    double start = busy_until_ > not_before ? busy_until_ : not_before;
+    busy_until_ = start + duration;
+    return busy_until_;
+  }
+
+  double busy_until() const { return busy_until_; }
+  void reset() { busy_until_ = 0.0; }
+
+ private:
+  double busy_until_ = 0.0;
+};
+
+enum class CopyDir { kH2D, kD2H };
+
+/// Telemetry counters the benches read (Table 3 communication volumes etc.).
+struct MachineCounters {
+  uint64_t bytes_h2d = 0;
+  uint64_t bytes_d2h = 0;
+  uint64_t copies_h2d = 0;
+  uint64_t copies_d2h = 0;
+  uint64_t native_mallocs = 0;
+  uint64_t native_frees = 0;
+  double compute_time = 0.0;   ///< time the compute stream spent busy
+  double malloc_time = 0.0;    ///< compute-stream time lost to native alloc/free
+  double stall_time = 0.0;     ///< compute-stream time lost waiting on events
+};
+
+class Machine {
+ public:
+  explicit Machine(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Current virtual time = head of the compute timeline.
+  double now() const { return compute_.busy_until(); }
+
+  /// Run a kernel of `seconds` on the compute stream.
+  void run_compute(double seconds);
+
+  /// Charge a native cudaMalloc/cudaFree on the compute stream (these
+  /// synchronize the device, which is exactly why the paper's pool matters).
+  void native_malloc(uint64_t bytes);
+  void native_free();
+
+  /// Enqueue an asynchronous copy; returns its completion event.
+  Event async_copy(CopyDir dir, uint64_t bytes, bool pinned);
+
+  /// Block the compute stream until `e` has completed.
+  void wait_event(const Event& e);
+
+  /// True if `e` completed at or before current virtual time.
+  bool query_event(const Event& e) const { return e.done_at <= now(); }
+
+  double copy_seconds(CopyDir dir, uint64_t bytes, bool pinned) const;
+
+  const MachineCounters& counters() const { return counters_; }
+  void reset();
+
+ private:
+  DeviceSpec spec_;
+  Stream compute_;
+  Stream h2d_;
+  Stream d2h_;
+  MachineCounters counters_;
+};
+
+}  // namespace sn::sim

@@ -1,0 +1,39 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+
+namespace sn::tensor {
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "(" << n << "," << c << "," << h << "," << w << ")";
+  return os.str();
+}
+
+const char* kind_name(TensorKind k) {
+  switch (k) {
+    case TensorKind::kData: return "data";
+    case TensorKind::kGrad: return "grad";
+    case TensorKind::kParam: return "param";
+    case TensorKind::kParamGrad: return "param_grad";
+    case TensorKind::kAux: return "aux";
+    case TensorKind::kWorkspace: return "workspace";
+  }
+  return "?";
+}
+
+Tensor* TensorRegistry::create(std::string name, Shape shape, TensorKind kind) {
+  uint64_t uid = tensors_.size();
+  tensors_.push_back(std::make_unique<Tensor>(uid, std::move(name), shape, kind));
+  return tensors_.back().get();
+}
+
+Tensor* TensorRegistry::get(uint64_t uid) {
+  return uid < tensors_.size() ? tensors_[uid].get() : nullptr;
+}
+
+const Tensor* TensorRegistry::get(uint64_t uid) const {
+  return uid < tensors_.size() ? tensors_[uid].get() : nullptr;
+}
+
+}  // namespace sn::tensor

@@ -1,0 +1,121 @@
+// Tensors: the runtime's fundamental scheduling unit (paper §3.1).
+//
+// A tensor is a 4-D NCHW fp32 array plus the placement state the Unified
+// Tensor Pool manages: a GPU address (allocator handle, the paper's `T.GA`),
+// a CPU address (host-pool handle, `T.CA`), a lock bit (layers lock their
+// dependencies during computation, Alg. 2), and a dropped flag (cost-aware
+// recomputation frees cheap tensors entirely and reconstructs them later).
+//
+// The Tensor itself carries no behaviour: placement transitions are the
+// runtime's job, numerical content lives in allocator-backed storage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sn::tensor {
+
+/// NCHW shape. FC activations use (N, D, 1, 1).
+struct Shape {
+  int64_t n = 1, c = 1, h = 1, w = 1;
+
+  int64_t elems() const { return n * c * h * w; }
+  uint64_t bytes() const { return static_cast<uint64_t>(elems()) * sizeof(float); }
+  bool operator==(const Shape&) const = default;
+  std::string to_string() const;
+};
+
+/// What role a tensor plays; the scheduler treats roles differently
+/// (parameters are never offloaded — they are small, §3.3.1; data tensors of
+/// checkpoint layers are the offload targets; etc.).
+enum class TensorKind {
+  kData,       ///< a layer's forward output
+  kGrad,       ///< gradient w.r.t. a layer's output
+  kParam,      ///< weights / biases
+  kParamGrad,  ///< gradient w.r.t. weights
+  kAux,        ///< per-layer auxiliary state (pool argmax, BN stats, dropout mask)
+  kWorkspace,  ///< convolution scratch space
+};
+
+const char* kind_name(TensorKind k);
+
+/// Where the authoritative copy of a tensor's contents currently lives.
+enum class Residency {
+  kNone,     ///< never materialized (or freed without preservation)
+  kDevice,   ///< on GPU
+  kHost,     ///< offloaded to host pool
+  kBoth,     ///< valid on GPU and host (clean cache entry)
+  kDropped,  ///< freed; reconstructible only by recomputation
+};
+
+class Tensor {
+ public:
+  Tensor(uint64_t uid, std::string name, Shape shape, TensorKind kind)
+      : uid_(uid), name_(std::move(name)), shape_(shape), kind_(kind) {}
+
+  uint64_t uid() const { return uid_; }
+  const std::string& name() const { return name_; }
+  const Shape& shape() const { return shape_; }
+  TensorKind kind() const { return kind_; }
+  uint64_t bytes() const { return shape_.bytes(); }
+
+  // --- placement state (written only by the runtime's memory managers) ---
+
+  /// GPU allocation handle (the paper's T.GA); nullopt when not resident.
+  std::optional<uint64_t> gpu_handle;
+
+  /// Host pool handle (the paper's T.CA); 0 when no host copy exists.
+  uint64_t host_handle = 0;
+
+  /// Locked tensors are in use by the executing layer and must not be
+  /// evicted or freed (Alg. 2: "a layer will lock its dependent tensors").
+  /// A count rather than a flag: recomputation replays layers while the
+  /// triggering layer's own dependencies are still locked, so locks nest.
+  int lock_count = 0;
+
+  bool locked() const { return lock_count > 0; }
+  void lock() { ++lock_count; }
+  void unlock() {
+    if (lock_count > 0) --lock_count;
+  }
+
+  Residency residency = Residency::kNone;
+
+  /// Forward step that (re)defines this tensor; recomputation replays from
+  /// the owning segment's checkpoint to reconstruct it.
+  int producer_step = -1;
+
+  bool on_device() const {
+    return residency == Residency::kDevice || residency == Residency::kBoth;
+  }
+  bool on_host() const {
+    return residency == Residency::kHost || residency == Residency::kBoth;
+  }
+
+ private:
+  uint64_t uid_;
+  std::string name_;
+  Shape shape_;
+  TensorKind kind_;
+};
+
+/// Owns every tensor in a network; uids are dense and stable so per-step
+/// dependency tables can index by uid.
+class TensorRegistry {
+ public:
+  Tensor* create(std::string name, Shape shape, TensorKind kind);
+  Tensor* get(uint64_t uid);
+  const Tensor* get(uint64_t uid) const;
+  size_t size() const { return tensors_.size(); }
+
+  /// Iterate over all tensors (ordered by uid).
+  const std::vector<std::unique_ptr<Tensor>>& all() const { return tensors_; }
+
+ private:
+  std::vector<std::unique_ptr<Tensor>> tensors_;
+};
+
+}  // namespace sn::tensor

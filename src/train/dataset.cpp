@@ -1,0 +1,29 @@
+#include "train/dataset.hpp"
+
+namespace sn::train {
+
+SyntheticDataset::SyntheticDataset(tensor::Shape sample_shape, int classes, uint64_t seed)
+    : classes_(classes),
+      sample_elems_(sample_shape.c * sample_shape.h * sample_shape.w),
+      seed_(seed) {
+  util::Rng rng(seed);
+  prototypes_.resize(static_cast<size_t>(classes));
+  for (auto& proto : prototypes_) {
+    proto.resize(static_cast<size_t>(sample_elems_));
+    for (auto& v : proto) v = rng.uniform(-1.0f, 1.0f);
+  }
+}
+
+void SyntheticDataset::fill_batch(int batch, uint64_t batch_index, float* data,
+                                  int32_t* labels) const {
+  util::Rng rng(seed_ ^ (0x9E3779B97F4A7C15ull * (batch_index + 1)));
+  for (int i = 0; i < batch; ++i) {
+    int32_t label = static_cast<int32_t>(rng.next_below(static_cast<uint64_t>(classes_)));
+    labels[i] = label;
+    const auto& proto = prototypes_[static_cast<size_t>(label)];
+    float* row = data + static_cast<int64_t>(i) * sample_elems_;
+    for (int64_t j = 0; j < sample_elems_; ++j) row[j] = proto[j] + 0.3f * rng.normal();
+  }
+}
+
+}  // namespace sn::train

@@ -1,0 +1,37 @@
+// Synthetic classification dataset (see DESIGN.md, Substitutions).
+//
+// Each class has a fixed random prototype image; samples are the prototype
+// plus Gaussian noise. Deterministic given the seed, linearly separable
+// enough that a small net's loss visibly decreases within a few dozen
+// iterations — which is all the memory-scheduling experiments need from the
+// input pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace sn::train {
+
+class SyntheticDataset {
+ public:
+  /// `sample_shape` is a single image's (1, C, H, W).
+  SyntheticDataset(tensor::Shape sample_shape, int classes, uint64_t seed = 1234);
+
+  /// Fill a batch: `data` holds batch*C*H*W floats, `labels` batch int32s.
+  /// Batch contents are a pure function of (seed, batch_index).
+  void fill_batch(int batch, uint64_t batch_index, float* data, int32_t* labels) const;
+
+  int classes() const { return classes_; }
+  int64_t sample_elems() const { return sample_elems_; }
+
+ private:
+  int classes_;
+  int64_t sample_elems_;
+  uint64_t seed_;
+  std::vector<std::vector<float>> prototypes_;
+};
+
+}  // namespace sn::train

@@ -1,0 +1,44 @@
+#include "train/trainer.hpp"
+
+namespace sn::train {
+
+namespace {
+tensor::Shape sample_shape_of(const graph::Net& net) {
+  tensor::Shape s = net.input_layer()->out_shape();
+  s.n = 1;
+  return s;
+}
+
+int classes_of(const graph::Net& net) {
+  return static_cast<int>(net.loss_layer()->out_shape().c);
+}
+}  // namespace
+
+Trainer::Trainer(core::Runtime& runtime, TrainConfig config)
+    : runtime_(runtime),
+      config_(config),
+      dataset_(sample_shape_of(runtime.net()), classes_of(runtime.net()), config.data_seed),
+      batch_(static_cast<int>(runtime.net().input_layer()->out_shape().n)) {
+  batch_data_.resize(static_cast<size_t>(batch_) * dataset_.sample_elems());
+  batch_labels_.resize(static_cast<size_t>(batch_));
+}
+
+core::IterationStats Trainer::step(const float* data, const int32_t* labels) {
+  auto st = runtime_.train_iteration(data, labels);
+  runtime_.apply_sgd(config_.lr, config_.momentum, config_.weight_decay);
+  return st;
+}
+
+TrainReport Trainer::run() {
+  TrainReport report;
+  for (int it = 0; it < config_.iterations; ++it) {
+    dataset_.fill_batch(batch_, static_cast<uint64_t>(it), batch_data_.data(),
+                        batch_labels_.data());
+    auto st = step(batch_data_.data(), batch_labels_.data());
+    report.losses.push_back(st.loss);
+    report.stats.push_back(st);
+  }
+  return report;
+}
+
+}  // namespace sn::train

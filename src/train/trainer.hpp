@@ -1,0 +1,50 @@
+// Trainer: the thin user-facing loop over Runtime + SyntheticDataset.
+//
+// This is the public API a downstream user touches first (see
+// examples/quickstart.cpp): build a Net, pick a policy, train.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "train/dataset.hpp"
+
+namespace sn::train {
+
+struct TrainConfig {
+  int iterations = 20;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  uint64_t data_seed = 1234;
+};
+
+struct TrainReport {
+  std::vector<double> losses;            ///< per-iteration loss
+  std::vector<core::IterationStats> stats;
+  double first_loss() const { return losses.empty() ? 0.0 : losses.front(); }
+  double last_loss() const { return losses.empty() ? 0.0 : losses.back(); }
+};
+
+class Trainer {
+ public:
+  /// `runtime` must wrap a finalized net; the trainer derives batch geometry
+  /// from the net's data layer.
+  Trainer(core::Runtime& runtime, TrainConfig config);
+
+  /// Run `config.iterations` forward/backward/SGD rounds on synthetic data.
+  TrainReport run();
+
+  /// Run a single iteration with caller-supplied data (advanced use).
+  core::IterationStats step(const float* data, const int32_t* labels);
+
+ private:
+  core::Runtime& runtime_;
+  TrainConfig config_;
+  SyntheticDataset dataset_;
+  std::vector<float> batch_data_;
+  std::vector<int32_t> batch_labels_;
+  int batch_;
+};
+
+}  // namespace sn::train

@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+namespace sn::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mu;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel lvl) noexcept { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void log_line(LogLevel lvl, const char* file, int line, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(lvl), basename_of(file), line, msg.c_str());
+}
+
+}  // namespace sn::util

@@ -1,0 +1,51 @@
+// Minimal leveled logging for the SuperNeurons runtime.
+//
+// The runtime is a scheduler: most of what it does is invisible unless traced.
+// Logging is compiled in at all levels and filtered at runtime so tests can
+// raise verbosity for a single scenario without rebuilding.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace sn::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// test and bench output stays clean.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+/// Emit one formatted line to stderr. Used via the SN_LOG macro.
+void log_line(LogLevel lvl, const char* file, int line, const std::string& msg);
+
+namespace detail {
+struct LogStream {
+  LogLevel lvl;
+  const char* file;
+  int line;
+  std::ostringstream os;
+  LogStream(LogLevel l, const char* f, int ln) : lvl(l), file(f), line(ln) {}
+  ~LogStream() { log_line(lvl, file, line, os.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace sn::util
+
+#define SN_LOG(level)                                              \
+  if (static_cast<int>(level) < static_cast<int>(::sn::util::log_level())) { \
+  } else                                                           \
+    ::sn::util::detail::LogStream(level, __FILE__, __LINE__)
+
+#define SN_TRACE SN_LOG(::sn::util::LogLevel::kTrace)
+#define SN_DEBUG SN_LOG(::sn::util::LogLevel::kDebug)
+#define SN_INFO SN_LOG(::sn::util::LogLevel::kInfo)
+#define SN_WARN SN_LOG(::sn::util::LogLevel::kWarn)
+#define SN_ERROR SN_LOG(::sn::util::LogLevel::kError)

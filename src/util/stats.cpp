@@ -1,0 +1,43 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sn::util {
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string format_bytes(uint64_t bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double idx = p / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = lo + 1 < samples.size() ? lo + 1 : lo;
+  double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace sn::util

@@ -1,0 +1,55 @@
+// Small statistics accumulators used by runtime telemetry and benches.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sn::util {
+
+/// Streaming accumulator: count / mean / min / max / stddev without storing
+/// samples (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Byte-count pretty printing: 1536 -> "1.5 KB", used by benches and logs.
+std::string format_bytes(uint64_t bytes);
+
+/// Format a double with fixed precision (helper for table cells).
+std::string format_double(double v, int precision = 2);
+
+/// Percentile of a sample vector (copies + sorts; fine for telemetry sizes).
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace sn::util

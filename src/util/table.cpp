@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace sn::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << " " << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  emit_row(os, headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string render_series(const std::string& title, const std::string& x_label,
+                          const std::vector<double>& x, const std::vector<Series>& series,
+                          int precision) {
+  std::vector<std::string> headers{x_label};
+  for (const auto& s : series) headers.push_back(s.name);
+  Table t(headers);
+  for (size_t i = 0; i < x.size(); ++i) {
+    std::vector<std::string> row{format_double(x[i], 0)};
+    for (const auto& s : series)
+      row.push_back(i < s.y.size() ? format_double(s.y[i], precision) : std::string("-"));
+    t.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << "== " << title << " ==\n" << t.to_string();
+  return os.str();
+}
+
+}  // namespace sn::util

@@ -1,0 +1,47 @@
+// ASCII table / series printers used by every bench binary.
+//
+// Each bench regenerates one table or figure from the paper; the Table class
+// renders rows the way the paper reports them, and Series renders the (x, y)
+// data behind a figure as aligned columns so shapes (crossovers, trends) can
+// be read straight off the terminal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named data series of a "figure": y values over a shared x axis.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Render several series over a shared x axis as aligned numeric columns,
+/// preceded by a title line. `x_label` names the first column.
+std::string render_series(const std::string& title, const std::string& x_label,
+                          const std::vector<double>& x, const std::vector<Series>& series,
+                          int precision = 2);
+
+}  // namespace sn::util

@@ -1,0 +1,47 @@
+// Fixed-size thread pool with a parallel_for used by the CPU kernel library.
+//
+// The nn kernels (GEMM, im2col convolutions, pooling) split their outermost
+// loop across workers; determinism is preserved because each index writes a
+// disjoint output slice.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sn::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [begin, end), split into contiguous chunks across the
+  /// pool, and block until all chunks complete. Runs inline when the range is
+  /// tiny or the pool has a single worker.
+  void parallel_for(size_t begin, size_t end, const std::function<void(size_t)>& fn);
+
+  /// Process-wide pool shared by the nn kernels.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sn::util

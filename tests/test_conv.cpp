@@ -1,0 +1,213 @@
+// Convolution algorithm tests: every algorithm must agree with the direct
+// reference on its supported geometries (this is the property the paper's
+// dynamic algorithm selection relies on — any feasible algorithm is
+// interchangeable), plus workspace/efficiency metadata sanity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sn::nn;
+
+struct ConvCase {
+  int n, c, h, w, k, kh, kw, stride, pad;
+};
+
+std::vector<float> random_vec(size_t n, uint64_t seed) {
+  sn::util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+ConvDesc make_desc(const ConvCase& p) {
+  ConvDesc d;
+  d.n = p.n;
+  d.c = p.c;
+  d.h = p.h;
+  d.w = p.w;
+  d.k = p.k;
+  d.kh = p.kh;
+  d.kw = p.kw;
+  d.stride_h = d.stride_w = p.stride;
+  d.pad_h = d.pad_w = p.pad;
+  return d;
+}
+
+class ConvAlgoAgreement : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvAlgoAgreement, AllSupportedAlgosMatchDirect) {
+  ConvDesc d = make_desc(GetParam());
+  auto x = random_vec(d.in_elems(), 1);
+  auto w = random_vec(d.weight_elems(), 2);
+  auto b = random_vec(static_cast<size_t>(d.k), 3);
+  std::vector<float> y_ref(d.out_elems());
+  conv_forward(d, ConvAlgo::kDirect, x.data(), w.data(), b.data(), y_ref.data(), nullptr);
+
+  for (ConvAlgo algo : {ConvAlgo::kIm2colGemm, ConvAlgo::kWinograd, ConvAlgo::kFftTiled}) {
+    if (!conv_algo_supported(d, algo)) continue;
+    std::vector<float> ws(conv_workspace_bytes(d, algo, ConvPass::kForward) / sizeof(float) + 1);
+    std::vector<float> y(d.out_elems(), -99.0f);
+    conv_forward(d, algo, x.data(), w.data(), b.data(), y.data(), ws.data());
+    for (size_t i = 0; i < y.size(); ++i) {
+      ASSERT_NEAR(y[i], y_ref[i], 2e-3f) << algo_name(algo) << " at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvAlgoAgreement,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 3, 1, 1},      // minimal 3x3
+                      ConvCase{2, 3, 8, 8, 4, 3, 3, 1, 1},      // winograd-eligible
+                      ConvCase{2, 3, 9, 7, 4, 3, 3, 1, 0},      // odd sizes, no pad
+                      ConvCase{1, 2, 8, 8, 3, 3, 3, 2, 1},      // strided (no winograd/fft)
+                      ConvCase{2, 3, 11, 11, 4, 5, 5, 1, 2},    // 5x5
+                      ConvCase{1, 4, 7, 7, 2, 1, 1, 1, 0},      // 1x1 pointwise
+                      ConvCase{1, 2, 9, 9, 3, 7, 7, 1, 3},      // 7x7
+                      ConvCase{1, 3, 6, 10, 2, 1, 7, 1, 0},     // asymmetric 1x7
+                      ConvCase{1, 3, 10, 6, 2, 7, 1, 1, 0},     // asymmetric 7x1
+                      ConvCase{3, 5, 13, 13, 7, 3, 3, 1, 1}));  // larger batch
+
+TEST(ConvAlgo, SupportEnvelope) {
+  ConvDesc d3 = make_desc({1, 3, 8, 8, 4, 3, 3, 1, 1});
+  EXPECT_TRUE(conv_algo_supported(d3, ConvAlgo::kWinograd));
+  EXPECT_TRUE(conv_algo_supported(d3, ConvAlgo::kFftTiled));
+
+  ConvDesc strided = make_desc({1, 3, 8, 8, 4, 3, 3, 2, 1});
+  EXPECT_FALSE(conv_algo_supported(strided, ConvAlgo::kWinograd));
+  EXPECT_FALSE(conv_algo_supported(strided, ConvAlgo::kFftTiled));
+  EXPECT_TRUE(conv_algo_supported(strided, ConvAlgo::kDirect));
+  EXPECT_TRUE(conv_algo_supported(strided, ConvAlgo::kIm2colGemm));
+
+  ConvDesc d5 = make_desc({1, 3, 8, 8, 4, 5, 5, 1, 2});
+  EXPECT_FALSE(conv_algo_supported(d5, ConvAlgo::kWinograd));
+}
+
+TEST(ConvAlgo, WorkspaceOrdering) {
+  // The paper's premise: direct needs none, FFT needs the most.
+  ConvDesc d = make_desc({32, 64, 56, 56, 64, 3, 3, 1, 1});
+  uint64_t ws_direct = conv_workspace_bytes(d, ConvAlgo::kDirect, ConvPass::kForward);
+  uint64_t ws_im2col = conv_workspace_bytes(d, ConvAlgo::kIm2colGemm, ConvPass::kForward);
+  uint64_t ws_fft = conv_workspace_bytes(d, ConvAlgo::kFftTiled, ConvPass::kForward);
+  EXPECT_EQ(ws_direct, 0u);
+  EXPECT_GT(ws_im2col, 0u);
+  EXPECT_GE(ws_fft, ws_im2col);
+}
+
+TEST(ConvAlgo, EfficiencyOrdering) {
+  ConvDesc d3 = make_desc({32, 64, 56, 56, 64, 3, 3, 1, 1});
+  // 3x3: winograd > im2col > direct; fft beats im2col too but trails winograd.
+  double direct = conv_algo_efficiency(d3, ConvAlgo::kDirect, ConvPass::kForward);
+  double im2col = conv_algo_efficiency(d3, ConvAlgo::kIm2colGemm, ConvPass::kForward);
+  double wino = conv_algo_efficiency(d3, ConvAlgo::kWinograd, ConvPass::kForward);
+  double fft = conv_algo_efficiency(d3, ConvAlgo::kFftTiled, ConvPass::kForward);
+  EXPECT_LT(direct, im2col);
+  EXPECT_LT(im2col, wino);
+  EXPECT_LT(fft, wino);
+  // 7x7 stride 1: FFT becomes the fastest (cuDNN-like behaviour).
+  ConvDesc d7 = make_desc({32, 64, 56, 56, 64, 7, 7, 1, 3});
+  EXPECT_GT(conv_algo_efficiency(d7, ConvAlgo::kFftTiled, ConvPass::kForward),
+            conv_algo_efficiency(d7, ConvAlgo::kIm2colGemm, ConvPass::kForward));
+}
+
+TEST(ConvAlgo, BackwardEfficiencyDiscounted) {
+  ConvDesc d = make_desc({1, 3, 8, 8, 4, 3, 3, 1, 1});
+  EXPECT_LT(conv_algo_efficiency(d, ConvAlgo::kIm2colGemm, ConvPass::kBackwardData),
+            conv_algo_efficiency(d, ConvAlgo::kIm2colGemm, ConvPass::kForward));
+}
+
+TEST(ConvAlgo, FlopCount) {
+  ConvDesc d = make_desc({2, 3, 8, 8, 4, 3, 3, 1, 1});
+  // 2 * N*K*C*KH*KW*OH*OW = 2*2*4*3*3*3*8*8
+  EXPECT_DOUBLE_EQ(conv_flops(d, ConvPass::kForward), 2.0 * 2 * 4 * 3 * 9 * 64);
+}
+
+TEST(ConvBackward, Im2colMatchesDirect) {
+  ConvDesc d = make_desc({2, 3, 8, 8, 4, 3, 3, 1, 1});
+  auto x = random_vec(d.in_elems(), 1);
+  auto w = random_vec(d.weight_elems(), 2);
+  auto dy = random_vec(d.out_elems(), 3);
+
+  std::vector<float> dx_ref(d.in_elems(), 0.0f), dx(d.in_elems(), 0.0f);
+  std::vector<float> dw_ref(d.weight_elems()), dw(d.weight_elems());
+  std::vector<float> db_ref(d.k), db(d.k);
+  std::vector<float> ws(conv_workspace_bytes(d, ConvAlgo::kIm2colGemm, ConvPass::kBackwardData) /
+                            sizeof(float) +
+                        1);
+
+  conv_backward_data(d, ConvAlgo::kDirect, w.data(), dy.data(), dx_ref.data(), nullptr);
+  conv_backward_data(d, ConvAlgo::kIm2colGemm, w.data(), dy.data(), dx.data(), ws.data());
+  for (size_t i = 0; i < dx.size(); ++i) ASSERT_NEAR(dx[i], dx_ref[i], 2e-3f);
+
+  conv_backward_filter(d, ConvAlgo::kDirect, x.data(), dy.data(), dw_ref.data(), db_ref.data(),
+                       nullptr);
+  conv_backward_filter(d, ConvAlgo::kIm2colGemm, x.data(), dy.data(), dw.data(), db.data(),
+                       ws.data());
+  for (size_t i = 0; i < dw.size(); ++i) ASSERT_NEAR(dw[i], dw_ref[i], 2e-3f);
+  for (size_t i = 0; i < db.size(); ++i) ASSERT_NEAR(db[i], db_ref[i], 2e-3f);
+}
+
+class ConvBackwardSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvBackwardSweep, Im2colBackwardMatchesDirect) {
+  ConvDesc d = make_desc(GetParam());
+  auto x = random_vec(d.in_elems(), 5);
+  auto w = random_vec(d.weight_elems(), 6);
+  auto dy = random_vec(d.out_elems(), 7);
+  std::vector<float> dx_ref(d.in_elems(), 0.0f), dx(d.in_elems(), 0.0f);
+  std::vector<float> dw_ref(d.weight_elems()), dw(d.weight_elems());
+  std::vector<float> db_ref(d.k), db(d.k);
+  std::vector<float> ws(conv_workspace_bytes(d, ConvAlgo::kIm2colGemm, ConvPass::kBackwardData) /
+                            sizeof(float) +
+                        1);
+  conv_backward_data(d, ConvAlgo::kDirect, w.data(), dy.data(), dx_ref.data(), nullptr);
+  conv_backward_data(d, ConvAlgo::kIm2colGemm, w.data(), dy.data(), dx.data(), ws.data());
+  conv_backward_filter(d, ConvAlgo::kDirect, x.data(), dy.data(), dw_ref.data(), db_ref.data(),
+                       nullptr);
+  conv_backward_filter(d, ConvAlgo::kIm2colGemm, x.data(), dy.data(), dw.data(), db.data(),
+                       ws.data());
+  for (size_t i = 0; i < dx.size(); ++i) ASSERT_NEAR(dx[i], dx_ref[i], 3e-3f) << "dx@" << i;
+  for (size_t i = 0; i < dw.size(); ++i) ASSERT_NEAR(dw[i], dw_ref[i], 3e-3f) << "dw@" << i;
+  for (size_t i = 0; i < db.size(); ++i) ASSERT_NEAR(db[i], db_ref[i], 3e-3f) << "db@" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvBackwardSweep,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 3, 1, 1}, ConvCase{2, 3, 8, 8, 4, 3, 3, 1, 1},
+                      ConvCase{1, 2, 8, 8, 3, 3, 3, 2, 1}, ConvCase{2, 3, 11, 11, 4, 5, 5, 1, 2},
+                      ConvCase{1, 4, 7, 7, 2, 1, 1, 1, 0}, ConvCase{1, 3, 6, 10, 2, 1, 7, 1, 0},
+                      ConvCase{3, 5, 9, 9, 7, 3, 3, 2, 0}));
+
+TEST(Im2col, Col2imIsTheAdjoint) {
+  // <im2col(x), c> == <x, col2im(c)> for all x, c — the defining property of
+  // the backward-data lowering.
+  Conv2dGeom g{3, 6, 7, 3, 3, 2, 1, 1, 2};
+  const size_t xn = static_cast<size_t>(g.c) * g.h * g.w;
+  const size_t cn = static_cast<size_t>(g.c) * g.kh * g.kw * g.out_h() * g.out_w();
+  auto x = random_vec(xn, 31);
+  auto c = random_vec(cn, 32);
+  std::vector<float> col(cn, 0.0f), back(xn, 0.0f);
+  im2col(g, x.data(), col.data());
+  col2im(g, c.data(), back.data());
+  double lhs = 0, rhs = 0;
+  for (size_t i = 0; i < cn; ++i) lhs += static_cast<double>(col[i]) * c[i];
+  for (size_t i = 0; i < xn; ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST(ConvBackward, DataGradAccumulates) {
+  ConvDesc d = make_desc({1, 2, 6, 6, 2, 3, 3, 1, 1});
+  auto w = random_vec(d.weight_elems(), 2);
+  auto dy = random_vec(d.out_elems(), 3);
+  std::vector<float> once(d.in_elems(), 0.0f), twice(d.in_elems(), 0.0f);
+  conv_backward_data(d, ConvAlgo::kDirect, w.data(), dy.data(), once.data(), nullptr);
+  conv_backward_data(d, ConvAlgo::kDirect, w.data(), dy.data(), twice.data(), nullptr);
+  conv_backward_data(d, ConvAlgo::kDirect, w.data(), dy.data(), twice.data(), nullptr);
+  for (size_t i = 0; i < once.size(); ++i) ASSERT_NEAR(twice[i], 2.0f * once[i], 1e-4f);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// FFT substrate tests: 1-D/2-D transform identities (round-trip, impulse,
+// Parseval) and the frequency-domain convolution against direct reference.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/fft.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sn::nn;
+using cf = std::complex<float>;
+
+TEST(Fft, RoundTripRecoversSignal) {
+  sn::util::Rng rng(1);
+  std::vector<cf> sig(64);
+  for (auto& v : sig) v = cf(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  auto orig = sig;
+  fft_1d(sig.data(), sig.size(), false);
+  fft_1d(sig.data(), sig.size(), true);
+  for (size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_NEAR(sig[i].real() / 64.0f, orig[i].real(), 1e-4f);
+    EXPECT_NEAR(sig[i].imag() / 64.0f, orig[i].imag(), 1e-4f);
+  }
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<cf> sig(16, cf(0, 0));
+  sig[0] = cf(1, 0);
+  fft_1d(sig.data(), 16, false);
+  for (const auto& v : sig) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  sn::util::Rng rng(2);
+  std::vector<cf> sig(128);
+  double time_energy = 0;
+  for (auto& v : sig) {
+    v = cf(rng.uniform(-1, 1), 0.0f);
+    time_energy += std::norm(v);
+  }
+  fft_1d(sig.data(), sig.size(), false);
+  double freq_energy = 0;
+  for (const auto& v : sig) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-3 * time_energy);
+}
+
+TEST(Fft, TwoDSeparability) {
+  // FFT2 of a separable outer product equals the outer product of FFTs.
+  const uint64_t n = 8;
+  std::vector<cf> row(n), col(n), plane(n * n);
+  sn::util::Rng rng(3);
+  for (auto& v : row) v = cf(rng.uniform(-1, 1), 0);
+  for (auto& v : col) v = cf(rng.uniform(-1, 1), 0);
+  for (uint64_t r = 0; r < n; ++r)
+    for (uint64_t c = 0; c < n; ++c) plane[r * n + c] = col[r] * row[c];
+  fft_2d(plane.data(), n, n, false);
+  fft_1d(row.data(), n, false);
+  fft_1d(col.data(), n, false);
+  for (uint64_t r = 0; r < n; ++r) {
+    for (uint64_t c = 0; c < n; ++c) {
+      cf expect = col[r] * row[c];
+      EXPECT_NEAR(plane[r * n + c].real(), expect.real(), 1e-3f);
+      EXPECT_NEAR(plane[r * n + c].imag(), expect.imag(), 1e-3f);
+    }
+  }
+}
+
+TEST(FftConv, PlanCoversPaddedInputAndKernel) {
+  Conv2dGeom g{3, 10, 6, 5, 5, 1, 1, 2, 2};
+  FftPlan p = fft_plan(g);
+  EXPECT_GE(p.hp, 14u);  // h + 2*pad = 14 -> 16
+  EXPECT_EQ(p.hp, 16u);
+  EXPECT_GE(p.wp, 10u);
+  EXPECT_EQ(p.wp, 16u);
+  EXPECT_EQ(fft_conv_workspace_floats(g), 2u * (3 + 2) * 16 * 16);
+}
+
+struct FftConvCase {
+  int c, h, w, k, kh, kw, pad;
+};
+
+class FftConvSweep : public ::testing::TestWithParam<FftConvCase> {};
+
+TEST_P(FftConvSweep, MatchesDirect) {
+  const auto p = GetParam();
+  ConvDesc d;
+  d.n = 2;
+  d.c = p.c;
+  d.h = p.h;
+  d.w = p.w;
+  d.k = p.k;
+  d.kh = p.kh;
+  d.kw = p.kw;
+  d.stride_h = d.stride_w = 1;
+  d.pad_h = d.pad_w = p.pad;
+  sn::util::Rng rng(11);
+  std::vector<float> x(d.in_elems()), w(d.weight_elems()), b(d.k);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<float> y_ref(d.out_elems()), y(d.out_elems());
+  conv_forward(d, ConvAlgo::kDirect, x.data(), w.data(), b.data(), y_ref.data(), nullptr);
+  std::vector<float> ws(conv_workspace_bytes(d, ConvAlgo::kFftTiled, ConvPass::kForward) /
+                        sizeof(float));
+  conv_forward(d, ConvAlgo::kFftTiled, x.data(), w.data(), b.data(), y.data(), ws.data());
+  for (size_t i = 0; i < y.size(); ++i) ASSERT_NEAR(y[i], y_ref[i], 5e-3f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, FftConvSweep,
+                         ::testing::Values(FftConvCase{1, 5, 5, 1, 3, 3, 1},   // small same-pad
+                                           FftConvCase{3, 8, 8, 4, 3, 3, 1},   // multi-channel
+                                           FftConvCase{2, 9, 7, 3, 5, 5, 2},   // 5x5 odd sizes
+                                           FftConvCase{2, 12, 12, 2, 7, 7, 3}, // big kernel
+                                           FftConvCase{4, 6, 6, 2, 1, 1, 0},   // pointwise
+                                           FftConvCase{2, 6, 10, 2, 1, 7, 0},  // asymmetric
+                                           FftConvCase{1, 16, 16, 1, 3, 3, 0}  // valid conv
+                                           ));
+
+}  // namespace

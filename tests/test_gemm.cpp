@@ -1,0 +1,85 @@
+// SGEMM correctness against a naive reference, over all transpose variants
+// and alpha/beta combinations (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void reference_gemm(bool ta, bool tb, int m, int n, int k, float alpha, const float* a, int lda,
+                    const float* b, int ldb, float beta, float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        float av = ta ? a[kk * lda + i] : a[i * lda + kk];
+        float bv = tb ? b[j * ldb + kk] : b[kk * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] = alpha * static_cast<float>(acc) + beta * c[i * ldc + j];
+    }
+  }
+}
+
+struct GemmCase {
+  bool ta, tb;
+  int m, n, k;
+  float alpha, beta;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesReference) {
+  const auto p = GetParam();
+  sn::util::Rng rng(42);
+  int lda = p.ta ? p.m : p.k;
+  int ldb = p.tb ? p.k : p.n;
+  std::vector<float> a(static_cast<size_t>(p.ta ? p.k : p.m) * lda);
+  std::vector<float> b(static_cast<size_t>(p.tb ? p.n : p.k) * ldb);
+  std::vector<float> c(static_cast<size_t>(p.m) * p.n), ref;
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto& v : c) v = rng.uniform(-1, 1);
+  ref = c;
+  sn::nn::sgemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), lda, b.data(), ldb, p.beta, c.data(),
+                p.n);
+  reference_gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), lda, b.data(), ldb, p.beta,
+                 ref.data(), p.n);
+  for (size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], ref[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, GemmTest,
+    ::testing::Values(GemmCase{false, false, 17, 23, 31, 1.0f, 0.0f},
+                      GemmCase{false, false, 64, 64, 64, 1.0f, 1.0f},
+                      GemmCase{false, false, 1, 1, 1, 2.0f, 0.5f},
+                      GemmCase{true, false, 13, 19, 29, 1.0f, 0.0f},
+                      GemmCase{false, true, 13, 19, 29, 1.0f, 0.0f},
+                      GemmCase{true, true, 13, 19, 29, 1.0f, 0.0f},
+                      GemmCase{false, false, 128, 3, 500, 1.0f, 0.0f},
+                      GemmCase{true, false, 7, 300, 5, 0.5f, 1.0f},
+                      GemmCase{false, true, 300, 7, 5, -1.0f, 0.0f}));
+
+TEST(Gemm, ZeroSizeIsNoop) {
+  float dummy = 3.0f;
+  sn::nn::sgemm(false, false, 0, 0, 0, 1.0f, &dummy, 1, &dummy, 1, 0.0f, &dummy, 1);
+  EXPECT_EQ(dummy, 3.0f);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  // beta == 0 must not propagate NaNs from uninitialized C.
+  std::vector<float> a{1, 2}, b{3, 4};
+  std::vector<float> c{std::nanf(""), std::nanf("")};
+  sn::nn::sgemm(false, false, 1, 2, 1, 1.0f, a.data(), 1, b.data(), 2, 0.0f, c.data(), 2);
+  // a is 1x1 here (k=1): c = [1*3, 1*4]
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+  EXPECT_FLOAT_EQ(c[1], 4.0f);
+}
+
+}  // namespace

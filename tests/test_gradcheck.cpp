@@ -1,0 +1,266 @@
+// Finite-difference gradient checks for every backward kernel.
+//
+// Scheme: loss L(x) = <forward(x), r> for a fixed random r, so dL/dy = r.
+// The analytic gradient from the backward kernel must match the central
+// difference (L(x+eps) - L(x-eps)) / (2 eps) elementwise.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/fc.hpp"
+#include "nn/lrn.hpp"
+#include "nn/pool.hpp"
+#include "nn/softmax.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sn::nn;
+
+std::vector<float> random_vec(size_t n, uint64_t seed, float lo = -1.0f, float hi = 1.0f) {
+  sn::util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+double dot(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+/// Numerically check d<f(x), r>/dx against `analytic` at a sample of indices.
+void check_grad(std::vector<float>& x, const std::vector<float>& r,
+                const std::function<std::vector<float>()>& forward,
+                const std::vector<float>& analytic, float eps = 1e-2f, float tol = 2e-2f) {
+  sn::util::Rng rng(4242);
+  size_t samples = std::min<size_t>(x.size(), 40);
+  for (size_t s = 0; s < samples; ++s) {
+    size_t i = rng.next_below(x.size());
+    float orig = x[i];
+    x[i] = orig + eps;
+    double lp = dot(forward(), r);
+    x[i] = orig - eps;
+    double lm = dot(forward(), r);
+    x[i] = orig;
+    double num = (lp - lm) / (2.0 * eps);
+    ASSERT_NEAR(analytic[i], num, tol * std::max(1.0, std::abs(num))) << "index " << i;
+  }
+}
+
+TEST(GradCheck, ConvDataAndFilter) {
+  ConvDesc d;
+  d.n = 2;
+  d.c = 3;
+  d.h = 6;
+  d.w = 6;
+  d.k = 4;
+  d.kh = d.kw = 3;
+  d.stride_h = d.stride_w = 1;
+  d.pad_h = d.pad_w = 1;
+  auto x = random_vec(d.in_elems(), 1);
+  auto w = random_vec(d.weight_elems(), 2);
+  auto b = random_vec(d.k, 3);
+  auto r = random_vec(d.out_elems(), 4);
+
+  auto fwd = [&] {
+    std::vector<float> y(d.out_elems());
+    std::vector<float> ws(conv_workspace_bytes(d, ConvAlgo::kIm2colGemm, ConvPass::kForward) /
+                          sizeof(float));
+    conv_forward(d, ConvAlgo::kIm2colGemm, x.data(), w.data(), b.data(), y.data(), ws.data());
+    return y;
+  };
+
+  std::vector<float> dx(d.in_elems(), 0.0f), dw(d.weight_elems()), db(d.k);
+  std::vector<float> ws(conv_workspace_bytes(d, ConvAlgo::kIm2colGemm, ConvPass::kBackwardData) /
+                        sizeof(float));
+  conv_backward_data(d, ConvAlgo::kIm2colGemm, w.data(), r.data(), dx.data(), ws.data());
+  conv_backward_filter(d, ConvAlgo::kIm2colGemm, x.data(), r.data(), dw.data(), db.data(),
+                       ws.data());
+
+  check_grad(x, r, fwd, dx);
+  check_grad(w, r, fwd, dw);
+  check_grad(b, r, fwd, db);
+}
+
+TEST(GradCheck, FcDataAndFilter) {
+  FcDesc f{3, 5, 4, true};
+  auto x = random_vec(15, 1);
+  auto w = random_vec(20, 2);
+  auto b = random_vec(4, 3);
+  auto r = random_vec(12, 4);
+  auto fwd = [&] {
+    std::vector<float> y(12);
+    fc_forward(f, x.data(), w.data(), b.data(), y.data());
+    return y;
+  };
+  std::vector<float> dx(15, 0.0f), dw(20), db(4);
+  fc_backward_data(f, w.data(), r.data(), dx.data());
+  fc_backward_filter(f, x.data(), r.data(), dw.data(), db.data());
+  check_grad(x, r, fwd, dx);
+  check_grad(w, r, fwd, dw);
+  check_grad(b, r, fwd, db);
+}
+
+TEST(GradCheck, MaxPool) {
+  PoolDesc d;
+  d.n = 1;
+  d.c = 2;
+  d.h = 6;
+  d.w = 6;
+  d.kh = d.kw = 2;
+  d.stride_h = d.stride_w = 2;
+  // Well-separated values avoid argmax ties under the finite-difference nudge.
+  auto x = random_vec(d.in_elems(), 7, -10.0f, 10.0f);
+  auto r = random_vec(d.out_elems(), 8);
+  auto fwd = [&] {
+    std::vector<float> y(d.out_elems());
+    std::vector<int32_t> am(d.out_elems());
+    pool_forward(d, x.data(), y.data(), am.data());
+    return y;
+  };
+  std::vector<float> y(d.out_elems());
+  std::vector<int32_t> am(d.out_elems());
+  pool_forward(d, x.data(), y.data(), am.data());
+  std::vector<float> dx(d.in_elems(), 0.0f);
+  pool_backward(d, r.data(), am.data(), dx.data());
+  check_grad(x, r, fwd, dx, 1e-3f);
+}
+
+TEST(GradCheck, AvgPool) {
+  PoolDesc d;
+  d.n = 1;
+  d.c = 2;
+  d.h = 4;
+  d.w = 4;
+  d.kh = d.kw = 2;
+  d.stride_h = d.stride_w = 2;
+  d.max_pool = false;
+  auto x = random_vec(d.in_elems(), 7);
+  auto r = random_vec(d.out_elems(), 8);
+  auto fwd = [&] {
+    std::vector<float> y(d.out_elems());
+    pool_forward(d, x.data(), y.data(), nullptr);
+    return y;
+  };
+  std::vector<float> dx(d.in_elems(), 0.0f);
+  pool_backward(d, r.data(), nullptr, dx.data());
+  check_grad(x, r, fwd, dx);
+}
+
+TEST(GradCheck, Relu) {
+  const uint64_t n = 64;
+  // Keep values away from the kink at 0.
+  auto x = random_vec(n, 1);
+  for (auto& v : x) v = v > 0 ? v + 0.5f : v - 0.5f;
+  auto r = random_vec(n, 2);
+  auto fwd = [&] {
+    std::vector<float> y(n);
+    relu_forward(n, x.data(), y.data());
+    return y;
+  };
+  std::vector<float> dx(n, 0.0f);
+  relu_backward(n, x.data(), r.data(), dx.data());
+  check_grad(x, r, fwd, dx);
+}
+
+TEST(GradCheck, Sigmoid) {
+  const uint64_t n = 64;
+  auto x = random_vec(n, 21, -3.0f, 3.0f);
+  auto r = random_vec(n, 22);
+  auto fwd = [&] {
+    std::vector<float> y(n);
+    sigmoid_forward(n, x.data(), y.data());
+    return y;
+  };
+  auto y = fwd();
+  std::vector<float> dx(n, 0.0f);
+  sigmoid_backward(n, y.data(), r.data(), dx.data());
+  check_grad(x, r, fwd, dx, 1e-3f);
+}
+
+TEST(GradCheck, Tanh) {
+  const uint64_t n = 64;
+  auto x = random_vec(n, 23, -2.0f, 2.0f);
+  auto r = random_vec(n, 24);
+  auto fwd = [&] {
+    std::vector<float> y(n);
+    tanh_forward(n, x.data(), y.data());
+    return y;
+  };
+  auto y = fwd();
+  std::vector<float> dx(n, 0.0f);
+  tanh_backward(n, y.data(), r.data(), dx.data());
+  check_grad(x, r, fwd, dx, 1e-3f);
+}
+
+TEST(GradCheck, Lrn) {
+  LrnDesc d;
+  d.n = 1;
+  d.c = 6;
+  d.h = 3;
+  d.w = 3;
+  d.size = 3;
+  d.alpha = 0.2f;
+  d.beta = 0.75f;
+  d.k = 2.0f;
+  auto x = random_vec(d.elems(), 3);
+  auto r = random_vec(d.elems(), 4);
+  auto fwd = [&] {
+    std::vector<float> y(d.elems()), s(d.elems());
+    lrn_forward(d, x.data(), y.data(), s.data());
+    return y;
+  };
+  std::vector<float> y(d.elems()), s(d.elems());
+  lrn_forward(d, x.data(), y.data(), s.data());
+  std::vector<float> dx(d.elems(), 0.0f);
+  lrn_backward(d, x.data(), y.data(), s.data(), r.data(), dx.data());
+  check_grad(x, r, fwd, dx, 1e-3f);
+}
+
+TEST(GradCheck, BatchNorm) {
+  BnDesc d;
+  d.n = 3;
+  d.c = 2;
+  d.h = 2;
+  d.w = 2;
+  auto x = random_vec(d.elems(), 5, -2.0f, 2.0f);
+  std::vector<float> gamma{1.3f, 0.7f}, beta{0.1f, -0.2f};
+  auto r = random_vec(d.elems(), 6);
+  auto fwd = [&] {
+    std::vector<float> y(d.elems()), m(2), is(2);
+    bn_forward(d, x.data(), gamma.data(), beta.data(), y.data(), m.data(), is.data());
+    return y;
+  };
+  std::vector<float> y(d.elems()), m(2), is(2);
+  bn_forward(d, x.data(), gamma.data(), beta.data(), y.data(), m.data(), is.data());
+  std::vector<float> dx(d.elems(), 0.0f), dg(2), db(2);
+  bn_backward(d, x.data(), gamma.data(), m.data(), is.data(), r.data(), dx.data(), dg.data(),
+              db.data());
+  check_grad(x, r, fwd, dx, 1e-2f, 4e-2f);
+}
+
+TEST(GradCheck, SoftmaxNll) {
+  const int n = 4, c = 5;
+  auto x = random_vec(n * c, 9, -2.0f, 2.0f);
+  std::vector<int32_t> labels{0, 3, 2, 4};
+  // Loss is scalar; emulate via r = {1} on a 1-element "output".
+  auto fwd = [&] {
+    std::vector<float> p(n * c);
+    softmax_forward(n, c, x.data(), p.data());
+    return std::vector<float>{static_cast<float>(nll_loss(n, c, p.data(), labels.data()))};
+  };
+  std::vector<float> p(n * c);
+  softmax_forward(n, c, x.data(), p.data());
+  std::vector<float> dx(n * c, 0.0f);
+  softmax_nll_backward(n, c, p.data(), labels.data(), dx.data());
+  std::vector<float> r{1.0f};
+  check_grad(x, r, fwd, dx, 1e-2f, 2e-2f);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Graph tests: Algorithm 1 route construction (incl. the paper's Fig. 6
+// nested-fan example), shape inference, dependency sets, step mirroring, and
+// zoo structural properties (ResNet depth formula, AlexNet layer sequence).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/net.hpp"
+#include "graph/zoo.hpp"
+
+namespace {
+
+using namespace sn::graph;
+namespace tensor = sn::tensor;
+
+// Paper Fig. 6: a -> {b, c, d} nested fans; e joins b/c; i joins e/g/h.
+//   a -> b -> e ; a -> c -> e ; a -> d -> f -> {g,h} -> i ; e -> i ; i -> j
+// Built with concat joins over identical spatial shapes.
+TEST(Route, NestedFansFollowAlgorithm1) {
+  Net net;
+  Layer* a = net.data("a", tensor::Shape{1, 1, 4, 4});
+  Layer* b = net.relu("b", a);
+  Layer* c = net.relu("c", a);
+  Layer* d = net.relu("d", a);
+  Layer* e = net.concat("e", {b, c});
+  Layer* f = net.relu("f", d);
+  Layer* g = net.relu("g", f);
+  Layer* h = net.relu("h", f);
+  Layer* i = net.concat("i", {e, g, h});
+  Layer* j = net.fc("j", i, 2);
+  Layer* sm = net.softmax_loss("sm", j);
+  net.finalize();
+
+  const auto& route = net.route();
+  ASSERT_EQ(route.size(), 11u);
+  std::map<const Layer*, size_t> pos;
+  for (size_t k = 0; k < route.size(); ++k) pos[route[k]] = k;
+
+  // Join layers appear only after all of their inputs.
+  EXPECT_GT(pos[e], pos[b]);
+  EXPECT_GT(pos[e], pos[c]);
+  EXPECT_GT(pos[i], pos[e]);
+  EXPECT_GT(pos[i], pos[g]);
+  EXPECT_GT(pos[i], pos[h]);
+  EXPECT_GT(pos[j], pos[i]);
+  EXPECT_GT(pos[sm], pos[j]);
+  EXPECT_EQ(pos[a], 0u);
+}
+
+TEST(Route, DfsExploresFirstBranchFirst) {
+  Net net;
+  Layer* a = net.data("a", tensor::Shape{1, 1, 4, 4});
+  Layer* b = net.relu("b", a);
+  Layer* c = net.relu("c", b);
+  Layer* d = net.relu("d", a);  // second branch
+  Layer* e = net.concat("e", {c, d});
+  net.softmax_loss("sm", net.fc("f", e, 2));
+  net.finalize();
+  const auto& r = net.route();
+  // DFS: a, b, c, (e blocked), back to d, then e.
+  EXPECT_EQ(r[0]->name(), "a");
+  EXPECT_EQ(r[1]->name(), "b");
+  EXPECT_EQ(r[2]->name(), "c");
+  EXPECT_EQ(r[3]->name(), "d");
+  EXPECT_EQ(r[4]->name(), "e");
+}
+
+TEST(Route, StepsMirrorForwardAndBackward) {
+  auto net = build_tiny_linear(2);
+  const auto& steps = net->steps();
+  size_t n = net->num_layers();
+  ASSERT_EQ(steps.size(), 2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(steps[i].forward);
+    EXPECT_FALSE(steps[2 * n - 1 - i].forward);
+    EXPECT_EQ(steps[i].layer, steps[2 * n - 1 - i].layer);  // mirrored
+    EXPECT_EQ(steps[i].index, static_cast<int>(i));
+  }
+}
+
+TEST(Shapes, ConvPoolFcChain) {
+  auto net = build_tiny_linear(4, 8, 10);
+  // DATA (4,3,8,8) -> CONV 8ch 3x3 p1 -> (4,8,8,8) -> POOL 2 -> (4,8,4,4)
+  // -> FC 10 -> (4,10,1,1)
+  const auto& r = net->route();
+  EXPECT_EQ(r[0]->out_shape(), (tensor::Shape{4, 3, 8, 8}));
+  EXPECT_EQ(r[1]->out_shape(), (tensor::Shape{4, 8, 8, 8}));
+  EXPECT_EQ(r[3]->out_shape(), (tensor::Shape{4, 8, 4, 4}));
+  EXPECT_EQ(r[4]->out_shape(), (tensor::Shape{4, 10, 1, 1}));
+}
+
+TEST(Shapes, ConcatSumsChannels) {
+  auto net = build_tiny_fanjoin(2, 8, 4);
+  for (const auto& l : net->layers()) {
+    if (l->type() == LayerType::kConcat) {
+      EXPECT_EQ(l->out_shape().c, 16);  // 8 + 8
+    }
+  }
+}
+
+TEST(Deps, ConvBackwardUsesInputWeightAndGrad) {
+  auto net = build_tiny_linear(2);
+  Layer* conv = nullptr;
+  for (const auto& l : net->layers())
+    if (l->type() == LayerType::kConv) conv = l.get();
+  ASSERT_NE(conv, nullptr);
+  auto uses = conv->backward_uses();
+  std::set<const sn::tensor::Tensor*> u(uses.begin(), uses.end());
+  EXPECT_TRUE(u.count(conv->prevs()[0]->output()));   // x
+  EXPECT_TRUE(u.count(conv->params()[0]));            // W
+  EXPECT_TRUE(u.count(conv->output_grad()));          // dy
+  EXPECT_FALSE(u.count(conv->output()));              // y NOT needed
+}
+
+TEST(Deps, DataAndLossHaveNoOutputGrad) {
+  auto net = build_tiny_linear(2);
+  EXPECT_EQ(net->input_layer()->output_grad(), nullptr);
+  EXPECT_EQ(net->loss_layer()->output_grad(), nullptr);
+  // But interior layers do.
+  for (const auto& l : net->layers()) {
+    if (l->type() != LayerType::kData && l->type() != LayerType::kSoftmax) {
+      EXPECT_NE(l->output_grad(), nullptr) << l->name();
+    }
+  }
+}
+
+TEST(Deps, FanoutConsumersShareProducerGrad) {
+  auto net = build_tiny_fanjoin(2);
+  Layer* d = net->input_layer();
+  ASSERT_EQ(d->nexts().size(), 2u);  // the fork
+  // Both conv branches list DATA's output in forward_uses.
+  for (Layer* consumer : d->nexts()) {
+    auto uses = consumer->forward_uses();
+    EXPECT_NE(std::find(uses.begin(), uses.end(), d->output()), uses.end());
+  }
+}
+
+TEST(Zoo, AlexNetLayerSequence) {
+  auto net = build_alexnet(2, 67, 10);  // small spatial size keeps it light
+  // Paper footnote: 23 layers + DATA = 24.
+  EXPECT_EQ(net->num_layers(), 24u);
+  int convs = 0, fcs = 0, lrns = 0, dropouts = 0, pools = 0;
+  for (const auto& l : net->layers()) {
+    switch (l->type()) {
+      case LayerType::kConv: ++convs; break;
+      case LayerType::kFc: ++fcs; break;
+      case LayerType::kLrn: ++lrns; break;
+      case LayerType::kDropout: ++dropouts; break;
+      case LayerType::kPool: ++pools; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(convs, 5);
+  EXPECT_EQ(fcs, 3);
+  EXPECT_EQ(lrns, 2);
+  EXPECT_EQ(dropouts, 2);
+  EXPECT_EQ(pools, 3);
+}
+
+TEST(Zoo, ResNetDepthFormula) {
+  EXPECT_EQ(resnet_depth(3, 4, 6, 3), 50);
+  EXPECT_EQ(resnet_depth(3, 4, 23, 3), 101);
+  EXPECT_EQ(resnet_depth(3, 8, 36, 3), 152);
+}
+
+TEST(Zoo, ResNet50HasExpectedConvCount) {
+  auto net = build_resnet_preset(50, 1, 64, 10);
+  int convs = 0, elts = 0;
+  for (const auto& l : net->layers()) {
+    if (l->type() == LayerType::kConv) ++convs;
+    if (l->type() == LayerType::kEltwise) ++elts;
+  }
+  // 16 bottlenecks * 3 convs + 4 projections + stem = 53; 16 joins.
+  EXPECT_EQ(convs, 53);
+  EXPECT_EQ(elts, 16);
+}
+
+TEST(Zoo, VggDepthVariants) {
+  auto v16 = build_vgg(16, 1, 32, 10);
+  auto v19 = build_vgg(19, 1, 32, 10);
+  auto count_convs = [](const Net& n) {
+    int c = 0;
+    for (const auto& l : n.layers())
+      if (l->type() == LayerType::kConv) ++c;
+    return c;
+  };
+  EXPECT_EQ(count_convs(*v16), 13);
+  EXPECT_EQ(count_convs(*v19), 16);
+  EXPECT_THROW(build_vgg(11, 1), std::invalid_argument);
+}
+
+TEST(Zoo, InceptionV4IsDeeplyNonlinear) {
+  auto net = build_inception_v4(1, 299, 10);
+  int concats = 0;
+  size_t basic = 0;
+  for (const auto& l : net->layers()) {
+    if (l->type() == LayerType::kConcat) ++concats;
+    ++basic;
+  }
+  EXPECT_GT(concats, 15);   // stem(3) + 4A + 2 reductions + 7B + 3C
+  EXPECT_GT(basic, 400u);   // paper: 515 basic layers
+  // Every concat joins >= 2 branches.
+  for (const auto& l : net->layers()) {
+    if (l->type() == LayerType::kConcat) {
+      EXPECT_GE(l->prevs().size(), 2u);
+    }
+  }
+}
+
+TEST(Zoo, DenseNetHasFullJoins) {
+  auto net = build_densenet121(1, 64, 10);
+  // Dense connectivity: concat layers whose input count grows with depth is
+  // modeled here as chained concats; check the layer mix instead.
+  int concats = 0;
+  for (const auto& l : net->layers())
+    if (l->type() == LayerType::kConcat) ++concats;
+  EXPECT_EQ(concats, 6 + 12 + 24 + 16);
+}
+
+TEST(Zoo, DeepResNetScalesToThousandsOfLayers) {
+  // Table 4 regime: n3 large. Keep it quick but prove route construction
+  // and finalize() handle 10^3-layer graphs without recursion issues.
+  auto net = build_resnet(6, 32, 100, 6, 1, 64, 10);
+  EXPECT_GT(net->num_layers(), 1000u);
+  EXPECT_EQ(net->route().size(), net->num_layers());
+}
+
+TEST(Net, BaselineAndMaxLayerBytes) {
+  auto net = build_tiny_linear(2);
+  EXPECT_GT(net->total_tensor_bytes(), 0u);
+  EXPECT_GT(net->max_layer_bytes(), 0u);
+  EXPECT_LT(net->max_layer_bytes(), net->total_tensor_bytes());
+}
+
+TEST(Net, ProducerStepsRecorded) {
+  auto net = build_tiny_linear(2);
+  for (const auto& step : net->steps()) {
+    if (!step.forward) continue;
+    for (auto* t : step.layer->forward_defs()) {
+      EXPECT_EQ(t->producer_step, step.index);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// Forward-semantics tests for the non-conv kernels: pooling (incl. argmax),
+// ReLU, LRN, BN statistics, dropout determinism, softmax, eltwise, concat.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/concat.hpp"
+#include "nn/dropout.hpp"
+#include "nn/eltwise.hpp"
+#include "nn/fc.hpp"
+#include "nn/lrn.hpp"
+#include "nn/pool.hpp"
+#include "nn/softmax.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sn::nn;
+
+TEST(Pool, MaxPoolPicksMaxAndRecordsArgmax) {
+  PoolDesc d;
+  d.n = 1;
+  d.c = 1;
+  d.h = 4;
+  d.w = 4;
+  d.kh = d.kw = 2;
+  d.stride_h = d.stride_w = 2;
+  std::vector<float> x{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  std::vector<float> y(4);
+  std::vector<int32_t> am(4);
+  pool_forward(d, x.data(), y.data(), am.data());
+  EXPECT_EQ(y, (std::vector<float>{6, 8, 14, 16}));
+  EXPECT_EQ(am, (std::vector<int32_t>{5, 7, 13, 15}));
+}
+
+TEST(Pool, MaxPoolBackwardScattersToArgmax) {
+  PoolDesc d;
+  d.n = 1;
+  d.c = 1;
+  d.h = 4;
+  d.w = 4;
+  d.kh = d.kw = 2;
+  d.stride_h = d.stride_w = 2;
+  std::vector<int32_t> am{5, 7, 13, 15};
+  std::vector<float> dy{1, 2, 3, 4};
+  std::vector<float> dx(16, 0.0f);
+  pool_backward(d, dy.data(), am.data(), dx.data());
+  EXPECT_FLOAT_EQ(dx[5], 1);
+  EXPECT_FLOAT_EQ(dx[7], 2);
+  EXPECT_FLOAT_EQ(dx[13], 3);
+  EXPECT_FLOAT_EQ(dx[15], 4);
+  EXPECT_FLOAT_EQ(std::accumulate(dx.begin(), dx.end(), 0.0f), 10.0f);
+}
+
+TEST(Pool, AvgPoolAverages) {
+  PoolDesc d;
+  d.n = 1;
+  d.c = 1;
+  d.h = 2;
+  d.w = 2;
+  d.kh = d.kw = 2;
+  d.stride_h = d.stride_w = 2;
+  d.max_pool = false;
+  std::vector<float> x{1, 2, 3, 4}, y(1);
+  pool_forward(d, x.data(), y.data(), nullptr);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(Pool, PaddedWindowsIgnorePadding) {
+  PoolDesc d;
+  d.n = 1;
+  d.c = 1;
+  d.h = 3;
+  d.w = 3;
+  d.kh = d.kw = 3;
+  d.stride_h = d.stride_w = 2;
+  d.pad_h = d.pad_w = 1;
+  d.max_pool = false;
+  std::vector<float> x(9, 6.0f), y(4);
+  pool_forward(d, x.data(), y.data(), nullptr);
+  // Average pooling divides by the count of *valid* taps, so constant input
+  // stays constant even on padded windows.
+  for (float v : y) EXPECT_FLOAT_EQ(v, 6.0f);
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  std::vector<float> x{-1, 0, 2}, y(3);
+  relu_forward(3, x.data(), y.data());
+  EXPECT_EQ(y, (std::vector<float>{0, 0, 2}));
+}
+
+TEST(Relu, BackwardGatesOnInput) {
+  std::vector<float> x{-1, 0, 2}, dy{5, 6, 7}, dx(3, 0.0f);
+  relu_backward(3, x.data(), dy.data(), dx.data());
+  EXPECT_EQ(dx, (std::vector<float>{0, 0, 7}));
+}
+
+TEST(Sigmoid, SaturatesAndCenters) {
+  std::vector<float> x{-100, 0, 100}, y(3);
+  sigmoid_forward(3, x.data(), y.data());
+  EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-6f);
+}
+
+TEST(Tanh, OddAndBounded) {
+  std::vector<float> x{-1.5f, 0, 1.5f}, y(3);
+  tanh_forward(3, x.data(), y.data());
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[0], -y[2]);
+  EXPECT_LT(std::abs(y[2]), 1.0f);
+}
+
+TEST(Lrn, IdentityWhenAlphaZero) {
+  LrnDesc d;
+  d.n = 1;
+  d.c = 4;
+  d.h = 2;
+  d.w = 2;
+  d.alpha = 0.0f;
+  d.k = 1.0f;  // scale == 1 -> y == x
+  std::vector<float> x(16), y(16), s(16);
+  sn::util::Rng rng(5);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  lrn_forward(d, x.data(), y.data(), s.data());
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(y[i], x[i], 1e-6f);
+}
+
+TEST(Lrn, ScaleMatchesFormula) {
+  LrnDesc d;
+  d.n = 1;
+  d.c = 3;
+  d.h = 1;
+  d.w = 1;
+  d.size = 3;
+  d.alpha = 0.3f;
+  d.beta = 0.75f;
+  d.k = 2.0f;
+  std::vector<float> x{1, 2, 3}, y(3), s(3);
+  lrn_forward(d, x.data(), y.data(), s.data());
+  // Channel 1 window = {0,1,2}: scale = 2 + 0.1*(1+4+9)
+  EXPECT_NEAR(s[1], 2.0f + 0.1f * 14.0f, 1e-5f);
+  EXPECT_NEAR(y[1], 2.0f * std::pow(s[1], -0.75f), 1e-5f);
+}
+
+TEST(BatchNorm, NormalizesPerChannel) {
+  BnDesc d;
+  d.n = 2;
+  d.c = 2;
+  d.h = 2;
+  d.w = 2;
+  std::vector<float> x(16);
+  sn::util::Rng rng(9);
+  for (auto& v : x) v = rng.uniform(-3, 3);
+  std::vector<float> gamma{1, 1}, beta{0, 0}, y(16), mean(2), invstd(2);
+  bn_forward(d, x.data(), gamma.data(), beta.data(), y.data(), mean.data(), invstd.data());
+  // Per-channel output mean ~ 0, variance ~ 1.
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0, sq = 0;
+    for (int n = 0; n < 2; ++n)
+      for (int s = 0; s < 4; ++s) {
+        float v = y[(n * 2 + c) * 4 + s];
+        sum += v;
+        sq += v * v;
+      }
+    EXPECT_NEAR(sum / 8.0, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 8.0, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaAffine) {
+  BnDesc d;
+  d.n = 1;
+  d.c = 1;
+  d.h = 1;
+  d.w = 4;
+  std::vector<float> x{1, 2, 3, 4}, gamma{2}, beta{10}, y(4), mean(1), invstd(1);
+  bn_forward(d, x.data(), gamma.data(), beta.data(), y.data(), mean.data(), invstd.data());
+  double m = 0;
+  for (float v : y) m += v;
+  EXPECT_NEAR(m / 4.0, 10.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(Dropout, DeterministicForSameSeed) {
+  std::vector<float> x(1000, 1.0f), y1(1000), y2(1000), m1(1000), m2(1000);
+  dropout_forward(1000, 0.5f, 1234, x.data(), y1.data(), m1.data());
+  dropout_forward(1000, 0.5f, 1234, x.data(), y2.data(), m2.data());
+  EXPECT_EQ(m1, m2);
+  dropout_forward(1000, 0.5f, 999, x.data(), y2.data(), m2.data());
+  EXPECT_NE(m1, m2);
+}
+
+TEST(Dropout, RatioAndScale) {
+  const uint64_t n = 100000;
+  std::vector<float> x(n, 1.0f), y(n), m(n);
+  dropout_forward(n, 0.3f, 77, x.data(), y.data(), m.data());
+  size_t zeros = 0;
+  for (float v : m) {
+    if (v == 0.0f)
+      ++zeros;
+    else
+      EXPECT_NEAR(v, 1.0f / 0.7f, 1e-5f);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 0.3, 0.01);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  std::vector<float> x{1, 2, 3, 100, 100, 100}, p(6);
+  softmax_forward(2, 3, x.data(), p.data());
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0f, 1e-5f);
+  EXPECT_NEAR(p[3], 1.0f / 3.0f, 1e-5f);  // large-but-equal logits: stable
+}
+
+TEST(Softmax, LossOfPerfectPrediction) {
+  std::vector<float> p{1.0f, 0.0f, 0.0f};
+  std::vector<int32_t> labels{0};
+  EXPECT_NEAR(nll_loss(1, 3, p.data(), labels.data()), 0.0, 1e-5);
+}
+
+TEST(Softmax, BackwardIsPMinusOnehot) {
+  std::vector<float> p{0.2f, 0.3f, 0.5f};
+  std::vector<int32_t> labels{2};
+  std::vector<float> dx(3, 0.0f);
+  softmax_nll_backward(1, 3, p.data(), labels.data(), dx.data());
+  EXPECT_NEAR(dx[0], 0.2f, 1e-6f);
+  EXPECT_NEAR(dx[1], 0.3f, 1e-6f);
+  EXPECT_NEAR(dx[2], -0.5f, 1e-6f);
+}
+
+TEST(Eltwise, SumsBranches) {
+  std::vector<float> a{1, 2}, b{10, 20}, c{100, 200}, y(2);
+  eltwise_sum_forward(2, {a.data(), b.data(), c.data()}, y.data());
+  EXPECT_EQ(y, (std::vector<float>{111, 222}));
+}
+
+TEST(Eltwise, BackwardAccumulates) {
+  std::vector<float> dy{1, 2}, dx{10, 10};
+  eltwise_sum_backward(2, dy.data(), dx.data());
+  EXPECT_EQ(dx, (std::vector<float>{11, 12}));
+}
+
+TEST(Concat, RoundTripsChannels) {
+  ConcatDesc d;
+  d.n = 2;
+  d.h = 1;
+  d.w = 2;
+  d.channels = {1, 2};
+  // x0: (2,1,1,2), x1: (2,2,1,2)
+  std::vector<float> x0{1, 2, 3, 4}, x1{10, 11, 12, 13, 14, 15, 16, 17};
+  std::vector<float> y(12);
+  concat_forward(d, {x0.data(), x1.data()}, y.data());
+  // n=0: [1,2 | 10,11,12,13], n=1: [3,4 | 14,15,16,17]
+  EXPECT_EQ(y, (std::vector<float>{1, 2, 10, 11, 12, 13, 3, 4, 14, 15, 16, 17}));
+
+  std::vector<float> g0(4, 0.0f), g1(8, 0.0f);
+  concat_backward(d, y.data(), 0, g0.data());
+  concat_backward(d, y.data(), 1, g1.data());
+  EXPECT_EQ(g0, x0);
+  EXPECT_EQ(g1, x1);
+}
+
+TEST(Fc, ForwardMatchesManual) {
+  FcDesc f{2, 3, 2, true};
+  std::vector<float> x{1, 2, 3, 4, 5, 6};        // 2x3
+  std::vector<float> w{1, 0, 0, 0, 1, 0};        // 2x3 (K x D)
+  std::vector<float> b{0.5f, -0.5f};
+  std::vector<float> y(4);
+  fc_forward(f, x.data(), w.data(), b.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 1.5f);   // row0 . w0 + b0
+  EXPECT_FLOAT_EQ(y[1], 1.5f);   // row0 . w1 + b1
+  EXPECT_FLOAT_EQ(y[2], 4.5f);
+  EXPECT_FLOAT_EQ(y[3], 4.5f);
+}
+
+}  // namespace

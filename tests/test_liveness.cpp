@@ -1,0 +1,125 @@
+// Liveness Analysis tests (paper §3.2, Fig. 5): in/out set semantics,
+// free-after lists, persistence of parameters, and the O(N²) bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/liveness.hpp"
+#include "graph/zoo.hpp"
+
+namespace {
+
+using namespace sn;
+using core::Liveness;
+
+bool contains(const std::vector<uint64_t>& v, uint64_t uid) {
+  return std::find(v.begin(), v.end(), uid) != v.end();
+}
+
+TEST(Liveness, EveryUsedTensorHasAnInterval) {
+  auto net = graph::build_mini_alexnet(2);
+  Liveness lv(*net);
+  for (const auto& t : net->registry().all()) {
+    if (lv.is_persistent(t->uid())) continue;
+    if (lv.first_occurrence(t->uid()) >= 0) {
+      EXPECT_LE(lv.first_occurrence(t->uid()), lv.last_occurrence(t->uid()));
+    }
+  }
+}
+
+TEST(Liveness, ParamsArePersistent) {
+  auto net = graph::build_mini_alexnet(2);
+  Liveness lv(*net);
+  for (const auto& t : net->registry().all()) {
+    bool is_param = t->kind() == tensor::TensorKind::kParam ||
+                    t->kind() == tensor::TensorKind::kParamGrad;
+    EXPECT_EQ(lv.is_persistent(t->uid()), is_param) << t->name();
+    if (is_param) {
+      // Persistent tensors never appear in free lists.
+      for (int s = 0; s < lv.num_steps(); ++s) {
+        EXPECT_FALSE(contains(lv.free_after(s), t->uid()));
+      }
+    }
+  }
+}
+
+TEST(Liveness, InitialInSetEmptyFinalOutSetEmpty) {
+  // Fig. 5: step 0's in set and the last step's out set are empty.
+  auto net = graph::build_tiny_fanjoin(2);
+  Liveness lv(*net);
+  EXPECT_TRUE(lv.in_set(0).empty());
+  EXPECT_TRUE(lv.out_set(lv.num_steps() - 1).empty());
+}
+
+TEST(Liveness, InOutSetsEvolveConsistently) {
+  auto net = graph::build_tiny_fanjoin(2);
+  Liveness lv(*net);
+  for (int s = 0; s < lv.num_steps(); ++s) {
+    auto in = lv.in_set(s);
+    auto out = lv.out_set(s);
+    // out(s) = in(s) + defs(s) - freed(s); equivalently out(s) ⊆ in ∪ defs.
+    std::set<uint64_t> allowed(in.begin(), in.end());
+    for (uint64_t uid : lv.defs(s)) allowed.insert(uid);
+    for (uint64_t uid : out) EXPECT_TRUE(allowed.count(uid)) << "step " << s;
+    // in(s+1) == out(s) (liveness is a pure step function).
+    if (s + 1 < lv.num_steps()) {
+      auto in_next = lv.in_set(s + 1);
+      EXPECT_EQ(std::set<uint64_t>(in_next.begin(), in_next.end()),
+                std::set<uint64_t>(out.begin(), out.end()))
+          << "step " << s;
+    }
+  }
+}
+
+TEST(Liveness, UsesAreLiveWhenUsed) {
+  // No step may use a tensor outside its live interval (safety property).
+  auto net = graph::build_tiny_resnet(2, 2);
+  Liveness lv(*net);
+  for (int s = 0; s < lv.num_steps(); ++s) {
+    for (uint64_t uid : lv.uses(s)) {
+      if (lv.is_persistent(uid)) continue;
+      EXPECT_LE(lv.first_occurrence(uid), s);
+      EXPECT_GE(lv.last_occurrence(uid), s);
+    }
+  }
+}
+
+TEST(Liveness, FreeAfterPartitionsTensors) {
+  // Every non-persistent used tensor is freed exactly once.
+  auto net = graph::build_mini_alexnet(2);
+  Liveness lv(*net);
+  std::set<uint64_t> freed;
+  for (int s = 0; s < lv.num_steps(); ++s) {
+    for (uint64_t uid : lv.free_after(s)) {
+      EXPECT_TRUE(freed.insert(uid).second) << "double free of uid " << uid;
+      EXPECT_EQ(lv.last_occurrence(uid), s);
+    }
+  }
+  for (const auto& t : net->registry().all()) {
+    if (!lv.is_persistent(t->uid()) && lv.first_occurrence(t->uid()) >= 0) {
+      EXPECT_TRUE(freed.count(t->uid())) << t->name() << " never freed";
+    }
+  }
+}
+
+TEST(Liveness, JoinDependenciesExtendLifetimes) {
+  // In the fan/join net, DATA's output is used by both branches, so it must
+  // stay live past the first branch's forward step (paper Fig. 3c: t0 lives
+  // until the join's backward completes).
+  auto net = graph::build_tiny_fanjoin(2);
+  Liveness lv(*net);
+  uint64_t data_out = net->input_layer()->output()->uid();
+  // Both CONV branches' backward passes use it (conv filter grad needs x).
+  int n = static_cast<int>(net->route().size());
+  EXPECT_GT(lv.last_occurrence(data_out), n) << "data tensor must survive into backward";
+}
+
+TEST(Liveness, QuadraticChecksMatchFormula) {
+  auto net = graph::build_tiny_linear(2);
+  Liveness lv(*net);
+  uint64_t n = static_cast<uint64_t>(lv.num_steps());
+  EXPECT_EQ(lv.quadratic_checks(), n * (n - 1) / 2);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Policy preset tests: each framework-like preset must enable exactly the
+// memory behaviours DESIGN.md attributes to it.
+#include <gtest/gtest.h>
+
+#include "core/options.hpp"
+
+namespace {
+
+using namespace sn::core;
+
+TEST(Policies, SuperNeuronsEnablesEverything) {
+  auto o = make_policy(PolicyPreset::kSuperNeurons);
+  EXPECT_TRUE(o.use_liveness);
+  EXPECT_TRUE(o.use_pool_allocator);
+  EXPECT_TRUE(o.offload);
+  EXPECT_TRUE(o.tensor_cache);
+  EXPECT_EQ(o.recompute, RecomputeMode::kCostAware);
+  EXPECT_TRUE(o.dynamic_workspace);
+  EXPECT_TRUE(o.pinned_host);
+  EXPECT_TRUE(o.async_transfers);
+}
+
+TEST(Policies, CaffeIsFullyStaticWithBufferReuse) {
+  auto o = make_policy(PolicyPreset::kCaffeLike);
+  EXPECT_FALSE(o.use_liveness);
+  EXPECT_FALSE(o.use_pool_allocator);  // cudaMalloc model
+  EXPECT_FALSE(o.offload);
+  EXPECT_EQ(o.recompute, RecomputeMode::kNone);
+  EXPECT_FALSE(o.dynamic_workspace);
+  EXPECT_TRUE(o.reuse_grad_buffers);  // §2.2: fwd tensors reused for bwd
+  EXPECT_FALSE(o.inplace_act);
+}
+
+TEST(Policies, TorchAddsInplaceActivations) {
+  auto o = make_policy(PolicyPreset::kTorchLike);
+  EXPECT_TRUE(o.reuse_grad_buffers);
+  EXPECT_TRUE(o.inplace_act);
+  EXPECT_FALSE(o.offload);
+}
+
+TEST(Policies, MxnetRecomputesButNeverSwaps) {
+  auto o = make_policy(PolicyPreset::kMxnetLike);
+  EXPECT_TRUE(o.use_liveness);
+  EXPECT_EQ(o.recompute, RecomputeMode::kSpeedCentric);  // uniform, §2.2
+  EXPECT_FALSE(o.offload);
+  EXPECT_FALSE(o.tensor_cache);
+}
+
+TEST(Policies, TensorFlowSwapsThroughPageableMemory) {
+  auto o = make_policy(PolicyPreset::kTfLike);
+  EXPECT_TRUE(o.offload);
+  EXPECT_FALSE(o.pinned_host);  // the ">= 50% of communication speed" claim
+  EXPECT_FALSE(o.tensor_cache);
+  EXPECT_EQ(o.recompute, RecomputeMode::kNone);
+}
+
+TEST(Policies, BaselineDisablesAllTechniques) {
+  auto o = make_policy(PolicyPreset::kBaselineNaive);
+  EXPECT_FALSE(o.use_liveness);
+  EXPECT_FALSE(o.offload);
+  EXPECT_FALSE(o.tensor_cache);
+  EXPECT_EQ(o.recompute, RecomputeMode::kNone);
+  EXPECT_FALSE(o.reuse_grad_buffers);
+}
+
+TEST(Policies, DeviceSpecPropagates) {
+  auto spec = sn::sim::titan_xp_spec();
+  auto o = make_policy(PolicyPreset::kSuperNeurons, spec);
+  EXPECT_EQ(o.spec.name, "TITANXp-sim");
+  EXPECT_EQ(o.device_capacity, spec.dram_bytes);
+}
+
+TEST(Policies, NamesAreStable) {
+  EXPECT_STREQ(policy_name(PolicyPreset::kCaffeLike), "Caffe");
+  EXPECT_STREQ(policy_name(PolicyPreset::kSuperNeurons), "SuperNeurons");
+  EXPECT_STREQ(recompute_mode_name(RecomputeMode::kCostAware), "cost-aware");
+  EXPECT_STREQ(recompute_mode_name(RecomputeMode::kNone), "none");
+}
+
+}  // namespace

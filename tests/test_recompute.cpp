@@ -1,0 +1,129 @@
+// Cost-Aware Recomputation planner tests (paper §3.4, Table 1): segment
+// construction, droppability, analytic replay counts, and the peak-memcost
+// guarantees of each strategy.
+#include <gtest/gtest.h>
+
+#include "core/recompute.hpp"
+#include "graph/zoo.hpp"
+
+namespace {
+
+using namespace sn;
+using core::RecomputeMode;
+using core::RecomputePlan;
+
+TEST(Recompute, CheckpointClassification) {
+  auto net = graph::build_mini_alexnet(2);
+  for (const auto& l : net->layers()) {
+    bool expect = l->type() == graph::LayerType::kConv || l->type() == graph::LayerType::kFc ||
+                  l->type() == graph::LayerType::kData ||
+                  l->type() == graph::LayerType::kSoftmax;
+    EXPECT_EQ(RecomputePlan::is_checkpoint_layer(l.get()), expect) << l->name();
+  }
+}
+
+TEST(Recompute, SegmentsPartitionNonCheckpoints) {
+  auto net = graph::build_mini_alexnet(2);
+  RecomputePlan plan(*net, RecomputeMode::kCostAware);
+  size_t in_segments = 0;
+  for (const auto& seg : plan.segments()) in_segments += seg.layers.size();
+  size_t non_ckpt = 0;
+  for (const auto& l : net->layers()) {
+    if (!RecomputePlan::is_checkpoint_layer(l.get())) ++non_ckpt;
+  }
+  EXPECT_EQ(in_segments, non_ckpt);
+  // Every non-checkpoint maps to exactly one segment; checkpoints to none.
+  for (const auto& l : net->layers()) {
+    if (RecomputePlan::is_checkpoint_layer(l.get())) {
+      EXPECT_EQ(plan.segment_of(l.get()), -1) << l->name();
+    } else {
+      EXPECT_GE(plan.segment_of(l.get()), 0) << l->name();
+    }
+  }
+}
+
+TEST(Recompute, MiniAlexNetSegmentStructure) {
+  // mini AlexNet: CONV1 [RELU1 LRN1 POOL1] CONV2 [RELU2 LRN2 POOL2] CONV3
+  // [RELU3] FC1 [RELU6 DROPOUT1] FC2 [] SOFTMAX -> 4 segments of 3,3,1,2.
+  auto net = graph::build_mini_alexnet(2);
+  RecomputePlan plan(*net, RecomputeMode::kCostAware);
+  ASSERT_EQ(plan.segments().size(), 4u);
+  EXPECT_EQ(plan.segments()[0].layers.size(), 3u);
+  EXPECT_EQ(plan.segments()[1].layers.size(), 3u);
+  EXPECT_EQ(plan.segments()[2].layers.size(), 1u);
+  EXPECT_EQ(plan.segments()[3].layers.size(), 2u);
+}
+
+TEST(Recompute, AnalyticCountsFollowClosedForms) {
+  // Speed-centric: Σ|seg| = 3+3+1+2 = 9.
+  // Memory-centric: Σ (n + n(n+1)/2) = 9+9+2+5 = 25.
+  auto net = graph::build_mini_alexnet(2);
+  RecomputePlan plan(*net, RecomputeMode::kCostAware);
+  EXPECT_EQ(plan.predicted_extra_forwards(RecomputeMode::kSpeedCentric), 9u);
+  EXPECT_EQ(plan.predicted_extra_forwards(RecomputeMode::kMemoryCentric), 25u);
+  EXPECT_EQ(plan.predicted_extra_forwards(RecomputeMode::kNone), 0u);
+  // Cost-aware lies between the two.
+  uint64_t ca = plan.predicted_extra_forwards(RecomputeMode::kCostAware);
+  EXPECT_GE(ca, 9u);
+  EXPECT_LE(ca, 25u);
+}
+
+TEST(Recompute, CostAwarePeakNeverExceedsLPeak) {
+  // The paper's central claim: cost-aware recomputation keeps recompute
+  // memcost at l_peak while memory-centric matches it and speed-centric
+  // may exceed it (Table 1).
+  for (int batch : {2, 4}) {
+    auto net = graph::build_mini_alexnet(batch);
+    RecomputePlan plan(*net, RecomputeMode::kCostAware);
+    uint64_t lp = plan.l_peak();
+    EXPECT_EQ(plan.predicted_peak_memcost(RecomputeMode::kCostAware), lp);
+    EXPECT_EQ(plan.predicted_peak_memcost(RecomputeMode::kMemoryCentric), lp);
+    EXPECT_GE(plan.predicted_peak_memcost(RecomputeMode::kSpeedCentric), lp);
+  }
+}
+
+TEST(Recompute, DroppableTensorsAreCheapOnes) {
+  auto net = graph::build_mini_alexnet(2);
+  RecomputePlan plan(*net, RecomputeMode::kCostAware);
+  for (const auto& l : net->layers()) {
+    bool ckpt = RecomputePlan::is_checkpoint_layer(l.get());
+    EXPECT_EQ(plan.droppable(l->output()), !ckpt) << l->name();
+    // Gradients and params are never droppable.
+    if (l->output_grad()) {
+      EXPECT_FALSE(plan.droppable(l->output_grad()));
+    }
+    for (auto* p : l->params()) EXPECT_FALSE(plan.droppable(p));
+  }
+}
+
+TEST(Recompute, ModeNoneHasNoSegments) {
+  auto net = graph::build_mini_alexnet(2);
+  RecomputePlan plan(*net, RecomputeMode::kNone);
+  EXPECT_TRUE(plan.segments().empty());
+  for (const auto& t : net->registry().all()) EXPECT_FALSE(plan.droppable(t.get()));
+}
+
+TEST(Recompute, SpeedCentricSelectedWhenSegmentsFitUnderLPeak) {
+  // mini-alexnet segments are small relative to the largest layer, so
+  // cost-aware should choose speed-centric nearly everywhere — the paper's
+  // observation that most segments fit under l_peak.
+  auto net = graph::build_mini_alexnet(4);
+  RecomputePlan plan(*net, RecomputeMode::kCostAware);
+  int speed = 0;
+  for (const auto& seg : plan.segments())
+    if (seg.speed_centric) ++speed;
+  EXPECT_GT(speed, 0);
+}
+
+TEST(Recompute, ResNetSegmentsCoverBnReluJoins) {
+  auto net = graph::build_tiny_resnet(2, 2);
+  RecomputePlan plan(*net, RecomputeMode::kCostAware);
+  // BN, ReLU and eltwise layers are all droppable segment members.
+  for (const auto& l : net->layers()) {
+    if (l->type() == graph::LayerType::kBn || l->type() == graph::LayerType::kEltwise) {
+      EXPECT_GE(plan.segment_of(l.get()), 0) << l->name();
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests for the simulated device: stream timelines, DMA overlap, event
+// semantics, allocator latency accounting, and the cost model's roofline.
+#include <gtest/gtest.h>
+
+#include "sim/costmodel.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace sn::sim;
+
+DeviceSpec tiny_spec() {
+  DeviceSpec s = k40c_spec();
+  s.dma_latency_s = 0.0;
+  s.launch_overhead_s = 0.0;
+  return s;
+}
+
+TEST(Machine, ComputeAdvancesClock) {
+  Machine m(tiny_spec());
+  EXPECT_DOUBLE_EQ(m.now(), 0.0);
+  m.run_compute(1.5);
+  EXPECT_DOUBLE_EQ(m.now(), 1.5);
+  m.run_compute(0.5);
+  EXPECT_DOUBLE_EQ(m.now(), 2.0);
+}
+
+TEST(Machine, AsyncCopyOverlapsWithCompute) {
+  Machine m(tiny_spec());
+  // 8 GB/s pinned: 8 MB takes 1 ms.
+  Event e = m.async_copy(CopyDir::kD2H, 8000000ull, /*pinned=*/true);
+  EXPECT_NEAR(e.done_at, 1e-3, 1e-9);
+  m.run_compute(2e-3);  // compute longer than the copy
+  EXPECT_TRUE(m.query_event(e));
+  m.wait_event(e);  // already done: no stall
+  EXPECT_NEAR(m.now(), 2e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(m.counters().stall_time, 0.0);
+}
+
+TEST(Machine, WaitStallsWhenCopyOutstandsCompute) {
+  Machine m(tiny_spec());
+  Event e = m.async_copy(CopyDir::kH2D, 16000000ull, true);  // 2 ms
+  m.run_compute(0.5e-3);
+  m.wait_event(e);
+  EXPECT_NEAR(m.now(), 2e-3, 1e-9);
+  EXPECT_NEAR(m.counters().stall_time, 1.5e-3, 1e-9);
+}
+
+TEST(Machine, PageableTransfersAreHalfSpeed) {
+  Machine m(tiny_spec());
+  double pinned = m.copy_seconds(CopyDir::kH2D, 8000000ull, true);
+  double pageable = m.copy_seconds(CopyDir::kH2D, 8000000ull, false);
+  EXPECT_NEAR(pageable, 2.0 * pinned, 1e-12);
+}
+
+TEST(Machine, CopiesOnSameStreamSerialize) {
+  Machine m(tiny_spec());
+  Event a = m.async_copy(CopyDir::kD2H, 8000000ull, true);
+  Event b = m.async_copy(CopyDir::kD2H, 8000000ull, true);
+  EXPECT_NEAR(b.done_at, a.done_at + 1e-3, 1e-9);
+  // But the H2D engine is independent.
+  Event c = m.async_copy(CopyDir::kH2D, 8000000ull, true);
+  EXPECT_NEAR(c.done_at, 1e-3, 1e-9);
+}
+
+TEST(Machine, CountersTrackTraffic) {
+  Machine m(tiny_spec());
+  m.async_copy(CopyDir::kD2H, 100, true);
+  m.async_copy(CopyDir::kD2H, 200, true);
+  m.async_copy(CopyDir::kH2D, 300, true);
+  EXPECT_EQ(m.counters().bytes_d2h, 300u);
+  EXPECT_EQ(m.counters().bytes_h2d, 300u);
+  EXPECT_EQ(m.counters().copies_d2h, 2u);
+  EXPECT_EQ(m.counters().copies_h2d, 1u);
+}
+
+TEST(Machine, NativeMallocCostsTime) {
+  Machine m(k40c_spec());
+  m.native_malloc(1ull << 30);
+  double t1 = m.now();
+  EXPECT_GT(t1, 0.0);
+  m.native_free();
+  EXPECT_GT(m.now(), t1);
+  EXPECT_EQ(m.counters().native_mallocs, 1u);
+  EXPECT_EQ(m.counters().native_frees, 1u);
+  EXPECT_NEAR(m.counters().malloc_time, m.now(), 1e-12);
+}
+
+TEST(Machine, ResetClearsState) {
+  Machine m(k40c_spec());
+  m.run_compute(1.0);
+  m.async_copy(CopyDir::kD2H, 1000, true);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.now(), 0.0);
+  EXPECT_EQ(m.counters().bytes_d2h, 0u);
+}
+
+TEST(CostModel, RooflineFlopBound) {
+  CostModel cm(tiny_spec());
+  // 4.29e12 flops at eff 1.0 ~ 1 second; few bytes.
+  double t = cm.compute_time(4.29e12, 1024, 1.0);
+  EXPECT_NEAR(t, 1.0, 1e-6);
+}
+
+TEST(CostModel, RooflineBandwidthBound) {
+  CostModel cm(tiny_spec());
+  // Bandwidth-bound op: zero-ish flops, big bytes.
+  double bytes = 288.0e9 * CostModel::kMemEfficiency;  // exactly 1 second
+  double t = cm.compute_time(0.0, bytes, 0.5);
+  EXPECT_NEAR(t, 1.0, 1e-6);
+}
+
+TEST(CostModel, EfficiencyScalesComputeTime) {
+  CostModel cm(tiny_spec());
+  double fast = cm.compute_time(1e12, 0, 0.6);
+  double slow = cm.compute_time(1e12, 0, 0.3);
+  EXPECT_NEAR(slow / fast, 2.0, 1e-9);
+}
+
+TEST(DeviceSpec, PresetsDiffer) {
+  EXPECT_GT(titan_xp_spec().peak_flops, k40c_spec().peak_flops);
+  EXPECT_EQ(k40c_spec().dram_bytes, 12ull << 30);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Tensor Cache (Alg. 2) unit tests: LRU ordering, touch-to-front, eviction
+// order, hit/miss counters.
+#include <gtest/gtest.h>
+
+#include "core/tensor_cache.hpp"
+
+namespace {
+
+using sn::core::TensorCache;
+
+TEST(TensorCache, EvictionOrderIsLruFirst) {
+  TensorCache c;
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);  // MRU
+  auto order = c.eviction_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);  // least recently used evicts first
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 3u);
+}
+
+TEST(TensorCache, TouchMovesToFront) {
+  TensorCache c;
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  c.touch(1);  // 1 becomes MRU
+  auto order = c.eviction_order();
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(TensorCache, ReinsertActsAsTouch) {
+  TensorCache c;
+  c.insert(1);
+  c.insert(2);
+  c.insert(1);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.eviction_order()[0], 2u);
+}
+
+TEST(TensorCache, EraseRemoves) {
+  TensorCache c;
+  c.insert(1);
+  c.insert(2);
+  c.erase(1);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.size(), 1u);
+  c.erase(42);  // unknown uid is a no-op
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(TensorCache, TouchUnknownIsNoop) {
+  TensorCache c;
+  c.touch(7);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(TensorCache, HitMissCounters) {
+  TensorCache c;
+  c.count_hit();
+  c.count_hit();
+  c.count_miss();
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(TensorCache, BackpropPatternFavoursLru) {
+  // Head-to-tail forward then tail-to-head backward: the most recently used
+  // tensors are reused earliest (paper §3.3.2) — so under LRU, the *early*
+  // forward tensors are the ones evicted, exactly what backward wants
+  // (it needs the late ones first).
+  TensorCache c;
+  for (uint64_t uid = 0; uid < 10; ++uid) c.insert(uid);
+  auto order = c.eviction_order();
+  for (uint64_t uid = 0; uid < 10; ++uid) EXPECT_EQ(order[uid], uid);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Winograd F(2x2, 3x3) unit tests: workspace sizing, simple analytic
+// filters, padding behaviour, and a parameterized agreement sweep against
+// direct convolution (complementing test_conv's integration coverage).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/winograd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sn::nn;
+
+TEST(Winograd, WorkspaceFormula) {
+  // U: 16*K*C, V: 16*C*T, M: 16*K*T with T = ceil(OH/2)*ceil(OW/2).
+  EXPECT_EQ(winograd_workspace_floats(2, 3, 4, 4), 16u * (2 * 3 + 3 * 4 + 2 * 4));
+  EXPECT_EQ(winograd_workspace_floats(1, 1, 1, 1), 16u * (1 + 1 + 1));
+  // Odd outputs round tiles up.
+  EXPECT_EQ(winograd_workspace_floats(1, 1, 5, 5), 16u * (1 + 9 + 9));
+}
+
+TEST(Winograd, IdentityFilterReproducesInput) {
+  // 3x3 filter with a single 1 at the center and pad 1 = identity map.
+  Conv2dGeom g{1, 6, 6, 3, 3, 1, 1, 1, 1};
+  std::vector<float> x(36);
+  sn::util::Rng rng(3);
+  for (auto& v : x) v = rng.uniform(-2, 2);
+  std::vector<float> w(9, 0.0f);
+  w[4] = 1.0f;
+  std::vector<float> y(36, -1.0f);
+  std::vector<float> ws(winograd_workspace_floats(1, 1, 6, 6));
+  winograd_forward_image(g, 1, x.data(), w.data(), nullptr, y.data(), ws.data());
+  for (int i = 0; i < 36; ++i) EXPECT_NEAR(y[i], x[i], 1e-4f) << i;
+}
+
+TEST(Winograd, BoxFilterSumsNeighbourhood) {
+  Conv2dGeom g{1, 4, 4, 3, 3, 1, 1, 0, 0};  // valid conv: 2x2 output
+  std::vector<float> x(16);
+  for (int i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  std::vector<float> w(9, 1.0f);
+  std::vector<float> y(4);
+  std::vector<float> ws(winograd_workspace_floats(1, 1, 2, 2));
+  winograd_forward_image(g, 1, x.data(), w.data(), nullptr, y.data(), ws.data());
+  // y[0] = sum of x[0..2],x[4..6],x[8..10] = 45
+  EXPECT_NEAR(y[0], 45.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 54.0f, 1e-3f);
+  EXPECT_NEAR(y[2], 81.0f, 1e-3f);
+  EXPECT_NEAR(y[3], 90.0f, 1e-3f);
+}
+
+TEST(Winograd, BiasIsAdded) {
+  Conv2dGeom g{1, 4, 4, 3, 3, 1, 1, 1, 1};
+  std::vector<float> x(16, 0.0f), w(9, 0.0f), y(16);
+  float bias = 2.5f;
+  std::vector<float> ws(winograd_workspace_floats(1, 1, 4, 4));
+  winograd_forward_image(g, 1, x.data(), w.data(), &bias, y.data(), ws.data());
+  for (float v : y) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+struct WinoCase {
+  int c, h, w, k, pad;
+};
+
+class WinogradSweep : public ::testing::TestWithParam<WinoCase> {};
+
+TEST_P(WinogradSweep, AgreesWithDirect) {
+  const auto p = GetParam();
+  ConvDesc d;
+  d.n = 2;
+  d.c = p.c;
+  d.h = p.h;
+  d.w = p.w;
+  d.k = p.k;
+  d.kh = d.kw = 3;
+  d.stride_h = d.stride_w = 1;
+  d.pad_h = d.pad_w = p.pad;
+  sn::util::Rng rng(17);
+  std::vector<float> x(d.in_elems()), w(d.weight_elems()), b(d.k);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<float> y_ref(d.out_elems()), y(d.out_elems());
+  conv_forward(d, ConvAlgo::kDirect, x.data(), w.data(), b.data(), y_ref.data(), nullptr);
+  std::vector<float> ws(conv_workspace_bytes(d, ConvAlgo::kWinograd, ConvPass::kForward) /
+                        sizeof(float));
+  conv_forward(d, ConvAlgo::kWinograd, x.data(), w.data(), b.data(), y.data(), ws.data());
+  for (size_t i = 0; i < y.size(); ++i) ASSERT_NEAR(y[i], y_ref[i], 3e-3f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, WinogradSweep,
+                         ::testing::Values(WinoCase{1, 4, 4, 1, 0},    // minimal valid
+                                           WinoCase{1, 4, 4, 1, 1},    // same-pad
+                                           WinoCase{3, 7, 9, 5, 1},    // odd spatial
+                                           WinoCase{4, 5, 5, 4, 0},    // odd output (clip)
+                                           WinoCase{8, 14, 14, 8, 1},  // resnet-ish tile grid
+                                           WinoCase{2, 3, 3, 2, 1}));  // single tile w/ pad
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Dynamic workspace allocator tests (paper §3.5): the chooser must pick the
+// fastest algorithm whose scratch fits the budget, degrade gracefully to the
+// zero-workspace algorithm, and report the unconstrained optimum.
+#include <gtest/gtest.h>
+
+#include "core/workspace.hpp"
+#include "graph/net.hpp"
+
+namespace {
+
+using namespace sn;
+namespace tensor = sn::tensor;
+
+/// Build a single finalized conv layer over the given geometry.
+struct ConvFixture {
+  graph::Net net;
+  graph::ConvLayer* conv = nullptr;
+
+  ConvFixture(int c, int image, int k, int kernel, int stride, int pad) {
+    auto* d = net.data("d", tensor::Shape{4, c, image, image});
+    conv = static_cast<graph::ConvLayer*>(net.conv("c", d, k, kernel, stride, pad));
+    net.softmax_loss("sm", net.fc("f", conv, 2));
+    net.finalize();
+  }
+};
+
+TEST(Workspace, UnlimitedBudgetPicksFastestSupported) {
+  ConvFixture f(16, 32, 16, 3, 1, 1);  // 3x3/s1: winograd-eligible
+  auto choice = core::choose_conv_algo(*f.conv, true, UINT64_MAX);
+  EXPECT_EQ(choice.algo, nn::ConvAlgo::kWinograd);
+  EXPECT_EQ(choice.best_algo, nn::ConvAlgo::kWinograd);
+  EXPECT_EQ(choice.workspace_bytes, choice.best_workspace_bytes);
+}
+
+TEST(Workspace, ZeroBudgetFallsBackToDirect) {
+  ConvFixture f(16, 32, 16, 3, 1, 1);
+  auto choice = core::choose_conv_algo(*f.conv, true, 0);
+  EXPECT_EQ(choice.algo, nn::ConvAlgo::kDirect);
+  EXPECT_EQ(choice.workspace_bytes, 0u);
+  // The unconstrained optimum is still reported (Fig. 12's second series).
+  EXPECT_NE(choice.best_algo, nn::ConvAlgo::kDirect);
+  EXPECT_GT(choice.best_workspace_bytes, 0u);
+}
+
+TEST(Workspace, IntermediateBudgetExcludesTheOptimum) {
+  ConvFixture f(16, 32, 16, 3, 1, 1);
+  uint64_t wino = f.conv->workspace_bytes(nn::ConvAlgo::kWinograd, true);
+  // A budget one byte short of the optimum's demand must yield a different,
+  // slower-but-fitting algorithm (paper: "skips convolution algorithms that
+  // require more memory than it can provide").
+  auto choice = core::choose_conv_algo(*f.conv, true, wino - 1);
+  EXPECT_NE(choice.algo, nn::ConvAlgo::kWinograd);
+  EXPECT_LT(choice.workspace_bytes, wino);
+  EXPECT_EQ(choice.best_algo, nn::ConvAlgo::kWinograd);
+  EXPECT_LT(choice.efficiency,
+            nn::conv_algo_efficiency(f.conv->desc(), nn::ConvAlgo::kWinograd,
+                                     nn::ConvPass::kForward));
+}
+
+TEST(Workspace, StridedConvNeverPicksWinogradOrFft) {
+  ConvFixture f(8, 32, 8, 3, 2, 1);
+  auto choice = core::choose_conv_algo(*f.conv, true, UINT64_MAX);
+  EXPECT_TRUE(choice.algo == nn::ConvAlgo::kDirect || choice.algo == nn::ConvAlgo::kIm2colGemm);
+}
+
+TEST(Workspace, LargeKernelPrefersFft) {
+  ConvFixture f(8, 64, 8, 7, 1, 3);
+  auto choice = core::choose_conv_algo(*f.conv, true, UINT64_MAX);
+  EXPECT_EQ(choice.algo, nn::ConvAlgo::kFftTiled);
+}
+
+TEST(Workspace, BackwardUsesBackwardWorkspaceSizing) {
+  ConvFixture f(16, 32, 16, 3, 1, 1);
+  auto fwd = core::choose_conv_algo(*f.conv, true, UINT64_MAX);
+  auto bwd = core::choose_conv_algo(*f.conv, false, UINT64_MAX);
+  // Backward winograd runs the im2col path, so its workspace differs.
+  EXPECT_GT(fwd.workspace_bytes, 0u);
+  EXPECT_GT(bwd.workspace_bytes, 0u);
+  EXPECT_EQ(bwd.workspace_bytes, f.conv->workspace_bytes(bwd.algo, false));
+}
+
+TEST(Workspace, StaticChooserIgnoresFasterAlgos) {
+  ConvFixture f(16, 32, 16, 3, 1, 1);
+  auto choice = core::choose_conv_algo_static(*f.conv, true, UINT64_MAX);
+  EXPECT_EQ(choice.algo, nn::ConvAlgo::kIm2colGemm);  // never winograd/fft
+  auto starved = core::choose_conv_algo_static(*f.conv, true, 0);
+  EXPECT_EQ(starved.algo, nn::ConvAlgo::kDirect);
+}
+
+TEST(Workspace, EfficiencyMonotoneInBudget) {
+  // Property: more budget can never yield a slower choice.
+  ConvFixture f(32, 28, 32, 3, 1, 1);
+  double last_eff = -1.0;
+  for (uint64_t budget = 0; budget < (512ull << 20); budget += 32ull << 20) {
+    auto choice = core::choose_conv_algo(*f.conv, true, budget);
+    EXPECT_GE(choice.efficiency + 1e-12, last_eff) << "budget " << budget;
+    last_eff = choice.efficiency;
+  }
+}
+
+class WorkspaceGeometrySweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WorkspaceGeometrySweep, ChoiceAlwaysFitsBudget) {
+  auto [kernel, stride, image] = GetParam();
+  if (kernel > image) GTEST_SKIP();
+  ConvFixture f(8, image, 8, kernel, stride, kernel / 2);
+  for (uint64_t budget : {uint64_t{0}, uint64_t{1} << 16, uint64_t{1} << 20, uint64_t{1} << 24,
+                          UINT64_MAX}) {
+    for (bool fwd : {true, false}) {
+      auto choice = core::choose_conv_algo(*f.conv, fwd, budget);
+      EXPECT_LE(choice.workspace_bytes, budget == UINT64_MAX ? UINT64_MAX : budget);
+      EXPECT_TRUE(nn::conv_algo_supported(f.conv->desc(), choice.algo));
+      EXPECT_GT(choice.efficiency, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, WorkspaceGeometrySweep,
+                         ::testing::Combine(::testing::Values(1, 3, 5, 7, 11),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(16, 32)));
+
+}  // namespace
