@@ -35,6 +35,9 @@ struct RuntimeOptions {
   // --- transfer behaviour --------------------------------------------------
   bool pinned_host = true;       ///< pinned staging (TF-like policies lose 50%)
   bool async_transfers = true;   ///< overlap DMA with compute
+  int prefetch_lookahead = 1;    ///< checkpoint spans staged ahead of backward
+                                 ///< (§3.3.1; the paper prefetches exactly 1;
+                                 ///< 0 disables prefetching entirely)
 
   // --- speed techniques ----------------------------------------------------
   bool dynamic_workspace = true; ///< per-step fastest feasible conv algo (§3.5)

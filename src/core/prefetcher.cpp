@@ -1,0 +1,29 @@
+#include "core/prefetcher.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/recompute.hpp"
+
+namespace sn::core {
+
+Prefetcher::Prefetcher(const graph::Net& net, int lookahead)
+    : net_(net), lookahead_(std::max(0, lookahead)) {}
+
+std::vector<tensor::Tensor*> Prefetcher::plan(int step) const {
+  std::vector<tensor::Tensor*> out;
+  if (lookahead_ == 0) return out;
+  std::unordered_set<uint64_t> seen;
+  const auto& steps = net_.steps();
+  int checkpoints = 0;
+  for (size_t s = static_cast<size_t>(step) + 1; s < steps.size(); ++s) {
+    const auto& st = steps[s];
+    for (tensor::Tensor* u : st.layer->backward_uses()) {
+      if (seen.insert(u->uid()).second) out.push_back(u);
+    }
+    if (RecomputePlan::is_checkpoint_layer(st.layer) && ++checkpoints >= lookahead_) break;
+  }
+  return out;
+}
+
+}  // namespace sn::core

@@ -1,0 +1,39 @@
+// Prefetcher: the backward-pass lookahead policy of the Unified Tensor Pool
+// (paper §3.3.1).
+//
+// At a CONV (checkpoint) layer's backward step, the paper asynchronously
+// fetches what the *previous* CONV layer's backward span needs, hiding the
+// H2D latency under the current layer's backward compute. This class is the
+// pure policy: given the current step it yields, in staging order, the
+// tensors the next `lookahead` checkpoint spans will read. The pool decides
+// per tensor whether staging is possible (host-resident, not already in
+// flight, fits without eviction) and actually moves the bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/net.hpp"
+
+namespace sn::core {
+
+class Prefetcher {
+ public:
+  /// `lookahead` = how many checkpoint backward spans ahead to stage
+  /// (the paper's policy is 1: exactly the next span). 0 disables
+  /// prefetching (every plan is empty); negatives are clamped to 0.
+  explicit Prefetcher(const graph::Net& net, int lookahead = 1);
+
+  /// Backward-pass dependencies of the steps after `step`, in scan order
+  /// (deduplicated), stopping after `lookahead` checkpoint layers. Pure
+  /// policy: no residency filtering — the caller stages what it can.
+  std::vector<tensor::Tensor*> plan(int step) const;
+
+  int lookahead() const { return lookahead_; }
+
+ private:
+  const graph::Net& net_;
+  int lookahead_;
+};
+
+}  // namespace sn::core

@@ -26,19 +26,26 @@ Runtime::Runtime(graph::Net& net, RuntimeOptions opts)
       opts_(opts),
       machine_(opts.spec),
       cost_(opts.spec),
-      host_pool_(opts.host_capacity, opts.pinned_host, opts.real),
       liveness_(net, opts.recompute != RecomputeMode::kNone),
       plan_(net, opts.recompute),
+      prefetcher_(net, opts.prefetch_lookahead),
       rng_(opts.seed) {
   if (!net.finalized()) throw std::logic_error("Runtime: net must be finalized");
-  if (opts_.use_pool_allocator) {
-    allocator_ = std::make_unique<mem::PoolAllocator>(machine_, opts_.device_capacity,
-                                                      mem::MemoryPool::kDefaultBlockBytes,
-                                                      opts_.real);
-  } else {
-    allocator_ = std::make_unique<mem::NativeAllocator>(machine_, opts_.device_capacity,
-                                                        opts_.real);
-  }
+
+  UnifiedTensorPool::Config pool_cfg;
+  pool_cfg.real = opts_.real;
+  pool_cfg.use_pool_allocator = opts_.use_pool_allocator;
+  pool_cfg.tensor_cache = opts_.tensor_cache;
+  pool_cfg.async_transfers = opts_.async_transfers;
+  pool_cfg.pinned_host = opts_.pinned_host;
+  pool_cfg.device_capacity = opts_.device_capacity;
+  pool_cfg.host_capacity = opts_.host_capacity;
+  UnifiedTensorPool::Hooks hooks;
+  hooks.droppable = [this](const tensor::Tensor* t) { return plan_.droppable(t); };
+  hooks.persistent = [this](uint64_t uid) { return liveness_.is_persistent(uid); };
+  hooks.last_forward_use = [this](uint64_t uid) { return last_forward_use_[uid]; };
+  pool_ = std::make_unique<UnifiedTensorPool>(net.registry(), machine_, pool_cfg,
+                                              std::move(hooks));
 
   const size_t ntensors = net.registry().size();
   producer_.assign(ntensors, nullptr);
@@ -76,139 +83,21 @@ Runtime::Runtime(graph::Net& net, RuntimeOptions opts)
 }
 
 // --------------------------------------------------------------------------
-// memory state transitions
-
-float* Runtime::device_ptr(const tensor::Tensor* t) {
-  if (!opts_.real) return nullptr;
-  if (!t->gpu_handle) return nullptr;
-  return static_cast<float*>(allocator_->ptr(*t->gpu_handle));
-}
-
-void Runtime::alloc_device(tensor::Tensor* t) {
-  ++alloc_count_;
-  auto h = allocator_->allocate(t->bytes());
-  if (!h && opts_.tensor_cache) {
-    // Alg. 2 LRU.out: evict least-recently-used unlocked tensors one at a
-    // time, retrying the allocation after each, until it fits. Pass 1 frees
-    // clean entries (host copy already valid); pass 2 offloads/drops.
-    for (int pass = 0; pass < 2 && !h; ++pass) {
-      for (uint64_t uid : cache_.eviction_order()) {
-        tensor::Tensor* c = tensor_by_uid(uid);
-        if (c->locked() || !c->on_device()) continue;
-        if (pass == 0) {
-          if (c->residency != tensor::Residency::kBoth) continue;
-          release_offloaded(c);
-        } else {
-          evict_one(c);
-        }
-        ++evictions_;
-        h = allocator_->allocate(t->bytes());
-        if (h) break;
-      }
-    }
-  }
-  if (!h) {
-    throw OomError{t->bytes(), allocator_->largest_free(),
-                   "device OOM allocating " + t->name()};
-  }
-  t->gpu_handle = *h;
-  ++live_count_;
-  if (opts_.tensor_cache && !liveness_.is_persistent(t->uid())) cache_.insert(t->uid());
-}
-
-void Runtime::free_device(tensor::Tensor* t) {
-  if (t->gpu_handle) {
-    allocator_->deallocate(*t->gpu_handle);
-    t->gpu_handle.reset();
-    --live_count_;
-  } else if (t->residency == tensor::Residency::kDevice ||
-             t->residency == tensor::Residency::kBoth) {
-    --live_count_;  // aliased (in-place) tensor: counted live without a handle
-  }
-  cache_.erase(t->uid());
-  pending_d2h_.erase(t->uid());
-  pending_h2d_.erase(t->uid());
-}
-
-void Runtime::evict_one(tensor::Tensor* t) {
-  if (plan_.droppable(t)) {
-    drop_tensor(t);  // recomputation restores it without any transfer
-    return;
-  }
-  // Synchronous offload: the memory is reused immediately, so the copy must
-  // complete before the allocation proceeds.
-  offload_to_host(t, /*async=*/false);
-}
-
-void Runtime::offload_to_host(tensor::Tensor* t, bool async) {
-  if (t->host_handle == 0) {
-    t->host_handle = host_pool_.allocate(t->bytes());
-    if (t->host_handle == 0) {
-      throw OomError{t->bytes(), host_pool_.free_bytes(), "host pool OOM for " + t->name()};
-    }
-  }
-  if (opts_.real) {
-    void* dst = host_pool_.ptr(t->host_handle);
-    const float* src = device_ptr(t);
-    if (dst && src) std::memcpy(dst, src, t->bytes());
-  }
-  sim::Event e = machine_.async_copy(sim::CopyDir::kD2H, t->bytes(), host_pool_.pinned());
-  if (async && opts_.async_transfers) {
-    pending_d2h_[t->uid()] = e;
-    t->residency = tensor::Residency::kBoth;
-  } else {
-    machine_.wait_event(e);
-    t->residency = tensor::Residency::kBoth;
-    release_offloaded(t);
-  }
-}
-
-void Runtime::release_offloaded(tensor::Tensor* t) {
-  if (t->locked()) return;  // retried on a later poll
-  assert(t->on_host());
-  free_device(t);
-  t->residency = tensor::Residency::kHost;
-}
-
-void Runtime::drop_tensor(tensor::Tensor* t) {
-  free_device(t);
-  if (t->host_handle) {
-    host_pool_.deallocate(t->host_handle);
-    t->host_handle = 0;
-  }
-  t->residency = tensor::Residency::kDropped;
-}
-
-void Runtime::fetch_from_host(tensor::Tensor* t) {
-  alloc_device(t);
-  sim::Event e = machine_.async_copy(sim::CopyDir::kH2D, t->bytes(), host_pool_.pinned());
-  machine_.wait_event(e);  // on-demand: the consumer needs the bytes now
-  if (opts_.real) {
-    float* dst = device_ptr(t);
-    const void* src = host_pool_.ptr(t->host_handle);
-    if (dst && src) std::memcpy(dst, src, t->bytes());
-  }
-  t->residency = tensor::Residency::kBoth;
-  if (opts_.tensor_cache) cache_.count_miss();
-}
+// materialization (policy over the pool's state machine)
 
 void Runtime::materialize(tensor::Tensor* t) {
   // A prefetch may be in flight for this tensor: its device buffer exists
   // but the data lands only when the event completes.
-  auto pend = pending_h2d_.find(t->uid());
-  if (pend != pending_h2d_.end()) {
-    machine_.wait_event(pend->second);
-    pending_h2d_.erase(pend);
-  }
+  if (pool_->prefetch_pending(t->uid())) pool_->finish_prefetch(t);
   if (t->on_device()) {
     if (opts_.tensor_cache && !liveness_.is_persistent(t->uid())) {
-      cache_.touch(t->uid());
-      cache_.count_hit();
+      pool_->cache().touch(t->uid());
+      pool_->cache().count_hit();
     }
     return;
   }
   if (t->on_host()) {
-    fetch_from_host(t);
+    pool_->fetch_from_host(t);
     return;
   }
   if (t->residency == tensor::Residency::kDropped) {
@@ -270,13 +159,17 @@ void Runtime::replay_forward(graph::Layer* layer) {
 }
 
 void Runtime::ensure_def(tensor::Tensor* t) {
+  // A definition target may have a prefetch in flight (a partially
+  // accumulated gradient staged back for this step): the kernel must not
+  // write the buffer while the DMA engine is still filling it.
+  if (pool_->prefetch_pending(t->uid())) pool_->finish_prefetch(t);
   if (!t->on_device()) {
     if (t->on_host()) {
       // Definitions can be read-modify-write (gradient accumulation across
       // fan-out consumers): an evicted partial result must round-trip back,
       // not be re-allocated blank. Falls through to the first-def zeroing
       // check below, which is a no-op within the same iteration.
-      fetch_from_host(t);
+      pool_->fetch_from_host(t);
     } else {
       // Aliased definitions consume no new device memory (simulation-only
       // accounting of framework-specific reuse): Torch-style in-place
@@ -287,14 +180,17 @@ void Runtime::ensure_def(tensor::Tensor* t) {
                        t->kind() == tensor::TensorKind::kData;
       bool alias_grad = opts_.reuse_grad_buffers && t->kind() == tensor::TensorKind::kGrad;
       if (!opts_.real && (alias_act || alias_grad)) {
-        t->residency = tensor::Residency::kDevice;
-        ++live_count_;
+        pool_->adopt_alias(t);
         return;
       }
-      alloc_device(t);
+      pool_->alloc_device(t);
       t->residency = tensor::Residency::kDevice;
     }
   }
+  // The kernel writes this def: a host copy fetched (or prefetched) back —
+  // e.g. a partially accumulated gradient — is stale from here on, and
+  // eviction must re-offload rather than resurrect it.
+  pool_->mark_dirty(t);
   if (t->kind() == tensor::TensorKind::kGrad && !zeroed_grads_.count(t->uid())) {
     zeroed_grads_.insert(t->uid());
     if (opts_.real) {
@@ -338,15 +234,16 @@ void Runtime::run_layer_pass(graph::Layer* layer, bool forward, const float* inp
 
   // Dynamic convolution-workspace allocation (§3.5): measure what is free
   // *now*, after the memory techniques have run for this step.
+  mem::GpuAllocator& allocator = pool_->allocator();
   std::optional<uint64_t> ws_handle;
   if (layer->type() == graph::LayerType::kConv) {
     auto* conv = static_cast<graph::ConvLayer*>(layer);
-    uint64_t budget = opts_.allow_workspace ? allocator_->largest_free() : 0;
+    uint64_t budget = opts_.allow_workspace ? allocator.largest_free() : 0;
     AlgoChoice choice = opts_.dynamic_workspace
                             ? choose_conv_algo(*conv, forward, budget)
                             : choose_conv_algo_static(*conv, forward, budget);
     if (choice.workspace_bytes > 0) {
-      ws_handle = allocator_->allocate(choice.workspace_bytes);
+      ws_handle = allocator.allocate(choice.workspace_bytes);
       if (!ws_handle) {
         // Fragmentation race: fall back to the workspace-free algorithm.
         choice.algo = nn::ConvAlgo::kDirect;
@@ -355,7 +252,7 @@ void Runtime::run_layer_pass(graph::Layer* layer, bool forward, const float* inp
     }
     ctx.conv_algo = choice.algo;
     ctx.workspace_bytes = choice.workspace_bytes;
-    if (ws_handle) ctx.workspace = static_cast<float*>(allocator_->ptr(*ws_handle));
+    if (ws_handle) ctx.workspace = static_cast<float*>(allocator.ptr(*ws_handle));
     tele->algo = choice.algo;
     tele->ws_assigned = choice.workspace_bytes;
     tele->ws_max_speed = choice.best_workspace_bytes;
@@ -369,7 +266,7 @@ void Runtime::run_layer_pass(graph::Layer* layer, bool forward, const float* inp
   }
   charge_layer_time(layer, forward, ctx.conv_algo);
 
-  if (ws_handle) allocator_->deallocate(*ws_handle);
+  if (ws_handle) allocator.deallocate(*ws_handle);
 }
 
 void Runtime::lock(const std::vector<tensor::Tensor*>& ts, bool locked) {
@@ -383,7 +280,7 @@ void Runtime::lock(const std::vector<tensor::Tensor*>& ts, bool locked) {
 }
 
 void Runtime::note_peak() {
-  uint64_t u = allocator_->in_use();
+  uint64_t u = pool_->allocator().in_use();
   if (u > iter_peak_) iter_peak_ = u;
 }
 
@@ -415,53 +312,33 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
   run_layer_pass(layer, fwd, fwd && layer->type() == graph::LayerType::kData ? input : nullptr,
                  labels, loss_out, &tele);
 
-  tele.mem_in_use = allocator_->in_use();
-  tele.live_tensors = live_count_;
+  tele.mem_in_use = pool_->allocator().in_use();
+  tele.live_tensors = pool_->live_count();
   tele.clock = machine_.now();
+  tele.host_in_use = pool_->host_pool().in_use();
+  tele.host_peak = pool_->host_pool().peak_in_use();
+  const TransferStats xfer = pool_->engine().stats();
+  tele.d2h_submitted = xfer.submitted_d2h;
+  tele.h2d_submitted = xfer.submitted_h2d;
+  tele.d2h_completed = xfer.completed_d2h;
+  tele.h2d_completed = xfer.completed_h2d;
+  tele.dma_copies = xfer.dma_copies;
+  tele.transfers_in_flight = pool_->engine().pending_count(TransferDir::kD2H) +
+                             pool_->engine().pending_count(TransferDir::kH2D);
   telemetry_.push_back(tele);
 
   lock(uses, false);
   lock(defs, false);
 }
 
-void Runtime::poll_offloads(int step) {
-  for (auto it = pending_d2h_.begin(); it != pending_d2h_.end();) {
-    tensor::Tensor* t = tensor_by_uid(it->first);
-    // Release the device copy once the copy landed AND the tensor's forward
-    // consumers are done with it (vDNN-style release point).
-    if (machine_.query_event(it->second) && !t->locked() &&
-        last_forward_use_[t->uid()] <= step) {
-      it = pending_d2h_.erase(it);
-      release_offloaded(t);
-    } else {
-      ++it;
-    }
-  }
-}
-
 void Runtime::issue_prefetches(int step) {
   // Paper §3.3.1: at a CONV layer's backward step, asynchronously fetch what
-  // the *previous* CONV layer's backward span needs. Scan ahead to (and
-  // including) the next checkpoint's backward step and stage every
+  // the next `lookahead` checkpoint spans' backward steps need, staging every
   // host-resident dependency that fits without eviction.
-  const auto& steps = net_.steps();
-  for (size_t s = static_cast<size_t>(step) + 1; s < steps.size(); ++s) {
-    const auto& st = steps[s];
-    for (tensor::Tensor* u : st.layer->backward_uses()) {
-      if (u->residency != tensor::Residency::kHost) continue;
-      if (pending_h2d_.count(u->uid())) continue;
-      if (allocator_->largest_free() < u->bytes()) return;  // no room: stop staging
-      alloc_device(u);
-      u->residency = tensor::Residency::kBoth;
-      if (opts_.real) {
-        float* dst = device_ptr(u);
-        const void* src = host_pool_.ptr(u->host_handle);
-        if (dst && src) std::memcpy(dst, src, u->bytes());
-      }
-      pending_h2d_[u->uid()] = machine_.async_copy(sim::CopyDir::kH2D, u->bytes(),
-                                                   host_pool_.pinned());
-    }
-    if (RecomputePlan::is_checkpoint_layer(st.layer)) break;
+  for (tensor::Tensor* u : prefetcher_.plan(step)) {
+    if (u->residency != tensor::Residency::kHost) continue;
+    if (pool_->prefetch_pending(u->uid())) continue;
+    if (!pool_->prefetch(u)) return;  // no room: stop staging
   }
 }
 
@@ -479,7 +356,7 @@ void Runtime::post_step(const graph::Step& step) {
       int seg = prod ? plan_.segment_of(prod) : -1;
       if (seg >= 0 && !plan_.segments()[seg].speed_centric && plan_.droppable(t) &&
           liveness_.last_occurrence(uid) > step.index && t->on_device() && !t->locked()) {
-        drop_tensor(t);
+        pool_->drop_tensor(t);
       }
     }
   }
@@ -489,11 +366,8 @@ void Runtime::post_step(const graph::Step& step) {
     for (uint64_t uid : liveness_.free_after(step.index)) {
       tensor::Tensor* t = tensor_by_uid(uid);
       if (t->locked()) continue;
-      free_device(t);
-      if (t->host_handle) {
-        host_pool_.deallocate(t->host_handle);
-        t->host_handle = 0;
-      }
+      pool_->free_device(t);
+      pool_->free_host(t);
       t->residency = tensor::Residency::kNone;
     }
   }
@@ -504,7 +378,7 @@ void Runtime::post_step(const graph::Step& step) {
       step.index < static_cast<int>(drop_after_fwd_.size())) {
     for (uint64_t uid : drop_after_fwd_[step.index]) {
       tensor::Tensor* t = tensor_by_uid(uid);
-      if (t->on_device() && !t->locked()) drop_tensor(t);
+      if (t->on_device() && !t->locked()) pool_->drop_tensor(t);
     }
   }
 
@@ -515,11 +389,11 @@ void Runtime::post_step(const graph::Step& step) {
       is_offload_target_[layer->output()->uid()] &&
       liveness_.last_occurrence(layer->output()->uid()) >= nfwd) {
     tensor::Tensor* t = layer->output();
-    if (t->on_device() && !pending_d2h_.count(t->uid())) {
-      offload_to_host(t, /*async=*/true);
+    if (t->on_device() && !pool_->offload_pending(t->uid())) {
+      pool_->offload_to_host(t, /*async=*/true);
     }
   }
-  poll_offloads(step.index);
+  pool_->poll_offloads(step.index);
 
   // UTP prefetch: stage the next checkpoint span's dependencies under the
   // current backward compute (§3.3.1).
@@ -538,7 +412,7 @@ void Runtime::initialize() {
   assert(!initialized_);
   for (const auto& l : net_.layers()) {
     auto init_param = [&](tensor::Tensor* t, bool weight) {
-      alloc_device(t);
+      pool_->alloc_device(t);
       t->residency = tensor::Residency::kDevice;
       t->lock();  // parameters are never eviction candidates
       if (!opts_.real) return;
@@ -562,7 +436,7 @@ void Runtime::initialize() {
       init_param(params[i], weight);
     }
     for (tensor::Tensor* g : l->param_grads()) {
-      alloc_device(g);
+      pool_->alloc_device(g);
       g->residency = tensor::Residency::kDevice;
       g->lock();
       if (opts_.real) {
@@ -577,13 +451,14 @@ IterationStats Runtime::train_iteration(const float* input, const int32_t* label
   if (!initialized_) initialize();
   telemetry_.clear();
   zeroed_grads_.clear();
-  iter_peak_ = allocator_->in_use();
+  iter_peak_ = pool_->allocator().in_use();
   extra_forwards_ = 0;
-  evictions_ = 0;
-  alloc_count_ = 0;
+  pool_->reset_iteration_counters();
   const auto c0 = machine_.counters();
   const double t0 = machine_.now();
-  const uint64_t hits0 = cache_.hits(), misses0 = cache_.misses();
+  TensorCache& cache = pool_->cache();
+  const uint64_t hits0 = cache.hits(), misses0 = cache.misses();
+  const uint64_t dma0 = pool_->engine().stats().dma_copies;
 
   double loss = 0.0;
   for (const auto& step : net_.steps()) {
@@ -592,13 +467,7 @@ IterationStats Runtime::train_iteration(const float* input, const int32_t* label
   }
 
   // Drain outstanding DMA so the next iteration starts clean.
-  for (auto& [uid, e] : pending_d2h_) {
-    machine_.wait_event(e);
-    release_offloaded(tensor_by_uid(uid));
-  }
-  pending_d2h_.clear();
-  for (auto& [uid, e] : pending_h2d_) machine_.wait_event(e);
-  pending_h2d_.clear();
+  pool_->drain();
 
   const auto c1 = machine_.counters();
   IterationStats st;
@@ -608,12 +477,14 @@ IterationStats Runtime::train_iteration(const float* input, const int32_t* label
   st.bytes_d2h = c1.bytes_d2h - c0.bytes_d2h;
   st.bytes_h2d = c1.bytes_h2d - c0.bytes_h2d;
   st.extra_forwards = extra_forwards_;
-  st.evictions = evictions_;
-  st.cache_hits = cache_.hits() - hits0;
-  st.cache_misses = cache_.misses() - misses0;
-  st.allocs = alloc_count_;
+  st.evictions = pool_->evictions();
+  st.cache_hits = cache.hits() - hits0;
+  st.cache_misses = cache.misses() - misses0;
+  st.allocs = pool_->alloc_count();
   st.malloc_seconds = c1.malloc_time - c0.malloc_time;
   st.stall_seconds = c1.stall_time - c0.stall_time;
+  st.host_peak = pool_->host_pool().peak_in_use();
+  st.dma_copies = pool_->engine().stats().dma_copies - dma0;
   ++iter_;
   return st;
 }
@@ -624,7 +495,7 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
   inference_mode_ = true;
   telemetry_.clear();
   zeroed_grads_.clear();
-  iter_peak_ = allocator_->in_use();
+  iter_peak_ = pool_->allocator().in_use();
   const auto c0 = machine_.counters();
   const double t0 = machine_.now();
 
@@ -639,14 +510,11 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
       tensor::Tensor* t = tensor_by_uid(uid);
       if (liveness_.is_persistent(uid) || t->locked()) continue;
       if (t == net_.loss_layer()->output()) continue;  // caller may read it
-      free_device(t);
-      if (t->host_handle) {
-        host_pool_.deallocate(t->host_handle);
-        t->host_handle = 0;
-      }
+      pool_->free_device(t);
+      pool_->free_host(t);
       t->residency = tensor::Residency::kNone;
     }
-    poll_offloads(step.index);
+    pool_->poll_offloads(step.index);
   }
 
   if (probs_out && opts_.real) {
@@ -656,7 +524,7 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
   // Release the retained loss output now that it has been read.
   tensor::Tensor* p = net_.loss_layer()->output();
   if (!liveness_.is_persistent(p->uid())) {
-    free_device(p);
+    pool_->free_device(p);
     p->residency = tensor::Residency::kNone;
   }
 
@@ -667,6 +535,7 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
   st.peak_mem = iter_peak_;
   st.bytes_d2h = c1.bytes_d2h - c0.bytes_d2h;
   st.bytes_h2d = c1.bytes_h2d - c0.bytes_h2d;
+  st.host_peak = pool_->host_pool().peak_in_use();
   ++iter_;
   inference_mode_ = false;
   return st;

@@ -13,6 +13,14 @@
 //   * Dynamic Workspaces    — fastest memory-feasible conv algorithm per
 //                             step (§3.5)
 //
+// The Runtime is the *orchestrator*: it walks the route, decides when to
+// materialize / drop / offload / prefetch, and delegates the mechanisms to
+// three layered subsystems —
+//   UnifiedTensorPool  (core/tensor_pool.hpp)     the memory-state machine
+//   TransferEngine     (core/transfer_engine.hpp) submit/poll/wait DMA, with
+//                      a sim virtual-time backend and a real DMA-thread one
+//   Prefetcher         (core/prefetcher.hpp)      backward lookahead policy
+//
 // The same scheduler runs in two modes: `real` (backed memory, kernels
 // execute, numerics verifiable) and simulation (accounting + virtual time
 // only), letting tests verify that scheduling NEVER changes training results
@@ -20,20 +28,18 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/liveness.hpp"
 #include "core/options.hpp"
+#include "core/prefetcher.hpp"
 #include "core/recompute.hpp"
 #include "core/telemetry.hpp"
-#include "core/tensor_cache.hpp"
+#include "core/tensor_pool.hpp"
 #include "core/workspace.hpp"
 #include "graph/net.hpp"
-#include "mem/gpu_allocator.hpp"
-#include "mem/host_pool.hpp"
 #include "sim/costmodel.hpp"
 #include "sim/machine.hpp"
 #include "util/rng.hpp"
@@ -68,7 +74,11 @@ class Runtime {
   const Liveness& liveness() const { return liveness_; }
   const RecomputePlan& recompute_plan() const { return plan_; }
   sim::Machine& machine() { return machine_; }
-  mem::GpuAllocator& allocator() { return *allocator_; }
+  mem::GpuAllocator& allocator() { return pool_->allocator(); }
+  UnifiedTensorPool& tensor_pool() { return *pool_; }
+  const UnifiedTensorPool& tensor_pool() const { return *pool_; }
+  const TransferEngine& transfer_engine() const { return pool_->engine(); }
+  const Prefetcher& prefetcher() const { return prefetcher_; }
   const RuntimeOptions& options() const { return opts_; }
   graph::Net& net() { return net_; }
 
@@ -80,15 +90,7 @@ class Runtime {
   uint64_t current_iteration() const { return iter_; }
 
  private:
-  // --- memory state transitions -------------------------------------------
-  float* device_ptr(const tensor::Tensor* t);
-  void alloc_device(tensor::Tensor* t);       ///< may evict; throws OomError
-  void free_device(tensor::Tensor* t);
-  void evict_one(tensor::Tensor* t);
-  void offload_to_host(tensor::Tensor* t, bool async);
-  void fetch_from_host(tensor::Tensor* t);
-  void release_offloaded(tensor::Tensor* t);  ///< drop device copy, keep host
-  void drop_tensor(tensor::Tensor* t);        ///< recompute will restore it
+  float* device_ptr(const tensor::Tensor* t) { return pool_->device_ptr(t); }
 
   /// Make `t` usable on device right now (cache-hit / prefetch-wait /
   /// on-demand fetch / recomputation).
@@ -107,7 +109,6 @@ class Runtime {
   void run_layer_pass(graph::Layer* layer, bool forward, const float* input,
                       const int32_t* labels, double* loss_out, StepTelemetry* tele);
   void charge_layer_time(const graph::Layer* layer, bool forward, nn::ConvAlgo algo);
-  void poll_offloads(int step);
   void issue_prefetches(int step);
 
   void lock(const std::vector<tensor::Tensor*>& ts, bool locked);
@@ -122,11 +123,12 @@ class Runtime {
   RuntimeOptions opts_;
   sim::Machine machine_;
   sim::CostModel cost_;
-  std::unique_ptr<mem::GpuAllocator> allocator_;
-  mem::HostPool host_pool_;
   Liveness liveness_;
   RecomputePlan plan_;
-  TensorCache cache_;
+  /// Owns the device allocator, host pool, tensor cache and transfer engine;
+  /// constructed in the ctor body once liveness/plan exist for its hooks.
+  std::unique_ptr<UnifiedTensorPool> pool_;
+  Prefetcher prefetcher_;
   util::Rng rng_;
 
   std::vector<graph::Layer*> producer_;        ///< tensor uid -> defining layer
@@ -139,19 +141,12 @@ class Runtime {
   /// that step (inference-mode free lists).
   std::vector<std::vector<uint64_t>> fwd_free_lists_;
 
-  // transfer bookkeeping
-  std::unordered_map<uint64_t, sim::Event> pending_h2d_;  ///< prefetch events
-  std::unordered_map<uint64_t, sim::Event> pending_d2h_;  ///< offload events
-
   // per-iteration state
   std::unordered_set<uint64_t> zeroed_grads_;
   std::vector<uint64_t> regenerated_;          ///< uids replayed this backward step
   uint64_t iter_ = 0;
   uint64_t iter_peak_ = 0;
-  uint64_t live_count_ = 0;
   uint64_t extra_forwards_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t alloc_count_ = 0;
   bool initialized_ = false;
   /// True while a recompute replay is on the stack: nested materializations
   /// then use targeted chain replays instead of whole-segment eagerness

@@ -29,6 +29,21 @@ struct StepTelemetry {
   nn::ConvAlgo algo = nn::ConvAlgo::kDirect;
   uint64_t ws_assigned = 0;
   uint64_t ws_max_speed = 0;
+
+  // Unified Tensor Pool / TransferEngine state right after the kernel
+  // (§3.3.1): host-pool pressure plus cumulative transfer counters, so tests
+  // can observe offloads/prefetches completing — including on the DMA thread
+  // when the real async engine is active.
+  uint64_t host_in_use = 0;          ///< host-pool bytes in use (offloaded tensors;
+                                     ///< in real+async mode also the engine's
+                                     ///< 2x256 KiB pinned staging carve-out)
+  uint64_t host_peak = 0;            ///< host-pool peak bytes so far
+  uint64_t d2h_submitted = 0;        ///< cumulative offload submissions
+  uint64_t h2d_submitted = 0;        ///< cumulative prefetch/fetch submissions
+  uint64_t d2h_completed = 0;        ///< cumulative retired offloads
+  uint64_t h2d_completed = 0;        ///< cumulative retired prefetches/fetches
+  uint64_t dma_copies = 0;           ///< cumulative memcpys done on the DMA thread
+  uint64_t transfers_in_flight = 0;  ///< pending transfers at step end
 };
 
 struct IterationStats {
@@ -44,6 +59,10 @@ struct IterationStats {
   uint64_t allocs = 0;
   double malloc_seconds = 0.0;  ///< compute time lost to allocator latency
   double stall_seconds = 0.0;   ///< compute time lost waiting on DMA
+  uint64_t host_peak = 0;       ///< host-pool peak bytes so far (lifetime high
+                                ///< water mark — a peak is monotone, unlike the
+                                ///< per-iteration deltas above)
+  uint64_t dma_copies = 0;      ///< DMA-thread memcpys this iteration (async engine)
 };
 
 }  // namespace sn::core

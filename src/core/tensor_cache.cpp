@@ -25,8 +25,12 @@ void TensorCache::erase(uint64_t uid) {
   pos_.erase(it);
 }
 
-std::vector<uint64_t> TensorCache::eviction_order() const {
-  return {lru_.rbegin(), lru_.rend()};
+std::optional<uint64_t> TensorCache::find_victim(
+    const std::function<bool(uint64_t)>& viable) const {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (viable(*it)) return *it;
+  }
+  return std::nullopt;
 }
 
 }  // namespace sn::core

@@ -8,14 +8,15 @@
 // Locking: a layer locks its dependent tensors for the duration of its
 // computation; locked entries are never eviction candidates (Alg. 2 LRU.in /
 // getLastUnlockedTensor). The actual offload on eviction is performed by the
-// runtime — the cache only decides the order.
+// UnifiedTensorPool — the cache only decides the order.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <optional>
 #include <unordered_map>
-#include <vector>
 
 namespace sn::core {
 
@@ -33,10 +34,11 @@ class TensorCache {
   bool contains(uint64_t uid) const { return pos_.count(uid) != 0; }
   size_t size() const { return lru_.size(); }
 
-  /// Eviction candidates, least-recently-used first (Alg. 2 LRU.out walks
-  /// from the tail). The runtime filters locked tensors itself since lock
-  /// state lives on the Tensor.
-  std::vector<uint64_t> eviction_order() const;
+  /// Walk from the LRU tail and return the first entry `viable` accepts
+  /// (Alg. 2 getLastUnlockedTensor), or nullopt when none qualifies. Lock
+  /// state lives on the Tensor, so viability is the caller's predicate. This
+  /// is an in-place query — no snapshot of the LRU list is materialized.
+  std::optional<uint64_t> find_victim(const std::function<bool(uint64_t)>& viable) const;
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }

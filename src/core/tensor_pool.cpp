@@ -1,0 +1,193 @@
+#include "core/tensor_pool.hpp"
+
+#include <cassert>
+
+#include "core/options.hpp"
+
+namespace sn::core {
+
+UnifiedTensorPool::UnifiedTensorPool(tensor::TensorRegistry& registry, sim::Machine& machine,
+                                     Config cfg, Hooks hooks)
+    : registry_(registry),
+      cfg_(cfg),
+      hooks_(std::move(hooks)),
+      host_pool_(cfg.host_capacity, cfg.pinned_host, cfg.real) {
+  if (cfg_.use_pool_allocator) {
+    allocator_ = std::make_unique<mem::PoolAllocator>(machine, cfg_.device_capacity,
+                                                      mem::MemoryPool::kDefaultBlockBytes,
+                                                      cfg_.real);
+  } else {
+    allocator_ = std::make_unique<mem::NativeAllocator>(machine, cfg_.device_capacity, cfg_.real);
+  }
+  engine_ = make_transfer_engine(machine, host_pool_, cfg_.real, cfg_.async_transfers);
+}
+
+float* UnifiedTensorPool::device_ptr(const tensor::Tensor* t) {
+  if (!cfg_.real) return nullptr;
+  if (!t->gpu_handle) return nullptr;
+  return static_cast<float*>(allocator_->ptr(*t->gpu_handle));
+}
+
+void UnifiedTensorPool::alloc_device(tensor::Tensor* t) {
+  ++alloc_count_;
+  auto h = allocator_->allocate(t->bytes());
+  if (!h && cfg_.tensor_cache) {
+    // Alg. 2 LRU.out: evict least-recently-used unlocked tensors one at a
+    // time, retrying the allocation after each, until it fits. Pass 1 frees
+    // clean entries (host copy already valid); pass 2 offloads/drops.
+    for (int pass = 0; pass < 2 && !h; ++pass) {
+      while (!h) {
+        auto victim = cache_.find_victim([&](uint64_t uid) {
+          tensor::Tensor* c = by_uid(uid);
+          if (c->locked() || !c->on_device()) return false;
+          if (pass == 0 && c->residency != tensor::Residency::kBoth) return false;
+          return true;
+        });
+        if (!victim) break;
+        tensor::Tensor* c = by_uid(*victim);
+        if (pass == 0) {
+          release_offloaded(c);
+        } else {
+          evict_one(c);
+        }
+        ++evictions_;
+        h = allocator_->allocate(t->bytes());
+      }
+    }
+  }
+  if (!h) {
+    throw OomError{t->bytes(), allocator_->largest_free(),
+                   "device OOM allocating " + t->name()};
+  }
+  t->gpu_handle = *h;
+  ++live_count_;
+  if (cfg_.tensor_cache && !hooks_.persistent(t->uid())) cache_.insert(t->uid());
+}
+
+void UnifiedTensorPool::free_device(tensor::Tensor* t) {
+  // Never reclaim device memory under an in-flight copy: discard blocks
+  // until the DMA thread has let go of the buffers (and keeps the virtual
+  // clock untouched — the result is being thrown away).
+  engine_->discard(TransferDir::kD2H, t->uid());
+  engine_->discard(TransferDir::kH2D, t->uid());
+  if (t->gpu_handle) {
+    allocator_->deallocate(*t->gpu_handle);
+    t->gpu_handle.reset();
+    --live_count_;
+  } else if (t->residency == tensor::Residency::kDevice ||
+             t->residency == tensor::Residency::kBoth) {
+    --live_count_;  // aliased (in-place) tensor: counted live without a handle
+  }
+  cache_.erase(t->uid());
+}
+
+void UnifiedTensorPool::evict_one(tensor::Tensor* t) {
+  if (hooks_.droppable(t)) {
+    drop_tensor(t);  // recomputation restores it without any transfer
+    return;
+  }
+  // Synchronous offload: the memory is reused immediately, so the copy must
+  // complete before the allocation proceeds.
+  offload_to_host(t, /*async=*/false);
+}
+
+void UnifiedTensorPool::offload_to_host(tensor::Tensor* t, bool async) {
+  if (t->host_handle == 0) {
+    t->host_handle = host_pool_.allocate(t->bytes());
+    if (t->host_handle == 0) {
+      throw OomError{t->bytes(), host_pool_.free_bytes(), "host pool OOM for " + t->name()};
+    }
+  }
+  // A rare double-offload (eviction racing an eager offload) must not stack
+  // two transfers on one tag.
+  if (engine_->pending(TransferDir::kD2H, t->uid())) {
+    engine_->wait(TransferDir::kD2H, t->uid());
+  }
+  engine_->submit(TransferDir::kD2H, t->uid(), device_ptr(t), host_pool_.ptr(t->host_handle),
+                  t->bytes());
+  t->residency = tensor::Residency::kBoth;
+  if (!(async && cfg_.async_transfers)) {
+    engine_->wait(TransferDir::kD2H, t->uid());
+    release_offloaded(t);
+  }
+}
+
+void UnifiedTensorPool::release_offloaded(tensor::Tensor* t) {
+  if (t->locked()) return;  // retried on a later poll
+  // The host copy must be complete before the device copy goes away.
+  engine_->wait(TransferDir::kD2H, t->uid());
+  assert(t->on_host());
+  free_device(t);
+  t->residency = tensor::Residency::kHost;
+}
+
+void UnifiedTensorPool::drop_tensor(tensor::Tensor* t) {
+  free_device(t);
+  free_host(t);
+  t->residency = tensor::Residency::kDropped;
+}
+
+void UnifiedTensorPool::free_host(tensor::Tensor* t) {
+  if (t->host_handle) {
+    host_pool_.deallocate(t->host_handle);
+    t->host_handle = 0;
+  }
+}
+
+void UnifiedTensorPool::fetch_from_host(tensor::Tensor* t) {
+  alloc_device(t);
+  engine_->submit(TransferDir::kH2D, t->uid(), host_pool_.ptr(t->host_handle), device_ptr(t),
+                  t->bytes());
+  engine_->wait(TransferDir::kH2D, t->uid());  // on-demand: the consumer needs the bytes now
+  t->residency = tensor::Residency::kBoth;
+  if (cfg_.tensor_cache) cache_.count_miss();
+}
+
+bool UnifiedTensorPool::prefetch(tensor::Tensor* t) {
+  if (allocator_->largest_free() < t->bytes()) return false;  // no room: never evict for a prefetch
+  alloc_device(t);
+  t->residency = tensor::Residency::kBoth;
+  engine_->submit(TransferDir::kH2D, t->uid(), host_pool_.ptr(t->host_handle), device_ptr(t),
+                  t->bytes());
+  return true;
+}
+
+void UnifiedTensorPool::finish_prefetch(tensor::Tensor* t) {
+  engine_->wait(TransferDir::kH2D, t->uid());
+}
+
+void UnifiedTensorPool::mark_dirty(tensor::Tensor* t) {
+  // An in-flight offload would capture the buffer mid-write; its result is
+  // stale either way, so drop it (blocks only until the DMA thread lets go).
+  engine_->discard(TransferDir::kD2H, t->uid());
+  if (t->residency == tensor::Residency::kBoth) {
+    t->residency = tensor::Residency::kDevice;
+  }
+}
+
+void UnifiedTensorPool::adopt_alias(tensor::Tensor* t) {
+  t->residency = tensor::Residency::kDevice;
+  ++live_count_;
+}
+
+void UnifiedTensorPool::poll_offloads(int step) {
+  for (uint64_t uid : engine_->pending_tags(TransferDir::kD2H)) {
+    tensor::Tensor* t = by_uid(uid);
+    // Release the device copy once the copy landed AND the tensor's forward
+    // consumers are done with it (vDNN-style release point).
+    if (t->locked() || hooks_.last_forward_use(uid) > step) continue;
+    if (engine_->try_retire(TransferDir::kD2H, uid)) release_offloaded(t);
+  }
+}
+
+void UnifiedTensorPool::drain() {
+  for (uint64_t uid : engine_->pending_tags(TransferDir::kD2H)) {
+    engine_->wait(TransferDir::kD2H, uid);
+    release_offloaded(by_uid(uid));
+  }
+  for (uint64_t uid : engine_->pending_tags(TransferDir::kH2D)) {
+    engine_->wait(TransferDir::kH2D, uid);
+  }
+}
+
+}  // namespace sn::core

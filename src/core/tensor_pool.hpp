@@ -1,0 +1,160 @@
+// Unified Tensor Pool: the per-tensor memory-state machine (paper §3.3.1).
+//
+// Owns the device allocator, the pinned host pool, the LRU Tensor Cache and
+// the TransferEngine, and is the only component that moves a tensor between
+// its placement states:
+//
+//     kNone ──alloc──> kDevice ──offload──> kBoth ──release──> kHost
+//       ^                 │                                       │
+//       └────free─────────┤ <────────────fetch/prefetch───────────┘
+//                         └──drop──> kDropped   (recompute restores)
+//
+// The pool is pure mechanism: *what* to evict comes from the cache's LRU
+// order plus the hooks the orchestrator installs (is a tensor droppable by
+// the recompute plan? persistent per liveness? when is its last forward
+// use?). The Runtime decides when to call these transitions; the pool
+// guarantees they are safe (locked tensors are never victims, device memory
+// is never reclaimed under an in-flight transfer) and keeps the counters
+// telemetry reads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/tensor_cache.hpp"
+#include "core/transfer_engine.hpp"
+#include "mem/gpu_allocator.hpp"
+#include "mem/host_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sn::core {
+
+class UnifiedTensorPool {
+ public:
+  struct Config {
+    bool real = false;            ///< backed pools + physical copies
+    bool use_pool_allocator = true;
+    bool tensor_cache = true;     ///< lazy pressure-driven eviction (§3.3.2)
+    bool async_transfers = true;  ///< overlap DMA with compute
+    bool pinned_host = true;
+    uint64_t device_capacity = 0;
+    uint64_t host_capacity = 0;
+  };
+
+  /// Policy callbacks the orchestrator installs (recompute / liveness live
+  /// above the pool; the pool must not depend on them).
+  struct Hooks {
+    /// Recompute can restore this tensor without a transfer.
+    std::function<bool(const tensor::Tensor*)> droppable = [](const tensor::Tensor*) {
+      return false;
+    };
+    /// Persistent tensors (params etc.) never enter the cache.
+    std::function<bool(uint64_t)> persistent = [](uint64_t) { return false; };
+    /// Last forward step reading a tensor; gates the vDNN-style release point.
+    std::function<int(uint64_t)> last_forward_use = [](uint64_t) { return -1; };
+  };
+
+  UnifiedTensorPool(tensor::TensorRegistry& registry, sim::Machine& machine, Config cfg,
+                    Hooks hooks);
+
+  // --- state transitions ----------------------------------------------------
+
+  /// Backing pointer in real mode (nullptr otherwise / when not resident).
+  float* device_ptr(const tensor::Tensor* t);
+
+  /// Allocate device memory, evicting LRU victims under pressure (Alg. 2
+  /// LRU.out). Throws OomError when nothing more can be reclaimed.
+  void alloc_device(tensor::Tensor* t);
+
+  /// Release the device copy (waits out any in-flight transfer first).
+  void free_device(tensor::Tensor* t);
+
+  /// Evict one tensor: drop it if recompute can restore it, else offload
+  /// synchronously (the memory is reused immediately).
+  void evict_one(tensor::Tensor* t);
+
+  /// Copy to the host pool. `async` (with cfg.async_transfers) leaves the
+  /// transfer in flight — poll_offloads() releases the device copy later;
+  /// otherwise the device copy is released before returning.
+  void offload_to_host(tensor::Tensor* t, bool async);
+
+  /// Drop the device copy of a clean (kBoth) tensor, keeping the host copy.
+  void release_offloaded(tensor::Tensor* t);
+
+  /// Free both copies; only recomputation can restore the tensor.
+  void drop_tensor(tensor::Tensor* t);
+
+  /// Free the host copy (if any) — liveness end-of-life path.
+  void free_host(tensor::Tensor* t);
+
+  /// On-demand H2D: allocate, copy, wait (the consumer needs the bytes now).
+  void fetch_from_host(tensor::Tensor* t);
+
+  /// Asynchronous H2D stage of a host-resident tensor. Returns false (and
+  /// does nothing) when the free device memory cannot fit it — prefetching
+  /// must never trigger eviction (§3.3.1).
+  bool prefetch(tensor::Tensor* t);
+
+  /// Wait for an in-flight prefetch of `t` (no-op when none is pending).
+  void finish_prefetch(tensor::Tensor* t);
+
+  /// A kernel is about to write `t`: any host copy is stale. Keeps the host
+  /// allocation (a future offload reuses the buffer) but drops the "clean"
+  /// kBoth state so pass-0 eviction cannot resurrect outdated bytes.
+  void mark_dirty(tensor::Tensor* t);
+
+  /// Sim-only in-place alias: count the tensor live without device memory.
+  void adopt_alias(tensor::Tensor* t);
+
+  /// Retire completed offloads whose tensors are past their last forward use
+  /// and unlocked (the vDNN release point).
+  void poll_offloads(int step);
+
+  /// End-of-iteration: wait out all in-flight DMA, release offloaded copies.
+  void drain();
+
+  bool offload_pending(uint64_t uid) const {
+    return engine_->pending(TransferDir::kD2H, uid);
+  }
+  bool prefetch_pending(uint64_t uid) const {
+    return engine_->pending(TransferDir::kH2D, uid);
+  }
+
+  // --- components & counters ------------------------------------------------
+
+  mem::GpuAllocator& allocator() { return *allocator_; }
+  const mem::GpuAllocator& allocator() const { return *allocator_; }
+  mem::HostPool& host_pool() { return host_pool_; }
+  const mem::HostPool& host_pool() const { return host_pool_; }
+  TensorCache& cache() { return cache_; }
+  const TensorCache& cache() const { return cache_; }
+  TransferEngine& engine() { return *engine_; }
+  const TransferEngine& engine() const { return *engine_; }
+
+  uint64_t live_count() const { return live_count_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t alloc_count() const { return alloc_count_; }
+  void reset_iteration_counters() {
+    evictions_ = 0;
+    alloc_count_ = 0;
+  }
+
+ private:
+  tensor::Tensor* by_uid(uint64_t uid) { return registry_.get(uid); }
+
+  tensor::TensorRegistry& registry_;
+  Config cfg_;
+  Hooks hooks_;
+  std::unique_ptr<mem::GpuAllocator> allocator_;
+  mem::HostPool host_pool_;
+  TensorCache cache_;
+  std::unique_ptr<TransferEngine> engine_;  ///< declared after host_pool_: the
+                                            ///< DMA backend stages through it
+
+  uint64_t live_count_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t alloc_count_ = 0;
+};
+
+}  // namespace sn::core

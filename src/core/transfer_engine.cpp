@@ -1,0 +1,210 @@
+#include "core/transfer_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "mem/host_pool.hpp"
+
+namespace sn::core {
+
+// ---------------------------------------------------------------------------
+// TransferEngine (base = simulation / synchronous backend)
+
+TransferEngine::TransferEngine(sim::Machine& machine, bool pinned)
+    : machine_(machine), pinned_(pinned) {}
+
+TransferEngine::~TransferEngine() = default;
+
+sim::Event TransferEngine::submit(TransferDir dir, uint64_t tag, const void* src, void* dst,
+                                  uint64_t bytes) {
+  assert(!pending(dir, tag) && "one transfer per (dir, tag) may be in flight");
+  sim::Event e = machine_.async_copy(
+      dir == TransferDir::kD2H ? sim::CopyDir::kD2H : sim::CopyDir::kH2D, bytes, pinned_);
+  uint64_t seq = next_seq_++;
+  dispatch(src, dst, bytes, seq);
+  pending_[index(dir)][tag] = Pending{e, seq};
+  if (dir == TransferDir::kD2H) {
+    ++stats_.submitted_d2h;
+  } else {
+    ++stats_.submitted_h2d;
+  }
+  return e;
+}
+
+void TransferEngine::dispatch(const void* src, void* dst, uint64_t bytes, uint64_t /*seq*/) {
+  if (src && dst) {
+    std::memcpy(dst, src, bytes);
+    ++stats_.inline_copies;
+  }
+}
+
+void TransferEngine::ensure_landed(uint64_t /*seq*/) {}
+
+void TransferEngine::retire(TransferDir dir, uint64_t tag, bool discarded) {
+  pending_[index(dir)].erase(tag);
+  uint64_t& counter = discarded
+                          ? (dir == TransferDir::kD2H ? stats_.discarded_d2h
+                                                      : stats_.discarded_h2d)
+                          : (dir == TransferDir::kD2H ? stats_.completed_d2h
+                                                      : stats_.completed_h2d);
+  ++counter;
+}
+
+bool TransferEngine::try_retire(TransferDir dir, uint64_t tag) {
+  auto& map = pending_[index(dir)];
+  auto it = map.find(tag);
+  if (it == map.end()) return true;
+  // Deterministic gate: the virtual event decides *when* a transfer counts as
+  // complete; the wall-clock copy only has to have landed by then.
+  if (!machine_.query_event(it->second.event)) return false;
+  ensure_landed(it->second.seq);
+  retire(dir, tag, /*discarded=*/false);
+  return true;
+}
+
+void TransferEngine::wait(TransferDir dir, uint64_t tag) {
+  auto& map = pending_[index(dir)];
+  auto it = map.find(tag);
+  if (it == map.end()) return;
+  machine_.wait_event(it->second.event);
+  ensure_landed(it->second.seq);
+  retire(dir, tag, /*discarded=*/false);
+}
+
+void TransferEngine::discard(TransferDir dir, uint64_t tag) {
+  auto& map = pending_[index(dir)];
+  auto it = map.find(tag);
+  if (it == map.end()) return;
+  ensure_landed(it->second.seq);
+  retire(dir, tag, /*discarded=*/true);
+}
+
+bool TransferEngine::pending(TransferDir dir, uint64_t tag) const {
+  return pending_[index(dir)].count(tag) != 0;
+}
+
+std::vector<uint64_t> TransferEngine::pending_tags(TransferDir dir) const {
+  std::vector<uint64_t> tags;
+  tags.reserve(pending_[index(dir)].size());
+  for (const auto& [tag, op] : pending_[index(dir)]) tags.push_back(tag);
+  // unordered_map iteration order is unspecified; sort so drains are
+  // deterministic across standard-library implementations.
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+void TransferEngine::drain() {
+  for (TransferDir dir : {TransferDir::kD2H, TransferDir::kH2D}) {
+    for (uint64_t tag : pending_tags(dir)) wait(dir, tag);
+  }
+}
+
+TransferStats TransferEngine::stats() const {
+  TransferStats s = stats_;
+  s.dma_copies = dma_copies();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// DmaTransferEngine
+
+DmaTransferEngine::DmaTransferEngine(sim::Machine& machine, bool pinned,
+                                     mem::HostPool& staging_pool, uint64_t staging_bytes)
+    : TransferEngine(machine, pinned),
+      staging_pool_(staging_pool),
+      staging_bytes_(staging_bytes) {
+  for (int i = 0; i < 2; ++i) {
+    staging_handle_[i] = staging_pool_.allocate(staging_bytes_);
+    if (staging_handle_[i]) staging_buf_[i] = staging_pool_.ptr(staging_handle_[i]);
+  }
+  // Staging only works double-buffered; holding a single block would starve
+  // the pinned offload budget for zero benefit. Release and copy direct.
+  if (!staging_buf_[0] || !staging_buf_[1]) {
+    for (int i = 0; i < 2; ++i) {
+      if (staging_handle_[i]) staging_pool_.deallocate(staging_handle_[i]);
+      staging_handle_[i] = 0;
+      staging_buf_[i] = nullptr;
+    }
+  }
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+DmaTransferEngine::~DmaTransferEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  for (int i = 0; i < 2; ++i) {
+    if (staging_handle_[i]) staging_pool_.deallocate(staging_handle_[i]);
+  }
+}
+
+void DmaTransferEngine::dispatch(const void* src, void* dst, uint64_t bytes, uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push(Job{src, dst, bytes, seq});
+  }
+  cv_.notify_one();
+}
+
+void DmaTransferEngine::ensure_landed(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return landed_seq_ >= seq; });
+}
+
+void DmaTransferEngine::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and queue drained
+      job = jobs_.front();
+      jobs_.pop();
+    }
+    copy_through_staging(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      landed_seq_ = job.seq;  // jobs run FIFO, seq is monotone
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void DmaTransferEngine::copy_through_staging(const Job& job) {
+  if (!job.src || !job.dst) return;  // unbacked buffers: accounting only
+  dma_copies_.fetch_add(1, std::memory_order_relaxed);
+  if (!staging_buf_[0] || !staging_buf_[1]) {
+    std::memcpy(job.dst, job.src, job.bytes);
+    return;
+  }
+  // Chunk through the two pinned staging buffers, alternating: on hardware
+  // this is what lets the engine overlap the DMA of chunk k with the CPU
+  // stage of chunk k+1; here it bounds the pinned footprint the same way.
+  const auto* src = static_cast<const std::byte*>(job.src);
+  auto* dst = static_cast<std::byte*>(job.dst);
+  uint64_t off = 0;
+  int buf = 0;
+  while (off < job.bytes) {
+    uint64_t chunk = std::min<uint64_t>(staging_bytes_, job.bytes - off);
+    std::memcpy(staging_buf_[buf], src + off, chunk);
+    std::memcpy(dst + off, staging_buf_[buf], chunk);
+    off += chunk;
+    buf ^= 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<TransferEngine> make_transfer_engine(sim::Machine& machine, mem::HostPool& host,
+                                                     bool real, bool async_transfers) {
+  if (real && async_transfers) {
+    return std::make_unique<DmaTransferEngine>(machine, host.pinned(), host);
+  }
+  return std::make_unique<TransferEngine>(machine, host.pinned());
+}
+
+}  // namespace sn::core

@@ -1,0 +1,184 @@
+// TransferEngine: the uniform submit / poll / wait layer every D2H offload
+// and H2D prefetch flows through (paper §3.3.1).
+//
+// The engine separates *when a transfer is decided* (the Unified Tensor
+// Pool's policy) from *how its bytes move*. Two backends implement the same
+// tag-based API:
+//
+//   * TransferEngine (base)   — the simulation / synchronous backend. Virtual
+//     time advances on the sim::Machine's DMA streams; when buffers are backed
+//     the memcpy runs inline on the compute thread at submit (exactly the
+//     seed's behaviour, and the reference the async engine must match
+//     bit-for-bit).
+//   * DmaTransferEngine       — a dedicated DMA thread drains a FIFO of copy
+//     jobs through a double-buffered pinned staging area carved out of the
+//     mem::HostPool, so real-mode offload/prefetch genuinely overlaps with
+//     kernel compute. Completion *decisions* are still gated on the virtual
+//     event, which keeps the schedule deterministic and identical to the
+//     synchronous backend; the wall-clock memcpy merely has to have landed by
+//     the time the decision point is reached (ensure_landed()).
+//
+// Transfers are tagged by tensor uid; at most one transfer per (direction,
+// tag) is in flight — the same invariant the seed's pending_d2h_/pending_h2d_
+// maps enforced, now owned by the engine instead of the Runtime.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace sn::mem {
+class HostPool;
+}
+
+namespace sn::core {
+
+enum class TransferDir { kD2H, kH2D };
+
+/// Counters the pool snapshots into StepTelemetry (and tests assert on).
+struct TransferStats {
+  uint64_t submitted_d2h = 0;
+  uint64_t submitted_h2d = 0;
+  uint64_t completed_d2h = 0;  ///< retired with a valid result (waited/polled)
+  uint64_t completed_h2d = 0;
+  uint64_t discarded_d2h = 0;  ///< retired with the result thrown away
+  uint64_t discarded_h2d = 0;
+  uint64_t inline_copies = 0;  ///< memcpys executed on the compute thread
+  uint64_t dma_copies = 0;     ///< memcpys executed on the DMA thread
+};
+
+/// Base class doubles as the simulation / synchronous backend.
+class TransferEngine {
+ public:
+  /// `pinned` is the host-staging property charged to the sim DMA streams.
+  TransferEngine(sim::Machine& machine, bool pinned);
+  virtual ~TransferEngine();
+
+  TransferEngine(const TransferEngine&) = delete;
+  TransferEngine& operator=(const TransferEngine&) = delete;
+
+  /// Enqueue a copy of `bytes` for tensor `tag`. `src`/`dst` may be null when
+  /// running unbacked (simulation): virtual time still advances, no bytes
+  /// move. Exactly one transfer per (dir, tag) may be outstanding.
+  /// Returns the sim completion event (tests inspect it; clients use the
+  /// tag-based calls below).
+  sim::Event submit(TransferDir dir, uint64_t tag, const void* src, void* dst, uint64_t bytes);
+
+  /// Retire the transfer if it has completed in virtual time (blocking, if
+  /// needed, until the bytes have physically landed). Returns true when no
+  /// transfer for (dir, tag) remains in flight — including "never submitted".
+  bool try_retire(TransferDir dir, uint64_t tag);
+
+  /// Stall the compute stream until (dir, tag) completes, then retire it.
+  /// No-op when nothing is pending.
+  void wait(TransferDir dir, uint64_t tag);
+
+  /// Retire (dir, tag) without charging a virtual-time stall — used when the
+  /// tensor is being freed and the result no longer matters. Still blocks
+  /// until the DMA thread is done touching the buffers (use-after-free
+  /// safety); the seed erased the event with no wait, which was only safe
+  /// because its copies were inline.
+  void discard(TransferDir dir, uint64_t tag);
+
+  bool pending(TransferDir dir, uint64_t tag) const;
+  size_t pending_count(TransferDir dir) const { return pending_[index(dir)].size(); }
+
+  /// Snapshot of in-flight tags (stable iteration while retiring).
+  std::vector<uint64_t> pending_tags(TransferDir dir) const;
+
+  /// Wait out every in-flight transfer in both directions.
+  void drain();
+
+  TransferStats stats() const;
+
+  /// True when copies run on a dedicated DMA thread.
+  virtual bool async_backend() const { return false; }
+
+ protected:
+  struct Pending {
+    sim::Event event;
+    uint64_t seq = 0;
+  };
+
+  static size_t index(TransferDir dir) { return dir == TransferDir::kD2H ? 0 : 1; }
+
+  /// Move the bytes (or schedule them to move). Base: inline memcpy.
+  virtual void dispatch(const void* src, void* dst, uint64_t bytes, uint64_t seq);
+
+  /// Block until the copy with sequence number `seq` has physically landed.
+  /// Base backend copies inline, so everything submitted has landed.
+  virtual void ensure_landed(uint64_t seq);
+
+  /// Copies completed off the compute thread (0 for the base backend).
+  virtual uint64_t dma_copies() const { return 0; }
+
+  sim::Machine& machine_;
+  bool pinned_;
+  std::unordered_map<uint64_t, Pending> pending_[2];  ///< [dir] tag -> op
+  TransferStats stats_;
+  uint64_t next_seq_ = 1;
+
+ private:
+  void retire(TransferDir dir, uint64_t tag, bool discarded);
+};
+
+/// Asynchronous backend: one DMA thread, FIFO job queue, double-buffered
+/// staging area allocated from the (pinned) host pool.
+class DmaTransferEngine final : public TransferEngine {
+ public:
+  /// Staging buffers are carved from `staging_pool` (two blocks of
+  /// `staging_bytes`); if the pool is unbacked or cannot fit them, copies
+  /// fall back to a single direct memcpy on the DMA thread.
+  DmaTransferEngine(sim::Machine& machine, bool pinned, mem::HostPool& staging_pool,
+                    uint64_t staging_bytes = kDefaultStagingBytes);
+  ~DmaTransferEngine() override;
+
+  bool async_backend() const override { return true; }
+
+  static constexpr uint64_t kDefaultStagingBytes = 256 << 10;
+
+ protected:
+  void dispatch(const void* src, void* dst, uint64_t bytes, uint64_t seq) override;
+  void ensure_landed(uint64_t seq) override;
+  uint64_t dma_copies() const override { return dma_copies_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Job {
+    const void* src = nullptr;
+    void* dst = nullptr;
+    uint64_t bytes = 0;
+    uint64_t seq = 0;
+  };
+
+  void worker_loop();
+  void copy_through_staging(const Job& job);
+
+  mem::HostPool& staging_pool_;
+  uint64_t staging_bytes_;
+  uint64_t staging_handle_[2] = {0, 0};
+  void* staging_buf_[2] = {nullptr, nullptr};
+
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< signals the worker: new job / stop
+  std::condition_variable done_cv_;  ///< signals waiters: landed_seq_ advanced
+  std::queue<Job> jobs_;
+  uint64_t landed_seq_ = 0;          ///< guarded by mu_ (jobs retire in FIFO order)
+  bool stop_ = false;
+  std::atomic<uint64_t> dma_copies_{0};
+};
+
+/// Pick the backend for a runtime configuration: real numerics + async
+/// transfers get the DMA thread; everything else uses the inline/sim backend.
+std::unique_ptr<TransferEngine> make_transfer_engine(sim::Machine& machine, mem::HostPool& host,
+                                                     bool real, bool async_transfers);
+
+}  // namespace sn::core

@@ -1,9 +1,17 @@
 #include "mem/host_pool.hpp"
 
+#include <cassert>
+
+#include "util/logging.hpp"
+
 namespace sn::mem {
 
 uint64_t HostPool::allocate(uint64_t bytes) {
-  if (in_use_ + bytes > capacity_) return 0;
+  ++alloc_calls_;
+  if (in_use_ + bytes > capacity_) {
+    ++failed_allocs_;
+    return 0;
+  }
   uint64_t id = next_id_++;
   sizes_.emplace(id, bytes);
   in_use_ += bytes;
@@ -13,8 +21,14 @@ uint64_t HostPool::allocate(uint64_t bytes) {
 }
 
 void HostPool::deallocate(uint64_t handle) {
+  ++free_calls_;
   auto it = sizes_.find(handle);
-  if (it == sizes_.end()) return;
+  if (it == sizes_.end()) {
+    SN_ERROR << "HostPool::deallocate: unknown handle " << handle;
+    ++bad_frees_;
+    assert(false && "double free or bad handle");
+    return;
+  }
   in_use_ -= it->second;
   sizes_.erase(it);
   buffers_.erase(handle);
@@ -23,6 +37,18 @@ void HostPool::deallocate(uint64_t handle) {
 void* HostPool::ptr(uint64_t handle) {
   auto it = buffers_.find(handle);
   return it == buffers_.end() ? nullptr : it->second.data();
+}
+
+HostPoolStats HostPool::stats() const {
+  HostPoolStats s;
+  s.capacity = capacity_;
+  s.in_use = in_use_;
+  s.peak_in_use = peak_in_use_;
+  s.alloc_calls = alloc_calls_;
+  s.free_calls = free_calls_;
+  s.failed_allocs = failed_allocs_;
+  s.bad_frees = bad_frees_;
+  return s;
 }
 
 }  // namespace sn::mem

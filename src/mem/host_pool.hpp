@@ -4,7 +4,9 @@
 // run at full PCIe speed (TensorFlow's pageable transfers lose >= 50%,
 // paper §2.2). We model the pool as capacity accounting plus, in backed mode,
 // per-allocation real buffers that hold offloaded tensor contents for the
-// real execution engine.
+// real execution engine. The async TransferEngine additionally carves its
+// double-buffered staging area out of this pool, so staging bytes count
+// against the same pinned budget.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,16 @@
 #include <vector>
 
 namespace sn::mem {
+
+struct HostPoolStats {
+  uint64_t capacity = 0;
+  uint64_t in_use = 0;
+  uint64_t peak_in_use = 0;
+  uint64_t alloc_calls = 0;
+  uint64_t free_calls = 0;
+  uint64_t failed_allocs = 0;  ///< over-capacity requests (returned handle 0)
+  uint64_t bad_frees = 0;      ///< deallocate() of an unknown handle
+};
 
 class HostPool {
  public:
@@ -21,6 +33,10 @@ class HostPool {
 
   /// Reserve `bytes`; returns a handle (0 is never returned) or 0 on OOM.
   uint64_t allocate(uint64_t bytes);
+
+  /// Release a handle. Unknown handles are a programming error: they abort
+  /// in debug builds and are counted in stats().bad_frees in release builds
+  /// (mirroring MemoryPool::deallocate).
   void deallocate(uint64_t handle);
 
   /// Buffer for a backed allocation (nullptr otherwise).
@@ -32,6 +48,8 @@ class HostPool {
   uint64_t peak_in_use() const { return peak_in_use_; }
   uint64_t free_bytes() const { return capacity_ - in_use_; }
 
+  HostPoolStats stats() const;
+
  private:
   uint64_t capacity_;
   bool pinned_;
@@ -39,6 +57,10 @@ class HostPool {
   uint64_t in_use_ = 0;
   uint64_t peak_in_use_ = 0;
   uint64_t next_id_ = 1;
+  uint64_t alloc_calls_ = 0;
+  uint64_t free_calls_ = 0;
+  uint64_t failed_allocs_ = 0;
+  uint64_t bad_frees_ = 0;
   std::unordered_map<uint64_t, uint64_t> sizes_;
   std::unordered_map<uint64_t, std::vector<std::byte>> buffers_;
 };

@@ -53,6 +53,7 @@ void MemoryPool::deallocate(uint64_t id) {
   auto it = allocated_.find(id);
   if (it == allocated_.end()) {
     SN_ERROR << "MemoryPool::deallocate: unknown id " << id;
+    ++bad_frees_;
     assert(false && "double free or bad id");
     return;
   }
@@ -93,6 +94,7 @@ PoolStats MemoryPool::stats() const {
   s.alloc_calls = alloc_calls_;
   s.free_calls = free_calls_;
   s.failed_allocs = failed_allocs_;
+  s.bad_frees = bad_frees_;
   s.largest_free = largest_free();
   s.free_nodes = free_by_offset_.size();
   s.allocated_nodes = allocated_.size();

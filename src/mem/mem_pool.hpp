@@ -40,6 +40,7 @@ struct PoolStats {
   uint64_t alloc_calls = 0;
   uint64_t free_calls = 0;
   uint64_t failed_allocs = 0;
+  uint64_t bad_frees = 0;  ///< deallocate() of an unknown id
   uint64_t largest_free = 0;
   size_t free_nodes = 0;
   size_t allocated_nodes = 0;
@@ -65,7 +66,9 @@ class MemoryPool {
   std::optional<PoolAllocation> allocate(uint64_t bytes);
 
   /// Return an allocation to the free list (coalescing neighbours).
-  /// Unknown ids are a programming error and abort in debug builds.
+  /// Unknown ids are a programming error: they abort in debug builds and are
+  /// counted in stats().bad_frees in release builds (same contract as
+  /// HostPool::deallocate).
   void deallocate(uint64_t id);
 
   uint64_t capacity() const { return capacity_; }
@@ -101,6 +104,7 @@ class MemoryPool {
   uint64_t alloc_calls_ = 0;
   uint64_t free_calls_ = 0;
   uint64_t failed_allocs_ = 0;
+  uint64_t bad_frees_ = 0;
 
   /// Free nodes keyed by offset (ordered => first-fit scan + O(log n)
   /// neighbour lookup for coalescing). Value = node size in bytes.

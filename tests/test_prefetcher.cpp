@@ -1,0 +1,119 @@
+// Prefetcher (§3.3.1) unit tests: staging order, checkpoint-span boundaries,
+// and lookahead-depth scaling.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/prefetcher.hpp"
+#include "core/recompute.hpp"
+#include "graph/zoo.hpp"
+
+namespace {
+
+using namespace sn;
+
+/// First backward step executed by a checkpoint layer (where the runtime
+/// issues prefetches), excluding the route's very last step.
+int first_checkpoint_backward_step(const graph::Net& net) {
+  const int nfwd = static_cast<int>(net.route().size());
+  for (const auto& st : net.steps()) {
+    if (st.index < nfwd) continue;
+    if (st.index + 1 >= static_cast<int>(net.steps().size())) continue;
+    if (core::RecomputePlan::is_checkpoint_layer(st.layer)) return st.index;
+  }
+  return -1;
+}
+
+/// Reference implementation: deduplicated backward_uses of the steps after
+/// `step`, in scan order, through `lookahead` checkpoint layers inclusive.
+std::vector<tensor::Tensor*> naive_plan(const graph::Net& net, int step, int lookahead) {
+  std::vector<tensor::Tensor*> out;
+  std::unordered_set<uint64_t> seen;
+  int checkpoints = 0;
+  const auto& steps = net.steps();
+  for (size_t s = static_cast<size_t>(step) + 1; s < steps.size(); ++s) {
+    for (tensor::Tensor* u : steps[s].layer->backward_uses()) {
+      if (seen.insert(u->uid()).second) out.push_back(u);
+    }
+    if (core::RecomputePlan::is_checkpoint_layer(steps[s].layer) && ++checkpoints >= lookahead)
+      break;
+  }
+  return out;
+}
+
+TEST(Prefetcher, PlanMatchesScanOrderThroughNextCheckpoint) {
+  auto net = graph::build_mini_alexnet(4);
+  int step = first_checkpoint_backward_step(*net);
+  ASSERT_GE(step, 0);
+  core::Prefetcher pf(*net, /*lookahead=*/1);
+  EXPECT_EQ(pf.plan(step), naive_plan(*net, step, 1));
+  EXPECT_FALSE(pf.plan(step).empty());
+}
+
+TEST(Prefetcher, PlanHasNoDuplicates) {
+  auto net = graph::build_tiny_resnet(4, 2);
+  core::Prefetcher pf(*net, 2);
+  const int nfwd = static_cast<int>(net->route().size());
+  for (const auto& st : net->steps()) {
+    if (st.index < nfwd) continue;
+    auto plan = pf.plan(st.index);
+    std::unordered_set<uint64_t> seen;
+    for (tensor::Tensor* t : plan) EXPECT_TRUE(seen.insert(t->uid()).second) << t->name();
+  }
+}
+
+TEST(Prefetcher, DeeperLookaheadExtendsThePlanAsAPrefix) {
+  auto net = graph::build_mini_alexnet(4);
+  int step = first_checkpoint_backward_step(*net);
+  ASSERT_GE(step, 0);
+  core::Prefetcher one(*net, 1);
+  core::Prefetcher three(*net, 3);
+  auto p1 = one.plan(step);
+  auto p3 = three.plan(step);
+  // Same scan, later stop: the shallow plan is a strict prefix of the deep
+  // one (until the route runs out of checkpoints).
+  ASSERT_GE(p3.size(), p1.size());
+  for (size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p3[i], p1[i]) << i;
+}
+
+TEST(Prefetcher, LookaheadStopsAtCheckpointBoundaries) {
+  auto net = graph::build_mini_alexnet(4);
+  int step = first_checkpoint_backward_step(*net);
+  ASSERT_GE(step, 0);
+  core::Prefetcher pf(*net, 1);
+  // Everything planned must be read by a backward step no further than the
+  // first checkpoint layer after `step`.
+  const auto& steps = net->steps();
+  size_t boundary = static_cast<size_t>(step) + 1;
+  while (boundary < steps.size() &&
+         !core::RecomputePlan::is_checkpoint_layer(steps[boundary].layer)) {
+    ++boundary;
+  }
+  std::unordered_set<uint64_t> in_span;
+  for (size_t s = static_cast<size_t>(step) + 1; s <= boundary && s < steps.size(); ++s) {
+    for (tensor::Tensor* u : steps[s].layer->backward_uses()) in_span.insert(u->uid());
+  }
+  for (tensor::Tensor* t : pf.plan(step)) {
+    EXPECT_TRUE(in_span.count(t->uid())) << t->name() << " planned outside the lookahead span";
+  }
+}
+
+TEST(Prefetcher, ZeroLookaheadDisablesPrefetching) {
+  auto net = graph::build_mini_alexnet(2);
+  core::Prefetcher pf(*net, 0);
+  EXPECT_EQ(pf.lookahead(), 0);
+  int step = first_checkpoint_backward_step(*net);
+  ASSERT_GE(step, 0);
+  EXPECT_TRUE(pf.plan(step).empty());
+  core::Prefetcher neg(*net, -3);
+  EXPECT_EQ(neg.lookahead(), 0);
+}
+
+TEST(Prefetcher, PlanAtLastStepIsEmpty) {
+  auto net = graph::build_mini_alexnet(2);
+  core::Prefetcher pf(*net, 1);
+  EXPECT_TRUE(pf.plan(static_cast<int>(net->steps().size()) - 1).empty());
+}
+
+}  // namespace

@@ -1,6 +1,9 @@
-// Tensor Cache (Alg. 2) unit tests: LRU ordering, touch-to-front, eviction
-// order, hit/miss counters.
+// Tensor Cache (Alg. 2) unit tests: LRU ordering, touch-to-front, victim
+// selection, hit/miss counters.
 #include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
 
 #include "core/tensor_cache.hpp"
 
@@ -8,16 +11,50 @@ namespace {
 
 using sn::core::TensorCache;
 
-TEST(TensorCache, EvictionOrderIsLruFirst) {
+/// Victims in the order repeated find_victim queries would evict them
+/// (each accepted victim is excluded from the next query, as eviction
+/// erases it from the cache).
+std::vector<uint64_t> drain_order(const TensorCache& c) {
+  std::vector<uint64_t> order;
+  std::unordered_set<uint64_t> taken;
+  while (auto v = c.find_victim([&](uint64_t uid) { return !taken.count(uid); })) {
+    order.push_back(*v);
+    taken.insert(*v);
+  }
+  return order;
+}
+
+TEST(TensorCache, FindVictimIsLruFirst) {
   TensorCache c;
   c.insert(1);
   c.insert(2);
   c.insert(3);  // MRU
-  auto order = c.eviction_order();
+  auto v = c.find_victim([](uint64_t) { return true; });
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1u);  // least recently used evicts first
+  auto order = drain_order(c);
   ASSERT_EQ(order.size(), 3u);
-  EXPECT_EQ(order[0], 1u);  // least recently used evicts first
+  EXPECT_EQ(order[0], 1u);
   EXPECT_EQ(order[1], 2u);
   EXPECT_EQ(order[2], 3u);
+}
+
+TEST(TensorCache, FindVictimSkipsRejected) {
+  // The pool rejects locked / wrong-residency tensors; the walk continues
+  // from the tail past them (Alg. 2 getLastUnlockedTensor).
+  TensorCache c;
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  auto v = c.find_victim([](uint64_t uid) { return uid != 1; });
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2u);
+  EXPECT_FALSE(c.find_victim([](uint64_t) { return false; }).has_value());
+}
+
+TEST(TensorCache, FindVictimOnEmptyCache) {
+  TensorCache c;
+  EXPECT_FALSE(c.find_victim([](uint64_t) { return true; }).has_value());
 }
 
 TEST(TensorCache, TouchMovesToFront) {
@@ -26,7 +63,7 @@ TEST(TensorCache, TouchMovesToFront) {
   c.insert(2);
   c.insert(3);
   c.touch(1);  // 1 becomes MRU
-  auto order = c.eviction_order();
+  auto order = drain_order(c);
   EXPECT_EQ(order[0], 2u);
   EXPECT_EQ(order[1], 3u);
   EXPECT_EQ(order[2], 1u);
@@ -38,7 +75,7 @@ TEST(TensorCache, ReinsertActsAsTouch) {
   c.insert(2);
   c.insert(1);
   EXPECT_EQ(c.size(), 2u);
-  EXPECT_EQ(c.eviction_order()[0], 2u);
+  EXPECT_EQ(drain_order(c)[0], 2u);
 }
 
 TEST(TensorCache, EraseRemoves) {
@@ -74,7 +111,7 @@ TEST(TensorCache, BackpropPatternFavoursLru) {
   // (it needs the late ones first).
   TensorCache c;
   for (uint64_t uid = 0; uid < 10; ++uid) c.insert(uid);
-  auto order = c.eviction_order();
+  auto order = drain_order(c);
   for (uint64_t uid = 0; uid < 10; ++uid) EXPECT_EQ(order[uid], uid);
 }
 
