@@ -1,0 +1,85 @@
+// bench_scaling_devices: data-parallel scaling curves on the simulated
+// cluster (1/2/4/8 devices, NVLink vs PCIe fabrics).
+//
+// Weak scaling holds the per-device batch constant (the whole point of the
+// paper's memory runtime is to keep per-device batches large); strong scaling
+// splits a fixed global batch. Throughput counts the global batch against the
+// slowest device's iteration time including the gradient ring all-reduce, so
+// the communication overhead the fabric model charges is visible as the gap
+// to linear speedup.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "dist/data_parallel.hpp"
+
+using namespace sn;
+
+namespace {
+
+struct Point {
+  int devices;
+  double iter_s = 0.0;
+  double allreduce_s = 0.0;
+  uint64_t p2p_bytes = 0;
+  double img_per_s = 0.0;
+};
+
+Point run_point(const std::string& net, int devices, int per_device_batch,
+                const sim::ClusterSpec& fabric) {
+  dist::DataParallelConfig cfg;
+  cfg.devices = devices;
+  cfg.global_batch = devices * per_device_batch;
+  cfg.cluster = fabric;
+  cfg.train.iterations = 2;  // first iteration warms the offload schedule
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons,
+                                             fabric.device);
+  o.real = false;
+  dist::DataParallelTrainer dp(
+      [&](int batch) { return bench::build_network(net, batch); }, o, cfg);
+  auto report = dp.run();
+  const auto& st = report.stats.back();
+  Point p;
+  p.devices = devices;
+  p.iter_s = st.seconds;
+  p.allreduce_s = st.allreduce_seconds;
+  p.p2p_bytes = st.p2p_bytes;
+  p.img_per_s = static_cast<double>(cfg.global_batch) / st.seconds;
+  return p;
+}
+
+void sweep(const char* title, const std::string& net, bool weak, int batch,
+           const sim::ClusterSpec& fabric) {
+  std::printf("\n--- %s: %s, %s scaling, batch %d%s ---\n", title, net.c_str(),
+              weak ? "weak" : "strong", batch, weak ? "/device" : " global");
+  util::Table t({"devices", "iter (ms)", "allreduce (ms)", "P2P (MB)", "img/s", "speedup"});
+  double base = 0.0;
+  for (int devices : {1, 2, 4, 8}) {
+    int per_device = weak ? batch : batch / devices;
+    Point p = run_point(net, devices, per_device, fabric);
+    if (devices == 1) base = p.img_per_s;
+    double speedup = p.img_per_s / base;
+    t.add_row({std::to_string(devices), util::format_double(p.iter_s * 1e3, 1),
+               util::format_double(p.allreduce_s * 1e3, 2), bench::mb(p.p2p_bytes),
+               util::format_double(p.img_per_s, 1), util::format_double(speedup, 2)});
+    if (weak && devices == 2) {
+      std::printf("2-device weak scaling: %.2fx speedup, p2p_bytes=%llu (%s MB/device)\n",
+                  speedup, static_cast<unsigned long long>(p.p2p_bytes),
+                  bench::mb(p.p2p_bytes / 2).c_str());
+    }
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net = argc > 1 ? argv[1] : "ResNet50";
+  int batch = argc > 2 ? std::atoi(argv[2]) : 32;
+
+  std::printf("=== Data-parallel scaling on the simulated cluster (%s) ===\n", net.c_str());
+  sweep("NVLink fabric", net, /*weak=*/true, batch, sim::nvlink_cluster_spec(1));
+  sweep("NVLink fabric", net, /*weak=*/false, batch * 8, sim::nvlink_cluster_spec(1));
+  sweep("PCIe fabric", net, /*weak=*/true, batch, sim::pcie_cluster_spec(1));
+  sweep("PCIe fabric", net, /*weak=*/false, batch * 8, sim::pcie_cluster_spec(1));
+  return 0;
+}

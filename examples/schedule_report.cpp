@@ -110,14 +110,37 @@ int main(int argc, char** argv) {
   }
   const auto& tele = rt.step_telemetry();
   std::printf("\nSuperNeurons step trace (first 8 and last 8 of %zu steps):\n", tele.size());
-  util::Table tr({"step", "layer", "pass", "mem (MB)", "live tensors", "conv algo"});
+  util::Table tr({"step", "layer", "pass", "mem (MB)", "live tensors", "conv algo", "host (MB)",
+                  "d2h s/c", "h2d s/c", "in flight"});
   auto add = [&](const core::StepTelemetry& s) {
     tr.add_row({std::to_string(s.step), s.layer->name(), s.forward ? "fwd" : "bwd",
                 mb(s.mem_in_use), std::to_string(s.live_tensors),
-                s.layer->type() == graph::LayerType::kConv ? nn::algo_name(s.algo) : "-"});
+                s.layer->type() == graph::LayerType::kConv ? nn::algo_name(s.algo) : "-",
+                mb(s.host_in_use),
+                std::to_string(s.d2h_submitted) + "/" + std::to_string(s.d2h_completed),
+                std::to_string(s.h2d_submitted) + "/" + std::to_string(s.h2d_completed),
+                std::to_string(s.transfers_in_flight)});
   };
   for (size_t i = 0; i < tele.size() && i < 8; ++i) add(tele[i]);
   for (size_t i = tele.size() > 8 ? tele.size() - 8 : 8; i < tele.size(); ++i) add(tele[i]);
   tr.print();
+
+  // Unified-tensor-pool / transfer-engine summary for the traced iteration
+  // (the host-pool and engine counters StepTelemetry carries per step).
+  const auto& last = tele.back();
+  const auto xfer = rt.transfer_engine().stats();
+  std::printf("\ntransfer engine: %llu offloads submitted (%llu completed, %llu discarded), "
+              "%llu fetches submitted (%llu completed, %llu discarded)\n",
+              static_cast<unsigned long long>(xfer.submitted_d2h),
+              static_cast<unsigned long long>(xfer.completed_d2h),
+              static_cast<unsigned long long>(xfer.discarded_d2h),
+              static_cast<unsigned long long>(xfer.submitted_h2d),
+              static_cast<unsigned long long>(xfer.completed_h2d),
+              static_cast<unsigned long long>(xfer.discarded_h2d));
+  std::printf("host pool: %s MB in use at iteration end, %s MB peak; "
+              "copies: %llu inline, %llu on the DMA thread\n",
+              mb(last.host_in_use).c_str(), mb(last.host_peak).c_str(),
+              static_cast<unsigned long long>(xfer.inline_copies),
+              static_cast<unsigned long long>(xfer.dma_copies));
   return 0;
 }

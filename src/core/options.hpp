@@ -13,6 +13,10 @@
 
 #include "sim/device_spec.hpp"
 
+namespace sn::sim {
+class Cluster;
+}
+
 namespace sn::core {
 
 enum class RecomputeMode {
@@ -54,6 +58,18 @@ struct RuntimeOptions {
   uint64_t host_capacity = 256ull << 30;
   sim::DeviceSpec spec = sim::k40c_spec();
   uint64_t seed = 0x5EEDBA5Eull;
+
+  // --- multi-device (dist/) ------------------------------------------------
+  /// When set, the runtime drives `cluster->machine(device_id)` instead of
+  /// owning a machine, so several runtimes share one virtual-time fabric and
+  /// P2P links. `spec` must match the cluster's device spec (the cost model
+  /// reads it). The cluster must outlive the runtime.
+  sim::Cluster* cluster = nullptr;
+  int device_id = 0;
+  /// Global batch the loss is averaged over (0 = the net's own batch).
+  /// Data-parallel replicas set this so per-sample gradients are independent
+  /// of the sharding.
+  int loss_batch = 0;
 };
 
 /// Framework presets used by the end-to-end benches (Tables 4/5, Figs 13/14).

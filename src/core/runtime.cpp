@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/cluster.hpp"
 #include "util/logging.hpp"
 
 namespace sn::core {
@@ -24,7 +25,8 @@ bool is_offloadable_producer(const graph::Layer* l) {
 Runtime::Runtime(graph::Net& net, RuntimeOptions opts)
     : net_(net),
       opts_(opts),
-      machine_(opts.spec),
+      owned_machine_(opts.cluster ? nullptr : std::make_unique<sim::Machine>(opts.spec)),
+      machine_(opts.cluster ? opts.cluster->machine(opts.device_id) : *owned_machine_),
       cost_(opts.spec),
       liveness_(net, opts.recompute != RecomputeMode::kNone),
       plan_(net, opts.recompute),
@@ -40,6 +42,7 @@ Runtime::Runtime(graph::Net& net, RuntimeOptions opts)
   pool_cfg.pinned_host = opts_.pinned_host;
   pool_cfg.device_capacity = opts_.device_capacity;
   pool_cfg.host_capacity = opts_.host_capacity;
+  pool_cfg.device_id = opts_.device_id;
   UnifiedTensorPool::Hooks hooks;
   hooks.droppable = [this](const tensor::Tensor* t) { return plan_.droppable(t); };
   hooks.persistent = [this](uint64_t uid) { return liveness_.is_persistent(uid); };
@@ -231,6 +234,8 @@ void Runtime::run_layer_pass(graph::Layer* layer, bool forward, const float* inp
   ctx.input_data = input;
   ctx.labels = labels;
   ctx.loss_out = loss_out;
+  ctx.loss_sum_out = &loss_sum_;
+  ctx.loss_batch = opts_.loss_batch;
 
   // Dynamic convolution-workspace allocation (§3.5): measure what is free
   // *now*, after the memory techniques have run for this step.
@@ -308,6 +313,7 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
   tele.step = step.index;
   tele.layer = layer;
   tele.forward = fwd;
+  tele.device_id = opts_.device_id;
 
   run_layer_pass(layer, fwd, fwd && layer->type() == graph::LayerType::kData ? input : nullptr,
                  labels, loss_out, &tele);
@@ -453,6 +459,7 @@ IterationStats Runtime::train_iteration(const float* input, const int32_t* label
   zeroed_grads_.clear();
   iter_peak_ = pool_->allocator().in_use();
   extra_forwards_ = 0;
+  loss_sum_ = 0.0;
   pool_->reset_iteration_counters();
   const auto c0 = machine_.counters();
   const double t0 = machine_.now();
@@ -472,6 +479,7 @@ IterationStats Runtime::train_iteration(const float* input, const int32_t* label
   const auto c1 = machine_.counters();
   IterationStats st;
   st.loss = loss;
+  st.loss_sum = loss_sum_;
   st.seconds = machine_.now() - t0;
   st.peak_mem = iter_peak_;
   st.bytes_d2h = c1.bytes_d2h - c0.bytes_d2h;
@@ -495,6 +503,7 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
   inference_mode_ = true;
   telemetry_.clear();
   zeroed_grads_.clear();
+  loss_sum_ = 0.0;
   iter_peak_ = pool_->allocator().in_use();
   const auto c0 = machine_.counters();
   const double t0 = machine_.now();
@@ -531,6 +540,7 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
   const auto c1 = machine_.counters();
   IterationStats st;
   st.loss = loss;
+  st.loss_sum = loss_sum_;
   st.seconds = machine_.now() - t0;
   st.peak_mem = iter_peak_;
   st.bytes_d2h = c1.bytes_d2h - c0.bytes_d2h;

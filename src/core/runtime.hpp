@@ -121,7 +121,10 @@ class Runtime {
 
   graph::Net& net_;
   RuntimeOptions opts_;
-  sim::Machine machine_;
+  /// Owned when running standalone; null when opts.cluster provides the
+  /// machine (one runtime per cluster device sharing the P2P fabric).
+  std::unique_ptr<sim::Machine> owned_machine_;
+  sim::Machine& machine_;
   sim::CostModel cost_;
   Liveness liveness_;
   RecomputePlan plan_;
@@ -144,6 +147,7 @@ class Runtime {
   // per-iteration state
   std::unordered_set<uint64_t> zeroed_grads_;
   std::vector<uint64_t> regenerated_;          ///< uids replayed this backward step
+  double loss_sum_ = 0.0;                      ///< raw NLL sum this iteration
   uint64_t iter_ = 0;
   uint64_t iter_peak_ = 0;
   uint64_t extra_forwards_ = 0;

@@ -20,6 +20,7 @@ struct StepTelemetry {
   int step = -1;
   const graph::Layer* layer = nullptr;
   bool forward = true;
+  int device_id = 0;           ///< cluster device the step ran on (dist/)
 
   uint64_t mem_in_use = 0;     ///< device bytes live right after the kernel
   uint64_t live_tensors = 0;   ///< tensors resident on device at that point
@@ -48,6 +49,10 @@ struct StepTelemetry {
 
 struct IterationStats {
   double loss = 0.0;
+  /// Raw (unnormalized) NLL sum over this runtime's batch. Data-parallel
+  /// replicas recombine these pairwise into a global loss that matches a
+  /// single-device run bit for bit; means cannot be recombined exactly.
+  double loss_sum = 0.0;
   double seconds = 0.0;         ///< virtual wall time of the iteration
   uint64_t peak_mem = 0;        ///< max device bytes in use during the iteration
   uint64_t bytes_d2h = 0;
@@ -63,6 +68,11 @@ struct IterationStats {
                                 ///< water mark — a peak is monotone, unlike the
                                 ///< per-iteration deltas above)
   uint64_t dma_copies = 0;      ///< DMA-thread memcpys this iteration (async engine)
+
+  // Collective telemetry, filled by dist::DataParallelTrainer (zero for
+  // single-device training).
+  uint64_t p2p_bytes = 0;          ///< bytes this device sent over peer links
+  double allreduce_seconds = 0.0;  ///< device time inside the gradient all-reduce
 };
 
 }  // namespace sn::core

@@ -40,6 +40,7 @@ class UnifiedTensorPool {
     bool pinned_host = true;
     uint64_t device_capacity = 0;
     uint64_t host_capacity = 0;
+    int device_id = 0;            ///< cluster device this pool's handles live on
   };
 
   /// Policy callbacks the orchestrator installs (recompute / liveness live
@@ -131,6 +132,10 @@ class UnifiedTensorPool {
   const TensorCache& cache() const { return cache_; }
   TransferEngine& engine() { return *engine_; }
   const TransferEngine& engine() const { return *engine_; }
+
+  /// Cluster device every handle this pool hands out lives on (0 when
+  /// single-device); replica pools in dist:: setups each carry their own.
+  int device_id() const { return cfg_.device_id; }
 
   uint64_t live_count() const { return live_count_; }
   uint64_t evictions() const { return evictions_; }

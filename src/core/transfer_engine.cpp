@@ -11,25 +11,40 @@ namespace sn::core {
 // ---------------------------------------------------------------------------
 // TransferEngine (base = simulation / synchronous backend)
 
-TransferEngine::TransferEngine(sim::Machine& machine, bool pinned)
-    : machine_(machine), pinned_(pinned) {}
+TransferEngine::TransferEngine(sim::Machine& machine, bool pinned, int device_id)
+    : machine_(machine), pinned_(pinned), device_id_(device_id) {}
 
 TransferEngine::~TransferEngine() = default;
 
-sim::Event TransferEngine::submit(TransferDir dir, uint64_t tag, const void* src, void* dst,
-                                  uint64_t bytes) {
-  assert(!pending(dir, tag) && "one transfer per (dir, tag) may be in flight");
-  sim::Event e = machine_.async_copy(
-      dir == TransferDir::kD2H ? sim::CopyDir::kD2H : sim::CopyDir::kH2D, bytes, pinned_);
+sim::Event TransferEngine::track(TransferDir dir, uint64_t tag, sim::Event e, const void* src,
+                                 void* dst, uint64_t bytes) {
   uint64_t seq = next_seq_++;
   dispatch(src, dst, bytes, seq);
   pending_[index(dir)][tag] = Pending{e, seq};
-  if (dir == TransferDir::kD2H) {
-    ++stats_.submitted_d2h;
-  } else {
-    ++stats_.submitted_h2d;
+  switch (dir) {
+    case TransferDir::kD2H: ++stats_.submitted_d2h; break;
+    case TransferDir::kH2D: ++stats_.submitted_h2d; break;
+    case TransferDir::kP2P: ++stats_.submitted_p2p; break;
   }
   return e;
+}
+
+sim::Event TransferEngine::submit(TransferDir dir, uint64_t tag, const void* src, void* dst,
+                                  uint64_t bytes) {
+  assert_owner();
+  assert(dir != TransferDir::kP2P && "P2P transfers go through submit_p2p");
+  assert(!pending(dir, tag) && "one transfer per (dir, tag) may be in flight");
+  sim::Event e = machine_.async_copy(
+      dir == TransferDir::kD2H ? sim::CopyDir::kD2H : sim::CopyDir::kH2D, bytes, pinned_);
+  return track(dir, tag, e, src, dst, bytes);
+}
+
+sim::Event TransferEngine::submit_p2p(uint64_t tag, const void* src, void* dst, uint64_t bytes,
+                                      int peer, double not_before) {
+  assert_owner();
+  assert(!pending(TransferDir::kP2P, tag) && "one transfer per (dir, tag) may be in flight");
+  sim::Event e = machine_.p2p_copy(peer, bytes, not_before);
+  return track(TransferDir::kP2P, tag, e, src, dst, bytes);
 }
 
 void TransferEngine::dispatch(const void* src, void* dst, uint64_t bytes, uint64_t /*seq*/) {
@@ -43,15 +58,23 @@ void TransferEngine::ensure_landed(uint64_t /*seq*/) {}
 
 void TransferEngine::retire(TransferDir dir, uint64_t tag, bool discarded) {
   pending_[index(dir)].erase(tag);
-  uint64_t& counter = discarded
-                          ? (dir == TransferDir::kD2H ? stats_.discarded_d2h
-                                                      : stats_.discarded_h2d)
-                          : (dir == TransferDir::kD2H ? stats_.completed_d2h
-                                                      : stats_.completed_h2d);
-  ++counter;
+  uint64_t* counter = nullptr;
+  switch (dir) {
+    case TransferDir::kD2H:
+      counter = discarded ? &stats_.discarded_d2h : &stats_.completed_d2h;
+      break;
+    case TransferDir::kH2D:
+      counter = discarded ? &stats_.discarded_h2d : &stats_.completed_h2d;
+      break;
+    case TransferDir::kP2P:
+      counter = discarded ? &stats_.discarded_p2p : &stats_.completed_p2p;
+      break;
+  }
+  ++*counter;
 }
 
 bool TransferEngine::try_retire(TransferDir dir, uint64_t tag) {
+  assert_owner();
   auto& map = pending_[index(dir)];
   auto it = map.find(tag);
   if (it == map.end()) return true;
@@ -64,6 +87,7 @@ bool TransferEngine::try_retire(TransferDir dir, uint64_t tag) {
 }
 
 void TransferEngine::wait(TransferDir dir, uint64_t tag) {
+  assert_owner();
   auto& map = pending_[index(dir)];
   auto it = map.find(tag);
   if (it == map.end()) return;
@@ -73,6 +97,7 @@ void TransferEngine::wait(TransferDir dir, uint64_t tag) {
 }
 
 void TransferEngine::discard(TransferDir dir, uint64_t tag) {
+  assert_owner();
   auto& map = pending_[index(dir)];
   auto it = map.find(tag);
   if (it == map.end()) return;
@@ -81,10 +106,12 @@ void TransferEngine::discard(TransferDir dir, uint64_t tag) {
 }
 
 bool TransferEngine::pending(TransferDir dir, uint64_t tag) const {
+  assert_owner();
   return pending_[index(dir)].count(tag) != 0;
 }
 
 std::vector<uint64_t> TransferEngine::pending_tags(TransferDir dir) const {
+  assert_owner();
   std::vector<uint64_t> tags;
   tags.reserve(pending_[index(dir)].size());
   for (const auto& [tag, op] : pending_[index(dir)]) tags.push_back(tag);
@@ -95,7 +122,7 @@ std::vector<uint64_t> TransferEngine::pending_tags(TransferDir dir) const {
 }
 
 void TransferEngine::drain() {
-  for (TransferDir dir : {TransferDir::kD2H, TransferDir::kH2D}) {
+  for (TransferDir dir : {TransferDir::kD2H, TransferDir::kH2D, TransferDir::kP2P}) {
     for (uint64_t tag : pending_tags(dir)) wait(dir, tag);
   }
 }
@@ -110,8 +137,9 @@ TransferStats TransferEngine::stats() const {
 // DmaTransferEngine
 
 DmaTransferEngine::DmaTransferEngine(sim::Machine& machine, bool pinned,
-                                     mem::HostPool& staging_pool, uint64_t staging_bytes)
-    : TransferEngine(machine, pinned),
+                                     mem::HostPool& staging_pool, uint64_t staging_bytes,
+                                     int device_id)
+    : TransferEngine(machine, pinned, device_id),
       staging_pool_(staging_pool),
       staging_bytes_(staging_bytes) {
   for (int i = 0; i < 2; ++i) {
@@ -200,11 +228,14 @@ void DmaTransferEngine::copy_through_staging(const Job& job) {
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<TransferEngine> make_transfer_engine(sim::Machine& machine, mem::HostPool& host,
-                                                     bool real, bool async_transfers) {
+                                                     bool real, bool async_transfers,
+                                                     int device_id) {
   if (real && async_transfers) {
-    return std::make_unique<DmaTransferEngine>(machine, host.pinned(), host);
+    return std::make_unique<DmaTransferEngine>(machine, host.pinned(), host,
+                                               DmaTransferEngine::kDefaultStagingBytes,
+                                               device_id);
   }
-  return std::make_unique<TransferEngine>(machine, host.pinned());
+  return std::make_unique<TransferEngine>(machine, host.pinned(), device_id);
 }
 
 }  // namespace sn::core

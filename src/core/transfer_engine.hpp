@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -41,36 +42,56 @@ class HostPool;
 
 namespace sn::core {
 
-enum class TransferDir { kD2H, kH2D };
+enum class TransferDir { kD2H, kH2D, kP2P };
 
 /// Counters the pool snapshots into StepTelemetry (and tests assert on).
 struct TransferStats {
   uint64_t submitted_d2h = 0;
   uint64_t submitted_h2d = 0;
+  uint64_t submitted_p2p = 0;  ///< peer-to-peer sends (dist collectives)
   uint64_t completed_d2h = 0;  ///< retired with a valid result (waited/polled)
   uint64_t completed_h2d = 0;
+  uint64_t completed_p2p = 0;
   uint64_t discarded_d2h = 0;  ///< retired with the result thrown away
   uint64_t discarded_h2d = 0;
+  uint64_t discarded_p2p = 0;
   uint64_t inline_copies = 0;  ///< memcpys executed on the compute thread
   uint64_t dma_copies = 0;     ///< memcpys executed on the DMA thread
 };
 
 /// Base class doubles as the simulation / synchronous backend.
+///
+/// Thread-ownership invariant: the pending_[] maps and stats_ are owned by
+/// the thread that constructed the engine (the compute thread). submit /
+/// retire / pending queries must all come from it — the DMA worker thread
+/// only consumes copy Jobs and advances landed_seq_ under its own mutex, and
+/// never touches pending_[]. Debug builds assert the invariant.
 class TransferEngine {
  public:
-  /// `pinned` is the host-staging property charged to the sim DMA streams.
-  TransferEngine(sim::Machine& machine, bool pinned);
+  /// `pinned` is the host-staging property charged to the sim DMA streams;
+  /// `device_id` identifies the owning device in multi-device setups.
+  TransferEngine(sim::Machine& machine, bool pinned, int device_id = 0);
   virtual ~TransferEngine();
 
   TransferEngine(const TransferEngine&) = delete;
   TransferEngine& operator=(const TransferEngine&) = delete;
 
+  int device_id() const { return device_id_; }
+
   /// Enqueue a copy of `bytes` for tensor `tag`. `src`/`dst` may be null when
   /// running unbacked (simulation): virtual time still advances, no bytes
   /// move. Exactly one transfer per (dir, tag) may be outstanding.
   /// Returns the sim completion event (tests inspect it; clients use the
-  /// tag-based calls below).
+  /// tag-based calls below). P2P submissions go through submit_p2p (they
+  /// need a peer and an explicit data dependency).
   sim::Event submit(TransferDir dir, uint64_t tag, const void* src, void* dst, uint64_t bytes);
+
+  /// Enqueue a peer-to-peer copy to device `peer` over the cluster link,
+  /// starting no earlier than `not_before` (virtual time; collectives chain
+  /// hop k+1 on hop k's arrival this way). Tracked under TransferDir::kP2P.
+  /// Requires the machine to be a sim::Cluster member.
+  sim::Event submit_p2p(uint64_t tag, const void* src, void* dst, uint64_t bytes, int peer,
+                        double not_before);
 
   /// Retire the transfer if it has completed in virtual time (blocking, if
   /// needed, until the bytes have physically landed). Returns true when no
@@ -89,7 +110,10 @@ class TransferEngine {
   void discard(TransferDir dir, uint64_t tag);
 
   bool pending(TransferDir dir, uint64_t tag) const;
-  size_t pending_count(TransferDir dir) const { return pending_[index(dir)].size(); }
+  size_t pending_count(TransferDir dir) const {
+    assert_owner();
+    return pending_[index(dir)].size();
+  }
 
   /// Snapshot of in-flight tags (stable iteration while retiring).
   std::vector<uint64_t> pending_tags(TransferDir dir) const;
@@ -108,7 +132,23 @@ class TransferEngine {
     uint64_t seq = 0;
   };
 
-  static size_t index(TransferDir dir) { return dir == TransferDir::kD2H ? 0 : 1; }
+  static size_t index(TransferDir dir) {
+    switch (dir) {
+      case TransferDir::kD2H: return 0;
+      case TransferDir::kH2D: return 1;
+      case TransferDir::kP2P: return 2;
+    }
+    return 0;
+  }
+
+  /// pending_[] / stats_ are single-threaded by contract (see class comment);
+  /// this makes a violation loud in debug builds instead of a silent race.
+  void assert_owner() const {
+#ifndef NDEBUG
+    assert(std::this_thread::get_id() == owner_ &&
+           "TransferEngine bookkeeping must stay on the constructing (compute) thread");
+#endif
+  }
 
   /// Move the bytes (or schedule them to move). Base: inline memcpy.
   virtual void dispatch(const void* src, void* dst, uint64_t bytes, uint64_t seq);
@@ -122,11 +162,17 @@ class TransferEngine {
 
   sim::Machine& machine_;
   bool pinned_;
-  std::unordered_map<uint64_t, Pending> pending_[2];  ///< [dir] tag -> op
+  int device_id_ = 0;
+  std::unordered_map<uint64_t, Pending> pending_[3];  ///< [dir] tag -> op
   TransferStats stats_;
   uint64_t next_seq_ = 1;
+#ifndef NDEBUG
+  std::thread::id owner_ = std::this_thread::get_id();
+#endif
 
  private:
+  sim::Event track(TransferDir dir, uint64_t tag, sim::Event e, const void* src, void* dst,
+                   uint64_t bytes);
   void retire(TransferDir dir, uint64_t tag, bool discarded);
 };
 
@@ -138,7 +184,7 @@ class DmaTransferEngine final : public TransferEngine {
   /// `staging_bytes`); if the pool is unbacked or cannot fit them, copies
   /// fall back to a single direct memcpy on the DMA thread.
   DmaTransferEngine(sim::Machine& machine, bool pinned, mem::HostPool& staging_pool,
-                    uint64_t staging_bytes = kDefaultStagingBytes);
+                    uint64_t staging_bytes = kDefaultStagingBytes, int device_id = 0);
   ~DmaTransferEngine() override;
 
   bool async_backend() const override { return true; }
@@ -179,6 +225,7 @@ class DmaTransferEngine final : public TransferEngine {
 /// Pick the backend for a runtime configuration: real numerics + async
 /// transfers get the DMA thread; everything else uses the inline/sim backend.
 std::unique_ptr<TransferEngine> make_transfer_engine(sim::Machine& machine, mem::HostPool& host,
-                                                     bool real, bool async_transfers);
+                                                     bool real, bool async_transfers,
+                                                     int device_id = 0);
 
 }  // namespace sn::core

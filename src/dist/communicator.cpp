@@ -1,0 +1,131 @@
+#include "dist/communicator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/pairwise.hpp"
+
+namespace sn::dist {
+
+Communicator::Communicator(sim::Cluster& cluster, std::vector<core::TransferEngine*> engines)
+    : cluster_(cluster), engines_(std::move(engines)) {
+  if (static_cast<int>(engines_.size()) != cluster_.size()) {
+    throw std::invalid_argument("Communicator: need one TransferEngine per cluster device");
+  }
+  scratch_.resize(engines_.size());
+}
+
+double Communicator::combine_loss_sums(const std::vector<double>& sums) {
+  return util::pairwise_sum<double>(sums.size(), [&](uint64_t i) { return sums[i]; });
+}
+
+AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint64_t elems) {
+  const int n = cluster_.size();
+  assert(static_cast<int>(bufs.size()) == n && "one buffer (or null) per device");
+
+  AllreduceStats stats;
+  stats.device_seconds.assign(static_cast<size_t>(n), 0.0);
+  stats.chunks = static_cast<uint64_t>(n);
+  if (n <= 1 || elems == 0) return stats;
+
+  // Ring chunking: chunk c = [off[c], off[c] + len[c]).
+  const uint64_t base = elems / n, rem = elems % n;
+  std::vector<uint64_t> off(static_cast<size_t>(n)), len(static_cast<size_t>(n));
+  uint64_t o = 0;
+  for (int c = 0; c < n; ++c) {
+    off[c] = o;
+    len[c] = base + (static_cast<uint64_t>(c) < rem ? 1 : 0);
+    o += len[c];
+  }
+  const uint64_t max_len = *std::max_element(len.begin(), len.end());
+
+  // All-or-nothing backing: a mix of null and real buffers would silently
+  // sum garbage into the backed replicas.
+  const bool backed = bufs[0] != nullptr;
+  for (const float* b : bufs) {
+    if ((b != nullptr) != backed) {
+      throw std::invalid_argument("allreduce_sum: buffers must be uniformly backed or null");
+    }
+  }
+  if (backed) {
+    for (auto& s : scratch_) s.resize(max_len);
+  }
+
+  // Per-device virtual time through the collective. ready[d] advances on
+  // receives (+ the local reduction add); the engines charge sends to the
+  // machine as stalls, and the final wait_event below tops every device up to
+  // its receive chain, so stall telemetry covers the whole collective.
+  std::vector<double> start(static_cast<size_t>(n)), ready(static_cast<size_t>(n));
+  std::vector<uint64_t> sent0(static_cast<size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    start[d] = cluster_.machine(d).now();
+    ready[d] = start[d];
+    sent0[d] = cluster_.machine(d).counters().bytes_p2p;
+  }
+  auto add_seconds = [&](int d, uint64_t bytes) {
+    // Elementwise sum: read two operands, write one.
+    return 3.0 * static_cast<double>(bytes) / cluster_.machine(d).spec().mem_bw;
+  };
+
+  // --- reduce-scatter: N-1 hops; device d ends up owning chunk (d+1) % N ---
+  for (int s = 0; s < n - 1; ++s) {
+    std::vector<sim::Event> ev(static_cast<size_t>(n));
+    std::vector<uint64_t> tags(static_cast<size_t>(n));
+    std::vector<int> chunk(static_cast<size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      const int c = ((d - s) % n + n) % n;
+      const int dst = (d + 1) % n;
+      chunk[d] = c;
+      tags[d] = next_tag_++;
+      const float* src = backed ? bufs[d] + off[c] : nullptr;
+      float* rcv = backed ? scratch_[static_cast<size_t>(dst)].data() : nullptr;
+      ev[d] = engines_[d]->submit_p2p(tags[d], src, rcv, len[c] * sizeof(float), dst, ready[d]);
+    }
+    for (int d = 0; d < n; ++d) engines_[d]->wait(core::TransferDir::kP2P, tags[d]);
+    std::vector<double> next(ready);
+    for (int d = 0; d < n; ++d) {
+      const int dst = (d + 1) % n;
+      const int c = chunk[d];
+      if (backed) {
+        float* acc = bufs[dst] + off[c];
+        const float* in = scratch_[static_cast<size_t>(dst)].data();
+        for (uint64_t i = 0; i < len[c]; ++i) acc[i] += in[i];
+      }
+      next[dst] = std::max(ready[dst], ev[d].done_at) + add_seconds(dst, len[c] * sizeof(float));
+    }
+    ready = next;
+  }
+
+  // --- all-gather: N-1 hops broadcasting the reduced chunks ----------------
+  for (int s = 0; s < n - 1; ++s) {
+    std::vector<sim::Event> ev(static_cast<size_t>(n));
+    std::vector<uint64_t> tags(static_cast<size_t>(n));
+    std::vector<int> chunk(static_cast<size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      const int c = ((d + 1 - s) % n + n) % n;
+      const int dst = (d + 1) % n;
+      chunk[d] = c;
+      tags[d] = next_tag_++;
+      const float* src = backed ? bufs[d] + off[c] : nullptr;
+      float* rcv = backed ? bufs[dst] + off[c] : nullptr;
+      ev[d] = engines_[d]->submit_p2p(tags[d], src, rcv, len[c] * sizeof(float), dst, ready[d]);
+    }
+    for (int d = 0; d < n; ++d) engines_[d]->wait(core::TransferDir::kP2P, tags[d]);
+    for (int d = 0; d < n; ++d) {
+      const int dst = (d + 1) % n;
+      ready[dst] = std::max(ready[dst], ev[d].done_at);
+    }
+  }
+
+  for (int d = 0; d < n; ++d) {
+    cluster_.machine(d).wait_event(sim::Event{ready[d]});
+    stats.device_seconds[d] = cluster_.machine(d).now() - start[d];
+    stats.seconds = std::max(stats.seconds, stats.device_seconds[d]);
+    stats.p2p_bytes =
+        std::max(stats.p2p_bytes, cluster_.machine(d).counters().bytes_p2p - sent0[d]);
+  }
+  return stats;
+}
+
+}  // namespace sn::dist

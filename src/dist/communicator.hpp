@@ -1,0 +1,63 @@
+// dist::Communicator — collective operations over the simulated P2P fabric.
+//
+// Implements the classic bandwidth-optimal ring all-reduce: a chunked
+// reduce-scatter (N-1 hops; after it device d owns the fully reduced chunk
+// (d+1) mod N) followed by a ring all-gather (N-1 hops broadcasting the
+// reduced chunks). Every hop is a TransferEngine::submit_p2p on the SENDING
+// device's engine, so collectives share the tag-based submit/poll/wait layer
+// (and its telemetry) with offload/prefetch traffic, and virtual time falls
+// out of the link streams: hop k+1 chains on hop k's arrival through the
+// explicit not_before dependency.
+//
+// Numerics: when the buffers are backed, the adds really execute, and every
+// device finishes with bit-identical bytes for any N (each chunk is reduced
+// once, on its owner, then broadcast). For N = 2 the reduction is a single
+// two-operand float add per element — commutative in IEEE — which is what
+// makes 2-device data-parallel gradients match a single-device run over the
+// combined batch bit for bit (the per-device partials are pairwise subtrees;
+// see util/pairwise.hpp). For N >= 4 the ring accumulates chunks in rotated
+// rank order, which is deterministic but can differ from the single-device
+// pairwise tree in final-ulp rounding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/transfer_engine.hpp"
+#include "sim/cluster.hpp"
+
+namespace sn::dist {
+
+struct AllreduceStats {
+  double seconds = 0.0;                ///< slowest device's time in the collective
+  std::vector<double> device_seconds;  ///< per-device time in the collective
+  uint64_t p2p_bytes = 0;              ///< bytes sent per device (ring: symmetric)
+  uint64_t chunks = 0;                 ///< ring chunks (= devices)
+};
+
+class Communicator {
+ public:
+  /// `engines[d]` must be device d's TransferEngine on `cluster`'s machine d.
+  Communicator(sim::Cluster& cluster, std::vector<core::TransferEngine*> engines);
+
+  /// In-place sum all-reduce: after the call every bufs[d][0..elems) holds the
+  /// elementwise sum over devices. bufs[d] may be null when running unbacked
+  /// (simulation) — virtual time and telemetry advance, no bytes move.
+  AllreduceStats allreduce_sum(const std::vector<float*>& bufs, uint64_t elems);
+
+  /// Pairwise (rank-ordered) combination of per-replica loss sums; matches
+  /// the single-device pairwise loss tree bit for bit for power-of-two
+  /// device counts. Pure host arithmetic — the driver reads losses, devices
+  /// do not.
+  static double combine_loss_sums(const std::vector<double>& sums);
+
+  int devices() const { return cluster_.size(); }
+
+ private:
+  sim::Cluster& cluster_;
+  std::vector<core::TransferEngine*> engines_;
+  std::vector<std::vector<float>> scratch_;  ///< per-device receive staging
+  uint64_t next_tag_ = 1;
+};
+
+}  // namespace sn::dist

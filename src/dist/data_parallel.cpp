@@ -1,0 +1,165 @@
+#include "dist/data_parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace sn::dist {
+
+namespace {
+
+tensor::Shape sample_shape_of(const graph::Net& net) {
+  tensor::Shape s = net.input_layer()->out_shape();
+  s.n = 1;
+  return s;
+}
+
+int classes_of(const graph::Net& net) {
+  return static_cast<int>(net.loss_layer()->out_shape().c);
+}
+
+}  // namespace
+
+DataParallelTrainer::DataParallelTrainer(const NetFactory& factory, core::RuntimeOptions base,
+                                         DataParallelConfig cfg)
+    : cfg_([&] {
+        cfg.cluster.devices = cfg.devices;
+        return cfg;
+      }()),
+      real_(base.real),
+      shard_(cfg.devices > 0 ? cfg.global_batch / cfg.devices : 0),
+      cluster_(cfg_.cluster),
+      dataset_([&] {
+        if (cfg_.devices < 1) throw std::invalid_argument("DataParallelTrainer: devices >= 1");
+        if (cfg_.global_batch <= 0 || cfg_.global_batch % cfg_.devices != 0) {
+          throw std::invalid_argument(
+              "DataParallelTrainer: global_batch must divide evenly across devices");
+        }
+        auto probe = factory(shard_);
+        return train::SyntheticDataset(sample_shape_of(*probe), classes_of(*probe),
+                                       cfg_.train.data_seed);
+      }()) {
+  base.spec = cfg_.cluster.device;
+  base.cluster = &cluster_;
+  base.loss_batch = cfg_.global_batch;
+  for (int d = 0; d < cfg_.devices; ++d) {
+    base.device_id = d;
+    nets_.push_back(factory(shard_));
+    if (!nets_.back()->finalized()) nets_.back()->finalize();
+    runtimes_.push_back(std::make_unique<core::Runtime>(*nets_.back(), base));
+  }
+
+  // Param-grad tensors in net order — identical topology on every replica, so
+  // index i refers to the same logical gradient everywhere.
+  grads_.resize(static_cast<size_t>(cfg_.devices));
+  for (int d = 0; d < cfg_.devices; ++d) {
+    for (const auto& l : nets_[static_cast<size_t>(d)]->layers()) {
+      for (tensor::Tensor* g : l->param_grads()) grads_[static_cast<size_t>(d)].push_back(g);
+    }
+    assert(grads_[static_cast<size_t>(d)].size() == grads_[0].size() &&
+           "replica nets must be topologically identical");
+  }
+  for (const tensor::Tensor* g : grads_[0]) grad_elems_ += static_cast<uint64_t>(g->shape().elems());
+
+  std::vector<core::TransferEngine*> engines;
+  for (auto& rt : runtimes_) engines.push_back(&rt->tensor_pool().engine());
+  comm_ = std::make_unique<Communicator>(cluster_, std::move(engines));
+
+  batch_data_.resize(static_cast<size_t>(cfg_.global_batch) * dataset_.sample_elems());
+  batch_labels_.resize(static_cast<size_t>(cfg_.global_batch));
+  if (real_) fused_.resize(static_cast<size_t>(cfg_.devices));
+}
+
+void DataParallelTrainer::gather_grads() {
+  for (int d = 0; d < cfg_.devices; ++d) {
+    auto& buf = fused_[static_cast<size_t>(d)];
+    buf.resize(grad_elems_);
+    uint64_t off = 0;
+    for (tensor::Tensor* g : grads_[static_cast<size_t>(d)]) {
+      float* p = runtimes_[static_cast<size_t>(d)]->tensor_pool().device_ptr(g);
+      assert(p && "param grads stay device-resident");
+      std::memcpy(buf.data() + off, p, g->bytes());
+      off += static_cast<uint64_t>(g->shape().elems());
+    }
+  }
+}
+
+void DataParallelTrainer::scatter_grads() {
+  for (int d = 0; d < cfg_.devices; ++d) {
+    const auto& buf = fused_[static_cast<size_t>(d)];
+    uint64_t off = 0;
+    for (tensor::Tensor* g : grads_[static_cast<size_t>(d)]) {
+      float* p = runtimes_[static_cast<size_t>(d)]->tensor_pool().device_ptr(g);
+      std::memcpy(p, buf.data() + off, g->bytes());
+      off += static_cast<uint64_t>(g->shape().elems());
+    }
+  }
+}
+
+DataParallelReport DataParallelTrainer::run() {
+  DataParallelReport report;
+  const int n = cfg_.devices;
+  for (int it = 0; it < cfg_.train.iterations; ++it) {
+    if (real_) {
+      dataset_.fill_batch(cfg_.global_batch, static_cast<uint64_t>(it), batch_data_.data(),
+                          batch_labels_.data());
+    }
+
+    std::vector<core::IterationStats> sts(static_cast<size_t>(n));
+    std::vector<double> loss_sums(static_cast<size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      const float* data =
+          real_ ? batch_data_.data() + static_cast<int64_t>(d) * shard_ * dataset_.sample_elems()
+                : nullptr;
+      const int32_t* labels = real_ ? batch_labels_.data() + static_cast<int64_t>(d) * shard_
+                                    : nullptr;
+      sts[static_cast<size_t>(d)] = runtimes_[static_cast<size_t>(d)]->train_iteration(data, labels);
+      loss_sums[static_cast<size_t>(d)] = sts[static_cast<size_t>(d)].loss_sum;
+    }
+
+    // Gradient all-reduce, then the (identical) SGD step on every replica.
+    std::vector<uint64_t> sent0(static_cast<size_t>(n));
+    for (int d = 0; d < n; ++d) sent0[d] = cluster_.machine(d).counters().bytes_p2p;
+    std::vector<float*> bufs(static_cast<size_t>(n), nullptr);
+    if (real_) {
+      gather_grads();
+      for (int d = 0; d < n; ++d) bufs[static_cast<size_t>(d)] = fused_[static_cast<size_t>(d)].data();
+    }
+    AllreduceStats ar = comm_->allreduce_sum(bufs, grad_elems_);
+    if (real_) scatter_grads();
+    for (int d = 0; d < n; ++d) {
+      runtimes_[static_cast<size_t>(d)]->apply_sgd(cfg_.train.lr, cfg_.train.momentum,
+                                                   cfg_.train.weight_decay);
+    }
+
+    const double loss_sum = real_ ? Communicator::combine_loss_sums(loss_sums) : 0.0;
+    const double loss = loss_sum / cfg_.global_batch;
+    core::IterationStats agg;
+    agg.loss = loss;
+    agg.loss_sum = loss_sum;
+    agg.allreduce_seconds = ar.seconds;
+    for (int d = 0; d < n; ++d) {
+      auto& st = sts[static_cast<size_t>(d)];
+      st.allreduce_seconds = ar.device_seconds[static_cast<size_t>(d)];
+      st.p2p_bytes = cluster_.machine(d).counters().bytes_p2p - sent0[static_cast<size_t>(d)];
+      agg.seconds = std::max(agg.seconds, st.seconds + st.allreduce_seconds);
+      agg.stall_seconds = std::max(agg.stall_seconds, st.stall_seconds);
+      agg.peak_mem = std::max(agg.peak_mem, st.peak_mem);
+      agg.host_peak = std::max(agg.host_peak, st.host_peak);
+      agg.p2p_bytes += st.p2p_bytes;
+      agg.bytes_d2h += st.bytes_d2h;
+      agg.bytes_h2d += st.bytes_h2d;
+      agg.evictions += st.evictions;
+      agg.extra_forwards += st.extra_forwards;
+      agg.allocs += st.allocs;
+      agg.dma_copies += st.dma_copies;
+    }
+    report.losses.push_back(loss);
+    report.stats.push_back(agg);
+    report.device_stats.push_back(std::move(sts));
+  }
+  return report;
+}
+
+}  // namespace sn::dist

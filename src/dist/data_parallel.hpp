@@ -1,0 +1,89 @@
+// dist::DataParallelTrainer — synchronous data-parallel training over a
+// simulated multi-device cluster.
+//
+// One replica Runtime per cluster device runs the paper's full single-GPU
+// schedule (liveness, unified tensor pool, tensor cache, recompute, dynamic
+// workspaces) on its shard of the global batch; gradients are summed with the
+// Communicator's ring all-reduce before every SGD step, so replicas stay
+// bitwise in lockstep.
+//
+// Loss gradients are scaled by the GLOBAL batch (RuntimeOptions::loss_batch)
+// and every batch reduction in the kernels is a pairwise tree
+// (util/pairwise.hpp), so for power-of-two shards 2-device training produces
+// bit-identical per-iteration losses and weights to a single-device run over
+// the combined batch — the multi-device extension of the paper's "memory
+// scheduling never changes training results" invariant. This holds for nets
+// whose kernels are per-sample (no BatchNorm batch statistics, no dropout —
+// both couple results to the position of a sample inside the local batch).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "dist/communicator.hpp"
+#include "train/dataset.hpp"
+#include "train/trainer.hpp"
+
+namespace sn::dist {
+
+struct DataParallelConfig {
+  int devices = 2;
+  int global_batch = 8;        ///< must divide evenly across devices
+  sim::ClusterSpec cluster;    ///< device + link preset; .devices is overridden
+  train::TrainConfig train;    ///< iterations / lr / momentum / seed
+};
+
+struct DataParallelReport {
+  std::vector<double> losses;               ///< combined global-batch loss
+  std::vector<core::IterationStats> stats;  ///< cluster-aggregate per iteration
+  std::vector<std::vector<core::IterationStats>> device_stats;  ///< [iter][device]
+
+  double first_loss() const { return losses.empty() ? 0.0 : losses.front(); }
+  double last_loss() const { return losses.empty() ? 0.0 : losses.back(); }
+};
+
+class DataParallelTrainer {
+ public:
+  /// Builds one replica net per device at the shard batch size.
+  using NetFactory = std::function<std::unique_ptr<graph::Net>(int batch)>;
+
+  /// `base` supplies the runtime policy for every replica; its spec / cluster
+  /// / device_id / loss_batch fields are overwritten per device.
+  DataParallelTrainer(const NetFactory& factory, core::RuntimeOptions base,
+                      DataParallelConfig cfg);
+
+  /// Run `cfg.train.iterations` sharded forward/backward + all-reduce + SGD
+  /// rounds on synthetic data.
+  DataParallelReport run();
+
+  int devices() const { return cfg_.devices; }
+  int shard_batch() const { return shard_; }
+  uint64_t grad_elems() const { return grad_elems_; }
+  core::Runtime& runtime(int device) { return *runtimes_[static_cast<size_t>(device)]; }
+  sim::Cluster& cluster() { return cluster_; }
+  Communicator& communicator() { return *comm_; }
+
+ private:
+  void gather_grads();
+  void scatter_grads();
+
+  DataParallelConfig cfg_;
+  bool real_;
+  int shard_;
+  sim::Cluster cluster_;
+  std::vector<std::unique_ptr<graph::Net>> nets_;
+  std::vector<std::unique_ptr<core::Runtime>> runtimes_;
+  std::unique_ptr<Communicator> comm_;
+  train::SyntheticDataset dataset_;
+  std::vector<float> batch_data_;
+  std::vector<int32_t> batch_labels_;
+  /// Per-device param-grad tensors in net order (identical across replicas)
+  /// and the fused flat buffers the all-reduce runs over (real mode).
+  std::vector<std::vector<tensor::Tensor*>> grads_;
+  std::vector<std::vector<float>> fused_;
+  uint64_t grad_elems_ = 0;
+};
+
+}  // namespace sn::dist

@@ -64,6 +64,16 @@ struct ExecContext {
   const int32_t* labels = nullptr;
   double* loss_out = nullptr;
 
+  /// Raw (unnormalized) NLL sum over the local batch — data-parallel replicas
+  /// combine these pairwise so the global loss matches a single-device run
+  /// bit for bit (normalized means cannot be recombined exactly).
+  double* loss_sum_out = nullptr;
+
+  /// Batch the loss is averaged over; 0 means the local batch. Data-parallel
+  /// training sets this to the GLOBAL batch so per-sample gradients are
+  /// independent of how the batch is sharded across devices.
+  int loss_batch = 0;
+
   bool real = true;
 
   /// Forward-only evaluation: dropout becomes identity (standard inference

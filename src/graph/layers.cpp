@@ -353,7 +353,11 @@ void SoftmaxLossLayer::forward(ExecContext& ctx) {
   int n = static_cast<int>(out_shape_.n), c = static_cast<int>(out_shape_.c);
   float* p = ctx.buf(output());
   nn::softmax_forward(n, c, ctx.buf(in_tensor()), p);
-  if (ctx.labels && ctx.loss_out) *ctx.loss_out = nn::nll_loss(n, c, p, ctx.labels);
+  if (ctx.labels && (ctx.loss_out || ctx.loss_sum_out)) {
+    double sum = nn::nll_loss_sum(n, c, p, ctx.labels);
+    if (ctx.loss_sum_out) *ctx.loss_sum_out = sum;
+    if (ctx.loss_out) *ctx.loss_out = sum / (ctx.loss_batch > 0 ? ctx.loss_batch : n);
+  }
 }
 
 void SoftmaxLossLayer::backward(ExecContext& ctx) {
@@ -361,7 +365,7 @@ void SoftmaxLossLayer::backward(ExecContext& ctx) {
   tensor::Tensor* dxt = prevs_[0]->output_grad();
   if (!dxt) return;
   int n = static_cast<int>(out_shape_.n), c = static_cast<int>(out_shape_.c);
-  nn::softmax_nll_backward(n, c, ctx.buf(output()), ctx.labels, ctx.buf(dxt));
+  nn::softmax_nll_backward(n, c, ctx.buf(output()), ctx.labels, ctx.buf(dxt), ctx.loss_batch);
 }
 
 std::vector<tensor::Tensor*> SoftmaxLossLayer::backward_uses() const { return {output_}; }

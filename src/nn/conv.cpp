@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <vector>
 
 #include "nn/gemm.hpp"
 #include "nn/fft.hpp"
 #include "nn/winograd.hpp"
+#include "util/pairwise.hpp"
 #include "util/threadpool.hpp"
 
 namespace sn::nn {
@@ -160,37 +162,60 @@ void im2col_backward_data(const ConvDesc& d, const float* w, const float* dy, fl
 void direct_backward_filter(const ConvDesc& d, const float* x, const float* dy, float* dw,
                             float* db) {
   const int oh = d.out_h(), ow = d.out_w();
-  std::memset(dw, 0, sizeof(float) * d.weight_elems());
+  const size_t wdim = static_cast<size_t>(d.c) * d.kh * d.kw;
+  // Per-sample contributions accumulate in double with a fixed spatial
+  // order, are cast to float, and reduce over the batch as a pairwise tree
+  // (shard-composable — data-parallel replicas must be able to reproduce
+  // the full-batch gradient bit for bit; see util/pairwise.hpp). Channels
+  // run in blocks so scratch is allocated per block, not per channel.
   auto& pool = util::ThreadPool::global();
-  pool.parallel_for(0, static_cast<size_t>(d.k), [&](size_t ki_) {
-    int k = static_cast<int>(ki_);
-    float* dwk = dw + static_cast<long>(k) * d.c * d.kh * d.kw;
-    double dbk = 0.0;
-    for (int n = 0; n < d.n; ++n) {
-      const float* xi = x + static_cast<long>(n) * d.c * d.h * d.w;
-      const float* dyk = dy + (static_cast<long>(n) * d.k + k) * oh * ow;
-      for (int oy = 0; oy < oh; ++oy) {
-        for (int ox = 0; ox < ow; ++ox) {
-          float g = dyk[static_cast<long>(oy) * ow + ox];
-          dbk += g;
-          if (g == 0.0f) continue;
-          for (int c = 0; c < d.c; ++c) {
-            const float* plane = xi + static_cast<long>(c) * d.h * d.w;
-            float* wc = dwk + static_cast<long>(c) * d.kh * d.kw;
-            for (int ki = 0; ki < d.kh; ++ki) {
-              int iy = oy * d.stride_h - d.pad_h + ki;
-              if (iy < 0 || iy >= d.h) continue;
-              for (int kj = 0; kj < d.kw; ++kj) {
-                int ix = ox * d.stride_w - d.pad_w + kj;
-                if (ix < 0 || ix >= d.w) continue;
-                wc[ki * d.kw + kj] += g * plane[static_cast<long>(iy) * d.w + ix];
+  const int grain = std::max(1, d.k / static_cast<int>(pool.size() * 4));
+  const int blocks = (d.k + grain - 1) / grain;
+  pool.parallel_for(0, static_cast<size_t>(blocks), [&](size_t bi) {
+    const int bk0 = static_cast<int>(bi) * grain;
+    const int bk1 = std::min(d.k, bk0 + grain);
+    util::PairwiseVecAccumulator acc(wdim);
+    std::vector<double> sample(wdim);
+    std::vector<float> leaf(wdim);
+    std::vector<float> db_leaf(db ? static_cast<size_t>(d.n) : 0);
+    for (int k = bk0; k < bk1; ++k) {
+      for (int n = 0; n < d.n; ++n) {
+        std::fill(sample.begin(), sample.end(), 0.0);
+        double dbn = 0.0;
+        const float* xi = x + static_cast<long>(n) * d.c * d.h * d.w;
+        const float* dyk = dy + (static_cast<long>(n) * d.k + k) * oh * ow;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            float g = dyk[static_cast<long>(oy) * ow + ox];
+            dbn += g;
+            if (g == 0.0f) continue;
+            for (int c = 0; c < d.c; ++c) {
+              const float* plane = xi + static_cast<long>(c) * d.h * d.w;
+              double* wc = sample.data() + static_cast<long>(c) * d.kh * d.kw;
+              for (int ki = 0; ki < d.kh; ++ki) {
+                int iy = oy * d.stride_h - d.pad_h + ki;
+                if (iy < 0 || iy >= d.h) continue;
+                for (int kj = 0; kj < d.kw; ++kj) {
+                  int ix = ox * d.stride_w - d.pad_w + kj;
+                  if (ix < 0 || ix >= d.w) continue;
+                  wc[ki * d.kw + kj] +=
+                      static_cast<double>(g) *
+                      static_cast<double>(plane[static_cast<long>(iy) * d.w + ix]);
+                }
               }
             }
           }
         }
+        for (size_t i = 0; i < wdim; ++i) leaf[i] = static_cast<float>(sample[i]);
+        acc.push(leaf.data());
+        if (db) db_leaf[static_cast<size_t>(n)] = static_cast<float>(dbn);
+      }
+      acc.finish(dw + static_cast<long>(k) * wdim);
+      if (db) {
+        db[k] = util::pairwise_sum<float>(static_cast<uint64_t>(d.n),
+                                          [&](uint64_t n) { return db_leaf[n]; });
       }
     }
-    if (db) db[k] = static_cast<float>(dbk);
   });
 }
 
@@ -199,25 +224,31 @@ void im2col_backward_filter(const ConvDesc& d, const float* x, const float* dy, 
   const Conv2dGeom g = d.geom();
   const long ospatial = static_cast<long>(d.out_h()) * d.out_w();
   const int ck = d.c * d.kh * d.kw;
-  std::memset(dw, 0, sizeof(float) * d.weight_elems());
-  // dW accumulates across the batch, so images run sequentially; the column
-  // slice still comes from the batch-scale workspace.
+  const size_t wdim = static_cast<size_t>(d.k) * ck;
+  // Images run sequentially (the column slice still comes from the
+  // batch-scale workspace); each image's dW lands in a scratch leaf and the
+  // batch reduces as a pairwise tree, matching the direct path bit for bit
+  // (same per-sample products in the same spatial order).
+  util::PairwiseVecAccumulator acc(wdim);
+  std::vector<float> leaf(wdim);
   for (int n = 0; n < d.n; ++n) {
     float* col = ws + static_cast<uint64_t>(n) * col_elems(d);
     im2col(g, x + static_cast<long>(n) * d.c * d.h * d.w, col);
-    // dW (K x CK) += dy_n (K x OS) * colᵀ (OS x CK)
+    // dW_n (K x CK) = dy_n (K x OS) * colᵀ (OS x CK)
     sgemm(false, true, d.k, ck, static_cast<int>(ospatial), 1.0f,
           dy + static_cast<long>(n) * d.k * ospatial, static_cast<int>(ospatial), col,
-          static_cast<int>(ospatial), 1.0f, dw, ck);
+          static_cast<int>(ospatial), 0.0f, leaf.data(), ck);
+    acc.push(leaf.data());
   }
+  acc.finish(dw);
   if (db) {
     for (int k = 0; k < d.k; ++k) {
-      double acc = 0.0;
-      for (int n = 0; n < d.n; ++n) {
+      db[k] = util::pairwise_sum<float>(static_cast<uint64_t>(d.n), [&](uint64_t n) {
         const float* row = dy + (static_cast<long>(n) * d.k + k) * ospatial;
-        for (long i = 0; i < ospatial; ++i) acc += row[i];
-      }
-      db[k] = static_cast<float>(acc);
+        double spatial = 0.0;
+        for (long i = 0; i < ospatial; ++i) spatial += row[i];
+        return static_cast<float>(spatial);
+      });
     }
   }
 }

@@ -1,6 +1,11 @@
 #include "nn/fc.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "nn/gemm.hpp"
+#include "util/pairwise.hpp"
+#include "util/threadpool.hpp"
 
 namespace sn::nn {
 
@@ -21,15 +26,36 @@ void fc_backward_data(const FcDesc& f, const float* w, const float* dy, float* d
 }
 
 void fc_backward_filter(const FcDesc& f, const float* x, const float* dy, float* dw, float* db) {
-  // dW = dyᵀ * x
-  sgemm(true, false, f.k, f.d, f.n, 1.0f, dy, f.k, x, f.d, 0.0f, dw, f.d);
-  if (db) {
-    for (int k = 0; k < f.k; ++k) {
-      double acc = 0.0;
-      for (int n = 0; n < f.n; ++n) acc += dy[static_cast<long>(n) * f.k + k];
-      db[k] = static_cast<float>(acc);
+  // dW = dyᵀ * x, reduced over the batch with a pairwise tree per output row
+  // (see util/pairwise.hpp): the per-sample leaf is the outer-product row
+  // dy[n][k] * x[n][:], so an equal power-of-two batch shard contributes
+  // exactly one subtree and data-parallel all-reduced gradients match the
+  // single-device ones bit for bit.
+  // Rows run in blocks so each worker allocates its accumulator/leaf scratch
+  // once per block, not once per output row (finish() resets the tree).
+  auto& pool = util::ThreadPool::global();
+  const int grain = std::max(1, f.k / static_cast<int>(pool.size() * 4));
+  const int blocks = (f.k + grain - 1) / grain;
+  pool.parallel_for(0, static_cast<size_t>(blocks), [&](size_t bi) {
+    const int k0 = static_cast<int>(bi) * grain;
+    const int k1 = std::min(f.k, k0 + grain);
+    util::PairwiseVecAccumulator acc(static_cast<size_t>(f.d));
+    std::vector<float> leaf(static_cast<size_t>(f.d));
+    for (int k = k0; k < k1; ++k) {
+      for (int n = 0; n < f.n; ++n) {
+        const float g = dy[static_cast<long>(n) * f.k + k];
+        const float* xn = x + static_cast<long>(n) * f.d;
+        for (int dd = 0; dd < f.d; ++dd) leaf[static_cast<size_t>(dd)] = g * xn[dd];
+        acc.push(leaf.data());
+      }
+      acc.finish(dw + static_cast<long>(k) * f.d);
+      if (db) {
+        db[k] = util::pairwise_sum<float>(static_cast<uint64_t>(f.n), [&](uint64_t n) {
+          return dy[static_cast<long>(n) * f.k + k];
+        });
+      }
     }
-  }
+  });
 }
 
 }  // namespace sn::nn

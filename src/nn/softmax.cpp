@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/pairwise.hpp"
+
 namespace sn::nn {
 
 void softmax_forward(int n, int c, const float* x, float* p) {
@@ -21,17 +23,23 @@ void softmax_forward(int n, int c, const float* x, float* p) {
   }
 }
 
-double nll_loss(int n, int c, const float* p, const int32_t* labels) {
-  double loss = 0.0;
-  for (int i = 0; i < n; ++i) {
+double nll_loss_sum(int n, int c, const float* p, const int32_t* labels) {
+  // Pairwise over samples: an equal power-of-two shard's sum is a subtree of
+  // the combined batch's sum, which is what makes data-parallel losses
+  // bit-identical to single-device ones.
+  return util::pairwise_sum<double>(static_cast<uint64_t>(n), [&](uint64_t i) {
     float pi = p[static_cast<long>(i) * c + labels[i]];
-    loss -= std::log(pi > 1e-12f ? pi : 1e-12f);
-  }
-  return loss / n;
+    return -static_cast<double>(std::log(pi > 1e-12f ? pi : 1e-12f));
+  });
 }
 
-void softmax_nll_backward(int n, int c, const float* p, const int32_t* labels, float* dx) {
-  const float inv_n = 1.0f / static_cast<float>(n);
+double nll_loss(int n, int c, const float* p, const int32_t* labels) {
+  return nll_loss_sum(n, c, p, labels) / n;
+}
+
+void softmax_nll_backward(int n, int c, const float* p, const int32_t* labels, float* dx,
+                          int norm) {
+  const float inv_n = 1.0f / static_cast<float>(norm > 0 ? norm : n);
   for (int i = 0; i < n; ++i) {
     const float* pi = p + static_cast<long>(i) * c;
     float* di = dx + static_cast<long>(i) * c;

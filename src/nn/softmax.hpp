@@ -12,10 +12,18 @@ namespace sn::nn {
 /// x, p: (N x C). Row-wise softmax with the max-subtraction trick.
 void softmax_forward(int n, int c, const float* x, float* p);
 
-/// Mean NLL of `labels` (size n, values in [0, c)).
+/// Raw NLL sum over the batch (pairwise tree over samples, so a shard's sum
+/// is a subtree of the full batch's — see util/pairwise.hpp).
+double nll_loss_sum(int n, int c, const float* p, const int32_t* labels);
+
+/// Mean NLL of `labels` (size n, values in [0, c)): nll_loss_sum / n.
 double nll_loss(int n, int c, const float* p, const int32_t* labels);
 
-/// dx += (p - onehot) / n. ACCUMULATES (caller zeroes once per iteration).
-void softmax_nll_backward(int n, int c, const float* p, const int32_t* labels, float* dx);
+/// dx += (p - onehot) / norm. ACCUMULATES (caller zeroes once per iteration).
+/// `norm` is the batch the loss is averaged over — the local batch normally,
+/// the GLOBAL batch under data parallelism so per-sample gradients do not
+/// depend on how the batch is sharded. norm <= 0 means "use n".
+void softmax_nll_backward(int n, int c, const float* p, const int32_t* labels, float* dx,
+                          int norm = 0);
 
 }  // namespace sn::nn

@@ -1,0 +1,91 @@
+#include "sim/cluster.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sn::sim {
+
+LinkSpec nvlink_link_spec() {
+  LinkSpec l;
+  l.name = "NVLink2";
+  l.bandwidth = 25.0e9;
+  l.latency_s = 5e-6;
+  return l;
+}
+
+LinkSpec pcie_p2p_link_spec() {
+  LinkSpec l;
+  l.name = "PCIe-P2P";
+  l.bandwidth = 10.0e9;
+  l.latency_s = 15e-6;
+  return l;
+}
+
+ClusterSpec nvlink_cluster_spec(int devices) {
+  ClusterSpec c;
+  c.device = titan_xp_spec();
+  c.link = nvlink_link_spec();
+  c.devices = devices;
+  return c;
+}
+
+ClusterSpec pcie_cluster_spec(int devices) {
+  ClusterSpec c;
+  c.device = k40c_spec();
+  c.link = pcie_p2p_link_spec();
+  c.devices = devices;
+  return c;
+}
+
+Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  if (spec_.devices < 1) throw std::invalid_argument("Cluster: need at least one device");
+  machines_.reserve(static_cast<size_t>(spec_.devices));
+  for (int d = 0; d < spec_.devices; ++d) {
+    machines_.push_back(std::make_unique<Machine>(spec_.device, d, this));
+  }
+  links_.resize(static_cast<size_t>(spec_.devices) * spec_.devices);
+}
+
+Machine& Cluster::machine(int device) {
+  assert(device >= 0 && device < size());
+  return *machines_[static_cast<size_t>(device)];
+}
+
+const Machine& Cluster::machine(int device) const {
+  assert(device >= 0 && device < size());
+  return *machines_[static_cast<size_t>(device)];
+}
+
+double Cluster::p2p_seconds(uint64_t bytes) const {
+  return spec_.link.latency_s + static_cast<double>(bytes) / spec_.link.bandwidth;
+}
+
+Event Cluster::p2p_copy(int src, int dst, uint64_t bytes, double not_before) {
+  assert(src != dst && "P2P copy needs two distinct devices");
+  double done = link(src, dst).enqueue(p2p_seconds(bytes), not_before);
+  return Event{done};
+}
+
+double Cluster::now() const {
+  double t = 0.0;
+  for (const auto& m : machines_) {
+    if (m->now() > t) t = m->now();
+  }
+  return t;
+}
+
+void Cluster::reset() {
+  for (auto& m : machines_) m->reset();
+  for (auto& l : links_) l.reset();
+}
+
+// Lives here rather than machine.cpp so machine.hpp need not include the
+// cluster header it forward-declares.
+Event Machine::p2p_copy(int dst, uint64_t bytes, double not_before) {
+  assert(cluster_ && "p2p_copy requires cluster membership");
+  counters_.bytes_p2p += bytes;
+  counters_.copies_p2p++;
+  return cluster_->p2p_copy(device_id_, dst, bytes, not_before);
+}
+
+}  // namespace sn::sim

@@ -1,0 +1,67 @@
+// Virtual-time multi-device cluster: N sim::Machines (each with its own
+// compute / H2D / D2H streams) joined by modeled peer-to-peer links.
+//
+// The paper's runtime is single-GPU; the dist/ layer scales it out by running
+// one Runtime per cluster device and exchanging gradients over these links.
+// Each directed (src, dst) pair owns an in-order link stream, so concurrent
+// ring-neighbor transfers proceed in parallel while back-to-back transfers on
+// the same link serialize — the same contention model real NVLink/PCIe
+// fabrics exhibit. Like every sim component, only *relative* effects are
+// calibrated (NVLink vs PCIe bandwidth ratio, latency vs bandwidth terms).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace sn::sim {
+
+struct ClusterSpec {
+  DeviceSpec device = k40c_spec();
+  LinkSpec link = pcie_p2p_link_spec();
+  int devices = 1;
+};
+
+/// DGX-style node: TITAN-Xp-class devices on an NVLink fabric.
+ClusterSpec nvlink_cluster_spec(int devices);
+
+/// Commodity node: K40c-class devices behind a PCIe switch.
+ClusterSpec pcie_cluster_spec(int devices);
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  int size() const { return static_cast<int>(machines_.size()); }
+
+  Machine& machine(int device);
+  const Machine& machine(int device) const;
+
+  /// Virtual duration of one P2P transfer of `bytes`.
+  double p2p_seconds(uint64_t bytes) const;
+
+  /// Enqueue a copy on the directed link src -> dst, starting no earlier than
+  /// `not_before`; returns the completion event. Counters land on the source
+  /// machine (bytes_p2p / copies_p2p). Usually reached via Machine::p2p_copy.
+  Event p2p_copy(int src, int dst, uint64_t bytes, double not_before);
+
+  /// Cluster-wide virtual time: the latest of any device's compute head.
+  double now() const;
+
+  /// Reset every machine and link stream to time zero.
+  void reset();
+
+ private:
+  Stream& link(int src, int dst) {
+    return links_[static_cast<size_t>(src) * machines_.size() + static_cast<size_t>(dst)];
+  }
+
+  ClusterSpec spec_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<Stream> links_;  ///< dense (src * N + dst) directed-link matrix
+};
+
+}  // namespace sn::sim

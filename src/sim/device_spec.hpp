@@ -52,4 +52,19 @@ DeviceSpec k40c_spec();
 /// The TITAN-Xp-class device used for the Fig. 14 speed curves.
 DeviceSpec titan_xp_spec();
 
+/// A modeled device-to-device interconnect link (one direction). The paper's
+/// machine is single-GPU; these extend its published-spec calibration style
+/// to the multi-device clusters the dist/ layer simulates.
+struct LinkSpec {
+  std::string name;
+  double bandwidth = 10.0e9;  ///< bytes/s, per direction
+  double latency_s = 10e-6;   ///< fixed per-transfer launch + hop latency
+};
+
+/// NVLink-2.0-class link: ~25 GB/s per direction, low launch latency.
+LinkSpec nvlink_link_spec();
+
+/// PCIe-switch P2P path: ~10 GB/s effective, higher latency than NVLink.
+LinkSpec pcie_p2p_link_spec();
+
 }  // namespace sn::sim

@@ -15,6 +15,8 @@
 
 namespace sn::sim {
 
+class Cluster;
+
 /// Completion timestamp of an asynchronous operation (virtual seconds).
 struct Event {
   double done_at = 0.0;
@@ -44,8 +46,10 @@ enum class CopyDir { kH2D, kD2H };
 struct MachineCounters {
   uint64_t bytes_h2d = 0;
   uint64_t bytes_d2h = 0;
+  uint64_t bytes_p2p = 0;      ///< bytes this device SENT over peer links
   uint64_t copies_h2d = 0;
   uint64_t copies_d2h = 0;
+  uint64_t copies_p2p = 0;
   uint64_t native_mallocs = 0;
   uint64_t native_frees = 0;
   double compute_time = 0.0;   ///< time the compute stream spent busy
@@ -57,7 +61,13 @@ class Machine {
  public:
   explicit Machine(DeviceSpec spec) : spec_(std::move(spec)) {}
 
+  /// A cluster member: `cluster` owns the P2P link fabric this machine's
+  /// p2p_copy() routes through (set only by sim::Cluster).
+  Machine(DeviceSpec spec, int device_id, Cluster* cluster)
+      : spec_(std::move(spec)), device_id_(device_id), cluster_(cluster) {}
+
   const DeviceSpec& spec() const { return spec_; }
+  int device_id() const { return device_id_; }
 
   /// Current virtual time = head of the compute timeline.
   double now() const { return compute_.busy_until(); }
@@ -73,6 +83,11 @@ class Machine {
   /// Enqueue an asynchronous copy; returns its completion event.
   Event async_copy(CopyDir dir, uint64_t bytes, bool pinned);
 
+  /// Enqueue an asynchronous copy to peer device `dst` over the cluster's
+  /// directed link; the transfer may not start before `not_before` (the
+  /// sender-side data dependency). Requires cluster membership.
+  Event p2p_copy(int dst, uint64_t bytes, double not_before);
+
   /// Block the compute stream until `e` has completed.
   void wait_event(const Event& e);
 
@@ -86,6 +101,8 @@ class Machine {
 
  private:
   DeviceSpec spec_;
+  int device_id_ = 0;
+  Cluster* cluster_ = nullptr;  ///< non-null for cluster members only
   Stream compute_;
   Stream h2d_;
   Stream d2h_;

@@ -1,0 +1,103 @@
+// Shard-composable pairwise (binary-counter) summation.
+//
+// Data-parallel training shards a batch across replicas and sums the
+// per-replica gradients with an all-reduce. For the result to be bit-identical
+// to a single-device run over the combined batch, every reduction across the
+// batch dimension must form the SAME floating-point expression tree in both
+// executions. Sequential accumulation (((c0+c1)+c2)+c3 does not decompose at a
+// shard boundary; the balanced pairwise tree ((c0+c1)+(c2+c3)) does: a shard
+// of 2^k contiguous samples is exactly one subtree, and combining shard roots
+// in rank order reproduces the full-batch root bit for bit (IEEE addition is
+// commutative, so per-node operand order is free).
+//
+// The binary-counter scheme below builds that balanced tree in one sequential
+// pass with O(log n) state: partial sums are held per level; pushing a new
+// leaf "carries" up the levels exactly like binary increment. For n a power of
+// two this is the perfect balanced tree; for other n the remaining levels are
+// folded lowest-first (deterministic, but only power-of-two shards compose).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sn::util {
+
+/// Pairwise sum of f(0..n-1); T is the accumulation type (float or double).
+template <typename T, typename F>
+T pairwise_sum(uint64_t n, F&& f) {
+  if (n == 0) return T(0);
+  T level[64];
+  uint64_t occupied = 0;  // bitmask of occupied levels
+  for (uint64_t i = 0; i < n; ++i) {
+    T v = static_cast<T>(f(i));
+    int lv = 0;
+    while (occupied & (1ull << lv)) {
+      v += level[lv];
+      occupied &= ~(1ull << lv);
+      ++lv;
+    }
+    level[lv] = v;
+    occupied |= 1ull << lv;
+  }
+  // Fold leftovers lowest-level-first (single level when n is a power of two).
+  T acc = T(0);
+  bool first = true;
+  for (int lv = 0; lv < 64; ++lv) {
+    if (!(occupied & (1ull << lv))) continue;
+    acc = first ? level[lv] : level[lv] + acc;
+    first = false;
+  }
+  return acc;
+}
+
+/// Pairwise accumulation of fixed-size float vectors (per-sample gradient
+/// contributions). push() consumes one leaf; finish() writes the tree root.
+/// Levels are allocated lazily, so memory is dim * ceil(log2(count)) floats.
+class PairwiseVecAccumulator {
+ public:
+  explicit PairwiseVecAccumulator(size_t dim) : dim_(dim) {}
+
+  /// `leaf` must hold dim() floats; its contents are consumed.
+  void push(float* leaf) {
+    size_t lv = 0;
+    while (lv < occupied_.size() && occupied_[lv]) {
+      float* stored = levels_[lv].data();
+      for (size_t i = 0; i < dim_; ++i) leaf[i] += stored[i];
+      occupied_[lv] = false;
+      ++lv;
+    }
+    if (lv >= levels_.size()) {
+      levels_.emplace_back(dim_);
+      occupied_.push_back(false);
+    }
+    std::copy(leaf, leaf + dim_, levels_[lv].begin());
+    occupied_[lv] = true;
+  }
+
+  /// Fold remaining levels (lowest first) into `out`; resets the accumulator.
+  void finish(float* out) {
+    bool first = true;
+    for (size_t lv = 0; lv < levels_.size(); ++lv) {
+      if (!occupied_[lv]) continue;
+      const float* stored = levels_[lv].data();
+      if (first) {
+        std::copy(stored, stored + dim_, out);
+        first = false;
+      } else {
+        for (size_t i = 0; i < dim_; ++i) out[i] = stored[i] + out[i];
+      }
+      occupied_[lv] = false;
+    }
+    if (first) std::fill(out, out + dim_, 0.0f);
+  }
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  std::vector<std::vector<float>> levels_;
+  std::vector<bool> occupied_;
+};
+
+}  // namespace sn::util

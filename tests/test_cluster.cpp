@@ -1,0 +1,109 @@
+// sim::Cluster + P2P transfer tests: link timing/serialization, per-device
+// counters, and the TransferEngine's kP2P direction.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/transfer_engine.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace sn;
+
+TEST(LinkSpec, NvlinkBeatsPcie) {
+  sim::LinkSpec nv = sim::nvlink_link_spec();
+  sim::LinkSpec pcie = sim::pcie_p2p_link_spec();
+  EXPECT_GT(nv.bandwidth, pcie.bandwidth);
+  EXPECT_LT(nv.latency_s, pcie.latency_s);
+}
+
+TEST(Cluster, MachinesCarryDeviceIds) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(4));
+  ASSERT_EQ(cluster.size(), 4);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_EQ(cluster.machine(d).device_id(), d);
+    EXPECT_EQ(cluster.machine(d).now(), 0.0);
+  }
+}
+
+TEST(Cluster, P2pCopyModelsLatencyPlusBandwidth) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  const uint64_t bytes = 100 << 20;
+  double expect = cluster.spec().link.latency_s +
+                  static_cast<double>(bytes) / cluster.spec().link.bandwidth;
+  EXPECT_DOUBLE_EQ(cluster.p2p_seconds(bytes), expect);
+  sim::Event e = cluster.p2p_copy(0, 1, bytes, /*not_before=*/0.0);
+  EXPECT_DOUBLE_EQ(e.done_at, expect);
+}
+
+TEST(Cluster, SameLinkSerializesDistinctLinksOverlap) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(3));
+  const uint64_t bytes = 10 << 20;
+  double dur = cluster.p2p_seconds(bytes);
+  // Two copies on link 0->1 serialize.
+  sim::Event a = cluster.p2p_copy(0, 1, bytes, 0.0);
+  sim::Event b = cluster.p2p_copy(0, 1, bytes, 0.0);
+  EXPECT_DOUBLE_EQ(a.done_at, dur);
+  EXPECT_DOUBLE_EQ(b.done_at, 2 * dur);
+  // A copy on an unrelated directed link is unaffected.
+  sim::Event c = cluster.p2p_copy(1, 2, bytes, 0.0);
+  EXPECT_DOUBLE_EQ(c.done_at, dur);
+  // The reverse direction 1->0 is its own link too.
+  sim::Event d = cluster.p2p_copy(1, 0, bytes, 0.0);
+  EXPECT_DOUBLE_EQ(d.done_at, dur);
+}
+
+TEST(Cluster, NotBeforeDefersTheCopy) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  const uint64_t bytes = 1 << 20;
+  sim::Event e = cluster.p2p_copy(0, 1, bytes, /*not_before=*/1.5);
+  EXPECT_DOUBLE_EQ(e.done_at, 1.5 + cluster.p2p_seconds(bytes));
+}
+
+TEST(Cluster, SenderCountsP2pBytes) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  cluster.machine(0).p2p_copy(1, 4096, 0.0);
+  cluster.machine(0).p2p_copy(1, 4096, 0.0);
+  EXPECT_EQ(cluster.machine(0).counters().bytes_p2p, 8192u);
+  EXPECT_EQ(cluster.machine(0).counters().copies_p2p, 2u);
+  EXPECT_EQ(cluster.machine(1).counters().bytes_p2p, 0u);
+  cluster.reset();
+  EXPECT_EQ(cluster.machine(0).counters().bytes_p2p, 0u);
+}
+
+TEST(TransferEngine, P2pSubmissionsTrackAndRetire) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  core::TransferEngine engine(cluster.machine(0), /*pinned=*/true, /*device_id=*/0);
+  EXPECT_EQ(engine.device_id(), 0);
+
+  std::vector<float> src(256, 3.5f), dst(256, 0.0f);
+  engine.submit_p2p(/*tag=*/7, src.data(), dst.data(), 256 * sizeof(float), /*peer=*/1,
+                    /*not_before=*/0.0);
+  EXPECT_TRUE(engine.pending(core::TransferDir::kP2P, 7));
+  EXPECT_EQ(engine.pending_count(core::TransferDir::kP2P), 1u);
+  EXPECT_EQ(engine.stats().submitted_p2p, 1u);
+  // Inline backend: the bytes landed at submit.
+  EXPECT_EQ(dst[0], 3.5f);
+  EXPECT_EQ(dst[255], 3.5f);
+
+  engine.wait(core::TransferDir::kP2P, 7);
+  EXPECT_FALSE(engine.pending(core::TransferDir::kP2P, 7));
+  EXPECT_EQ(engine.stats().completed_p2p, 1u);
+  // Waiting charged the sender's compute stream up to the link completion.
+  EXPECT_GE(cluster.machine(0).now(), cluster.p2p_seconds(256 * sizeof(float)));
+}
+
+TEST(TransferEngine, DrainCoversP2p) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  core::TransferEngine engine(cluster.machine(0), true);
+  engine.submit_p2p(1, nullptr, nullptr, 1024, 1, 0.0);
+  engine.submit_p2p(2, nullptr, nullptr, 1024, 1, 0.0);
+  EXPECT_EQ(engine.pending_count(core::TransferDir::kP2P), 2u);
+  engine.drain();
+  EXPECT_EQ(engine.pending_count(core::TransferDir::kP2P), 0u);
+  EXPECT_EQ(engine.stats().completed_p2p, 2u);
+}
+
+}  // namespace

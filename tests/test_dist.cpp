@@ -1,0 +1,293 @@
+// dist/ subsystem tests: ring all-reduce numerics, data-parallel training
+// parity (the flagship multi-device invariant: sharding a batch across
+// replicas never changes training results), and collective telemetry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "dist/communicator.hpp"
+#include "dist/data_parallel.hpp"
+#include "graph/zoo.hpp"
+#include "train/trainer.hpp"
+#include "util/pairwise.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sn;
+
+std::vector<std::vector<float>> random_buffers(int devices, uint64_t elems, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> bufs(static_cast<size_t>(devices));
+  for (auto& b : bufs) {
+    b.resize(elems);
+    for (auto& v : b) v = rng.uniform(-1.0f, 1.0f);
+  }
+  return bufs;
+}
+
+std::unique_ptr<dist::Communicator> make_comm(sim::Cluster& cluster,
+                                              std::vector<std::unique_ptr<core::TransferEngine>>& engines) {
+  std::vector<core::TransferEngine*> ptrs;
+  for (int d = 0; d < cluster.size(); ++d) {
+    engines.push_back(std::make_unique<core::TransferEngine>(cluster.machine(d), true, d));
+    ptrs.push_back(engines.back().get());
+  }
+  return std::make_unique<dist::Communicator>(cluster, std::move(ptrs));
+}
+
+TEST(Communicator, RingAllreduceMatchesSerialReduction) {
+  const int kDevices = 4;
+  const uint64_t kElems = 1037;  // deliberately not divisible by the ring
+  sim::Cluster cluster(sim::pcie_cluster_spec(kDevices));
+  std::vector<std::unique_ptr<core::TransferEngine>> engines;
+  auto comm = make_comm(cluster, engines);
+
+  auto bufs = random_buffers(kDevices, kElems, 42);
+  std::vector<double> reference(kElems, 0.0);
+  for (const auto& b : bufs) {
+    for (uint64_t i = 0; i < kElems; ++i) reference[i] += static_cast<double>(b[i]);
+  }
+
+  std::vector<float*> ptrs;
+  for (auto& b : bufs) ptrs.push_back(b.data());
+  auto stats = comm->allreduce_sum(ptrs, kElems);
+
+  for (uint64_t i = 0; i < kElems; ++i) {
+    EXPECT_NEAR(bufs[0][i], reference[i], 1e-4) << "element " << i;
+  }
+  // Every device finishes with bit-identical bytes.
+  for (int d = 1; d < kDevices; ++d) EXPECT_EQ(bufs[0], bufs[static_cast<size_t>(d)]);
+  EXPECT_EQ(stats.chunks, static_cast<uint64_t>(kDevices));
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Communicator, TwoDeviceAllreduceIsExact) {
+  const uint64_t kElems = 513;
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  std::vector<std::unique_ptr<core::TransferEngine>> engines;
+  auto comm = make_comm(cluster, engines);
+
+  auto bufs = random_buffers(2, kElems, 7);
+  std::vector<float> expect(kElems);
+  for (uint64_t i = 0; i < kElems; ++i) expect[i] = bufs[0][i] + bufs[1][i];
+
+  std::vector<float*> ptrs{bufs[0].data(), bufs[1].data()};
+  comm->allreduce_sum(ptrs, kElems);
+  // A two-operand float add is commutative in IEEE, so both chunk owners
+  // compute the exact same bits.
+  EXPECT_EQ(bufs[0], expect);
+  EXPECT_EQ(bufs[1], expect);
+}
+
+TEST(Communicator, UnbackedAllreduceStillModelsTimeAndTelemetry) {
+  sim::Cluster cluster(sim::nvlink_cluster_spec(4));
+  std::vector<std::unique_ptr<core::TransferEngine>> engines;
+  auto comm = make_comm(cluster, engines);
+
+  std::vector<float*> bufs(4, nullptr);
+  auto stats = comm->allreduce_sum(bufs, 1 << 20);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_GT(stats.p2p_bytes, 0u);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_GT(cluster.machine(d).counters().bytes_p2p, 0u);
+    EXPECT_GT(cluster.machine(d).counters().copies_p2p, 0u);
+    EXPECT_GT(engines[static_cast<size_t>(d)]->stats().completed_p2p, 0u);
+  }
+  // Ring volume per device: 2 * (N-1)/N of the buffer.
+  const uint64_t total = (1ull << 20) * sizeof(float);
+  EXPECT_NEAR(static_cast<double>(stats.p2p_bytes), 2.0 * 3.0 / 4.0 * total, total * 0.01);
+}
+
+TEST(Communicator, NvlinkAllreduceBeatsPcie) {
+  auto run = [](sim::ClusterSpec spec) {
+    sim::Cluster cluster(spec);
+    std::vector<std::unique_ptr<core::TransferEngine>> engines;
+    auto comm = make_comm(cluster, engines);
+    std::vector<float*> bufs(static_cast<size_t>(cluster.size()), nullptr);
+    return comm->allreduce_sum(bufs, 25u << 20).seconds;
+  };
+  EXPECT_LT(run(sim::nvlink_cluster_spec(4)), run(sim::pcie_cluster_spec(4)));
+}
+
+TEST(Communicator, CombineLossSumsIsPairwise) {
+  std::vector<double> sums{0.1, 0.2, 0.3, 0.4};
+  double expect = (sums[0] + sums[1]) + (sums[2] + sums[3]);
+  EXPECT_EQ(dist::Communicator::combine_loss_sums(sums), expect);
+}
+
+TEST(Pairwise, ShardSumsComposeToFullSum) {
+  util::Rng rng(99);
+  std::vector<float> vals(64);
+  for (auto& v : vals) v = rng.uniform(-2.0f, 2.0f);
+  float full = util::pairwise_sum<float>(64, [&](uint64_t i) { return vals[i]; });
+  float lo = util::pairwise_sum<float>(32, [&](uint64_t i) { return vals[i]; });
+  float hi = util::pairwise_sum<float>(32, [&](uint64_t i) { return vals[32 + i]; });
+  EXPECT_EQ(full, lo + hi);
+}
+
+// ---------------------------------------------------------------------------
+// Data-parallel training
+
+core::RuntimeOptions parity_options() {
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+  o.real = true;
+  o.device_capacity = 32ull << 20;
+  // Pin convolutions to the workspace-free algorithm: the dynamic choice
+  // depends on free device memory, which legitimately differs between a
+  // batch-B and a batch-B/2 run.
+  o.allow_workspace = false;
+  return o;
+}
+
+train::TrainConfig parity_train_config(int iterations) {
+  train::TrainConfig tc;
+  tc.iterations = iterations;
+  tc.lr = 0.05f;
+  tc.momentum = 0.9f;
+  return tc;
+}
+
+TEST(DataParallel, TwoDevicesMatchSingleDeviceBitForBit) {
+  const int kGlobalBatch = 8, kIters = 5;
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+  train::TrainConfig tc = parity_train_config(kIters);
+
+  // Single device, combined batch.
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, tc);
+  auto single = trainer.run();
+
+  // Two devices, sharded batch.
+  dist::DataParallelConfig cfg;
+  cfg.devices = 2;
+  cfg.global_batch = kGlobalBatch;
+  cfg.cluster = sim::pcie_cluster_spec(2);
+  cfg.train = tc;
+  dist::DataParallelTrainer dp(factory, o, cfg);
+  auto multi = dp.run();
+
+  ASSERT_EQ(single.losses.size(), multi.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], multi.losses[i]) << "iteration " << i;
+  }
+
+  // Weights end bit-identical too — on every replica.
+  const auto& single_layers = rt.net().layers();
+  for (int d = 0; d < 2; ++d) {
+    core::Runtime& rep = dp.runtime(d);
+    const auto& rep_layers = rep.net().layers();
+    ASSERT_EQ(single_layers.size(), rep_layers.size());
+    for (size_t li = 0; li < single_layers.size(); ++li) {
+      const auto& sp = single_layers[li]->params();
+      const auto& rp = rep_layers[li]->params();
+      ASSERT_EQ(sp.size(), rp.size());
+      for (size_t pi = 0; pi < sp.size(); ++pi) {
+        EXPECT_EQ(rt.read_tensor(sp[pi]), rep.read_tensor(rp[pi]))
+            << "device " << d << " param " << sp[pi]->name();
+      }
+    }
+  }
+}
+
+TEST(DataParallel, LossDecreasesAndReplicasStayInLockstep) {
+  auto factory = [](int batch) { return graph::build_tiny_fanjoin(batch); };
+  core::RuntimeOptions o = parity_options();
+  dist::DataParallelConfig cfg;
+  cfg.devices = 2;
+  cfg.global_batch = 8;
+  cfg.cluster = sim::nvlink_cluster_spec(2);
+  cfg.train = parity_train_config(12);
+  dist::DataParallelTrainer dp(factory, o, cfg);
+  auto report = dp.run();
+  EXPECT_LT(report.last_loss(), report.first_loss());
+
+  const auto& l0 = dp.runtime(0).net().layers();
+  const auto& l1 = dp.runtime(1).net().layers();
+  for (size_t li = 0; li < l0.size(); ++li) {
+    const auto& p0 = l0[li]->params();
+    const auto& p1 = l1[li]->params();
+    for (size_t pi = 0; pi < p0.size(); ++pi) {
+      EXPECT_EQ(dp.runtime(0).read_tensor(p0[pi]), dp.runtime(1).read_tensor(p1[pi]));
+    }
+  }
+}
+
+TEST(DataParallel, MemoryPressureDoesNotChangeLosses) {
+  // The single-GPU invariant, lifted to the cluster: squeezing device
+  // capacity (forcing offload/eviction inside each replica) must not change
+  // data-parallel training results.
+  auto run = [](uint64_t capacity) {
+    auto factory = [](int batch) { return graph::build_tiny_linear(batch, 16); };
+    core::RuntimeOptions o = parity_options();
+    o.device_capacity = capacity;
+    dist::DataParallelConfig cfg;
+    cfg.devices = 2;
+    cfg.global_batch = 8;
+    cfg.cluster = sim::pcie_cluster_spec(2);
+    cfg.train = parity_train_config(6);
+    dist::DataParallelTrainer dp(factory, o, cfg);
+    return dp.run().losses;
+  };
+  EXPECT_EQ(run(64ull << 20), run(1ull << 20));
+}
+
+TEST(DataParallel, CollectiveTelemetryIsVisible) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+  dist::DataParallelConfig cfg;
+  cfg.devices = 4;
+  cfg.global_batch = 8;
+  cfg.cluster = sim::nvlink_cluster_spec(4);
+  cfg.train = parity_train_config(2);
+  dist::DataParallelTrainer dp(factory, o, cfg);
+  auto report = dp.run();
+
+  ASSERT_EQ(report.stats.size(), 2u);
+  ASSERT_EQ(report.device_stats[0].size(), 4u);
+  for (const auto& agg : report.stats) {
+    EXPECT_GT(agg.p2p_bytes, 0u);
+    EXPECT_GT(agg.allreduce_seconds, 0.0);
+    EXPECT_GT(agg.seconds, 0.0);
+  }
+  for (const auto& st : report.device_stats[0]) {
+    EXPECT_GT(st.p2p_bytes, 0u);
+    EXPECT_GT(st.allreduce_seconds, 0.0);
+  }
+  // Per-step telemetry is attributed to its device.
+  EXPECT_EQ(dp.runtime(3).step_telemetry().front().device_id, 3);
+}
+
+TEST(DataParallel, SimModeScalesOut) {
+  // Pure simulation (no backing): paper-scale replicas still schedule, and
+  // the collective advances virtual time.
+  auto factory = [](int batch) { return graph::build_mini_alexnet(batch); };
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+  o.real = false;
+  dist::DataParallelConfig cfg;
+  cfg.devices = 4;
+  cfg.global_batch = 64;
+  cfg.cluster = sim::nvlink_cluster_spec(4);
+  cfg.train = parity_train_config(2);
+  dist::DataParallelTrainer dp(factory, o, cfg);
+  auto report = dp.run();
+  EXPECT_EQ(report.losses[0], 0.0);  // unbacked: no numerics
+  EXPECT_GT(report.stats[0].seconds, 0.0);
+  EXPECT_GT(report.stats[0].p2p_bytes, 0u);
+}
+
+TEST(DataParallel, RejectsIndivisibleBatch) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+  dist::DataParallelConfig cfg;
+  cfg.devices = 3;
+  cfg.global_batch = 8;
+  cfg.train = parity_train_config(1);
+  EXPECT_THROW(dist::DataParallelTrainer(factory, o, cfg), std::invalid_argument);
+}
+
+}  // namespace
