@@ -138,9 +138,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(xfer.completed_h2d),
               static_cast<unsigned long long>(xfer.discarded_h2d));
   std::printf("host pool: %s MB in use at iteration end, %s MB peak; "
-              "copies: %llu inline, %llu on the DMA thread\n",
+              "copies: %llu inline, %llu on DMA workers\n",
               mb(last.host_in_use).c_str(), mb(last.host_peak).c_str(),
               static_cast<unsigned long long>(xfer.inline_copies),
               static_cast<unsigned long long>(xfer.dma_copies));
+  // Per-stream view of the DMA engines: bytes moved and busy seconds per
+  // direction (the multi-stream TransferEngine's occupancy counters).
+  const auto& mc = rt.machine().counters();
+  std::printf("per-stream: d2h %s MB / d2h_seconds=%.4f (%llu worker copies), "
+              "h2d %s MB / h2d_seconds=%.4f (%llu worker copies), "
+              "staged_chunks=%llu\n",
+              mb(mc.bytes_d2h).c_str(), mc.seconds_d2h,
+              static_cast<unsigned long long>(xfer.dma_copies_d2h), mb(mc.bytes_h2d).c_str(),
+              mc.seconds_h2d, static_cast<unsigned long long>(xfer.dma_copies_h2d),
+              static_cast<unsigned long long>(xfer.staged_chunks));
   return 0;
 }

@@ -10,8 +10,8 @@ namespace sn::core {
 Prefetcher::Prefetcher(const graph::Net& net, int lookahead)
     : net_(net), lookahead_(std::max(0, lookahead)) {}
 
-std::vector<tensor::Tensor*> Prefetcher::plan(int step) const {
-  std::vector<tensor::Tensor*> out;
+std::vector<Prefetcher::Entry> Prefetcher::plan_spans(int step) const {
+  std::vector<Entry> out;
   if (lookahead_ == 0) return out;
   std::unordered_set<uint64_t> seen;
   const auto& steps = net_.steps();
@@ -19,10 +19,16 @@ std::vector<tensor::Tensor*> Prefetcher::plan(int step) const {
   for (size_t s = static_cast<size_t>(step) + 1; s < steps.size(); ++s) {
     const auto& st = steps[s];
     for (tensor::Tensor* u : st.layer->backward_uses()) {
-      if (seen.insert(u->uid()).second) out.push_back(u);
+      if (seen.insert(u->uid()).second) out.push_back(Entry{u, checkpoints});
     }
     if (RecomputePlan::is_checkpoint_layer(st.layer) && ++checkpoints >= lookahead_) break;
   }
+  return out;
+}
+
+std::vector<tensor::Tensor*> Prefetcher::plan(int step) const {
+  std::vector<tensor::Tensor*> out;
+  for (const Entry& e : plan_spans(step)) out.push_back(e.tensor);
   return out;
 }
 

@@ -19,6 +19,15 @@ namespace sn::core {
 
 class Prefetcher {
  public:
+  /// One planned stage: the tensor plus which checkpoint span (0 = the span
+  /// being entered next, the paper's policy; 1.. = deeper speculative
+  /// lookahead) first reads it. The pool uses the span to pick the H2D
+  /// stream priority: nearest-span stages are the ones backward stalls on.
+  struct Entry {
+    tensor::Tensor* tensor = nullptr;
+    int span = 0;
+  };
+
   /// `lookahead` = how many checkpoint backward spans ahead to stage
   /// (the paper's policy is 1: exactly the next span). 0 disables
   /// prefetching (every plan is empty); negatives are clamped to 0.
@@ -28,6 +37,10 @@ class Prefetcher {
   /// (deduplicated), stopping after `lookahead` checkpoint layers. Pure
   /// policy: no residency filtering — the caller stages what it can.
   std::vector<tensor::Tensor*> plan(int step) const;
+
+  /// plan() with each tensor annotated by the checkpoint-span distance at
+  /// which it is first read (same tensors, same order).
+  std::vector<Entry> plan_spans(int step) const;
 
   int lookahead() const { return lookahead_; }
 

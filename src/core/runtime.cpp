@@ -329,8 +329,11 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
   tele.d2h_completed = xfer.completed_d2h;
   tele.h2d_completed = xfer.completed_h2d;
   tele.dma_copies = xfer.dma_copies;
-  tele.transfers_in_flight = pool_->engine().pending_count(TransferDir::kD2H) +
-                             pool_->engine().pending_count(TransferDir::kH2D);
+  tele.d2h_in_flight = pool_->engine().pending_count(TransferDir::kD2H);
+  tele.h2d_in_flight = pool_->engine().pending_count(TransferDir::kH2D);
+  tele.transfers_in_flight = tele.d2h_in_flight + tele.h2d_in_flight;
+  tele.d2h_busy_seconds = machine_.counters().seconds_d2h;
+  tele.h2d_busy_seconds = machine_.counters().seconds_h2d;
   telemetry_.push_back(tele);
 
   lock(uses, false);
@@ -340,11 +343,18 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
 void Runtime::issue_prefetches(int step) {
   // Paper §3.3.1: at a CONV layer's backward step, asynchronously fetch what
   // the next `lookahead` checkpoint spans' backward steps need, staging every
-  // host-resident dependency that fits without eviction.
-  for (tensor::Tensor* u : prefetcher_.plan(step)) {
+  // host-resident dependency that fits without eviction. Under memory
+  // pressure the nearest span's stages go out high-priority, so they bypass
+  // any deeper speculative backlog on the H2D stream's wall clock (the
+  // virtual-time schedule is unaffected by priorities).
+  const bool pressured = pool_->under_pressure();
+  for (const Prefetcher::Entry& e : prefetcher_.plan_spans(step)) {
+    tensor::Tensor* u = e.tensor;
     if (u->residency != tensor::Residency::kHost) continue;
     if (pool_->prefetch_pending(u->uid())) continue;
-    if (!pool_->prefetch(u)) return;  // no room: stop staging
+    const TransferPriority prio = (pressured && e.span == 0) ? TransferPriority::kHigh
+                                                             : TransferPriority::kNormal;
+    if (!pool_->prefetch(u, prio)) return;  // no room: stop staging
   }
 }
 
@@ -493,6 +503,8 @@ IterationStats Runtime::train_iteration(const float* input, const int32_t* label
   st.stall_seconds = c1.stall_time - c0.stall_time;
   st.host_peak = pool_->host_pool().peak_in_use();
   st.dma_copies = pool_->engine().stats().dma_copies - dma0;
+  st.d2h_seconds = c1.seconds_d2h - c0.seconds_d2h;
+  st.h2d_seconds = c1.seconds_h2d - c0.seconds_h2d;
   ++iter_;
   return st;
 }
@@ -546,6 +558,8 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
   st.bytes_d2h = c1.bytes_d2h - c0.bytes_d2h;
   st.bytes_h2d = c1.bytes_h2d - c0.bytes_h2d;
   st.host_peak = pool_->host_pool().peak_in_use();
+  st.d2h_seconds = c1.seconds_d2h - c0.seconds_d2h;
+  st.h2d_seconds = c1.seconds_h2d - c0.seconds_h2d;
   ++iter_;
   inference_mode_ = false;
   return st;

@@ -37,14 +37,22 @@ struct StepTelemetry {
   // when the real async engine is active.
   uint64_t host_in_use = 0;          ///< host-pool bytes in use (offloaded tensors;
                                      ///< in real+async mode also the engine's
-                                     ///< 2x256 KiB pinned staging carve-out)
+                                     ///< pinned staging carve-out: a 2x256 KiB
+                                     ///< double buffer per PCIe-direction worker)
   uint64_t host_peak = 0;            ///< host-pool peak bytes so far
   uint64_t d2h_submitted = 0;        ///< cumulative offload submissions
   uint64_t h2d_submitted = 0;        ///< cumulative prefetch/fetch submissions
   uint64_t d2h_completed = 0;        ///< cumulative retired offloads
   uint64_t h2d_completed = 0;        ///< cumulative retired prefetches/fetches
-  uint64_t dma_copies = 0;           ///< cumulative memcpys done on the DMA thread
-  uint64_t transfers_in_flight = 0;  ///< pending transfers at step end
+  uint64_t dma_copies = 0;           ///< cumulative memcpys done on DMA worker threads
+  uint64_t transfers_in_flight = 0;  ///< pending transfers at step end (both directions)
+  uint64_t d2h_in_flight = 0;        ///< pending offloads at step end
+  uint64_t h2d_in_flight = 0;        ///< pending prefetches/fetches at step end
+  // Per-stream DMA-engine occupancy (cumulative virtual seconds each copy
+  // engine spent busy): the raw material of the paper's overlap claim —
+  // compute_time vs these says how much transfer the schedule hid.
+  double d2h_busy_seconds = 0.0;
+  double h2d_busy_seconds = 0.0;
 };
 
 struct IterationStats {
@@ -67,7 +75,13 @@ struct IterationStats {
   uint64_t host_peak = 0;       ///< host-pool peak bytes so far (lifetime high
                                 ///< water mark — a peak is monotone, unlike the
                                 ///< per-iteration deltas above)
-  uint64_t dma_copies = 0;      ///< DMA-thread memcpys this iteration (async engine)
+  uint64_t dma_copies = 0;      ///< DMA-worker memcpys this iteration (async engine)
+  // Per-stream copy-engine occupancy this iteration (virtual seconds the H2D
+  // and D2H engines spent busy). With dual engines their sum can exceed the
+  // mixed-traffic span — that surplus is exactly the offload/prefetch
+  // overlap the multi-stream engine buys.
+  double d2h_seconds = 0.0;
+  double h2d_seconds = 0.0;
 
   // Collective telemetry, filled by dist::DataParallelTrainer (zero for
   // single-device training).

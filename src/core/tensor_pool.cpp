@@ -104,8 +104,12 @@ void UnifiedTensorPool::offload_to_host(tensor::Tensor* t, bool async) {
   if (engine_->pending(TransferDir::kD2H, t->uid())) {
     engine_->wait(TransferDir::kD2H, t->uid());
   }
+  // Synchronous offloads (evictions) are waited immediately — the memory is
+  // reused now — so they jump the D2H queue ahead of eager async offloads.
+  const TransferPriority prio = (async && cfg_.async_transfers) ? TransferPriority::kNormal
+                                                                : TransferPriority::kHigh;
   engine_->submit(TransferDir::kD2H, t->uid(), device_ptr(t), host_pool_.ptr(t->host_handle),
-                  t->bytes());
+                  t->bytes(), prio);
   t->residency = tensor::Residency::kBoth;
   if (!(async && cfg_.async_transfers)) {
     engine_->wait(TransferDir::kD2H, t->uid());
@@ -137,19 +141,21 @@ void UnifiedTensorPool::free_host(tensor::Tensor* t) {
 
 void UnifiedTensorPool::fetch_from_host(tensor::Tensor* t) {
   alloc_device(t);
+  // On-demand: the consumer needs the bytes now, so the fetch bypasses any
+  // speculative prefetch backlog queued on the H2D stream.
   engine_->submit(TransferDir::kH2D, t->uid(), host_pool_.ptr(t->host_handle), device_ptr(t),
-                  t->bytes());
-  engine_->wait(TransferDir::kH2D, t->uid());  // on-demand: the consumer needs the bytes now
+                  t->bytes(), TransferPriority::kHigh);
+  engine_->wait(TransferDir::kH2D, t->uid());
   t->residency = tensor::Residency::kBoth;
   if (cfg_.tensor_cache) cache_.count_miss();
 }
 
-bool UnifiedTensorPool::prefetch(tensor::Tensor* t) {
+bool UnifiedTensorPool::prefetch(tensor::Tensor* t, TransferPriority prio) {
   if (allocator_->largest_free() < t->bytes()) return false;  // no room: never evict for a prefetch
   alloc_device(t);
   t->residency = tensor::Residency::kBoth;
   engine_->submit(TransferDir::kH2D, t->uid(), host_pool_.ptr(t->host_handle), device_ptr(t),
-                  t->bytes());
+                  t->bytes(), prio);
   return true;
 }
 

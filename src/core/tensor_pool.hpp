@@ -94,8 +94,11 @@ class UnifiedTensorPool {
 
   /// Asynchronous H2D stage of a host-resident tensor. Returns false (and
   /// does nothing) when the free device memory cannot fit it — prefetching
-  /// must never trigger eviction (§3.3.1).
-  bool prefetch(tensor::Tensor* t);
+  /// must never trigger eviction (§3.3.1). `prio` is the H2D stream queue
+  /// priority: the orchestrator raises it for the nearest backward span when
+  /// the pool is under pressure, so urgent stages bypass the speculative
+  /// prefetch backlog on the wall clock (virtual time is unaffected).
+  bool prefetch(tensor::Tensor* t, TransferPriority prio = TransferPriority::kNormal);
 
   /// Wait for an in-flight prefetch of `t` (no-op when none is pending).
   void finish_prefetch(tensor::Tensor* t);
@@ -140,6 +143,11 @@ class UnifiedTensorPool {
   uint64_t live_count() const { return live_count_; }
   uint64_t evictions() const { return evictions_; }
   uint64_t alloc_count() const { return alloc_count_; }
+
+  /// True once this iteration has had to evict: device memory is contended,
+  /// so the orchestrator escalates the nearest prefetches to high priority
+  /// ("prefetch > offload" on the DMA streams' wall clock).
+  bool under_pressure() const { return evictions_ > 0; }
   void reset_iteration_counters() {
     evictions_ = 0;
     alloc_count_ = 0;

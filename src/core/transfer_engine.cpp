@@ -16,11 +16,11 @@ TransferEngine::TransferEngine(sim::Machine& machine, bool pinned, int device_id
 
 TransferEngine::~TransferEngine() = default;
 
-sim::Event TransferEngine::track(TransferDir dir, uint64_t tag, sim::Event e, const void* src,
-                                 void* dst, uint64_t bytes) {
-  uint64_t seq = next_seq_++;
-  dispatch(src, dst, bytes, seq);
-  pending_[index(dir)][tag] = Pending{e, seq};
+sim::Event TransferEngine::track(TransferDir dir, int peer, uint64_t tag, sim::Event e,
+                                 const void* src, void* dst, uint64_t bytes,
+                                 TransferPriority prio) {
+  Ticket ticket = dispatch(dir, peer, src, dst, bytes, prio);
+  pending_[index(dir)][tag] = Pending{e, ticket};
   switch (dir) {
     case TransferDir::kD2H: ++stats_.submitted_d2h; break;
     case TransferDir::kH2D: ++stats_.submitted_h2d; break;
@@ -30,31 +30,36 @@ sim::Event TransferEngine::track(TransferDir dir, uint64_t tag, sim::Event e, co
 }
 
 sim::Event TransferEngine::submit(TransferDir dir, uint64_t tag, const void* src, void* dst,
-                                  uint64_t bytes) {
-  assert_owner();
+                                  uint64_t bytes, TransferPriority prio) {
+  assert_submit_owner();
   assert(dir != TransferDir::kP2P && "P2P transfers go through submit_p2p");
   assert(!pending(dir, tag) && "one transfer per (dir, tag) may be in flight");
   sim::Event e = machine_.async_copy(
       dir == TransferDir::kD2H ? sim::CopyDir::kD2H : sim::CopyDir::kH2D, bytes, pinned_);
-  return track(dir, tag, e, src, dst, bytes);
+  return track(dir, /*peer=*/-1, tag, e, src, dst, bytes, prio);
 }
 
 sim::Event TransferEngine::submit_p2p(uint64_t tag, const void* src, void* dst, uint64_t bytes,
-                                      int peer, double not_before) {
-  assert_owner();
+                                      int peer, double not_before, TransferPriority prio) {
+  assert_submit_owner();
   assert(!pending(TransferDir::kP2P, tag) && "one transfer per (dir, tag) may be in flight");
   sim::Event e = machine_.p2p_copy(peer, bytes, not_before);
-  return track(TransferDir::kP2P, tag, e, src, dst, bytes);
+  return track(TransferDir::kP2P, peer, tag, e, src, dst, bytes, prio);
 }
 
-void TransferEngine::dispatch(const void* src, void* dst, uint64_t bytes, uint64_t /*seq*/) {
+TransferEngine::Ticket TransferEngine::dispatch(TransferDir /*dir*/, int /*peer*/,
+                                                const void* src, void* dst, uint64_t bytes,
+                                                TransferPriority /*prio*/) {
   if (src && dst) {
     std::memcpy(dst, src, bytes);
     ++stats_.inline_copies;
   }
+  return Ticket{};
 }
 
-void TransferEngine::ensure_landed(uint64_t /*seq*/) {}
+void TransferEngine::ensure_landed(const Ticket& /*ticket*/) {}
+
+void TransferEngine::fill_dma_stats(TransferStats& /*s*/) const {}
 
 void TransferEngine::retire(TransferDir dir, uint64_t tag, bool discarded) {
   pending_[index(dir)].erase(tag);
@@ -74,44 +79,44 @@ void TransferEngine::retire(TransferDir dir, uint64_t tag, bool discarded) {
 }
 
 bool TransferEngine::try_retire(TransferDir dir, uint64_t tag) {
-  assert_owner();
+  assert_submit_owner();
   auto& map = pending_[index(dir)];
   auto it = map.find(tag);
   if (it == map.end()) return true;
   // Deterministic gate: the virtual event decides *when* a transfer counts as
   // complete; the wall-clock copy only has to have landed by then.
   if (!machine_.query_event(it->second.event)) return false;
-  ensure_landed(it->second.seq);
+  ensure_landed(it->second.ticket);
   retire(dir, tag, /*discarded=*/false);
   return true;
 }
 
 void TransferEngine::wait(TransferDir dir, uint64_t tag) {
-  assert_owner();
+  assert_submit_owner();
   auto& map = pending_[index(dir)];
   auto it = map.find(tag);
   if (it == map.end()) return;
   machine_.wait_event(it->second.event);
-  ensure_landed(it->second.seq);
+  ensure_landed(it->second.ticket);
   retire(dir, tag, /*discarded=*/false);
 }
 
 void TransferEngine::discard(TransferDir dir, uint64_t tag) {
-  assert_owner();
+  assert_submit_owner();
   auto& map = pending_[index(dir)];
   auto it = map.find(tag);
   if (it == map.end()) return;
-  ensure_landed(it->second.seq);
+  ensure_landed(it->second.ticket);
   retire(dir, tag, /*discarded=*/true);
 }
 
 bool TransferEngine::pending(TransferDir dir, uint64_t tag) const {
-  assert_owner();
+  assert_submit_owner();
   return pending_[index(dir)].count(tag) != 0;
 }
 
 std::vector<uint64_t> TransferEngine::pending_tags(TransferDir dir) const {
-  assert_owner();
+  assert_submit_owner();
   std::vector<uint64_t> tags;
   tags.reserve(pending_[index(dir)].size());
   for (const auto& [tag, op] : pending_[index(dir)]) tags.push_back(tag);
@@ -129,7 +134,7 @@ void TransferEngine::drain() {
 
 TransferStats TransferEngine::stats() const {
   TransferStats s = stats_;
-  s.dma_copies = dma_copies();
+  fill_dma_stats(s);
   return s;
 }
 
@@ -142,87 +147,257 @@ DmaTransferEngine::DmaTransferEngine(sim::Machine& machine, bool pinned,
     : TransferEngine(machine, pinned, device_id),
       staging_pool_(staging_pool),
       staging_bytes_(staging_bytes) {
-  for (int i = 0; i < 2; ++i) {
-    staging_handle_[i] = staging_pool_.allocate(staging_bytes_);
-    if (staging_handle_[i]) staging_buf_[i] = staging_pool_.ptr(staging_handle_[i]);
-  }
-  // Staging only works double-buffered; holding a single block would starve
-  // the pinned offload budget for zero benefit. Release and copy direct.
-  if (!staging_buf_[0] || !staging_buf_[1]) {
-    for (int i = 0; i < 2; ++i) {
-      if (staging_handle_[i]) staging_pool_.deallocate(staging_handle_[i]);
-      staging_handle_[i] = 0;
-      staging_buf_[i] = nullptr;
-    }
-  }
-  worker_ = std::thread([this] { worker_loop(); });
+  dir_workers_[kStreamD2H].stream = kStreamD2H;
+  dir_workers_[kStreamH2D].stream = kStreamH2D;
+  // The PCIe-direction workers stage through pinned double buffers; carve the
+  // D2H pair first so a tight pool degrades deterministically (offload keeps
+  // staging, prefetch falls back to direct copies).
+  start_worker(dir_workers_[kStreamD2H], /*with_staging=*/true);
+  start_worker(dir_workers_[kStreamH2D], /*with_staging=*/true);
 }
 
 DmaTransferEngine::~DmaTransferEngine() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+  stop_worker(dir_workers_[kStreamD2H]);
+  stop_worker(dir_workers_[kStreamH2D]);
+  for (auto& [peer, w] : p2p_workers_) stop_worker(*w);
+}
+
+void DmaTransferEngine::start_worker(Worker& w, bool with_staging) {
+  if (with_staging) {
+    for (int i = 0; i < 2; ++i) {
+      w.staging_handle[i] = staging_pool_.allocate(staging_bytes_);
+      if (w.staging_handle[i]) w.staging_buf[i] = staging_pool_.ptr(w.staging_handle[i]);
+    }
+    // Staging only works double-buffered; holding a single block would starve
+    // the pinned offload budget for zero benefit. Release and copy direct.
+    if (!w.staging_buf[0] || !w.staging_buf[1]) {
+      for (int i = 0; i < 2; ++i) {
+        if (w.staging_handle[i]) staging_pool_.deallocate(w.staging_handle[i]);
+        w.staging_handle[i] = 0;
+        w.staging_buf[i] = nullptr;
+      }
+    }
+    w.use_staging = w.staging_buf[0] != nullptr;
   }
-  cv_.notify_all();
-  worker_.join();
+  w.paused = paused_;
+  w.thread = std::thread([this, &w] { worker_loop(w); });
+  if (w.use_staging) {
+    w.drainer = std::thread([this, &w] { drainer_loop(w); });
+  }
+}
+
+void DmaTransferEngine::stop_worker(Worker& w) {
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.stop = true;
+  }
+  w.cv.notify_all();
+  if (w.thread.joinable()) w.thread.join();
+  {
+    std::lock_guard<std::mutex> lock(w.smu);
+    w.staging_stop = true;
+  }
+  w.scv.notify_all();
+  if (w.drainer.joinable()) w.drainer.join();
   for (int i = 0; i < 2; ++i) {
-    if (staging_handle_[i]) staging_pool_.deallocate(staging_handle_[i]);
+    if (w.staging_handle[i]) staging_pool_.deallocate(w.staging_handle[i]);
+    w.staging_handle[i] = 0;
+    w.staging_buf[i] = nullptr;
   }
 }
 
-void DmaTransferEngine::dispatch(const void* src, void* dst, uint64_t bytes, uint64_t seq) {
+DmaTransferEngine::Worker& DmaTransferEngine::worker_for(TransferDir dir, int peer) {
+  switch (dir) {
+    case TransferDir::kD2H: return dir_workers_[kStreamD2H];
+    case TransferDir::kH2D: return dir_workers_[kStreamH2D];
+    case TransferDir::kP2P: break;
+  }
+  assert(peer >= 0 && "P2P dispatch needs a peer device");
+  auto it = p2p_workers_.find(peer);
+  if (it == p2p_workers_.end()) {
+    // One worker per directed link, created at first use. P2P copies move
+    // host-backed collective buffers in this model, so no pinned staging.
+    auto w = std::make_unique<Worker>();
+    w->stream = 2 + peer;
+    start_worker(*w, /*with_staging=*/false);
+    it = p2p_workers_.emplace(peer, std::move(w)).first;
+  }
+  return *it->second;
+}
+
+DmaTransferEngine::Worker* DmaTransferEngine::worker_by_stream(int stream) {
+  if (stream == kStreamD2H || stream == kStreamH2D) return &dir_workers_[stream];
+  auto it = p2p_workers_.find(stream - 2);
+  return it == p2p_workers_.end() ? nullptr : it->second.get();
+}
+
+TransferEngine::Ticket DmaTransferEngine::dispatch(TransferDir dir, int peer, const void* src,
+                                                   void* dst, uint64_t bytes,
+                                                   TransferPriority prio) {
+  Worker& w = worker_for(dir, peer);
+  uint64_t seq = ++w.next_seq;  // compute-thread owned (assert_submit_owner in submit)
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    jobs_.push(Job{src, dst, bytes, seq});
+    std::lock_guard<std::mutex> lock(w.mu);
+    (prio == TransferPriority::kHigh ? w.high : w.normal).push_back(Job{src, dst, bytes, seq});
   }
-  cv_.notify_one();
+  w.cv.notify_one();
+  return Ticket{w.stream, seq};
 }
 
-void DmaTransferEngine::ensure_landed(uint64_t seq) {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return landed_seq_ >= seq; });
+void DmaTransferEngine::ensure_landed(const Ticket& ticket) {
+  Worker* w = worker_by_stream(ticket.stream);
+  assert(w && "ticket for an unknown stream");
+  std::unique_lock<std::mutex> lock(w->mu);
+  w->done_cv.wait(lock, [&] {
+    return ticket.seq <= w->landed_floor || w->landed.count(ticket.seq) != 0;
+  });
 }
 
-void DmaTransferEngine::worker_loop() {
+void DmaTransferEngine::mark_landed(Worker& w, uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (seq == w.landed_floor + 1) {
+      ++w.landed_floor;
+      // Absorb completions that landed out of (submit) order earlier.
+      while (!w.landed.empty() && *w.landed.begin() == w.landed_floor + 1) {
+        w.landed.erase(w.landed.begin());
+        ++w.landed_floor;
+      }
+    } else {
+      w.landed.insert(seq);
+    }
+  }
+  w.done_cv.notify_all();
+}
+
+void DmaTransferEngine::worker_loop(Worker& w) {
+#ifndef NDEBUG
+  w.worker_tid = std::this_thread::get_id();
+#endif
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
-      if (jobs_.empty()) return;  // stop_ set and queue drained
-      job = jobs_.front();
-      jobs_.pop();
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] {
+        return w.stop || (!w.paused && (!w.high.empty() || !w.normal.empty()));
+      });
+      if (w.high.empty() && w.normal.empty()) return;  // stop set and queue drained
+      if (!w.high.empty()) {
+        job = w.high.front();
+        w.high.pop_front();
+      } else {
+        job = w.normal.front();
+        w.normal.pop_front();
+      }
     }
-    copy_through_staging(job);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      landed_seq_ = job.seq;  // jobs run FIFO, seq is monotone
-    }
-    done_cv_.notify_all();
+    run_job(w, job);
+    mark_landed(w, job.seq);
   }
 }
 
-void DmaTransferEngine::copy_through_staging(const Job& job) {
+void DmaTransferEngine::run_job(Worker& w, const Job& job) {
+#ifndef NDEBUG
+  // Copies must never execute inline on the submit owner (the compute
+  // thread) — that would silently re-serialize the engine.
+  assert(std::this_thread::get_id() != owner_ &&
+         "DMA jobs must not run on the compute thread");
+#endif
   if (!job.src || !job.dst) return;  // unbacked buffers: accounting only
-  dma_copies_.fetch_add(1, std::memory_order_relaxed);
-  if (!staging_buf_[0] || !staging_buf_[1]) {
+  w.dma_copies.fetch_add(1, std::memory_order_relaxed);
+  if (!w.use_staging) {
     std::memcpy(job.dst, job.src, job.bytes);
     return;
   }
-  // Chunk through the two pinned staging buffers, alternating: on hardware
-  // this is what lets the engine overlap the DMA of chunk k with the CPU
-  // stage of chunk k+1; here it bounds the pinned footprint the same way.
+  // Pipelined double-buffered staging: the worker stages chunk k+1 into one
+  // pinned buffer while the drainer flushes chunk k from the other — the
+  // CPU-stage/DMA-drain overlap real pinned hardware gets. Chunks of one job
+  // target disjoint destination ranges, so the drainer may flush full slots
+  // in either order; the job-boundary barrier below keeps jobs FIFO with
+  // respect to each other (job k+1 never stages before job k fully landed).
   const auto* src = static_cast<const std::byte*>(job.src);
   auto* dst = static_cast<std::byte*>(job.dst);
   uint64_t off = 0;
   int buf = 0;
   while (off < job.bytes) {
     uint64_t chunk = std::min<uint64_t>(staging_bytes_, job.bytes - off);
-    std::memcpy(staging_buf_[buf], src + off, chunk);
-    std::memcpy(dst + off, staging_buf_[buf], chunk);
+    {
+      std::unique_lock<std::mutex> lock(w.smu);
+      w.scv.wait(lock, [&] { return !w.slot[buf].full; });
+      assert(!w.slot[buf].full && "stager may only fill an empty slot");
+    }
+    // Slot is empty: the drainer is done with this buffer, the stager owns it.
+    std::memcpy(w.staging_buf[buf], src + off, chunk);
+    {
+      std::lock_guard<std::mutex> lock(w.smu);
+      w.slot[buf] = Worker::Slot{dst + off, chunk, /*full=*/true};
+    }
+    w.scv.notify_all();
+    w.staged_chunks.fetch_add(1, std::memory_order_relaxed);
     off += chunk;
     buf ^= 1;
   }
+  // Job boundary: every staged chunk must reach its destination before the
+  // job counts as landed (and before the next job may stage).
+  std::unique_lock<std::mutex> lock(w.smu);
+  w.scv.wait(lock, [&] { return !w.slot[0].full && !w.slot[1].full; });
+}
+
+void DmaTransferEngine::drainer_loop(Worker& w) {
+  for (;;) {
+    int buf = -1;
+    std::byte* dst = nullptr;
+    uint64_t len = 0;
+    {
+      std::unique_lock<std::mutex> lock(w.smu);
+      w.scv.wait(lock, [&] { return w.staging_stop || w.slot[0].full || w.slot[1].full; });
+      if (w.slot[0].full) {
+        buf = 0;
+      } else if (w.slot[1].full) {
+        buf = 1;
+      } else {
+        return;  // staging_stop and both slots flushed
+      }
+      dst = w.slot[buf].dst;
+      len = w.slot[buf].len;
+    }
+#ifndef NDEBUG
+    assert(std::this_thread::get_id() != owner_ && std::this_thread::get_id() != w.worker_tid &&
+           "full slots may only be flushed by the stream's drainer");
+#endif
+    // Full slot: the stager has handed this buffer over, the drainer owns it.
+    std::memcpy(dst, w.staging_buf[buf], len);
+    {
+      std::lock_guard<std::mutex> lock(w.smu);
+      w.slot[buf].full = false;
+    }
+    w.scv.notify_all();
+  }
+}
+
+void DmaTransferEngine::pause_workers_for_testing(bool paused) {
+  assert_submit_owner();
+  paused_ = paused;
+  auto set = [&](Worker& w) {
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.paused = paused;
+    }
+    w.cv.notify_all();
+  };
+  set(dir_workers_[kStreamD2H]);
+  set(dir_workers_[kStreamH2D]);
+  for (auto& [peer, w] : p2p_workers_) set(*w);
+}
+
+void DmaTransferEngine::fill_dma_stats(TransferStats& s) const {
+  auto load = [](const std::atomic<uint64_t>& a) { return a.load(std::memory_order_relaxed); };
+  s.dma_copies_d2h = load(dir_workers_[kStreamD2H].dma_copies);
+  s.dma_copies_h2d = load(dir_workers_[kStreamH2D].dma_copies);
+  s.dma_copies_p2p = 0;
+  for (const auto& [peer, w] : p2p_workers_) s.dma_copies_p2p += load(w->dma_copies);
+  s.dma_copies = s.dma_copies_d2h + s.dma_copies_h2d + s.dma_copies_p2p;
+  s.staged_chunks = load(dir_workers_[kStreamD2H].staged_chunks) +
+                    load(dir_workers_[kStreamH2D].staged_chunks);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,22 +1,34 @@
-// TransferEngine: the uniform submit / poll / wait layer every D2H offload
-// and H2D prefetch flows through (paper §3.3.1).
+// TransferEngine: the uniform submit / poll / wait layer every D2H offload,
+// H2D prefetch and P2P collective hop flows through (paper §3.3.1).
 //
 // The engine separates *when a transfer is decided* (the Unified Tensor
 // Pool's policy) from *how its bytes move*. Two backends implement the same
 // tag-based API:
 //
 //   * TransferEngine (base)   — the simulation / synchronous backend. Virtual
-//     time advances on the sim::Machine's DMA streams; when buffers are backed
+//     time advances on the sim::Machine's per-direction DMA streams (and the
+//     cluster's per-directed-link streams for P2P); when buffers are backed
 //     the memcpy runs inline on the compute thread at submit (exactly the
 //     seed's behaviour, and the reference the async engine must match
 //     bit-for-bit).
-//   * DmaTransferEngine       — a dedicated DMA thread drains a FIFO of copy
-//     jobs through a double-buffered pinned staging area carved out of the
-//     mem::HostPool, so real-mode offload/prefetch genuinely overlaps with
-//     kernel compute. Completion *decisions* are still gated on the virtual
-//     event, which keeps the schedule deterministic and identical to the
-//     synchronous backend; the wall-clock memcpy merely has to have landed by
-//     the time the decision point is reached (ensure_landed()).
+//   * DmaTransferEngine       — a StreamSet of dedicated DMA workers: one
+//     thread per direction (H2D, D2H) plus one per directed P2P link, each
+//     draining its own two-level priority queue, so offload and prefetch
+//     traffic overlap each other as well as compute. The PCIe-direction
+//     workers copy through a pinned double-buffered staging pair carved out
+//     of the mem::HostPool, pipelined: a drainer helper thread flushes chunk
+//     k to the destination while the worker stages chunk k+1. Completion
+//     *decisions* are still gated on the virtual event, which keeps the
+//     schedule deterministic and identical to the synchronous backend; the
+//     wall-clock memcpy merely has to have landed by the time the decision
+//     point is reached (ensure_landed()).
+//
+// Priorities are wall-clock-only by construction: a high-priority job may
+// overtake queued normal jobs on its own stream (urgent fetches bypass
+// speculative prefetch backlog; eviction offloads bypass eager ones), but
+// the virtual completion event — the only thing scheduling decisions read —
+// is computed at submit and cannot be affected. That is what lets the
+// multi-stream engine stay bit-identical to the serialized one.
 //
 // Transfers are tagged by tensor uid; at most one transfer per (direction,
 // tag) is in flight — the same invariant the seed's pending_d2h_/pending_h2d_
@@ -27,9 +39,11 @@
 #include <cassert>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <queue>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +58,11 @@ namespace sn::core {
 
 enum class TransferDir { kD2H, kH2D, kP2P };
 
+/// Wall-clock queue priority on the owning stream. Never affects virtual
+/// time (see file comment): kHigh only overtakes kNormal jobs that have not
+/// started copying yet.
+enum class TransferPriority { kNormal, kHigh };
+
 /// Counters the pool snapshots into StepTelemetry (and tests assert on).
 struct TransferStats {
   uint64_t submitted_d2h = 0;
@@ -56,16 +75,28 @@ struct TransferStats {
   uint64_t discarded_h2d = 0;
   uint64_t discarded_p2p = 0;
   uint64_t inline_copies = 0;  ///< memcpys executed on the compute thread
-  uint64_t dma_copies = 0;     ///< memcpys executed on the DMA thread
+  uint64_t dma_copies = 0;     ///< memcpys executed on DMA worker threads (total)
+  // Per-stream breakdown of dma_copies (multi-stream backend; all P2P link
+  // workers aggregate into dma_copies_p2p).
+  uint64_t dma_copies_d2h = 0;
+  uint64_t dma_copies_h2d = 0;
+  uint64_t dma_copies_p2p = 0;
+  /// Chunks pipelined through the pinned double-buffered staging pairs.
+  uint64_t staged_chunks = 0;
 };
 
 /// Base class doubles as the simulation / synchronous backend.
 ///
-/// Thread-ownership invariant: the pending_[] maps and stats_ are owned by
-/// the thread that constructed the engine (the compute thread). submit /
-/// retire / pending queries must all come from it — the DMA worker thread
-/// only consumes copy Jobs and advances landed_seq_ under its own mutex, and
-/// never touches pending_[]. Debug builds assert the invariant.
+/// Thread-ownership invariants (per-stream single-writer):
+///   * Submit-side bookkeeping — the pending_[] maps, stats_ and every
+///     stream's sequence counter — is owned by the thread that constructed
+///     the engine (the compute thread). submit / retire / pending queries
+///     must all come from it; assert_submit_owner() makes a violation loud
+///     in debug builds.
+///   * Execution-side state is owned per stream: each DMA worker thread is
+///     the only consumer of its own queue and the only stager of its pinned
+///     buffers, and its drainer helper is the only thread flushing staged
+///     chunks. The workers never touch pending_[] or another stream's state.
 class TransferEngine {
  public:
   /// `pinned` is the host-staging property charged to the sim DMA streams;
@@ -84,14 +115,17 @@ class TransferEngine {
   /// Returns the sim completion event (tests inspect it; clients use the
   /// tag-based calls below). P2P submissions go through submit_p2p (they
   /// need a peer and an explicit data dependency).
-  sim::Event submit(TransferDir dir, uint64_t tag, const void* src, void* dst, uint64_t bytes);
+  sim::Event submit(TransferDir dir, uint64_t tag, const void* src, void* dst, uint64_t bytes,
+                    TransferPriority prio = TransferPriority::kNormal);
 
   /// Enqueue a peer-to-peer copy to device `peer` over the cluster link,
   /// starting no earlier than `not_before` (virtual time; collectives chain
-  /// hop k+1 on hop k's arrival this way). Tracked under TransferDir::kP2P.
-  /// Requires the machine to be a sim::Cluster member.
+  /// hop k+1 on hop k's arrival this way). Tracked under TransferDir::kP2P;
+  /// the async backend runs it on the per-link worker for `peer`, so hops on
+  /// distinct links drain concurrently. Requires the machine to be a
+  /// sim::Cluster member.
   sim::Event submit_p2p(uint64_t tag, const void* src, void* dst, uint64_t bytes, int peer,
-                        double not_before);
+                        double not_before, TransferPriority prio = TransferPriority::kNormal);
 
   /// Retire the transfer if it has completed in virtual time (blocking, if
   /// needed, until the bytes have physically landed). Returns true when no
@@ -104,32 +138,40 @@ class TransferEngine {
 
   /// Retire (dir, tag) without charging a virtual-time stall — used when the
   /// tensor is being freed and the result no longer matters. Still blocks
-  /// until the DMA thread is done touching the buffers (use-after-free
+  /// until the owning DMA worker is done touching the buffers (use-after-free
   /// safety); the seed erased the event with no wait, which was only safe
   /// because its copies were inline.
   void discard(TransferDir dir, uint64_t tag);
 
   bool pending(TransferDir dir, uint64_t tag) const;
   size_t pending_count(TransferDir dir) const {
-    assert_owner();
+    assert_submit_owner();
     return pending_[index(dir)].size();
   }
 
   /// Snapshot of in-flight tags (stable iteration while retiring).
   std::vector<uint64_t> pending_tags(TransferDir dir) const;
 
-  /// Wait out every in-flight transfer in both directions.
+  /// Wait out every in-flight transfer on every stream.
   void drain();
 
   TransferStats stats() const;
 
-  /// True when copies run on a dedicated DMA thread.
+  /// True when copies run on dedicated DMA worker threads.
   virtual bool async_backend() const { return false; }
 
  protected:
+  /// Physical-copy ticket: which stream worker took the job, and the job's
+  /// per-stream sequence number. The base backend copies inline at submit,
+  /// so its tickets are inert.
+  struct Ticket {
+    int stream = 0;
+    uint64_t seq = 0;
+  };
+
   struct Pending {
     sim::Event event;
-    uint64_t seq = 0;
+    Ticket ticket;
   };
 
   static size_t index(TransferDir dir) {
@@ -141,60 +183,71 @@ class TransferEngine {
     return 0;
   }
 
-  /// pending_[] / stats_ are single-threaded by contract (see class comment);
-  /// this makes a violation loud in debug builds instead of a silent race.
-  void assert_owner() const {
+  /// pending_[] / stats_ / stream sequence counters are single-threaded by
+  /// contract (see class comment); this makes a violation loud in debug
+  /// builds instead of a silent race.
+  void assert_submit_owner() const {
 #ifndef NDEBUG
     assert(std::this_thread::get_id() == owner_ &&
-           "TransferEngine bookkeeping must stay on the constructing (compute) thread");
+           "TransferEngine submit-side bookkeeping must stay on the constructing "
+           "(compute) thread");
 #endif
   }
 
-  /// Move the bytes (or schedule them to move). Base: inline memcpy.
-  virtual void dispatch(const void* src, void* dst, uint64_t bytes, uint64_t seq);
+  /// Move the bytes (or hand them to the owning stream's worker). `peer` is
+  /// meaningful for kP2P only. Base: inline memcpy on the compute thread.
+  virtual Ticket dispatch(TransferDir dir, int peer, const void* src, void* dst, uint64_t bytes,
+                          TransferPriority prio);
 
-  /// Block until the copy with sequence number `seq` has physically landed.
-  /// Base backend copies inline, so everything submitted has landed.
-  virtual void ensure_landed(uint64_t seq);
+  /// Block until the copy behind `ticket` has physically landed on its
+  /// stream. Base backend copies inline, so everything submitted has landed.
+  virtual void ensure_landed(const Ticket& ticket);
 
-  /// Copies completed off the compute thread (0 for the base backend).
-  virtual uint64_t dma_copies() const { return 0; }
+  /// Per-stream DMA-thread counters (zeros for the base backend).
+  virtual void fill_dma_stats(TransferStats& s) const;
 
   sim::Machine& machine_;
   bool pinned_;
   int device_id_ = 0;
   std::unordered_map<uint64_t, Pending> pending_[3];  ///< [dir] tag -> op
   TransferStats stats_;
-  uint64_t next_seq_ = 1;
 #ifndef NDEBUG
   std::thread::id owner_ = std::this_thread::get_id();
 #endif
 
  private:
-  sim::Event track(TransferDir dir, uint64_t tag, sim::Event e, const void* src, void* dst,
-                   uint64_t bytes);
+  sim::Event track(TransferDir dir, int peer, uint64_t tag, sim::Event e, const void* src,
+                   void* dst, uint64_t bytes, TransferPriority prio);
   void retire(TransferDir dir, uint64_t tag, bool discarded);
 };
 
-/// Asynchronous backend: one DMA thread, FIFO job queue, double-buffered
-/// staging area allocated from the (pinned) host pool.
+/// Asynchronous backend: a StreamSet of DMA workers — one per direction plus
+/// one per P2P peer — each with a two-level priority queue. The H2D and D2H
+/// workers own a pinned double-buffered staging pair carved from the host
+/// pool and pipeline it with a drainer helper thread (chunk k+1 stages while
+/// chunk k drains); P2P link workers copy host-to-host directly.
 class DmaTransferEngine final : public TransferEngine {
  public:
-  /// Staging buffers are carved from `staging_pool` (two blocks of
-  /// `staging_bytes`); if the pool is unbacked or cannot fit them, copies
-  /// fall back to a single direct memcpy on the DMA thread.
+  /// Each PCIe-direction worker carves two blocks of `staging_bytes` from
+  /// `staging_pool`; a worker whose pair does not fit (or when the pool is
+  /// unbacked) falls back to a single direct memcpy per job.
   DmaTransferEngine(sim::Machine& machine, bool pinned, mem::HostPool& staging_pool,
                     uint64_t staging_bytes = kDefaultStagingBytes, int device_id = 0);
   ~DmaTransferEngine() override;
 
   bool async_backend() const override { return true; }
 
+  /// Freeze / unfreeze every worker's queue pop. Unit tests use this to
+  /// enqueue a deterministic mix of priorities before anything runs.
+  void pause_workers_for_testing(bool paused);
+
   static constexpr uint64_t kDefaultStagingBytes = 256 << 10;
 
  protected:
-  void dispatch(const void* src, void* dst, uint64_t bytes, uint64_t seq) override;
-  void ensure_landed(uint64_t seq) override;
-  uint64_t dma_copies() const override { return dma_copies_.load(std::memory_order_relaxed); }
+  Ticket dispatch(TransferDir dir, int peer, const void* src, void* dst, uint64_t bytes,
+                  TransferPriority prio) override;
+  void ensure_landed(const Ticket& ticket) override;
+  void fill_dma_stats(TransferStats& s) const override;
 
  private:
   struct Job {
@@ -204,26 +257,77 @@ class DmaTransferEngine final : public TransferEngine {
     uint64_t seq = 0;
   };
 
-  void worker_loop();
-  void copy_through_staging(const Job& job);
+  /// One DMA stream: worker thread + queue + (optionally) the pinned staging
+  /// pipeline. Single-writer ownership: the compute thread pushes jobs and
+  /// advances next_seq; the worker thread is the only consumer and the only
+  /// stager; the drainer is the only flusher of full slots.
+  struct Worker {
+    int stream = 0;             ///< ticket stream id (kStreamD2H/kStreamH2D/2+peer)
+    bool use_staging = false;
+
+    // --- submit side (compute thread only) --------------------------------
+    uint64_t next_seq = 0;
+
+    // --- queue state (guarded by mu) --------------------------------------
+    std::mutex mu;
+    std::condition_variable cv;       ///< wakes the worker: job / stop / unpause
+    std::condition_variable done_cv;  ///< wakes ensure_landed: a job landed
+    std::deque<Job> high, normal;     ///< two-level priority, FIFO within level
+    bool stop = false;
+    bool paused = false;
+    /// Landed tracking that survives priority reordering: every seq <= floor
+    /// has landed; out-of-order completions park in `landed` until the floor
+    /// catches up.
+    uint64_t landed_floor = 0;
+    std::set<uint64_t> landed;
+
+    // --- staging pipeline (worker = stager, drainer = flusher) ------------
+    uint64_t staging_handle[2] = {0, 0};
+    void* staging_buf[2] = {nullptr, nullptr};
+    std::mutex smu;
+    std::condition_variable scv;
+    struct Slot {
+      std::byte* dst = nullptr;  ///< destination of the staged chunk
+      uint64_t len = 0;
+      bool full = false;
+    } slot[2];
+    bool staging_stop = false;
+
+    std::atomic<uint64_t> dma_copies{0};
+    std::atomic<uint64_t> staged_chunks{0};
+
+    std::thread thread;   ///< pops jobs, stages chunks
+    std::thread drainer;  ///< flushes staged chunks to their destination
+#ifndef NDEBUG
+    std::atomic<std::thread::id> worker_tid{};
+#endif
+  };
+
+  static constexpr int kStreamD2H = 0;
+  static constexpr int kStreamH2D = 1;
+
+  Worker& worker_for(TransferDir dir, int peer);
+  Worker* worker_by_stream(int stream);
+  void start_worker(Worker& w, bool with_staging);
+  void stop_worker(Worker& w);
+  void worker_loop(Worker& w);
+  void drainer_loop(Worker& w);
+  void run_job(Worker& w, const Job& job);
+  void mark_landed(Worker& w, uint64_t seq);
 
   mem::HostPool& staging_pool_;
   uint64_t staging_bytes_;
-  uint64_t staging_handle_[2] = {0, 0};
-  void* staging_buf_[2] = {nullptr, nullptr};
+  bool paused_ = false;  ///< compute-thread copy of the pause flag (new workers inherit it)
 
-  std::thread worker_;
-  std::mutex mu_;
-  std::condition_variable cv_;       ///< signals the worker: new job / stop
-  std::condition_variable done_cv_;  ///< signals waiters: landed_seq_ advanced
-  std::queue<Job> jobs_;
-  uint64_t landed_seq_ = 0;          ///< guarded by mu_ (jobs retire in FIFO order)
-  bool stop_ = false;
-  std::atomic<uint64_t> dma_copies_{0};
+  Worker dir_workers_[2];  ///< [kStreamD2H, kStreamH2D]
+  /// Per-peer P2P link workers, created lazily at first submit (ordered map:
+  /// iteration order must be deterministic for shutdown and stats).
+  std::map<int, std::unique_ptr<Worker>> p2p_workers_;
 };
 
 /// Pick the backend for a runtime configuration: real numerics + async
-/// transfers get the DMA thread; everything else uses the inline/sim backend.
+/// transfers get the DMA worker set; everything else uses the inline/sim
+/// backend.
 std::unique_ptr<TransferEngine> make_transfer_engine(sim::Machine& machine, mem::HostPool& host,
                                                      bool real, bool async_transfers,
                                                      int device_id = 0);

@@ -80,7 +80,11 @@ AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint
       tags[d] = next_tag_++;
       const float* src = backed ? bufs[d] + off[c] : nullptr;
       float* rcv = backed ? scratch_[static_cast<size_t>(dst)].data() : nullptr;
-      ev[d] = engines_[d]->submit_p2p(tags[d], src, rcv, len[c] * sizeof(float), dst, ready[d]);
+      // Collective hops are waited immediately below: on the async backend
+      // they route to the per-link P2P workers at high priority, ahead of
+      // any eager offload traffic sharing the engine.
+      ev[d] = engines_[d]->submit_p2p(tags[d], src, rcv, len[c] * sizeof(float), dst, ready[d],
+                                      core::TransferPriority::kHigh);
     }
     for (int d = 0; d < n; ++d) engines_[d]->wait(core::TransferDir::kP2P, tags[d]);
     std::vector<double> next(ready);
@@ -109,7 +113,8 @@ AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint
       tags[d] = next_tag_++;
       const float* src = backed ? bufs[d] + off[c] : nullptr;
       float* rcv = backed ? bufs[dst] + off[c] : nullptr;
-      ev[d] = engines_[d]->submit_p2p(tags[d], src, rcv, len[c] * sizeof(float), dst, ready[d]);
+      ev[d] = engines_[d]->submit_p2p(tags[d], src, rcv, len[c] * sizeof(float), dst, ready[d],
+                                      core::TransferPriority::kHigh);
     }
     for (int d = 0; d < n; ++d) engines_[d]->wait(core::TransferDir::kP2P, tags[d]);
     for (int d = 0; d < n; ++d) {

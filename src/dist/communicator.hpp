@@ -7,7 +7,9 @@
 // device's engine, so collectives share the tag-based submit/poll/wait layer
 // (and its telemetry) with offload/prefetch traffic, and virtual time falls
 // out of the link streams: hop k+1 chains on hop k's arrival through the
-// explicit not_before dependency.
+// explicit not_before dependency. On the async backend each directed link
+// additionally gets its own DMA worker, so ring-neighbor hops drain
+// physically in parallel and never queue behind offload/prefetch copies.
 //
 // Numerics: when the buffers are backed, the adds really execute, and every
 // device finishes with bit-identical bytes for any N (each chunk is reduced

@@ -44,6 +44,12 @@ struct DeviceSpec {
 
   /// Latency component of any DMA transfer.
   double dma_latency_s = 10e-6;
+
+  /// Independent DMA copy engines. 2 models the dual-engine GPUs the paper
+  /// evaluates (H2D and D2H proceed concurrently); 1 serializes both
+  /// directions through a single engine — kept as the A/B baseline the
+  /// stream-overlap bench compares against.
+  int copy_engines = 2;
 };
 
 /// The K40c-class device used for all memory-capacity experiments.

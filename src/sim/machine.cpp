@@ -46,14 +46,16 @@ double Machine::copy_seconds(CopyDir dir, uint64_t bytes, bool pinned) const {
 }
 
 Event Machine::async_copy(CopyDir dir, uint64_t bytes, bool pinned) {
-  Stream& s = dir == CopyDir::kH2D ? h2d_ : d2h_;
-  double done = s.enqueue(copy_seconds(dir, bytes, pinned), now());
+  double seconds = copy_seconds(dir, bytes, pinned);
+  double done = dma_.stream(dir).enqueue(seconds, now());
   if (dir == CopyDir::kH2D) {
     counters_.bytes_h2d += bytes;
     counters_.copies_h2d++;
+    counters_.seconds_h2d += seconds;
   } else {
     counters_.bytes_d2h += bytes;
     counters_.copies_d2h++;
+    counters_.seconds_d2h += seconds;
   }
   return Event{done};
 }
@@ -68,8 +70,7 @@ void Machine::wait_event(const Event& e) {
 
 void Machine::reset() {
   compute_.reset();
-  h2d_.reset();
-  d2h_.reset();
+  dma_.reset();
   counters_ = MachineCounters{};
 }
 

@@ -30,17 +30,53 @@ class Stream {
   double enqueue(double duration, double not_before) {
     double start = busy_until_ > not_before ? busy_until_ : not_before;
     busy_until_ = start + duration;
+    busy_seconds_ += duration;
     return busy_until_;
   }
 
   double busy_until() const { return busy_until_; }
-  void reset() { busy_until_ = 0.0; }
+  /// Cumulative seconds this stream spent occupied (per-stream telemetry).
+  double busy_seconds() const { return busy_seconds_; }
+  void reset() {
+    busy_until_ = 0.0;
+    busy_seconds_ = 0.0;
+  }
 
  private:
   double busy_until_ = 0.0;
+  double busy_seconds_ = 0.0;
 };
 
 enum class CopyDir { kH2D, kD2H };
+
+/// The machine's DMA copy engines as named streams. With `engines == 2`
+/// (the default, matching dual-copy-engine GPUs) each direction owns an
+/// independent in-order stream, so H2D prefetch traffic and D2H offload
+/// traffic overlap in virtual time. With `engines == 1` both directions
+/// share one stream and serialize — the baseline the stream-overlap bench
+/// quantifies against. Per-stream occupancy is always accounted to the
+/// direction that enqueued it, even on a shared engine.
+class StreamSet {
+ public:
+  explicit StreamSet(int engines) : engines_(engines < 1 ? 1 : (engines > 2 ? 2 : engines)) {}
+
+  Stream& stream(CopyDir dir) {
+    return streams_[engines_ == 1 ? 0 : (dir == CopyDir::kH2D ? 0 : 1)];
+  }
+  const Stream& stream(CopyDir dir) const {
+    return streams_[engines_ == 1 ? 0 : (dir == CopyDir::kH2D ? 0 : 1)];
+  }
+
+  int engines() const { return engines_; }
+
+  void reset() {
+    for (Stream& s : streams_) s.reset();
+  }
+
+ private:
+  int engines_;
+  Stream streams_[2];
+};
 
 /// Telemetry counters the benches read (Table 3 communication volumes etc.).
 struct MachineCounters {
@@ -55,16 +91,19 @@ struct MachineCounters {
   double compute_time = 0.0;   ///< time the compute stream spent busy
   double malloc_time = 0.0;    ///< compute-stream time lost to native alloc/free
   double stall_time = 0.0;     ///< compute-stream time lost waiting on events
+  double seconds_h2d = 0.0;    ///< DMA-engine seconds occupied by H2D copies
+  double seconds_d2h = 0.0;    ///< DMA-engine seconds occupied by D2H copies
 };
 
 class Machine {
  public:
-  explicit Machine(DeviceSpec spec) : spec_(std::move(spec)) {}
+  explicit Machine(DeviceSpec spec) : spec_(std::move(spec)), dma_(spec_.copy_engines) {}
 
   /// A cluster member: `cluster` owns the P2P link fabric this machine's
   /// p2p_copy() routes through (set only by sim::Cluster).
   Machine(DeviceSpec spec, int device_id, Cluster* cluster)
-      : spec_(std::move(spec)), device_id_(device_id), cluster_(cluster) {}
+      : spec_(std::move(spec)), device_id_(device_id), cluster_(cluster),
+        dma_(spec_.copy_engines) {}
 
   const DeviceSpec& spec() const { return spec_; }
   int device_id() const { return device_id_; }
@@ -97,6 +136,7 @@ class Machine {
   double copy_seconds(CopyDir dir, uint64_t bytes, bool pinned) const;
 
   const MachineCounters& counters() const { return counters_; }
+  const StreamSet& dma_streams() const { return dma_; }
   void reset();
 
  private:
@@ -104,8 +144,7 @@ class Machine {
   int device_id_ = 0;
   Cluster* cluster_ = nullptr;  ///< non-null for cluster members only
   Stream compute_;
-  Stream h2d_;
-  Stream d2h_;
+  StreamSet dma_;               ///< per-direction copy-engine streams
   MachineCounters counters_;
 };
 

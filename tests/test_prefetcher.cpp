@@ -110,6 +110,37 @@ TEST(Prefetcher, ZeroLookaheadDisablesPrefetching) {
   EXPECT_EQ(neg.lookahead(), 0);
 }
 
+TEST(Prefetcher, SpanAnnotatedPlanMatchesFlatPlan) {
+  auto net = graph::build_mini_alexnet(4);
+  int step = first_checkpoint_backward_step(*net);
+  ASSERT_GE(step, 0);
+  core::Prefetcher pf(*net, 3);
+  auto flat = pf.plan(step);
+  auto spans = pf.plan_spans(step);
+  ASSERT_EQ(flat.size(), spans.size());
+  for (size_t i = 0; i < flat.size(); ++i) EXPECT_EQ(flat[i], spans[i].tensor) << i;
+  // Span distances are non-decreasing in scan order and start at 0.
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().span, 0);
+  for (size_t i = 1; i < spans.size(); ++i) EXPECT_GE(spans[i].span, spans[i - 1].span) << i;
+  for (const auto& e : spans) EXPECT_LT(e.span, 3) << e.tensor->name();
+}
+
+TEST(Prefetcher, SpanZeroIsExactlyTheLookaheadOnePlan) {
+  auto net = graph::build_mini_alexnet(4);
+  int step = first_checkpoint_backward_step(*net);
+  ASSERT_GE(step, 0);
+  core::Prefetcher deep(*net, 4);
+  core::Prefetcher shallow(*net, 1);
+  std::vector<tensor::Tensor*> span0;
+  for (const auto& e : deep.plan_spans(step)) {
+    if (e.span == 0) span0.push_back(e.tensor);
+  }
+  // The nearest span of a deep plan is the paper's policy (lookahead 1):
+  // that's what the runtime escalates to high priority under pressure.
+  EXPECT_EQ(span0, shallow.plan(step));
+}
+
 TEST(Prefetcher, PlanAtLastStepIsEmpty) {
   auto net = graph::build_mini_alexnet(2);
   core::Prefetcher pf(*net, 1);

@@ -63,6 +63,48 @@ TEST(Machine, CopiesOnSameStreamSerialize) {
   EXPECT_NEAR(c.done_at, 1e-3, 1e-9);
 }
 
+TEST(Machine, SingleCopyEngineSerializesBothDirections) {
+  DeviceSpec spec = tiny_spec();
+  spec.copy_engines = 1;  // the serialized-DMA baseline
+  Machine m(spec);
+  Event a = m.async_copy(CopyDir::kD2H, 8000000ull, true);  // 1 ms
+  Event b = m.async_copy(CopyDir::kH2D, 8000000ull, true);  // queues behind it
+  EXPECT_NEAR(a.done_at, 1e-3, 1e-9);
+  EXPECT_NEAR(b.done_at, 2e-3, 1e-9);
+  EXPECT_EQ(m.dma_streams().engines(), 1);
+}
+
+TEST(Machine, DualCopyEnginesOverlapMixedTraffic) {
+  Machine m(tiny_spec());  // copy_engines = 2 (default)
+  Event a = m.async_copy(CopyDir::kD2H, 8000000ull, true);
+  Event b = m.async_copy(CopyDir::kH2D, 8000000ull, true);
+  EXPECT_NEAR(a.done_at, 1e-3, 1e-9);
+  EXPECT_NEAR(b.done_at, 1e-3, 1e-9);  // independent engine: no queueing
+  EXPECT_EQ(m.dma_streams().engines(), 2);
+}
+
+TEST(Machine, PerStreamBusySecondsAccountedToDirection) {
+  for (int engines : {1, 2}) {
+    DeviceSpec spec = tiny_spec();
+    spec.copy_engines = engines;
+    Machine m(spec);
+    m.async_copy(CopyDir::kD2H, 8000000ull, true);   // 1 ms
+    m.async_copy(CopyDir::kH2D, 16000000ull, true);  // 2 ms
+    // Occupancy lands on the submitting direction even on a shared engine.
+    EXPECT_NEAR(m.counters().seconds_d2h, 1e-3, 1e-9) << engines;
+    EXPECT_NEAR(m.counters().seconds_h2d, 2e-3, 1e-9) << engines;
+  }
+}
+
+TEST(Machine, ResetClearsStreamOccupancy) {
+  Machine m(tiny_spec());
+  m.async_copy(CopyDir::kD2H, 8000000ull, true);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.counters().seconds_d2h, 0.0);
+  EXPECT_DOUBLE_EQ(m.dma_streams().stream(CopyDir::kD2H).busy_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(m.dma_streams().stream(CopyDir::kD2H).busy_until(), 0.0);
+}
+
 TEST(Machine, CountersTrackTraffic) {
   Machine m(tiny_spec());
   m.async_copy(CopyDir::kD2H, 100, true);
