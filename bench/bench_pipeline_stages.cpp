@@ -1,0 +1,151 @@
+// bench_pipeline_stages: sweep pipeline stages x microbatches over the zoo
+// and compare against the single-device and data-parallel baselines.
+//
+// The pipeline's fill/drain ramps idle (S-1) microbatch slots per stage
+// regardless of M, so the bubble fraction — bubble_seconds / (S * span) —
+// must shrink as microbatches grow (GPipe's law); the bench gates on that
+// for the 2-stage configs. Per-config telemetry comes straight from
+// IterationStats: bubble_seconds (compute stalled on a pipeline neighbor),
+// p2p_bytes / p2p_seconds (boundary activation + gradient streaming).
+//
+//   ./bench_pipeline_stages [--json out.json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "dist/data_parallel.hpp"
+#include "dist/pipeline_parallel.hpp"
+
+using namespace sn;
+
+namespace {
+
+struct Row {
+  std::string net;
+  int stages = 1;
+  int microbatches = 1;
+  double seconds = 0.0;
+  double bubble_seconds = 0.0;
+  double bubble_frac = 0.0;
+  uint64_t p2p_bytes = 0;
+  double p2p_seconds = 0.0;
+};
+
+core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons, cluster.device);
+  o.real = false;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  const int kGlobalBatch = 32, kIters = 2;
+  const char* nets[] = {"VGG16", "ResNet50", "InceptionV4"};
+  const int stage_sweep[] = {2, 4};
+  const int microbatch_sweep[] = {2, 4, 8};
+
+  std::printf("=== pipeline stages x microbatches (global batch %d, TITAN-Xp NVLink sim) ===\n\n",
+              kGlobalBatch);
+  util::Table t({"network", "config", "iter (ms)", "img/s", "bubble_seconds (ms)",
+                 "bubble_frac", "p2p_bytes (MB)", "p2p busy (ms)"});
+  std::vector<Row> rows;
+  bool shrink_ok = true;
+
+  for (const char* name : nets) {
+    // Single-device baseline: the same net over the combined batch.
+    {
+      sim::ClusterSpec cs = sim::nvlink_cluster_spec(1);
+      auto net = bench::build_network(name, kGlobalBatch);
+      auto st = bench::run_sim_iteration(*net, sim_options(cs));
+      t.add_row({name, "1 device", util::format_double(st.seconds * 1e3, 1),
+                 util::format_double(kGlobalBatch / st.seconds, 1), "0.00", "0.000", "0.0",
+                 "0.00"});
+      rows.push_back(Row{name, 1, 1, st.seconds, 0.0, 0.0, 0, 0.0});
+    }
+    for (int stages : stage_sweep) {
+      // Data-parallel baseline at the same device count.
+      {
+        dist::DataParallelConfig cfg;
+        cfg.devices = stages;
+        cfg.global_batch = kGlobalBatch;
+        cfg.cluster = sim::nvlink_cluster_spec(stages);
+        cfg.train.iterations = kIters;
+        auto factory = [&](int batch) { return bench::build_network(name, batch); };
+        dist::DataParallelTrainer dp(factory, sim_options(cfg.cluster), cfg);
+        auto rep = dp.run();
+        const auto& st = rep.stats.back();
+        t.add_row({name, std::to_string(stages) + "-dev data-parallel",
+                   util::format_double(st.seconds * 1e3, 1),
+                   util::format_double(kGlobalBatch / st.seconds, 1), "0.00", "0.000",
+                   util::format_double(st.p2p_bytes / 1048576.0, 1), "0.00"});
+      }
+      double frac_first = -1.0, frac_last = -1.0;
+      for (int mb : microbatch_sweep) {
+        dist::PipelineParallelConfig cfg;
+        cfg.stages = stages;
+        cfg.microbatches = mb;
+        cfg.global_batch = kGlobalBatch;
+        cfg.cluster = sim::nvlink_cluster_spec(stages);
+        cfg.train.iterations = kIters;
+        auto factory = [&](int batch) { return bench::build_network(name, batch); };
+        dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
+        auto rep = pipe.run();
+        const auto& st = rep.stats.back();
+        Row r{name, stages, mb, st.seconds, st.bubble_seconds,
+              st.bubble_seconds / (stages * st.seconds), st.p2p_bytes, st.p2p_seconds};
+        rows.push_back(r);
+        if (frac_first < 0) frac_first = r.bubble_frac;
+        frac_last = r.bubble_frac;
+        t.add_row({name, std::to_string(stages) + " stages x " + std::to_string(mb) + " ubatch",
+                   util::format_double(r.seconds * 1e3, 1),
+                   util::format_double(kGlobalBatch / r.seconds, 1),
+                   util::format_double(r.bubble_seconds * 1e3, 2),
+                   util::format_double(r.bubble_frac, 3),
+                   util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1),
+                   util::format_double(r.p2p_seconds * 1e3, 2)});
+      }
+      if (stages == 2 && frac_last >= frac_first) {
+        shrink_ok = false;
+        std::printf("!! %s: 2-stage bubble_frac did not shrink (%f -> %f)\n", name, frac_first,
+                    frac_last);
+      }
+    }
+  }
+  t.print();
+  std::printf("\nbubble_frac = bubble_seconds / (stages * iteration span); GPipe predicts it\n"
+              "falls as microbatches grow (fill/drain ramps amortize): %s\n",
+              shrink_ok ? "CONFIRMED" : "VIOLATED");
+  std::printf("(pipeline iterations re-materialize forwards at drain, so img/s trails the\n"
+              "data-parallel baseline at equal devices; pipelining is for nets whose\n"
+              "working set exceeds one device's pool.)\n");
+
+  if (json_path) {
+    std::FILE* jf = std::fopen(json_path, "w");
+    if (!jf) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(jf, "{\n  \"global_batch\": %d,\n  \"configs\": [", kGlobalBatch);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(jf,
+                   "%s\n    {\"net\": \"%s\", \"stages\": %d, \"microbatches\": %d, "
+                   "\"seconds\": %.6e, \"bubble_seconds\": %.6e, \"bubble_frac\": %.4f, "
+                   "\"p2p_bytes\": %llu, \"p2p_seconds\": %.6e}",
+                   i ? "," : "", r.net.c_str(), r.stages, r.microbatches, r.seconds,
+                   r.bubble_seconds, r.bubble_frac,
+                   static_cast<unsigned long long>(r.p2p_bytes), r.p2p_seconds);
+    }
+    std::fprintf(jf, "\n  ]\n}\n");
+    std::fclose(jf);
+  }
+  return shrink_ok ? 0 : 1;
+}

@@ -3,10 +3,18 @@
 // and a policy comparison — without running anything for real.
 //
 //   $ ./build/examples/schedule_report [network] [batch]
+//   $ ./build/examples/schedule_report [network] [batch] --csv
 //   networks: AlexNet VGG16 VGG19 InceptionV4 ResNet50 ResNet101 ResNet152
+//
+// --csv emits the per-step overlap series instead of the tables: one row per
+// route step with the compute seconds and the {d2h,h2d,p2p} copy-engine busy
+// seconds that accrued during it — the raw material of the paper's
+// transfer/compute overlap figure (plot busy columns against compute).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/liveness.hpp"
 #include "core/recompute.hpp"
@@ -36,8 +44,50 @@ std::string mb(uint64_t b) { return util::format_double(b / 1048576.0, 1); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string name = argc > 1 ? argv[1] : "AlexNet";
-  int batch = argc > 2 ? std::atoi(argv[2]) : 64;
+  bool csv = false;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  std::string name = !pos.empty() ? pos[0] : "AlexNet";
+  int batch = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 64;
+
+  if (csv) {
+    // Per-step transfer/compute overlap series (steady state: iteration 2).
+    auto net = build(name, batch);
+    core::Runtime rt(*net, core::make_policy(core::PolicyPreset::kSuperNeurons));
+    try {
+      rt.train_iteration(nullptr, nullptr);  // warm-up: offload steady state
+      const auto base = rt.machine().counters();
+      rt.train_iteration(nullptr, nullptr);
+      std::printf("step,layer,pass,compute_seconds,d2h_busy_seconds,h2d_busy_seconds,"
+                  "p2p_busy_seconds,transfers_in_flight,clock\n");
+      // The telemetry carries cumulative machine counters; emit per-step
+      // deltas against the traced iteration's start.
+      double prev_compute = base.compute_time, prev_d2h = base.seconds_d2h,
+             prev_h2d = base.seconds_h2d, prev_p2p = base.seconds_p2p;
+      for (const auto& s : rt.step_telemetry()) {
+        std::printf("%d,%s,%s,%.9f,%.9f,%.9f,%.9f,%llu,%.9f\n", s.step, s.layer->name().c_str(),
+                    s.forward ? "fwd" : "bwd", s.compute_seconds - prev_compute,
+                    s.d2h_busy_seconds - prev_d2h, s.h2d_busy_seconds - prev_h2d,
+                    s.p2p_busy_seconds - prev_p2p,
+                    static_cast<unsigned long long>(s.transfers_in_flight), s.clock);
+        prev_compute = s.compute_seconds;
+        prev_d2h = s.d2h_busy_seconds;
+        prev_h2d = s.h2d_busy_seconds;
+        prev_p2p = s.p2p_busy_seconds;
+      }
+    } catch (const core::OomError& e) {
+      std::fprintf(stderr, "%s OOMs at batch %d (%s)\n", name.c_str(), batch, e.what.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   auto net = build(name, batch);
 
   std::printf("=== %s (batch %d) ===\n", name.c_str(), batch);

@@ -28,6 +28,10 @@ enum class RecomputeMode {
 
 const char* recompute_mode_name(RecomputeMode m);
 
+/// Sentinel for RuntimeOptions::prefetch_lookahead: "the user did not set
+/// it" — the runtime substitutes the per-net table default.
+inline constexpr int kPrefetchLookaheadAuto = -1;
+
 struct RuntimeOptions {
   // --- memory techniques (paper §3) ---------------------------------------
   bool use_liveness = true;       ///< free tensors at their last use (§3.2)
@@ -39,9 +43,12 @@ struct RuntimeOptions {
   // --- transfer behaviour --------------------------------------------------
   bool pinned_host = true;       ///< pinned staging (TF-like policies lose 50%)
   bool async_transfers = true;   ///< overlap DMA with compute
-  int prefetch_lookahead = 1;    ///< checkpoint spans staged ahead of backward
-                                 ///< (§3.3.1; the paper prefetches exactly 1;
-                                 ///< 0 disables prefetching entirely)
+  /// Checkpoint spans staged ahead of backward (§3.3.1; the paper prefetches
+  /// exactly 1; 0 disables prefetching entirely). Left at
+  /// kPrefetchLookaheadAuto, the runtime picks the per-net default
+  /// core::default_prefetch_lookahead() pins from bench_prefetch_lookahead
+  /// (VGG16/19 -> 1, InceptionV4 / ResNet50/101 -> 2).
+  int prefetch_lookahead = kPrefetchLookaheadAuto;
 
   // --- speed techniques ----------------------------------------------------
   bool dynamic_workspace = true; ///< per-step fastest feasible conv algo (§3.5)

@@ -19,11 +19,20 @@ std::vector<Prefetcher::Entry> Prefetcher::plan_spans(int step) const {
   for (size_t s = static_cast<size_t>(step) + 1; s < steps.size(); ++s) {
     const auto& st = steps[s];
     for (tensor::Tensor* u : st.layer->backward_uses()) {
+      if (remote_gate_ && remote_gate_(u->uid())) continue;  // awaiting P2P landing
       if (seen.insert(u->uid()).second) out.push_back(Entry{u, checkpoints});
     }
     if (RecomputePlan::is_checkpoint_layer(st.layer) && ++checkpoints >= lookahead_) break;
   }
   return out;
+}
+
+int default_prefetch_lookahead(const graph::Net& net) {
+  const std::string& a = net.arch();
+  if (a == "alexnet" || a == "vgg16" || a == "vgg19") return 1;
+  if (a == "inception_v4" || a == "densenet121") return 2;
+  if (a.rfind("resnet", 0) == 0) return 2;
+  return 1;  // the paper's policy for anything the bench has not ranked
 }
 
 std::vector<tensor::Tensor*> Prefetcher::plan(int step) const {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/net.hpp"
@@ -44,9 +45,27 @@ class Prefetcher {
 
   int lookahead() const { return lookahead_; }
 
+  /// Gate for remotely produced tensors (pipeline stage boundaries): when
+  /// set, a uid the gate reports true for is skipped by every plan — its
+  /// bytes live on a peer device until the P2P landing event, so a host
+  /// fetch would stage stale data. The orchestrator flips the gate off once
+  /// the landing is waited out.
+  void set_remote_gate(std::function<bool(uint64_t)> gate) { remote_gate_ = std::move(gate); }
+
  private:
   const graph::Net& net_;
   int lookahead_;
+  std::function<bool(uint64_t)> remote_gate_;
 };
+
+/// Per-net prefetch-lookahead default, applied when RuntimeOptions leaves
+/// prefetch_lookahead at kPrefetchLookaheadAuto. The table pins what
+/// bench_prefetch_lookahead measures: the linear nets (AlexNet, VGG) are
+/// happiest with the paper's lookahead of exactly 1 — deeper staging
+/// displaces resident tensors for no stall win — while the branchy / deep
+/// zoo nets (InceptionV4, ResNet50/101/152, DenseNet) keep improving at 2+
+/// because their checkpoint spans are short and fan-joins pull several
+/// spans' dependencies at once. Unknown architectures get the paper's 1.
+int default_prefetch_lookahead(const graph::Net& net);
 
 }  // namespace sn::core

@@ -20,6 +20,11 @@ bool is_offloadable_producer(const graph::Layer* l) {
   return l->type() == graph::LayerType::kConv || l->type() == graph::LayerType::kData;
 }
 
+int resolve_lookahead(const RuntimeOptions& opts, const graph::Net& net) {
+  return opts.prefetch_lookahead == kPrefetchLookaheadAuto ? default_prefetch_lookahead(net)
+                                                           : opts.prefetch_lookahead;
+}
+
 }  // namespace
 
 Runtime::Runtime(graph::Net& net, RuntimeOptions opts)
@@ -30,9 +35,10 @@ Runtime::Runtime(graph::Net& net, RuntimeOptions opts)
       cost_(opts.spec),
       liveness_(net, opts.recompute != RecomputeMode::kNone),
       plan_(net, opts.recompute),
-      prefetcher_(net, opts.prefetch_lookahead),
-      rng_(opts.seed) {
+      prefetcher_(net, resolve_lookahead(opts, net)) {
   if (!net.finalized()) throw std::logic_error("Runtime: net must be finalized");
+  prefetcher_.set_remote_gate(
+      [this](uint64_t uid) { return external_pending_.count(uid) != 0; });
 
   UnifiedTensorPool::Config pool_cfg;
   pool_cfg.real = opts_.real;
@@ -334,6 +340,8 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
   tele.transfers_in_flight = tele.d2h_in_flight + tele.h2d_in_flight;
   tele.d2h_busy_seconds = machine_.counters().seconds_d2h;
   tele.h2d_busy_seconds = machine_.counters().seconds_h2d;
+  tele.p2p_busy_seconds = machine_.counters().seconds_p2p;
+  tele.compute_seconds = machine_.counters().compute_time;
   telemetry_.push_back(tele);
 
   lock(uses, false);
@@ -441,10 +449,20 @@ void Runtime::initialize() {
         for (int64_t i = 0; i < n; ++i) p[i] = is_gamma ? 1.0f : 0.0f;
         return;
       }
-      // He-normal fan-in initialization for conv / FC weights.
+      // He-normal fan-in initialization for conv / FC weights, seeded per
+      // tensor (FNV-1a of the name mixed with the run seed) rather than from
+      // one sequential stream: a pipeline stage holding layers j..k must
+      // draw exactly the bits the full net would for those layers, which a
+      // positional stream cannot survive.
+      uint64_t h = 1469598103934665603ull;
+      for (char c : t->name()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+      }
+      util::Rng trng(opts_.seed * 0x9E3779B97F4A7C15ull + h);
       int64_t fan_in = t->shape().c * t->shape().h * t->shape().w;
       float stddev = std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
-      for (int64_t i = 0; i < n; ++i) p[i] = rng_.normal(0.0f, stddev);
+      for (int64_t i = 0; i < n; ++i) p[i] = trng.normal(0.0f, stddev);
     };
     const auto& params = l->params();
     for (size_t i = 0; i < params.size(); ++i) {
@@ -463,50 +481,115 @@ void Runtime::initialize() {
   initialized_ = true;
 }
 
-IterationStats Runtime::train_iteration(const float* input, const int32_t* labels) {
+void Runtime::begin_iteration() {
   if (!initialized_) initialize();
   telemetry_.clear();
   zeroed_grads_.clear();
   iter_peak_ = pool_->allocator().in_use();
   extra_forwards_ = 0;
   loss_sum_ = 0.0;
+  iter_loss_ = 0.0;
   pool_->reset_iteration_counters();
-  const auto c0 = machine_.counters();
-  const double t0 = machine_.now();
-  TensorCache& cache = pool_->cache();
-  const uint64_t hits0 = cache.hits(), misses0 = cache.misses();
-  const uint64_t dma0 = pool_->engine().stats().dma_copies;
+}
 
-  double loss = 0.0;
+Runtime::StatSpan Runtime::begin_span() const {
+  StatSpan s;
+  s.c0 = machine_.counters();
+  s.t0 = machine_.now();
+  const TensorCache& cache = pool_->cache();
+  s.hits0 = cache.hits();
+  s.misses0 = cache.misses();
+  s.dma0 = pool_->engine().stats().dma_copies;
+  s.evict0 = pool_->evictions();
+  s.alloc0 = pool_->alloc_count();
+  s.extra0 = extra_forwards_;
+  return s;
+}
+
+IterationStats Runtime::end_span(const StatSpan& s) {
+  const auto c1 = machine_.counters();
+  const TensorCache& cache = pool_->cache();
+  IterationStats st;
+  st.loss = iter_loss_;
+  st.loss_sum = loss_sum_;
+  st.seconds = machine_.now() - s.t0;
+  st.peak_mem = iter_peak_;
+  st.bytes_d2h = c1.bytes_d2h - s.c0.bytes_d2h;
+  st.bytes_h2d = c1.bytes_h2d - s.c0.bytes_h2d;
+  st.extra_forwards = extra_forwards_ - s.extra0;
+  st.evictions = pool_->evictions() - s.evict0;
+  st.cache_hits = cache.hits() - s.hits0;
+  st.cache_misses = cache.misses() - s.misses0;
+  st.allocs = pool_->alloc_count() - s.alloc0;
+  st.malloc_seconds = c1.malloc_time - s.c0.malloc_time;
+  st.stall_seconds = c1.stall_time - s.c0.stall_time;
+  st.host_peak = pool_->host_pool().peak_in_use();
+  st.dma_copies = pool_->engine().stats().dma_copies - s.dma0;
+  st.d2h_seconds = c1.seconds_d2h - s.c0.seconds_d2h;
+  st.h2d_seconds = c1.seconds_h2d - s.c0.seconds_h2d;
+  st.p2p_seconds = c1.seconds_p2p - s.c0.seconds_p2p;
+  return st;
+}
+
+IterationStats Runtime::train_iteration(const float* input, const int32_t* labels) {
+  begin_iteration();
+  const StatSpan span = begin_span();
+
   for (const auto& step : net_.steps()) {
-    exec_step(step, input, labels, &loss);
+    exec_step(step, input, labels, &iter_loss_);
     post_step(step);
   }
 
   // Drain outstanding DMA so the next iteration starts clean.
   pool_->drain();
 
-  const auto c1 = machine_.counters();
-  IterationStats st;
-  st.loss = loss;
-  st.loss_sum = loss_sum_;
-  st.seconds = machine_.now() - t0;
-  st.peak_mem = iter_peak_;
-  st.bytes_d2h = c1.bytes_d2h - c0.bytes_d2h;
-  st.bytes_h2d = c1.bytes_h2d - c0.bytes_h2d;
-  st.extra_forwards = extra_forwards_;
-  st.evictions = pool_->evictions();
-  st.cache_hits = cache.hits() - hits0;
-  st.cache_misses = cache.misses() - misses0;
-  st.allocs = pool_->alloc_count();
-  st.malloc_seconds = c1.malloc_time - c0.malloc_time;
-  st.stall_seconds = c1.stall_time - c0.stall_time;
-  st.host_peak = pool_->host_pool().peak_in_use();
-  st.dma_copies = pool_->engine().stats().dma_copies - dma0;
-  st.d2h_seconds = c1.seconds_d2h - c0.seconds_d2h;
-  st.h2d_seconds = c1.seconds_h2d - c0.seconds_h2d;
+  IterationStats st = end_span(span);
   ++iter_;
   return st;
+}
+
+IterationStats Runtime::forward_pass(const float* input, const int32_t* labels) {
+  begin_iteration();
+  const StatSpan span = begin_span();
+  const int nfwd = static_cast<int>(net_.route().size());
+  for (const auto& step : net_.steps()) {
+    if (step.index >= nfwd) break;
+    exec_step(step, input, labels, &iter_loss_);
+    post_step(step);
+  }
+  return end_span(span);
+}
+
+IterationStats Runtime::backward_pass(const int32_t* labels) {
+  const StatSpan span = begin_span();
+  // Each microbatch's gradients start from zero; the caller combines the
+  // per-microbatch results pairwise (util/pairwise.hpp) so M microbatches
+  // reproduce the full-batch reduction tree bit for bit.
+  zeroed_grads_.clear();
+  const int nfwd = static_cast<int>(net_.route().size());
+  for (const auto& step : net_.steps()) {
+    if (step.index < nfwd) continue;
+    exec_step(step, nullptr, labels, &iter_loss_);
+    post_step(step);
+  }
+  pool_->drain();
+  return end_span(span);
+}
+
+void Runtime::pin_external(tensor::Tensor* t) {
+  if (!t->on_device()) {
+    pool_->alloc_device(t);
+    t->residency = tensor::Residency::kDevice;
+  }
+  t->lock();
+}
+
+void Runtime::mark_external_pending(const tensor::Tensor* t) {
+  external_pending_.insert(t->uid());
+}
+
+void Runtime::mark_external_landed(const tensor::Tensor* t) {
+  external_pending_.erase(t->uid());
 }
 
 IterationStats Runtime::forward_iteration(const float* input, const int32_t* labels,

@@ -61,6 +61,46 @@ class Runtime {
   /// the iteration is kept in step_telemetry().
   IterationStats train_iteration(const float* input, const int32_t* labels);
 
+  // --- microbatch-granular passes (pipeline parallelism) --------------------
+  // A pipeline stage cannot run forward+backward atomically: its backward
+  // depends on a gradient the NEXT stage produces from this stage's forward
+  // output. These split train_iteration at the forward/backward boundary.
+  // forward_pass may be called repeatedly without a backward (GPipe fill:
+  // later microbatches overwrite earlier activations; the drain phase
+  // re-runs forward_pass to rematerialize them); each backward_pass zeroes
+  // gradients at first definition, so per-microbatch gradients come out
+  // independent and the caller combines them pairwise. Neither advances the
+  // iteration counter — call advance_iteration() once per global batch so
+  // every microbatch (and its rematerialization) sees the same seeds.
+
+  /// Run the forward half of an iteration (resets per-iteration state).
+  /// Returns stats for the forward span only.
+  IterationStats forward_pass(const float* input, const int32_t* labels);
+
+  /// Run the backward half over the activations of the last forward_pass.
+  /// `labels` must match that forward's batch when the net has a loss layer.
+  /// Drains outstanding DMA; returns stats for the backward span (loss
+  /// fields cover the whole microbatch).
+  IterationStats backward_pass(const int32_t* labels = nullptr);
+
+  /// Bump the iteration counter (iteration-seeded state: dropout masks).
+  void advance_iteration() { ++iter_; }
+
+  // --- externally produced tensors (pipeline stage boundaries) --------------
+
+  /// Pin a tensor no in-stage layer defines (a P2P landing site: the
+  /// upstream activation-gradient, or a boundary output read by a peer):
+  /// allocate device memory now and lock it for the runtime's lifetime so
+  /// liveness/eviction never reclaim it mid-stream.
+  void pin_external(tensor::Tensor* t);
+
+  /// Mark `t` remotely produced and not yet landed: the prefetcher skips it
+  /// (a host fetch would stage stale bytes of the previous microbatch).
+  void mark_external_pending(const tensor::Tensor* t);
+
+  /// The P2P landing for `t` has been waited out; plans may include it again.
+  void mark_external_landed(const tensor::Tensor* t);
+
   /// Forward-only pass (inference). Tensors are freed at their last
   /// *forward* use, so the scheduled footprint is far below training's. If
   /// `probs_out` is non-null (real mode) it receives the loss layer's output.
@@ -119,6 +159,19 @@ class Runtime {
     return producer_[t->uid()];
   }
 
+  /// Reset the per-iteration state forward_pass / train_iteration start from.
+  void begin_iteration();
+
+  /// Counter snapshot bracketing a pass; end_span() returns the deltas as
+  /// IterationStats (plus the iteration-scope loss / peak fields).
+  struct StatSpan {
+    sim::MachineCounters c0;
+    double t0 = 0.0;
+    uint64_t hits0 = 0, misses0 = 0, dma0 = 0, evict0 = 0, alloc0 = 0, extra0 = 0;
+  };
+  StatSpan begin_span() const;
+  IterationStats end_span(const StatSpan& s);
+
   graph::Net& net_;
   RuntimeOptions opts_;
   /// Owned when running standalone; null when opts.cluster provides the
@@ -132,7 +185,6 @@ class Runtime {
   /// constructed in the ctor body once liveness/plan exist for its hooks.
   std::unique_ptr<UnifiedTensorPool> pool_;
   Prefetcher prefetcher_;
-  util::Rng rng_;
 
   std::vector<graph::Layer*> producer_;        ///< tensor uid -> defining layer
   std::vector<int> last_forward_use_;          ///< uid -> last forward step using it
@@ -144,10 +196,14 @@ class Runtime {
   /// that step (inference-mode free lists).
   std::vector<std::vector<uint64_t>> fwd_free_lists_;
 
+  /// Remotely produced uids awaiting their P2P landing (prefetcher gate).
+  std::unordered_set<uint64_t> external_pending_;
+
   // per-iteration state
   std::unordered_set<uint64_t> zeroed_grads_;
   std::vector<uint64_t> regenerated_;          ///< uids replayed this backward step
   double loss_sum_ = 0.0;                      ///< raw NLL sum this iteration
+  double iter_loss_ = 0.0;                     ///< normalized loss (softmax forward)
   uint64_t iter_ = 0;
   uint64_t iter_peak_ = 0;
   uint64_t extra_forwards_ = 0;

@@ -53,6 +53,12 @@ struct StepTelemetry {
   // compute_time vs these says how much transfer the schedule hid.
   double d2h_busy_seconds = 0.0;
   double h2d_busy_seconds = 0.0;
+  /// Cumulative link seconds this device's P2P sends occupied (pipeline
+  /// activation streaming / collective hops; 0 off-cluster).
+  double p2p_busy_seconds = 0.0;
+  /// Cumulative compute-stream seconds; the delta between consecutive steps
+  /// is the compute the overlap figure plots the busy-seconds series against.
+  double compute_seconds = 0.0;
 };
 
 struct IterationStats {
@@ -87,6 +93,12 @@ struct IterationStats {
   // single-device training).
   uint64_t p2p_bytes = 0;          ///< bytes this device sent over peer links
   double allreduce_seconds = 0.0;  ///< device time inside the gradient all-reduce
+
+  // Pipeline telemetry, filled by dist::PipelineParallelTrainer (zero
+  // elsewhere).
+  double p2p_seconds = 0.0;     ///< link seconds occupied by this device's sends
+  double bubble_seconds = 0.0;  ///< compute time stalled waiting on a pipeline
+                                ///< neighbor (fill/drain bubbles)
 };
 
 }  // namespace sn::core

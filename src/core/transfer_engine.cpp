@@ -110,6 +110,14 @@ void TransferEngine::discard(TransferDir dir, uint64_t tag) {
   retire(dir, tag, /*discarded=*/true);
 }
 
+void TransferEngine::await_landing(TransferDir dir, uint64_t tag) {
+  assert_submit_owner();
+  auto& map = pending_[index(dir)];
+  auto it = map.find(tag);
+  if (it == map.end()) return;
+  ensure_landed(it->second.ticket);
+}
+
 bool TransferEngine::pending(TransferDir dir, uint64_t tag) const {
   assert_submit_owner();
   return pending_[index(dir)].count(tag) != 0;
@@ -215,11 +223,14 @@ DmaTransferEngine::Worker& DmaTransferEngine::worker_for(TransferDir dir, int pe
   assert(peer >= 0 && "P2P dispatch needs a peer device");
   auto it = p2p_workers_.find(peer);
   if (it == p2p_workers_.end()) {
-    // One worker per directed link, created at first use. P2P copies move
-    // host-backed collective buffers in this model, so no pinned staging.
+    // One worker per directed link, created at first use. Pipeline
+    // parallelism streams whole boundary activations over these links, so
+    // each gets the same pinned double-buffer + drainer pipeline as the
+    // PCIe directions (ROADMAP "P2P staging"); a tight pool degrades the
+    // lazily-created links last, after the PCIe pairs.
     auto w = std::make_unique<Worker>();
     w->stream = 2 + peer;
-    start_worker(*w, /*with_staging=*/false);
+    start_worker(*w, /*with_staging=*/true);
     it = p2p_workers_.emplace(peer, std::move(w)).first;
   }
   return *it->second;
@@ -396,8 +407,10 @@ void DmaTransferEngine::fill_dma_stats(TransferStats& s) const {
   s.dma_copies_p2p = 0;
   for (const auto& [peer, w] : p2p_workers_) s.dma_copies_p2p += load(w->dma_copies);
   s.dma_copies = s.dma_copies_d2h + s.dma_copies_h2d + s.dma_copies_p2p;
+  s.staged_chunks_p2p = 0;
+  for (const auto& [peer, w] : p2p_workers_) s.staged_chunks_p2p += load(w->staged_chunks);
   s.staged_chunks = load(dir_workers_[kStreamD2H].staged_chunks) +
-                    load(dir_workers_[kStreamH2D].staged_chunks);
+                    load(dir_workers_[kStreamH2D].staged_chunks) + s.staged_chunks_p2p;
 }
 
 // ---------------------------------------------------------------------------

@@ -14,10 +14,11 @@
 //   * DmaTransferEngine       — a StreamSet of dedicated DMA workers: one
 //     thread per direction (H2D, D2H) plus one per directed P2P link, each
 //     draining its own two-level priority queue, so offload and prefetch
-//     traffic overlap each other as well as compute. The PCIe-direction
-//     workers copy through a pinned double-buffered staging pair carved out
-//     of the mem::HostPool, pipelined: a drainer helper thread flushes chunk
-//     k to the destination while the worker stages chunk k+1. Completion
+//     traffic overlap each other as well as compute. Every worker (PCIe
+//     directions and P2P links alike) copies through a pinned
+//     double-buffered staging pair carved out of the mem::HostPool,
+//     pipelined: a drainer helper thread flushes chunk k to the destination
+//     while the worker stages chunk k+1. Completion
 //     *decisions* are still gated on the virtual event, which keeps the
 //     schedule deterministic and identical to the synchronous backend; the
 //     wall-clock memcpy merely has to have landed by the time the decision
@@ -81,8 +82,10 @@ struct TransferStats {
   uint64_t dma_copies_d2h = 0;
   uint64_t dma_copies_h2d = 0;
   uint64_t dma_copies_p2p = 0;
-  /// Chunks pipelined through the pinned double-buffered staging pairs.
+  /// Chunks pipelined through the pinned double-buffered staging pairs
+  /// (all streams; P2P link workers broken out below).
   uint64_t staged_chunks = 0;
+  uint64_t staged_chunks_p2p = 0;
 };
 
 /// Base class doubles as the simulation / synchronous backend.
@@ -142,6 +145,14 @@ class TransferEngine {
   /// safety); the seed erased the event with no wait, which was only safe
   /// because its copies were inline.
   void discard(TransferDir dir, uint64_t tag);
+
+  /// Block (wall clock only) until the bytes of (dir, tag) have physically
+  /// landed, WITHOUT stalling the compute stream and WITHOUT retiring the
+  /// transfer. Pipeline receivers use this before reading a P2P landing
+  /// site: the RECEIVER's machine gates on the virtual event, so the
+  /// sender's clock — which try_retire/wait consult — must not be touched.
+  /// No-op when nothing is pending for the tag.
+  void await_landing(TransferDir dir, uint64_t tag);
 
   bool pending(TransferDir dir, uint64_t tag) const;
   size_t pending_count(TransferDir dir) const {
@@ -222,14 +233,16 @@ class TransferEngine {
 };
 
 /// Asynchronous backend: a StreamSet of DMA workers — one per direction plus
-/// one per P2P peer — each with a two-level priority queue. The H2D and D2H
-/// workers own a pinned double-buffered staging pair carved from the host
-/// pool and pipeline it with a drainer helper thread (chunk k+1 stages while
-/// chunk k drains); P2P link workers copy host-to-host directly.
+/// one per P2P peer — each with a two-level priority queue. Every worker —
+/// the H2D/D2H PCIe directions and, since pipeline parallelism streams bulk
+/// activations over the links, the per-link P2P workers too — owns a pinned
+/// double-buffered staging pair carved from the host pool and pipelines it
+/// with a drainer helper thread (chunk k+1 stages while chunk k drains).
 class DmaTransferEngine final : public TransferEngine {
  public:
-  /// Each PCIe-direction worker carves two blocks of `staging_bytes` from
-  /// `staging_pool`; a worker whose pair does not fit (or when the pool is
+  /// Each worker carves two blocks of `staging_bytes` from `staging_pool`
+  /// (PCIe pairs at construction, P2P pairs lazily at a link's first
+  /// submit); a worker whose pair does not fit (or when the pool is
   /// unbacked) falls back to a single direct memcpy per job.
   DmaTransferEngine(sim::Machine& machine, bool pinned, mem::HostPool& staging_pool,
                     uint64_t staging_bytes = kDefaultStagingBytes, int device_id = 0);

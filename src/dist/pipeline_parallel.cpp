@@ -1,0 +1,376 @@
+#include "dist/pipeline_parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/pairwise.hpp"
+
+namespace sn::dist {
+
+namespace {
+
+tensor::Shape sample_shape_of(const graph::Net& net) {
+  tensor::Shape s = net.input_layer()->out_shape();
+  s.n = 1;
+  return s;
+}
+
+int classes_of(const graph::Net& net) {
+  const graph::Layer* loss = net.loss_layer();
+  return loss ? static_cast<int>(loss->out_shape().c) : 2;
+}
+
+graph::Layer* layer_by_name(graph::Net& net, const std::string& name) {
+  for (const auto& l : net.layers()) {
+    if (l->name() == name) return l.get();
+  }
+  throw std::logic_error("pipeline: stage net lost layer " + name);
+}
+
+/// Sum the additive per-pass counters into a per-stage iteration aggregate
+/// (time/stall/bubble/p2p are recomputed from machine counters at the end —
+/// the spans do not cover the trainer's own waits).
+void accumulate(core::IterationStats& a, const core::IterationStats& p) {
+  a.peak_mem = std::max(a.peak_mem, p.peak_mem);
+  a.host_peak = std::max(a.host_peak, p.host_peak);
+  a.bytes_d2h += p.bytes_d2h;
+  a.bytes_h2d += p.bytes_h2d;
+  a.extra_forwards += p.extra_forwards;
+  a.evictions += p.evictions;
+  a.cache_hits += p.cache_hits;
+  a.cache_misses += p.cache_misses;
+  a.allocs += p.allocs;
+  a.malloc_seconds += p.malloc_seconds;
+  a.dma_copies += p.dma_copies;
+  a.d2h_seconds += p.d2h_seconds;
+  a.h2d_seconds += p.h2d_seconds;
+}
+
+}  // namespace
+
+PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
+                                                 core::RuntimeOptions base,
+                                                 PipelineParallelConfig cfg)
+    : cfg_([&] {
+        if (cfg.stages < 1) throw std::invalid_argument("pipeline: stages >= 1");
+        if (cfg.microbatches < 1) throw std::invalid_argument("pipeline: microbatches >= 1");
+        if (cfg.global_batch <= 0 || cfg.global_batch % cfg.microbatches != 0) {
+          throw std::invalid_argument(
+              "pipeline: global_batch must divide evenly into microbatches");
+        }
+        if (!cfg.boundaries.empty() &&
+            static_cast<int>(cfg.boundaries.size()) + 1 != cfg.stages) {
+          throw std::invalid_argument("pipeline: need stages-1 explicit boundaries");
+        }
+        cfg.cluster.devices = cfg.stages;
+        return cfg;
+      }()),
+      real_(base.real),
+      microbatch_(cfg_.global_batch / cfg_.microbatches),
+      full_([&] {
+        auto net = factory(microbatch_);
+        if (!net->finalized()) net->finalize();
+        return net;
+      }()),
+      plan_([&] {
+        graph::NetPartitioner part(*full_, cfg_.cluster.device, cfg_.cluster.link);
+        return cfg_.boundaries.empty() ? part.partition(cfg_.stages)
+                                       : part.partition_at(cfg_.boundaries);
+      }()),
+      cluster_(cfg_.cluster),
+      dataset_(sample_shape_of(*full_), classes_of(*full_), cfg_.train.data_seed) {
+  const int S = cfg_.stages;
+  base.spec = cfg_.cluster.device;
+  base.cluster = &cluster_;
+  base.loss_batch = cfg_.global_batch;
+  for (int s = 0; s < S; ++s) {
+    stage_nets_.push_back(graph::extract_stage(*full_, plan_, s));
+    base.device_id = s;
+    runtimes_.push_back(std::make_unique<core::Runtime>(*stage_nets_.back(), base));
+    runtimes_.back()->initialize();
+  }
+
+  // Boundary tensors per link s -> s+1. The producers/landing sites are
+  // pinned: no in-stage layer re-defines a landing site, so liveness and
+  // eviction must never reclaim it mid-stream.
+  out_t_.assign(static_cast<size_t>(S), nullptr);
+  out_grad_t_.assign(static_cast<size_t>(S), nullptr);
+  in_t_.assign(static_cast<size_t>(S), nullptr);
+  in_grad_t_.assign(static_cast<size_t>(S), nullptr);
+  act_ev_.assign(static_cast<size_t>(S), {});
+  grad_ev_.assign(static_cast<size_t>(S), {});
+  act_tag_.assign(static_cast<size_t>(S), 0);
+  grad_tag_.assign(static_cast<size_t>(S), 0);
+  stash_.resize(static_cast<size_t>(S));
+  for (int s = 0; s + 1 < S; ++s) {
+    const std::string& pname =
+        full_->route()[static_cast<size_t>(plan_.stages[static_cast<size_t>(s)].boundary_layer)]
+            ->name();
+    graph::Layer* prod = layer_by_name(*stage_nets_[static_cast<size_t>(s)], pname);
+    out_t_[static_cast<size_t>(s)] = prod->output();
+    out_grad_t_[static_cast<size_t>(s)] = prod->output_grad();
+    assert(out_grad_t_[static_cast<size_t>(s)] && "boundary producer must carry a gradient");
+    runtimes_[static_cast<size_t>(s)]->pin_external(out_t_[static_cast<size_t>(s)]);
+    runtimes_[static_cast<size_t>(s)]->pin_external(out_grad_t_[static_cast<size_t>(s)]);
+    runtimes_[static_cast<size_t>(s)]->mark_external_pending(out_grad_t_[static_cast<size_t>(s)]);
+
+    graph::Layer* in = stage_nets_[static_cast<size_t>(s) + 1]->input_layer();
+    in_t_[static_cast<size_t>(s) + 1] = in->output();
+    in_grad_t_[static_cast<size_t>(s) + 1] = in->output_grad();
+    assert(in_grad_t_[static_cast<size_t>(s) + 1] && "stage input must carry a gradient");
+    runtimes_[static_cast<size_t>(s) + 1]->pin_external(in_grad_t_[static_cast<size_t>(s) + 1]);
+    runtimes_[static_cast<size_t>(s) + 1]->mark_external_pending(in_t_[static_cast<size_t>(s) + 1]);
+    if (real_) {
+      stash_[static_cast<size_t>(s) + 1].assign(
+          static_cast<size_t>(cfg_.microbatches),
+          std::vector<float>(
+              static_cast<size_t>(in_t_[static_cast<size_t>(s) + 1]->shape().elems())));
+    }
+  }
+
+  // Param-grad tensors in net order; per-stage fused gradient geometry.
+  grads_.resize(static_cast<size_t>(S));
+  grad_elems_.assign(static_cast<size_t>(S), 0);
+  grad_stash_.resize(static_cast<size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    for (const auto& l : stage_nets_[static_cast<size_t>(s)]->layers()) {
+      for (tensor::Tensor* g : l->param_grads()) grads_[static_cast<size_t>(s)].push_back(g);
+    }
+    for (const tensor::Tensor* g : grads_[static_cast<size_t>(s)]) {
+      grad_elems_[static_cast<size_t>(s)] += static_cast<uint64_t>(g->shape().elems());
+    }
+    if (real_) {
+      grad_stash_[static_cast<size_t>(s)].assign(
+          static_cast<size_t>(cfg_.microbatches),
+          std::vector<float>(static_cast<size_t>(grad_elems_[static_cast<size_t>(s)])));
+    }
+  }
+
+  if (real_) {
+    batch_data_.resize(static_cast<size_t>(cfg_.global_batch) * dataset_.sample_elems());
+    batch_labels_.resize(static_cast<size_t>(cfg_.global_batch));
+  }
+}
+
+void PipelineParallelTrainer::send_activation(int s, int m) {
+  const uint64_t tag = next_tag_++;
+  const float* src = device_ptr(s, out_t_[static_cast<size_t>(s)]);
+  float* dst = real_ ? stash_[static_cast<size_t>(s) + 1][static_cast<size_t>(m)].data()
+                     : nullptr;
+  // Activation streaming rides the critical path: high priority, like the
+  // Communicator's collective hops.
+  act_ev_[static_cast<size_t>(s) + 1] =
+      engine(s).submit_p2p(tag, src, dst, out_t_[static_cast<size_t>(s)]->bytes(), s + 1,
+                           cluster_.machine(s).now(), core::TransferPriority::kHigh);
+  act_tag_[static_cast<size_t>(s) + 1] = tag;
+  in_flight_.push_back({s, tag});
+}
+
+void PipelineParallelTrainer::receive_activation(int s, std::vector<double>& bubble) {
+  sim::Machine& mach = cluster_.machine(s);
+  const double stall0 = mach.counters().stall_time;
+  mach.wait_event(act_ev_[static_cast<size_t>(s)]);  // virtual gate (deterministic)
+  bubble[static_cast<size_t>(s)] += mach.counters().stall_time - stall0;
+  // Physical gate: the sender's DMA worker must have let go of the bytes.
+  engine(s - 1).await_landing(core::TransferDir::kP2P, act_tag_[static_cast<size_t>(s)]);
+  runtimes_[static_cast<size_t>(s)]->mark_external_landed(in_t_[static_cast<size_t>(s)]);
+}
+
+void PipelineParallelTrainer::send_gradient(int s) {
+  const uint64_t tag = next_tag_++;
+  const float* src = device_ptr(s, in_grad_t_[static_cast<size_t>(s)]);
+  float* dst = device_ptr(s - 1, out_grad_t_[static_cast<size_t>(s) - 1]);
+  grad_ev_[static_cast<size_t>(s) - 1] =
+      engine(s).submit_p2p(tag, src, dst, in_grad_t_[static_cast<size_t>(s)]->bytes(), s - 1,
+                           cluster_.machine(s).now(), core::TransferPriority::kHigh);
+  grad_tag_[static_cast<size_t>(s) - 1] = tag;
+  in_flight_.push_back({s, tag});
+}
+
+void PipelineParallelTrainer::receive_gradient(int s, std::vector<double>& bubble) {
+  sim::Machine& mach = cluster_.machine(s);
+  const double stall0 = mach.counters().stall_time;
+  mach.wait_event(grad_ev_[static_cast<size_t>(s)]);
+  bubble[static_cast<size_t>(s)] += mach.counters().stall_time - stall0;
+  engine(s + 1).await_landing(core::TransferDir::kP2P, grad_tag_[static_cast<size_t>(s)]);
+  runtimes_[static_cast<size_t>(s)]->mark_external_landed(out_grad_t_[static_cast<size_t>(s)]);
+}
+
+void PipelineParallelTrainer::retire_streams(bool force) {
+  auto it = in_flight_.begin();
+  while (it != in_flight_.end()) {
+    core::TransferEngine& eng = engine(it->first);
+    if (eng.try_retire(core::TransferDir::kP2P, it->second)) {
+      it = in_flight_.erase(it);
+    } else if (force) {
+      // Iteration boundary: the receiver consumed the bytes long ago; only
+      // the sender's lagging clock keeps the ticket open. Wait it out.
+      eng.wait(core::TransferDir::kP2P, it->second);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+PipelineParallelReport PipelineParallelTrainer::run() {
+  PipelineParallelReport report;
+  const int S = cfg_.stages, M = cfg_.microbatches;
+  const int64_t mb_elems = static_cast<int64_t>(microbatch_) * dataset_.sample_elems();
+
+  for (int it = 0; it < cfg_.train.iterations; ++it) {
+    if (real_) {
+      dataset_.fill_batch(cfg_.global_batch, static_cast<uint64_t>(it), batch_data_.data(),
+                          batch_labels_.data());
+    }
+    std::vector<double> bubble(static_cast<size_t>(S), 0.0);
+    std::vector<core::IterationStats> stage_st(static_cast<size_t>(S));
+    std::vector<sim::MachineCounters> c0(static_cast<size_t>(S));
+    std::vector<double> now0(static_cast<size_t>(S));
+    for (int s = 0; s < S; ++s) {
+      c0[static_cast<size_t>(s)] = cluster_.machine(s).counters();
+      now0[static_cast<size_t>(s)] = cluster_.machine(s).now();
+    }
+    std::vector<double> loss_sums(static_cast<size_t>(M), 0.0);
+
+    auto stage_input = [&](int s, int m) -> const float* {
+      if (!real_) return nullptr;
+      if (s == 0) return batch_data_.data() + static_cast<int64_t>(m) * mb_elems;
+      return stash_[static_cast<size_t>(s)][static_cast<size_t>(m)].data();
+    };
+    auto stage_labels = [&](int s, int m) -> const int32_t* {
+      if (!real_ || s != S - 1) return nullptr;
+      return batch_labels_.data() + static_cast<int64_t>(m) * microbatch_;
+    };
+
+    // --- fill: forward every microbatch through the pipeline -----------------
+    for (int m = 0; m < M; ++m) {
+      for (int s = 0; s < S; ++s) {
+        if (s > 0) receive_activation(s, bubble);
+        core::IterationStats f =
+            runtimes_[static_cast<size_t>(s)]->forward_pass(stage_input(s, m),
+                                                            stage_labels(s, m));
+        accumulate(stage_st[static_cast<size_t>(s)], f);
+        if (s == S - 1) loss_sums[static_cast<size_t>(m)] = f.loss_sum;
+        if (s > 0) {
+          // Until the next microbatch's activation lands, the stage input's
+          // authoritative bytes live upstream.
+          runtimes_[static_cast<size_t>(s)]->mark_external_pending(in_t_[static_cast<size_t>(s)]);
+        }
+        if (s + 1 < S) send_activation(s, m);
+        retire_streams(false);
+      }
+    }
+
+    // --- drain: retire microbatches newest-first -----------------------------
+    // The newest microbatch's activations are still resident on every stage;
+    // older ones are re-materialized from the stashed stage input (GPipe
+    // re-materialization) before their backward runs.
+    for (int m = M - 1; m >= 0; --m) {
+      for (int s = S - 1; s >= 0; --s) {
+        if (m < M - 1) {
+          if (s > 0) {
+            // Re-materialization reads the locally stashed input: valid.
+            runtimes_[static_cast<size_t>(s)]->mark_external_landed(in_t_[static_cast<size_t>(s)]);
+          }
+          core::IterationStats rf =
+              runtimes_[static_cast<size_t>(s)]->forward_pass(stage_input(s, m),
+                                                              stage_labels(s, m));
+          accumulate(stage_st[static_cast<size_t>(s)], rf);
+        }
+        if (s + 1 < S) receive_gradient(s, bubble);
+        core::IterationStats b =
+            runtimes_[static_cast<size_t>(s)]->backward_pass(stage_labels(s, m));
+        accumulate(stage_st[static_cast<size_t>(s)], b);
+        if (s + 1 < S) {
+          runtimes_[static_cast<size_t>(s)]->mark_external_pending(
+              out_grad_t_[static_cast<size_t>(s)]);
+        }
+        if (s > 0) {
+          send_gradient(s);
+          runtimes_[static_cast<size_t>(s)]->mark_external_pending(in_t_[static_cast<size_t>(s)]);
+        }
+        if (real_) {
+          // Snapshot this microbatch's gradients; combined pairwise below.
+          auto& snap = grad_stash_[static_cast<size_t>(s)][static_cast<size_t>(m)];
+          uint64_t off = 0;
+          for (tensor::Tensor* g : grads_[static_cast<size_t>(s)]) {
+            std::memcpy(snap.data() + off, device_ptr(s, g), g->bytes());
+            off += static_cast<uint64_t>(g->shape().elems());
+          }
+        }
+        retire_streams(false);
+      }
+    }
+    retire_streams(true);
+
+    // --- per-stage update: pairwise-combine microbatch grads, then SGD -------
+    // Microbatch m holds the contiguous samples [m*b, (m+1)*b); combining the
+    // M snapshots in ascending order with the binary-counter accumulator
+    // reproduces the full-batch per-sample pairwise tree bit for bit when b
+    // and M are powers of two (util/pairwise.hpp).
+    for (int s = 0; s < S; ++s) {
+      if (real_ && grad_elems_[static_cast<size_t>(s)] > 0) {
+        util::PairwiseVecAccumulator acc(static_cast<size_t>(grad_elems_[static_cast<size_t>(s)]));
+        for (int m = 0; m < M; ++m) {
+          // push() consumes the leaf in place; the stash is fully rewritten
+          // by next iteration's snapshots, so no defensive copy is needed.
+          acc.push(grad_stash_[static_cast<size_t>(s)][static_cast<size_t>(m)].data());
+        }
+        std::vector<float> combined(static_cast<size_t>(grad_elems_[static_cast<size_t>(s)]));
+        acc.finish(combined.data());
+        uint64_t off = 0;
+        for (tensor::Tensor* g : grads_[static_cast<size_t>(s)]) {
+          std::memcpy(device_ptr(s, g), combined.data() + off, g->bytes());
+          off += static_cast<uint64_t>(g->shape().elems());
+        }
+      }
+      runtimes_[static_cast<size_t>(s)]->apply_sgd(cfg_.train.lr, cfg_.train.momentum,
+                                                   cfg_.train.weight_decay);
+      runtimes_[static_cast<size_t>(s)]->advance_iteration();
+    }
+
+    // --- telemetry -----------------------------------------------------------
+    const double loss_sum =
+        real_ ? util::pairwise_sum<double>(static_cast<uint64_t>(M),
+                                           [&](uint64_t i) { return loss_sums[i]; })
+              : 0.0;
+    const double loss = loss_sum / cfg_.global_batch;
+    core::IterationStats agg;
+    agg.loss = loss;
+    agg.loss_sum = loss_sum;
+    for (int s = 0; s < S; ++s) {
+      auto& st = stage_st[static_cast<size_t>(s)];
+      const auto& c1 = cluster_.machine(s).counters();
+      st.loss = loss;
+      st.loss_sum = loss_sum;
+      st.seconds = cluster_.machine(s).now() - now0[static_cast<size_t>(s)];
+      st.stall_seconds = c1.stall_time - c0[static_cast<size_t>(s)].stall_time;
+      st.bubble_seconds = bubble[static_cast<size_t>(s)];
+      st.p2p_bytes = c1.bytes_p2p - c0[static_cast<size_t>(s)].bytes_p2p;
+      st.p2p_seconds = c1.seconds_p2p - c0[static_cast<size_t>(s)].seconds_p2p;
+
+      agg.seconds = std::max(agg.seconds, st.seconds);
+      agg.stall_seconds = std::max(agg.stall_seconds, st.stall_seconds);
+      agg.bubble_seconds += st.bubble_seconds;
+      agg.peak_mem = std::max(agg.peak_mem, st.peak_mem);
+      agg.host_peak = std::max(agg.host_peak, st.host_peak);
+      agg.p2p_bytes += st.p2p_bytes;
+      agg.p2p_seconds += st.p2p_seconds;
+      agg.bytes_d2h += st.bytes_d2h;
+      agg.bytes_h2d += st.bytes_h2d;
+      agg.evictions += st.evictions;
+      agg.extra_forwards += st.extra_forwards;
+      agg.allocs += st.allocs;
+      agg.dma_copies += st.dma_copies;
+    }
+    report.losses.push_back(loss);
+    report.stats.push_back(agg);
+    report.stage_stats.push_back(std::move(stage_st));
+  }
+  return report;
+}
+
+}  // namespace sn::dist

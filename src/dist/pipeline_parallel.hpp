@@ -1,0 +1,143 @@
+// dist::PipelineParallelTrainer — GPipe-style pipeline parallelism over the
+// simulated multi-device cluster.
+//
+// A net whose working set exceeds one device's pool is cut into contiguous
+// stages (graph::NetPartitioner), one Runtime per stage on its own
+// sim::Cluster device. Each global batch is split into M microbatches and
+// driven through a fill/drain schedule:
+//
+//   fill:  every stage runs the forward pass of microbatch 0..M-1, streaming
+//          the boundary activation to its successor over
+//          TransferEngine::submit_p2p; a stage's forward for microbatch m is
+//          gated on the virtual landing event of that activation, so the
+//          classic fill ramp (and its bubble) falls out of virtual time.
+//   drain: microbatches retire in reverse order (newest first — its
+//          activations are still resident). A stage REMATERIALIZES the
+//          forward of older microbatches from its stashed boundary input
+//          (GPipe re-materialization: one tensor set per stage holds one
+//          microbatch, and the runtime's recompute machinery replays the
+//          rest), receives the output gradient from its successor, runs
+//          backward, and streams the input gradient upstream.
+//
+// Weights update per stage after the drain: per-microbatch gradients are
+// combined with the binary-counter pairwise machinery (util/pairwise.hpp),
+// so for power-of-two microbatch counts and sizes the combined gradient is
+// bit-identical to a single-device pass over the whole batch — the paper's
+// "scheduling never changes training results" invariant, extended across
+// the pipeline (same restriction as data parallelism: per-sample kernels;
+// no BatchNorm batch statistics, no dropout).
+//
+// Determinism: the trainer is single-threaded; every cross-stage dependency
+// is an explicit virtual event (receivers machine-wait it; the wall-clock
+// bytes are gated separately with TransferEngine::await_landing, which never
+// touches virtual time), so the schedule is bit-reproducible regardless of
+// DMA-worker timing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "graph/partitioner.hpp"
+#include "sim/cluster.hpp"
+#include "train/dataset.hpp"
+#include "train/trainer.hpp"
+
+namespace sn::dist {
+
+struct PipelineParallelConfig {
+  int stages = 2;
+  int microbatches = 2;        ///< must divide global_batch
+  int global_batch = 8;
+  /// Explicit route cut positions (NetPartitioner::partition_at); empty =
+  /// cost-balanced automatic partition.
+  std::vector<int> boundaries;
+  sim::ClusterSpec cluster;    ///< device + link preset; .devices is overridden
+  train::TrainConfig train;    ///< iterations / lr / momentum / seed
+};
+
+struct PipelineParallelReport {
+  std::vector<double> losses;               ///< combined global-batch loss
+  std::vector<core::IterationStats> stats;  ///< cluster-aggregate per iteration
+  std::vector<std::vector<core::IterationStats>> stage_stats;  ///< [iter][stage]
+
+  double first_loss() const { return losses.empty() ? 0.0 : losses.front(); }
+  double last_loss() const { return losses.empty() ? 0.0 : losses.back(); }
+};
+
+class PipelineParallelTrainer {
+ public:
+  /// Builds the FULL net at a given batch size; the trainer partitions it
+  /// and rebuilds per-stage nets at the microbatch size.
+  using NetFactory = std::function<std::unique_ptr<graph::Net>(int batch)>;
+
+  /// `base` supplies the runtime policy for every stage; its spec / cluster
+  /// / device_id / loss_batch fields are overwritten per stage.
+  PipelineParallelTrainer(const NetFactory& factory, core::RuntimeOptions base,
+                          PipelineParallelConfig cfg);
+
+  /// Run cfg.train.iterations fill/drain pipeline rounds on synthetic data.
+  PipelineParallelReport run();
+
+  int stages() const { return cfg_.stages; }
+  int microbatches() const { return cfg_.microbatches; }
+  int microbatch_size() const { return microbatch_; }
+  const graph::PartitionPlan& plan() const { return plan_; }
+  core::Runtime& runtime(int stage) { return *runtimes_[static_cast<size_t>(stage)]; }
+  graph::Net& stage_net(int stage) { return *stage_nets_[static_cast<size_t>(stage)]; }
+  sim::Cluster& cluster() { return cluster_; }
+
+ private:
+  core::TransferEngine& engine(int stage) {
+    return runtimes_[static_cast<size_t>(stage)]->tensor_pool().engine();
+  }
+  float* device_ptr(int stage, const tensor::Tensor* t) {
+    return runtimes_[static_cast<size_t>(stage)]->tensor_pool().device_ptr(t);
+  }
+  /// Stream stage `s`'s boundary activation of microbatch `m` downstream.
+  void send_activation(int s, int m);
+  /// Gate stage `s`'s forward on the activation landing (bubble-accounted).
+  void receive_activation(int s, std::vector<double>& bubble);
+  void send_gradient(int s);
+  void receive_gradient(int s, std::vector<double>& bubble);
+  /// Retire sender-side bookkeeping of streamed transfers (opportunistic;
+  /// forced at iteration end).
+  void retire_streams(bool force);
+
+  PipelineParallelConfig cfg_;
+  bool real_;
+  int microbatch_;
+  std::unique_ptr<graph::Net> full_;  ///< probe net (microbatch size) the plan is cut from
+  graph::PartitionPlan plan_;
+  sim::Cluster cluster_;
+  std::vector<std::unique_ptr<graph::Net>> stage_nets_;
+  std::vector<std::unique_ptr<core::Runtime>> runtimes_;
+  train::SyntheticDataset dataset_;
+  std::vector<float> batch_data_;
+  std::vector<int32_t> batch_labels_;
+
+  // Boundary tensors per link s -> s+1 (index s in [0, stages-1)):
+  std::vector<tensor::Tensor*> out_t_;       ///< stage s: boundary activation (pinned)
+  std::vector<tensor::Tensor*> out_grad_t_;  ///< stage s: its gradient, landed from s+1 (pinned)
+  std::vector<tensor::Tensor*> in_t_;        ///< stage s+1: synthetic input tensor
+  std::vector<tensor::Tensor*> in_grad_t_;   ///< stage s+1: input gradient, streamed to s (pinned)
+  /// Stage s+1's stashed boundary inputs, one per microbatch — both the P2P
+  /// landing site and the re-materialization source (real mode).
+  std::vector<std::vector<std::vector<float>>> stash_;  ///< [stage][microbatch]
+
+  /// In-flight event/tag per link (consumed within the same microbatch turn).
+  std::vector<sim::Event> act_ev_, grad_ev_;
+  std::vector<uint64_t> act_tag_, grad_tag_;
+  std::vector<std::pair<int, uint64_t>> in_flight_;  ///< (sender stage, tag) to retire
+
+  /// Param-grad tensors per stage in net order, and per-microbatch gradient
+  /// snapshots combined pairwise at drain end (real mode).
+  std::vector<std::vector<tensor::Tensor*>> grads_;
+  std::vector<uint64_t> grad_elems_;
+  std::vector<std::vector<std::vector<float>>> grad_stash_;  ///< [stage][microbatch]
+
+  uint64_t next_tag_ = 1;
+};
+
+}  // namespace sn::dist

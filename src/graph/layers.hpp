@@ -11,18 +11,28 @@
 namespace sn::graph {
 
 /// Source layer: owns the input batch tensor the runtime fills each
-/// iteration. Never receives a gradient.
+/// iteration. Never receives a gradient — except as a pipeline-stage
+/// boundary, where the consumers' backward must accumulate the gradient
+/// w.r.t. the stage input so it can be streamed to the upstream stage.
 class DataLayer final : public Layer {
  public:
   DataLayer(std::string name, tensor::Shape shape) : Layer(LayerType::kData, std::move(name)) {
     out_shape_ = shape;
   }
   void infer_shape() override {}
-  bool needs_output_grad() const override { return false; }
+  bool needs_output_grad() const override { return input_grad_; }
   void forward(ExecContext& ctx) override;
   void backward(ExecContext&) override {}
   std::vector<tensor::Tensor*> backward_uses() const override { return {}; }
   uint64_t forward_bytes() const override { return 2 * output()->bytes(); }
+
+  /// Must be called before Net::finalize(); graph::extract_stage() sets it
+  /// on the synthetic input of every stage after the first.
+  void set_input_grad(bool v) { input_grad_ = v; }
+  bool input_grad() const { return input_grad_; }
+
+ private:
+  bool input_grad_ = false;
 };
 
 class ConvLayer final : public Layer {
@@ -116,6 +126,10 @@ class LrnLayer final : public Layer {
   void backward(ExecContext& ctx) override;
   std::vector<tensor::Tensor*> backward_uses() const override;
   uint64_t forward_bytes() const override { return 4 * output()->bytes(); }
+  int size() const { return size_; }
+  float alpha() const { return alpha_; }
+  float beta() const { return beta_; }
+  float k() const { return k_; }
 
  private:
   nn::LrnDesc make_desc() const;
@@ -134,6 +148,7 @@ class BnLayer final : public Layer {
   void backward(ExecContext& ctx) override;
   std::vector<tensor::Tensor*> backward_uses() const override;
   uint64_t forward_bytes() const override { return 4 * output()->bytes(); }
+  float eps() const { return eps_; }
 
  private:
   nn::BnDesc make_desc() const;
@@ -155,6 +170,8 @@ class FcLayer final : public Layer {
     return 2.0 * out_shape_.n * in_features_ * k_;
   }
   double compute_efficiency() const override { return 0.55; }
+  int out_features() const { return k_; }
+  bool has_bias() const { return has_bias_; }
 
  private:
   int k_;
@@ -172,6 +189,7 @@ class DropoutLayer final : public Layer {
   void forward(ExecContext& ctx) override;
   void backward(ExecContext& ctx) override;
   std::vector<tensor::Tensor*> backward_uses() const override;
+  float ratio() const { return ratio_; }
 
  private:
   float ratio_;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/logging.hpp"
 
@@ -100,6 +101,18 @@ void Net::build_route() {
 void Net::finalize() {
   assert(!finalized_);
   if (!input_) throw std::logic_error("Net::finalize: no data layer");
+  // Layer (and therefore tensor) names must be unique: per-tensor-name
+  // seeded weight initialization would hand duplicate names bit-identical
+  // draws (parallel branches could never break symmetry), and pipeline
+  // stage extraction matches layers across nets by name.
+  {
+    std::unordered_set<std::string> names;
+    for (const auto& l : layers_) {
+      if (!names.insert(l->name()).second) {
+        throw std::logic_error("Net::finalize: duplicate layer name " + l->name());
+      }
+    }
+  }
   build_route();
   for (Layer* l : route_) l->infer_shape();
   for (Layer* l : route_) l->create_tensors(registry_);

@@ -66,6 +66,12 @@ class Net {
   Layer* input_layer() const { return input_; }
   Layer* loss_layer() const { return loss_; }
 
+  /// Architecture tag (e.g. "vgg16", "resnet50") set by the zoo builders.
+  /// Policy tables key off it (per-net prefetch-lookahead defaults); empty
+  /// for hand-built nets, which fall back to the generic default.
+  const std::string& arch() const { return arch_; }
+  void set_arch(std::string arch) { arch_ = std::move(arch); }
+
   tensor::TensorRegistry& registry() { return registry_; }
   const tensor::TensorRegistry& registry() const { return registry_; }
 
@@ -85,6 +91,7 @@ class Net {
   tensor::TensorRegistry registry_;
   Layer* input_ = nullptr;
   Layer* loss_ = nullptr;
+  std::string arch_;
   bool finalized_ = false;
 };
 

@@ -1,0 +1,100 @@
+// NetPartitioner: cut a Net's route into contiguous pipeline stages.
+//
+// Pipeline parallelism (dist::PipelineParallelTrainer) places each stage on
+// its own cluster device and streams the boundary activation forward (and
+// its gradient backward) over the P2P fabric. A cut position is *valid* only
+// when exactly ONE layer's output crosses it — the stage boundary must be a
+// single tensor, or the downstream stage would need several synthetic
+// inputs. Linear nets (AlexNet, VGG) can cut anywhere; fan/join nets
+// (ResNet, Inception, DenseNet) can cut only at articulation points between
+// blocks, which this class discovers from the graph.
+//
+// Stage balance uses the same analytic cost model the simulator runs on:
+// a stage's cost is its layers' modeled forward+backward seconds plus the
+// link seconds of the boundary activation it ships downstream. partition()
+// minimizes the maximum stage cost over all valid cut combinations (the
+// pipeline's steady-state throughput is set by its slowest stage);
+// partition_at() takes explicit boundaries so tests (and users who know
+// their net) can pin exact cuts.
+//
+// extract_stage() materializes one stage as a standalone Net: stages after
+// the first replace the boundary producer with a synthetic DataLayer whose
+// output carries a gradient (DataLayer::set_input_grad), so the stage's
+// backward accumulates the gradient w.r.t. its input for streaming upstream.
+// Layer (and therefore parameter-tensor) names are preserved, which is what
+// lets per-tensor-seeded weight initialization reproduce the full net's
+// parameters stage-locally.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/net.hpp"
+#include "sim/costmodel.hpp"
+#include "sim/device_spec.hpp"
+
+namespace sn::graph {
+
+struct StageSpec {
+  int begin = 0;                 ///< first route index of the stage
+  int end = 0;                   ///< one past the last route index
+  double compute_seconds = 0.0;  ///< modeled fwd+bwd seconds of the stage's layers
+  uint64_t boundary_bytes = 0;   ///< activation bytes shipped downstream (0 for the last stage)
+  int boundary_layer = -1;       ///< route index producing the outgoing boundary (-1 for last)
+};
+
+struct PartitionPlan {
+  std::vector<StageSpec> stages;
+  std::vector<int> cuts;            ///< route positions; stage s is [cuts[s-1], cuts[s])
+  double max_stage_seconds = 0.0;   ///< cost of the slowest stage (incl. boundary link time)
+};
+
+class NetPartitioner {
+ public:
+  /// `net` must be finalized. `spec`/`link` calibrate the cost model the
+  /// balance is computed against (defaults match the single-device sim).
+  explicit NetPartitioner(const Net& net, sim::DeviceSpec spec = sim::k40c_spec(),
+                          sim::LinkSpec link = sim::pcie_p2p_link_spec());
+
+  /// Route positions i (0 < i < route size) where the net may be cut between
+  /// route[i-1] and route[i]: exactly one layer output crosses. Ascending.
+  const std::vector<int>& valid_cuts() const { return valid_cuts_; }
+
+  /// Route index of the unique producer whose output crosses `cut`
+  /// (-1 when the cut is not valid).
+  int boundary_producer(int cut) const;
+
+  /// Modeled forward+backward seconds of one layer (roofline cost model).
+  double layer_seconds(const Layer* l) const;
+
+  /// Cost-balanced partition into `stages` contiguous stages over the valid
+  /// cuts: minimizes the slowest stage's compute + boundary-link seconds.
+  /// Throws std::invalid_argument when fewer than `stages`-1 valid cuts exist.
+  PartitionPlan partition(int stages) const;
+
+  /// Explicit-boundary override: `cuts` must be ascending valid cut
+  /// positions, each boundary produced inside the immediately preceding
+  /// stage. Throws std::invalid_argument otherwise.
+  PartitionPlan partition_at(const std::vector<int>& cuts) const;
+
+ private:
+  PartitionPlan make_plan(const std::vector<int>& cuts) const;
+  double stage_cost(int begin, int end) const;  ///< compute + outgoing boundary link seconds
+  int scan_boundary_producer(int cut) const;    ///< O(route * fan-in); ctor fills producer_
+
+  const Net& net_;
+  sim::CostModel cost_;
+  sim::LinkSpec link_;
+  std::vector<int> pos_;         ///< layer id -> route position
+  std::vector<double> prefix_;   ///< prefix_[i] = sum of layer_seconds(route[0..i))
+  std::vector<int> producer_;    ///< cut position -> crossing producer (-1 = invalid cut)
+  std::vector<int> valid_cuts_;
+};
+
+/// Materialize stage `stage` of `plan` as a standalone finalized Net at the
+/// source net's batch size. Preserves layer names; stages after the first
+/// get a gradient-carrying DataLayer named "STAGE_IN" in place of the
+/// upstream boundary producer.
+std::unique_ptr<Net> extract_stage(const Net& src, const PartitionPlan& plan, int stage);
+
+}  // namespace sn::graph

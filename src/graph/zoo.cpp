@@ -31,6 +31,7 @@ Layer* conv_bn_relu_sq(Net& net, const std::string& name, Layer* in, int k, int 
 
 std::unique_ptr<Net> build_alexnet(int batch, int image, int classes) {
   auto net = std::make_unique<Net>();
+  net->set_arch("alexnet");
   Layer* d = net->data("DATA", tensor::Shape{batch, 3, image, image});
   Layer* x = net->conv("CONV1", d, 96, 11, 4, 0);
   x = net->relu("RELU1", x);
@@ -69,6 +70,7 @@ std::unique_ptr<Net> build_vgg(int depth, int batch, int image, int classes) {
   const int block_ch[5] = {64, 128, 256, 512, 512};
 
   auto net = std::make_unique<Net>();
+  net->set_arch(depth == 16 ? "vgg16" : "vgg19");
   Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
   int ci = 1;
   for (int b = 0; b < 5; ++b) {
@@ -135,6 +137,7 @@ int resnet_depth(int n1, int n2, int n3, int n4) { return 3 * (n1 + n2 + n3 + n4
 std::unique_ptr<Net> build_resnet(int n1, int n2, int n3, int n4, int batch, int image,
                                   int classes) {
   auto net = std::make_unique<Net>();
+  net->set_arch("resnet" + std::to_string(resnet_depth(n1, n2, n3, n4)));
   Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
   x = conv_bn_relu_sq(*net, "CONV1", x, 64, 7, 2, 3);
   x = net->pool_max("POOL1", x, 3, 2, 1);
@@ -232,6 +235,7 @@ Layer* inception_c(Net& net, const std::string& name, Layer* in) {
 
 std::unique_ptr<Net> build_inception_v4(int batch, int image, int classes) {
   auto net = std::make_unique<Net>();
+  net->set_arch("inception_v4");
   Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
   // Stem: 299 -> 35x35x384.
   x = conv_bn_relu_sq(*net, "stem_conv1", x, 32, 3, 2, 0);   // 149
@@ -273,6 +277,7 @@ std::unique_ptr<Net> build_inception_v4(int batch, int image, int classes) {
 
 std::unique_ptr<Net> build_densenet121(int batch, int image, int classes, int growth) {
   auto net = std::make_unique<Net>();
+  net->set_arch("densenet121");
   Layer* x = net->data("DATA", tensor::Shape{batch, 3, image, image});
   x = conv_bn_relu_sq(*net, "CONV1", x, 2 * growth, 7, 2, 3);
   x = net->pool_max("POOL1", x, 3, 2, 1);

@@ -85,6 +85,7 @@ Event Machine::p2p_copy(int dst, uint64_t bytes, double not_before) {
   assert(cluster_ && "p2p_copy requires cluster membership");
   counters_.bytes_p2p += bytes;
   counters_.copies_p2p++;
+  counters_.seconds_p2p += cluster_->p2p_seconds(bytes);
   return cluster_->p2p_copy(device_id_, dst, bytes, not_before);
 }
 

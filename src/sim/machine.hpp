@@ -93,6 +93,7 @@ struct MachineCounters {
   double stall_time = 0.0;     ///< compute-stream time lost waiting on events
   double seconds_h2d = 0.0;    ///< DMA-engine seconds occupied by H2D copies
   double seconds_d2h = 0.0;    ///< DMA-engine seconds occupied by D2H copies
+  double seconds_p2p = 0.0;    ///< link seconds occupied by copies this device SENT
 };
 
 class Machine {

@@ -1,0 +1,232 @@
+// PipelineParallelTrainer tests. Flagship invariant: cutting a net across
+// pool-backed pipeline stages and microbatching the batch NEVER changes
+// training results — 2-stage x M-microbatch training is bit-identical to a
+// single-device run over the combined batch (losses AND weights), extending
+// the paper's "memory scheduling never changes training results" across the
+// P2P fabric. Plus: fill/drain bubble telemetry, memory-pressure
+// invariance inside stages, explicit boundaries, and sim-mode scale-out.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "dist/pipeline_parallel.hpp"
+#include "graph/zoo.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace sn;
+
+core::RuntimeOptions parity_options() {
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+  o.real = true;
+  o.device_capacity = 32ull << 20;
+  // Pin convolutions to the workspace-free algorithm: the dynamic choice
+  // depends on free device memory, which legitimately differs between the
+  // full-batch and microbatch runs.
+  o.allow_workspace = false;
+  return o;
+}
+
+train::TrainConfig parity_train_config(int iterations) {
+  train::TrainConfig tc;
+  tc.iterations = iterations;
+  tc.lr = 0.05f;
+  tc.momentum = 0.9f;
+  return tc;
+}
+
+dist::PipelineParallelConfig pipe_config(int stages, int microbatches, int global_batch,
+                                         int iterations) {
+  dist::PipelineParallelConfig cfg;
+  cfg.stages = stages;
+  cfg.microbatches = microbatches;
+  cfg.global_batch = global_batch;
+  cfg.cluster = sim::pcie_cluster_spec(stages);
+  cfg.train = parity_train_config(iterations);
+  return cfg;
+}
+
+void expect_params_match(core::Runtime& single, dist::PipelineParallelTrainer& pipe) {
+  // Every stage parameter must end bit-identical to its full-net namesake.
+  for (int s = 0; s < pipe.stages(); ++s) {
+    core::Runtime& rt = pipe.runtime(s);
+    for (const auto& l : rt.net().layers()) {
+      for (const auto* p : l->params()) {
+        const tensor::Tensor* ref = nullptr;
+        for (const auto& ol : single.net().layers()) {
+          for (const auto* op : ol->params()) {
+            if (op->name() == p->name()) ref = op;
+          }
+        }
+        ASSERT_NE(ref, nullptr) << p->name();
+        EXPECT_EQ(single.read_tensor(ref), rt.read_tensor(p))
+            << "stage " << s << " param " << p->name();
+      }
+    }
+  }
+}
+
+TEST(PipelineParallel, TwoStagesFourMicrobatchesMatchSingleDeviceBitForBit) {
+  const int kGlobalBatch = 8, kMicrobatches = 4, kIters = 5;
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+  train::TrainConfig tc = parity_train_config(kIters);
+
+  // Single device, combined batch.
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, tc);
+  auto single = trainer.run();
+
+  // Two pipeline stages, microbatched.
+  dist::PipelineParallelTrainer pipe(factory, o,
+                                     pipe_config(2, kMicrobatches, kGlobalBatch, kIters));
+  auto piped = pipe.run();
+
+  ASSERT_EQ(single.losses.size(), piped.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], piped.losses[i]) << "iteration " << i;
+  }
+  expect_params_match(rt, pipe);
+}
+
+TEST(PipelineParallel, MicrobatchCountDoesNotChangeResults) {
+  // Power-of-two microbatch sizes are subtrees of the same pairwise
+  // reduction: M=2 and M=4 must produce identical trajectories.
+  auto run = [&](int microbatches) {
+    auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+    dist::PipelineParallelTrainer pipe(factory, parity_options(),
+                                       pipe_config(2, microbatches, 8, 4));
+    return pipe.run().losses;
+  };
+  EXPECT_EQ(run(2), run(4));
+}
+
+TEST(PipelineParallel, FanJoinNetMatchesSingleDevice) {
+  const int kGlobalBatch = 8, kIters = 4;
+  auto factory = [](int batch) { return graph::build_tiny_fanjoin(batch); };
+  core::RuntimeOptions o = parity_options();
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, parity_train_config(kIters));
+  auto single = trainer.run();
+
+  dist::PipelineParallelTrainer pipe(factory, o, pipe_config(2, 2, kGlobalBatch, kIters));
+  auto piped = pipe.run();
+  ASSERT_EQ(single.losses.size(), piped.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], piped.losses[i]) << "iteration " << i;
+  }
+  EXPECT_LT(piped.last_loss(), piped.first_loss());
+}
+
+TEST(PipelineParallel, ThreeStagesTrainAndLearn) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch, 16); };
+  dist::PipelineParallelTrainer pipe(factory, parity_options(), pipe_config(3, 4, 8, 10));
+  auto rep = pipe.run();
+  EXPECT_LT(rep.last_loss(), rep.first_loss());
+  // All three stages moved activations/gradients over the fabric.
+  for (const auto& st : rep.stage_stats.back()) EXPECT_GT(st.p2p_bytes, 0u);
+}
+
+TEST(PipelineParallel, MemoryPressureInsideStagesDoesNotChangeLosses) {
+  // The paper's invariant, lifted across the pipeline: squeezing each
+  // stage's pool (forcing offload/eviction/recompute inside stages) must
+  // not change training results.
+  auto run = [](uint64_t capacity) {
+    auto factory = [](int batch) { return graph::build_tiny_linear(batch, 16); };
+    core::RuntimeOptions o = parity_options();
+    o.device_capacity = capacity;
+    dist::PipelineParallelTrainer pipe(factory, o, pipe_config(2, 2, 8, 5));
+    return pipe.run().losses;
+  };
+  EXPECT_EQ(run(64ull << 20), run(1ull << 20));
+}
+
+TEST(PipelineParallel, ExplicitBoundaryOverrideIsUsed) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  auto probe = factory(4);
+  graph::NetPartitioner part(*probe);
+  const int cut = part.valid_cuts().front();
+
+  auto cfg = pipe_config(2, 2, 8, 1);
+  cfg.boundaries = {cut};
+  dist::PipelineParallelTrainer pipe(factory, parity_options(), cfg);
+  ASSERT_EQ(pipe.plan().cuts.size(), 1u);
+  EXPECT_EQ(pipe.plan().cuts[0], cut);
+  EXPECT_EQ(static_cast<int>(pipe.stage_net(0).num_layers()), cut);
+  auto rep = pipe.run();
+  EXPECT_EQ(rep.losses.size(), 1u);
+}
+
+TEST(PipelineParallel, BubbleFractionShrinksAsMicrobatchesGrow) {
+  // GPipe bubble law: the fill/drain ramps cost ~(S-1) microbatch slots
+  // regardless of M, so their fraction of the iteration falls as M rises.
+  auto bubble_fraction = [](int microbatches) {
+    auto factory = [](int batch) { return graph::build_mini_alexnet(batch); };
+    core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+    o.real = false;
+    auto cfg = dist::PipelineParallelConfig();
+    cfg.stages = 2;
+    cfg.microbatches = microbatches;
+    cfg.global_batch = 32;
+    cfg.cluster = sim::nvlink_cluster_spec(2);
+    cfg.train = parity_train_config(2);
+    dist::PipelineParallelTrainer pipe(factory, o, cfg);
+    auto rep = pipe.run();
+    const auto& agg = rep.stats.back();
+    EXPECT_GT(agg.bubble_seconds, 0.0);
+    return agg.bubble_seconds / (2.0 * agg.seconds);
+  };
+  EXPECT_LT(bubble_fraction(8), bubble_fraction(2));
+}
+
+TEST(PipelineParallel, SimModeScalesToZooNets) {
+  auto factory = [](int batch) { return graph::build_vgg(16, batch); };
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+  o.real = false;
+  auto cfg = pipe_config(4, 4, 64, 1);
+  cfg.cluster = sim::nvlink_cluster_spec(4);
+  dist::PipelineParallelTrainer pipe(factory, o, cfg);
+  auto rep = pipe.run();
+  EXPECT_EQ(rep.losses[0], 0.0);  // unbacked: no numerics
+  EXPECT_GT(rep.stats[0].seconds, 0.0);
+  EXPECT_GT(rep.stats[0].p2p_bytes, 0u);
+  EXPECT_GT(rep.stats[0].p2p_seconds, 0.0);
+  ASSERT_EQ(rep.stage_stats[0].size(), 4u);
+}
+
+TEST(PipelineParallel, TelemetryIsVisiblePerStage) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  dist::PipelineParallelTrainer pipe(factory, parity_options(), pipe_config(2, 4, 8, 2));
+  auto rep = pipe.run();
+  ASSERT_EQ(rep.stats.size(), 2u);
+  ASSERT_EQ(rep.stage_stats[0].size(), 2u);
+  // Stage 0 streams activations, stage 1 streams gradients: both send.
+  for (const auto& st : rep.stage_stats[1]) {
+    EXPECT_GT(st.p2p_bytes, 0u);
+    EXPECT_GT(st.seconds, 0.0);
+  }
+  // The downstream stage idles during fill: its bubble must be visible.
+  EXPECT_GT(rep.stage_stats[1][1].bubble_seconds, 0.0);
+  EXPECT_GT(rep.stats[1].bubble_seconds, 0.0);
+  // Per-step telemetry is attributed to its cluster device.
+  EXPECT_EQ(pipe.runtime(1).step_telemetry().front().device_id, 1);
+}
+
+TEST(PipelineParallel, RejectsBadConfigs) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+  EXPECT_THROW(dist::PipelineParallelTrainer(factory, o, pipe_config(2, 3, 8, 1)),
+               std::invalid_argument);
+  auto cfg = pipe_config(3, 2, 8, 1);
+  cfg.boundaries = {2};  // 3 stages need 2 boundaries
+  EXPECT_THROW(dist::PipelineParallelTrainer(factory, o, cfg), std::invalid_argument);
+  EXPECT_THROW(dist::PipelineParallelTrainer(factory, o, pipe_config(0, 2, 8, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace

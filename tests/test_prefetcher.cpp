@@ -7,6 +7,7 @@
 
 #include "core/prefetcher.hpp"
 #include "core/recompute.hpp"
+#include "core/runtime.hpp"
 #include "graph/zoo.hpp"
 
 namespace {
@@ -145,6 +146,64 @@ TEST(Prefetcher, PlanAtLastStepIsEmpty) {
   auto net = graph::build_mini_alexnet(2);
   core::Prefetcher pf(*net, 1);
   EXPECT_TRUE(pf.plan(static_cast<int>(net->steps().size()) - 1).empty());
+}
+
+TEST(Prefetcher, RemoteGateDefersPendingExternalTensors) {
+  // Pipeline stage boundaries are produced on a peer device: until their
+  // P2P landing is waited out, plans must skip them — a host fetch would
+  // stage the previous microbatch's bytes.
+  auto net = graph::build_mini_alexnet(4);
+  int step = first_checkpoint_backward_step(*net);
+  ASSERT_GE(step, 0);
+  core::Prefetcher pf(*net, 2);
+  auto full = pf.plan(step);
+  ASSERT_FALSE(full.empty());
+  const uint64_t remote = full.front()->uid();
+
+  std::unordered_set<uint64_t> pending{remote};
+  pf.set_remote_gate([&](uint64_t uid) { return pending.count(uid) != 0; });
+  for (tensor::Tensor* t : pf.plan(step)) EXPECT_NE(t->uid(), remote);
+  EXPECT_EQ(pf.plan(step).size(), full.size() - 1);
+
+  // Landing waited out: the plan includes it again.
+  pending.clear();
+  EXPECT_EQ(pf.plan(step), full);
+}
+
+TEST(Prefetcher, PerNetDefaultLookaheadTable) {
+  // Pins the bench_prefetch_lookahead result the auto default encodes:
+  // linear nets stick to the paper's 1, branchy/deep nets get 2.
+  EXPECT_EQ(core::default_prefetch_lookahead(*graph::build_vgg(16, 1, 32, 4)), 1);
+  EXPECT_EQ(core::default_prefetch_lookahead(*graph::build_vgg(19, 1, 32, 4)), 1);
+  EXPECT_EQ(core::default_prefetch_lookahead(*graph::build_alexnet(1, 64, 8)), 1);
+  EXPECT_EQ(core::default_prefetch_lookahead(*graph::build_resnet_preset(50, 1, 64, 4)), 2);
+  EXPECT_EQ(core::default_prefetch_lookahead(*graph::build_resnet_preset(101, 1, 64, 4)), 2);
+  EXPECT_EQ(core::default_prefetch_lookahead(*graph::build_inception_v4(1, 299, 4)), 2);
+  EXPECT_EQ(core::default_prefetch_lookahead(*graph::build_densenet121(1, 64, 4)), 2);
+  // Hand-built nets carry no arch tag: the paper's policy.
+  EXPECT_EQ(core::default_prefetch_lookahead(*graph::build_tiny_linear(1)), 1);
+}
+
+TEST(Prefetcher, RuntimeAppliesAutoLookaheadUnlessSet) {
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+  ASSERT_EQ(o.prefetch_lookahead, core::kPrefetchLookaheadAuto);
+  {
+    auto net = graph::build_resnet_preset(50, 1, 64, 4);
+    core::Runtime rt(*net, o);
+    EXPECT_EQ(rt.prefetcher().lookahead(), 2);
+  }
+  {
+    auto net = graph::build_vgg(16, 1, 32, 4);
+    core::Runtime rt(*net, o);
+    EXPECT_EQ(rt.prefetcher().lookahead(), 1);
+  }
+  {
+    // An explicit user setting always wins over the table.
+    auto net = graph::build_resnet_preset(50, 1, 64, 4);
+    o.prefetch_lookahead = 4;
+    core::Runtime rt(*net, o);
+    EXPECT_EQ(rt.prefetcher().lookahead(), 4);
+  }
 }
 
 }  // namespace

@@ -354,6 +354,117 @@ TEST(DmaTransferEngine, TightPoolDegradesOneDirectionAtATime) {
   EXPECT_GT(eng.stats().staged_chunks, 0u);  // the D2H copy staged
 }
 
+TEST(DmaTransferEngine, P2PLargeCopyPipelinesThroughLinkStaging) {
+  // The per-link workers run the same pinned double-buffer + drainer
+  // pipeline as the PCIe directions: a bulk activation stream chunks
+  // through the pair, ragged tail included.
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  mem::HostPool hp(64 << 20, /*pinned=*/true, /*backed=*/true);
+  DmaTransferEngine eng(cluster.machine(0), true, hp, /*staging_bytes=*/4096);
+  const size_t n = (1 << 20) / sizeof(float) + 13;
+  auto src = pattern(n, 2.5f);
+  std::vector<float> dst(n, 0.0f);
+  eng.submit_p2p(7, src.data(), dst.data(), n * sizeof(float), /*peer=*/1, /*not_before=*/0.0);
+  eng.wait(TransferDir::kP2P, 7);
+  EXPECT_EQ(dst, src);
+  const uint64_t expect_chunks = (n * sizeof(float) + 4095) / 4096;
+  auto s = eng.stats();
+  EXPECT_EQ(s.staged_chunks_p2p, expect_chunks);
+  EXPECT_EQ(s.staged_chunks, expect_chunks);  // PCIe pairs idle: all chunks are P2P's
+  EXPECT_EQ(s.dma_copies_p2p, 1u);
+}
+
+TEST(DmaTransferEngine, P2PStagingPairsCarveLazilyAndReturnToThePool) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(3));
+  mem::HostPool hp(32 << 20, /*pinned=*/true, /*backed=*/true);
+  {
+    DmaTransferEngine eng(cluster.machine(0), true, hp);
+    // Only the PCIe pairs exist up front; each link worker carves its pair
+    // at the link's first submit.
+    EXPECT_EQ(hp.in_use(), 4 * DmaTransferEngine::kDefaultStagingBytes);
+    std::vector<float> src(256, 1.0f), dst(256, 0.0f);
+    eng.submit_p2p(1, src.data(), dst.data(), 256 * sizeof(float), /*peer=*/1, 0.0);
+    eng.wait(TransferDir::kP2P, 1);
+    EXPECT_EQ(hp.in_use(), 6 * DmaTransferEngine::kDefaultStagingBytes);
+    eng.submit_p2p(2, src.data(), dst.data(), 256 * sizeof(float), /*peer=*/2, 0.0);
+    eng.wait(TransferDir::kP2P, 2);
+    EXPECT_EQ(hp.in_use(), 8 * DmaTransferEngine::kDefaultStagingBytes);
+  }
+  EXPECT_EQ(hp.in_use(), 0u);
+  EXPECT_EQ(hp.stats().bad_frees, 0u);
+}
+
+TEST(DmaTransferEngine, P2PHighPriorityLandsOutOfSubmitOrder) {
+  // Mirror of the PCIe priority test on a link worker: freeze, queue a
+  // normal then a high job to the same destination, release — the high job
+  // runs first, so the normal job's bytes land last and win. The landing
+  // bookkeeping (landed_floor + out-of-order set) must absorb the
+  // reordering and still retire both.
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  mem::HostPool hp(32 << 20, /*pinned=*/true, /*backed=*/true);
+  DmaTransferEngine eng(cluster.machine(0), true, hp);
+  const size_t n = 1024;
+  auto normal_src = pattern(n, 1.0f);
+  auto urgent_src = pattern(n, 500.0f);
+  std::vector<float> dst(n, 0.0f);
+  eng.pause_workers_for_testing(true);
+  eng.submit_p2p(1, normal_src.data(), dst.data(), n * sizeof(float), /*peer=*/1, 0.0,
+                 TransferPriority::kNormal);
+  eng.submit_p2p(2, urgent_src.data(), dst.data(), n * sizeof(float), /*peer=*/1, 0.0,
+                 TransferPriority::kHigh);
+  eng.pause_workers_for_testing(false);
+  eng.drain();
+  EXPECT_EQ(dst, normal_src) << "normal-priority job should have run AFTER the high one";
+  EXPECT_EQ(eng.stats().completed_p2p, 2u);
+}
+
+TEST(DmaTransferEngine, P2PStagingIsolatedAcrossLinks) {
+  // Concurrent bulk streams on distinct links each chunk through their own
+  // staging pair — bytes must not interleave across links, and the virtual
+  // events stay one unqueued link transfer each.
+  sim::Cluster cluster(sim::pcie_cluster_spec(3));
+  mem::HostPool hp(64 << 20, /*pinned=*/true, /*backed=*/true);
+  DmaTransferEngine eng(cluster.machine(0), true, hp, /*staging_bytes=*/8192);
+  const size_t n = 64 * 1024;
+  auto src1 = pattern(n, 10.0f);
+  auto src2 = pattern(n, 90.0f);
+  std::vector<float> dst1(n, 0.0f), dst2(n, 0.0f);
+  sim::Event e1 = eng.submit_p2p(1, src1.data(), dst1.data(), n * sizeof(float), 1, 0.0);
+  sim::Event e2 = eng.submit_p2p(2, src2.data(), dst2.data(), n * sizeof(float), 2, 0.0);
+  EXPECT_DOUBLE_EQ(e1.done_at, cluster.p2p_seconds(n * sizeof(float)));
+  EXPECT_DOUBLE_EQ(e1.done_at, e2.done_at);
+  eng.drain();
+  EXPECT_EQ(dst1, src1);
+  EXPECT_EQ(dst2, src2);
+  const uint64_t per_stream = (n * sizeof(float) + 8191) / 8192;
+  EXPECT_EQ(eng.stats().staged_chunks_p2p, 2 * per_stream);
+}
+
+TEST(TransferEngine, AwaitLandingDeliversBytesWithoutRetiringOrStalling) {
+  // The pipeline receiver's physical gate: bytes are guaranteed present,
+  // but the transfer stays pending (the virtual event still governs
+  // scheduling) and the sender's compute stream is not stalled.
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  mem::HostPool hp(32 << 20, /*pinned=*/true, /*backed=*/true);
+  DmaTransferEngine eng(cluster.machine(0), true, hp);
+  const size_t n = 4096;
+  auto src = pattern(n, 3.0f);
+  std::vector<float> dst(n, 0.0f);
+  eng.submit_p2p(5, src.data(), dst.data(), n * sizeof(float), /*peer=*/1, /*not_before=*/0.0);
+  const double stall0 = cluster.machine(0).counters().stall_time;
+  eng.await_landing(TransferDir::kP2P, 5);
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(cluster.machine(0).counters().stall_time, stall0);
+  EXPECT_TRUE(eng.pending(TransferDir::kP2P, 5));
+  EXPECT_EQ(eng.stats().completed_p2p, 0u);
+  // Unknown tags are a no-op.
+  eng.await_landing(TransferDir::kD2H, 999);
+  // Once virtual time passes the event, the normal retire path completes it.
+  cluster.machine(0).run_compute(1.0);
+  EXPECT_TRUE(eng.try_retire(TransferDir::kP2P, 5));
+  EXPECT_EQ(eng.stats().completed_p2p, 1u);
+}
+
 TEST(MakeTransferEngine, SelectsBackendFromMode) {
   sim::Machine m(sim::k40c_spec());
   mem::HostPool hp(32 << 20, true, true);
