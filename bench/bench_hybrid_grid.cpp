@@ -1,0 +1,182 @@
+// bench_hybrid_grid: sweep the S x R hybrid device grid over the zoo and
+// compare against the pure-data-parallel (1 x R) and pure-pipeline (S x 1)
+// baselines at matched and unmatched device counts.
+//
+// The hybrid grid's pitch: capacity (pipeline depth S) and throughput
+// (replica width R) scale along INDEPENDENT axes. A 2x2 grid halves every
+// device's batch relative to the 2x1 pipeline (less compute and less
+// re-materialization per stage) and halves every device's net relative to
+// the 1x2 data-parallel row (smaller stages, per-stage all-reduce over
+// disjoint links) — so at 4 devices it must beat BOTH 2-device baselines on
+// simulated throughput. The bench gates on exactly that for at least one
+// zoo net (the acceptance criterion), and reports bubble fraction,
+// all-reduce seconds and P2P volume per config.
+//
+//   ./bench_hybrid_grid [--json out.json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "dist/data_parallel.hpp"
+#include "dist/hybrid_parallel.hpp"
+#include "dist/pipeline_parallel.hpp"
+
+using namespace sn;
+
+namespace {
+
+struct Row {
+  std::string net;
+  std::string kind;  ///< "single" | "dp" | "pipeline" | "hybrid"
+  int stages = 1;
+  int replicas = 1;
+  int microbatches = 1;
+  double seconds = 0.0;
+  double img_per_s = 0.0;
+  double bubble_seconds = 0.0;
+  double allreduce_seconds = 0.0;
+  uint64_t p2p_bytes = 0;
+};
+
+core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons, cluster.device);
+  o.real = false;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  const int kGlobalBatch = 32, kIters = 2, kMicrobatches = 4;
+  const char* nets[] = {"VGG16", "ResNet50", "InceptionV4"};
+  struct GridCfg {
+    int stages, replicas;
+  };
+  const GridCfg grids[] = {{2, 2}, {2, 4}, {4, 2}};
+
+  std::printf(
+      "=== hybrid S x R grid vs pure-DP / pure-pipeline (global batch %d, TITAN-Xp NVLink "
+      "sim) ===\n\n",
+      kGlobalBatch);
+  util::Table t({"network", "config", "devices", "iter (ms)", "img/s", "bubble_frac",
+                 "allreduce (ms)", "p2p_bytes (MB)"});
+  std::vector<Row> rows;
+  bool grid_wins = false;
+
+  for (const char* name : nets) {
+    double dp2_imgs = 0.0, pipe2_imgs = 0.0;
+    auto factory = [&](int batch) { return bench::build_network(name, batch); };
+
+    // Single-device baseline: the same net over the combined batch.
+    {
+      sim::ClusterSpec cs = sim::nvlink_cluster_spec(1);
+      auto net = bench::build_network(name, kGlobalBatch);
+      auto st = bench::run_sim_iteration(*net, sim_options(cs));
+      Row r{name, "single", 1, 1, 1, st.seconds, kGlobalBatch / st.seconds, 0.0, 0.0, 0};
+      rows.push_back(r);
+      t.add_row({name, "1 device", "1", util::format_double(r.seconds * 1e3, 1),
+                 util::format_double(r.img_per_s, 1), "0.000", "0.00", "0.0"});
+    }
+    // Pure data parallelism: 1 x 2.
+    {
+      dist::DataParallelConfig cfg;
+      cfg.devices = 2;
+      cfg.global_batch = kGlobalBatch;
+      cfg.cluster = sim::nvlink_cluster_spec(2);
+      cfg.train.iterations = kIters;
+      dist::DataParallelTrainer dp(factory, sim_options(cfg.cluster), cfg);
+      const auto rep = dp.run();
+      const auto& st = rep.stats.back();
+      Row r{name, "dp", 1, 2, 1, st.seconds, kGlobalBatch / st.seconds,
+            0.0, st.allreduce_seconds, st.p2p_bytes};
+      rows.push_back(r);
+      dp2_imgs = r.img_per_s;
+      t.add_row({name, "1 x 2 (pure DP)", "2", util::format_double(r.seconds * 1e3, 1),
+                 util::format_double(r.img_per_s, 1), "0.000",
+                 util::format_double(r.allreduce_seconds * 1e3, 2),
+                 util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1)});
+    }
+    // Pure pipeline: 2 x 1.
+    {
+      dist::PipelineParallelConfig cfg;
+      cfg.stages = 2;
+      cfg.microbatches = kMicrobatches;
+      cfg.global_batch = kGlobalBatch;
+      cfg.cluster = sim::nvlink_cluster_spec(2);
+      cfg.train.iterations = kIters;
+      dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
+      const auto rep = pipe.run();
+      const auto& st = rep.stats.back();
+      Row r{name, "pipeline", 2, 1, kMicrobatches, st.seconds, kGlobalBatch / st.seconds,
+            st.bubble_seconds, 0.0, st.p2p_bytes};
+      rows.push_back(r);
+      pipe2_imgs = r.img_per_s;
+      t.add_row({name, "2 x 1 (pure pipeline)", "2", util::format_double(r.seconds * 1e3, 1),
+                 util::format_double(r.img_per_s, 1),
+                 util::format_double(r.bubble_seconds / (2.0 * r.seconds), 3), "0.00",
+                 util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1)});
+    }
+    // Hybrid grids.
+    for (const GridCfg& g : grids) {
+      dist::HybridParallelConfig cfg;
+      cfg.stages = g.stages;
+      cfg.replicas = g.replicas;
+      cfg.microbatches = kMicrobatches;
+      cfg.global_batch = kGlobalBatch;
+      cfg.cluster = sim::nvlink_cluster_spec(g.stages * g.replicas);
+      cfg.train.iterations = kIters;
+      dist::HybridParallelTrainer hyb(factory, sim_options(cfg.cluster), cfg);
+      const auto rep = hyb.run();
+      const auto& st = rep.stats.back();
+      Row r{name, "hybrid", g.stages, g.replicas, kMicrobatches, st.seconds,
+            kGlobalBatch / st.seconds, st.bubble_seconds, st.allreduce_seconds, st.p2p_bytes};
+      rows.push_back(r);
+      if (g.stages == 2 && g.replicas == 2 && r.img_per_s > dp2_imgs &&
+          r.img_per_s > pipe2_imgs) {
+        grid_wins = true;
+      }
+      t.add_row({name,
+                 std::to_string(g.stages) + " x " + std::to_string(g.replicas) + " hybrid",
+                 std::to_string(g.stages * g.replicas),
+                 util::format_double(r.seconds * 1e3, 1), util::format_double(r.img_per_s, 1),
+                 util::format_double(r.bubble_seconds / (g.stages * g.replicas * r.seconds), 3),
+                 util::format_double(r.allreduce_seconds * 1e3, 2),
+                 util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\n2 x 2 hybrid vs both 2-device baselines (shallower per-device batch than the\n"
+      "pure pipeline, smaller per-device net than pure DP): %s\n",
+      grid_wins ? "WINS for at least one net" : "NEVER WINS (gate violated)");
+
+  if (json_path) {
+    std::FILE* jf = std::fopen(json_path, "w");
+    if (!jf) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(jf, "{\n  \"global_batch\": %d,\n  \"configs\": [", kGlobalBatch);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(jf,
+                   "%s\n    {\"net\": \"%s\", \"kind\": \"%s\", \"stages\": %d, "
+                   "\"replicas\": %d, \"microbatches\": %d, \"seconds\": %.6e, "
+                   "\"img_per_s\": %.2f, \"bubble_seconds\": %.6e, "
+                   "\"allreduce_seconds\": %.6e, \"p2p_bytes\": %llu}",
+                   i ? "," : "", r.net.c_str(), r.kind.c_str(), r.stages, r.replicas,
+                   r.microbatches, r.seconds, r.img_per_s, r.bubble_seconds,
+                   r.allreduce_seconds, static_cast<unsigned long long>(r.p2p_bytes));
+    }
+    std::fprintf(jf, "\n  ]\n}\n");
+    std::fclose(jf);
+  }
+  return grid_wins ? 0 : 1;
+}

@@ -73,6 +73,11 @@ struct RuntimeOptions {
   /// reads it). The cluster must outlive the runtime.
   sim::Cluster* cluster = nullptr;
   int device_id = 0;
+  /// 2D grid coordinates of this runtime on the cluster's (stage, replica)
+  /// device grid (sim::GridView); stamped into every StepTelemetry entry so
+  /// traces group by pipeline stage and replica lane. (0, 0) off-grid.
+  int stage = 0;
+  int replica = 0;
   /// Global batch the loss is averaged over (0 = the net's own batch).
   /// Data-parallel replicas set this so per-sample gradients are independent
   /// of the sharding.

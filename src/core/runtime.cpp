@@ -320,6 +320,8 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
   tele.layer = layer;
   tele.forward = fwd;
   tele.device_id = opts_.device_id;
+  tele.stage = opts_.stage;
+  tele.replica = opts_.replica;
 
   run_layer_pass(layer, fwd, fwd && layer->type() == graph::LayerType::kData ? input : nullptr,
                  labels, loss_out, &tele);

@@ -21,6 +21,8 @@ struct StepTelemetry {
   const graph::Layer* layer = nullptr;
   bool forward = true;
   int device_id = 0;           ///< cluster device the step ran on (dist/)
+  int stage = 0;               ///< pipeline-stage row on the (stage, replica) grid
+  int replica = 0;             ///< replica column on the (stage, replica) grid
 
   uint64_t mem_in_use = 0;     ///< device bytes live right after the kernel
   uint64_t live_tensors = 0;   ///< tensors resident on device at that point
@@ -89,13 +91,13 @@ struct IterationStats {
   double d2h_seconds = 0.0;
   double h2d_seconds = 0.0;
 
-  // Collective telemetry, filled by dist::DataParallelTrainer (zero for
-  // single-device training).
+  // Collective telemetry, filled by dist::DataParallelTrainer and
+  // dist::HybridParallelTrainer (zero for single-device training).
   uint64_t p2p_bytes = 0;          ///< bytes this device sent over peer links
   double allreduce_seconds = 0.0;  ///< device time inside the gradient all-reduce
 
-  // Pipeline telemetry, filled by dist::PipelineParallelTrainer (zero
-  // elsewhere).
+  // Pipeline telemetry, filled by dist::PipelineParallelTrainer and
+  // dist::HybridParallelTrainer (zero elsewhere).
   double p2p_seconds = 0.0;     ///< link seconds occupied by this device's sends
   double bubble_seconds = 0.0;  ///< compute time stalled waiting on a pipeline
                                 ///< neighbor (fill/drain bubbles)

@@ -3,31 +3,103 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/pairwise.hpp"
 
 namespace sn::dist {
 
-Communicator::Communicator(sim::Cluster& cluster, std::vector<core::TransferEngine*> engines)
-    : cluster_(cluster), engines_(std::move(engines)) {
-  if (static_cast<int>(engines_.size()) != cluster_.size()) {
-    throw std::invalid_argument("Communicator: need one TransferEngine per cluster device");
+const char* allreduce_algo_name(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kAuto: return "auto";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kHalvingDoubling: return "halving-doubling";
   }
-  scratch_.resize(engines_.size());
+  return "?";
+}
+
+namespace {
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::vector<int> identity_ids(int n) {
+  std::vector<int> ids(static_cast<size_t>(n));
+  for (int d = 0; d < n; ++d) ids[static_cast<size_t>(d)] = d;
+  return ids;
+}
+
+}  // namespace
+
+Communicator::Communicator(sim::Cluster& cluster, std::vector<core::TransferEngine*> engines)
+    : Communicator(cluster, identity_ids(cluster.size()), std::move(engines)) {}
+
+Communicator::Communicator(sim::Cluster& cluster, std::vector<int> device_ids,
+                           std::vector<core::TransferEngine*> engines)
+    : cluster_(cluster), devices_(std::move(device_ids)), engines_(std::move(engines)) {
+  if (devices_.empty()) throw std::invalid_argument("Communicator: empty device group");
+  if (engines_.size() != devices_.size()) {
+    throw std::invalid_argument("Communicator: need one TransferEngine per group device");
+  }
+  std::unordered_set<int> seen;
+  for (size_t r = 0; r < devices_.size(); ++r) {
+    const int d = devices_[r];
+    if (d < 0 || d >= cluster_.size()) {
+      throw std::invalid_argument("Communicator: device id out of cluster range");
+    }
+    if (!seen.insert(d).second) {
+      throw std::invalid_argument("Communicator: duplicate device in group");
+    }
+    if (engines_[r]->device_id() != d) {
+      throw std::invalid_argument("Communicator: engine/device mismatch at rank " +
+                                  std::to_string(r));
+    }
+  }
+  scratch_.resize(devices_.size());
 }
 
 double Communicator::combine_loss_sums(const std::vector<double>& sums) {
   return util::pairwise_sum<double>(sums.size(), [&](uint64_t i) { return sums[i]; });
 }
 
-AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint64_t elems) {
-  const int n = cluster_.size();
-  assert(static_cast<int>(bufs.size()) == n && "one buffer (or null) per device");
+AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint64_t elems,
+                                           AllreduceAlgo algo) {
+  const int n = devices();
+  assert(static_cast<int>(bufs.size()) == n && "one buffer (or null) per rank");
+  if (algo == AllreduceAlgo::kAuto) {
+    algo = is_pow2(n) ? AllreduceAlgo::kHalvingDoubling : AllreduceAlgo::kRing;
+  }
+  if (algo == AllreduceAlgo::kHalvingDoubling && !is_pow2(n)) {
+    throw std::invalid_argument("allreduce_sum: halving-doubling needs a power-of-two group");
+  }
+
+  if (n <= 1 || elems == 0) {
+    AllreduceStats stats;
+    stats.device_seconds.assign(static_cast<size_t>(n), 0.0);
+    stats.chunks = static_cast<uint64_t>(n);
+    stats.algo = algo;
+    return stats;
+  }
+
+  // All-or-nothing backing: a mix of null and real buffers would silently
+  // sum garbage into the backed replicas.
+  const bool backed = bufs[0] != nullptr;
+  for (const float* b : bufs) {
+    if ((b != nullptr) != backed) {
+      throw std::invalid_argument("allreduce_sum: buffers must be uniformly backed or null");
+    }
+  }
+  return algo == AllreduceAlgo::kHalvingDoubling ? allreduce_halving_doubling(bufs, elems)
+                                                 : allreduce_ring(bufs, elems);
+}
+
+AllreduceStats Communicator::allreduce_ring(const std::vector<float*>& bufs, uint64_t elems) {
+  const int n = devices();
+  const bool backed = bufs[0] != nullptr;
 
   AllreduceStats stats;
   stats.device_seconds.assign(static_cast<size_t>(n), 0.0);
   stats.chunks = static_cast<uint64_t>(n);
-  if (n <= 1 || elems == 0) return stats;
+  stats.algo = AllreduceAlgo::kRing;
 
   // Ring chunking: chunk c = [off[c], off[c] + len[c]).
   const uint64_t base = elems / n, rem = elems % n;
@@ -39,64 +111,52 @@ AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint
     o += len[c];
   }
   const uint64_t max_len = *std::max_element(len.begin(), len.end());
-
-  // All-or-nothing backing: a mix of null and real buffers would silently
-  // sum garbage into the backed replicas.
-  const bool backed = bufs[0] != nullptr;
-  for (const float* b : bufs) {
-    if ((b != nullptr) != backed) {
-      throw std::invalid_argument("allreduce_sum: buffers must be uniformly backed or null");
-    }
-  }
   if (backed) {
     for (auto& s : scratch_) s.resize(max_len);
   }
 
-  // Per-device virtual time through the collective. ready[d] advances on
+  // Per-rank virtual time through the collective. ready[r] advances on
   // receives (+ the local reduction add); the engines charge sends to the
-  // machine as stalls, and the final wait_event below tops every device up to
+  // machine as stalls, and the final wait_event below tops every rank up to
   // its receive chain, so stall telemetry covers the whole collective.
   std::vector<double> start(static_cast<size_t>(n)), ready(static_cast<size_t>(n));
   std::vector<uint64_t> sent0(static_cast<size_t>(n));
-  for (int d = 0; d < n; ++d) {
-    start[d] = cluster_.machine(d).now();
-    ready[d] = start[d];
-    sent0[d] = cluster_.machine(d).counters().bytes_p2p;
+  for (int r = 0; r < n; ++r) {
+    start[r] = mach(r).now();
+    ready[r] = start[r];
+    sent0[r] = mach(r).counters().bytes_p2p;
   }
-  auto add_seconds = [&](int d, uint64_t bytes) {
-    // Elementwise sum: read two operands, write one.
-    return 3.0 * static_cast<double>(bytes) / cluster_.machine(d).spec().mem_bw;
-  };
 
-  // --- reduce-scatter: N-1 hops; device d ends up owning chunk (d+1) % N ---
+  // --- reduce-scatter: N-1 hops; rank r ends up owning chunk (r+1) % N -----
   for (int s = 0; s < n - 1; ++s) {
     std::vector<sim::Event> ev(static_cast<size_t>(n));
     std::vector<uint64_t> tags(static_cast<size_t>(n));
     std::vector<int> chunk(static_cast<size_t>(n));
-    for (int d = 0; d < n; ++d) {
-      const int c = ((d - s) % n + n) % n;
-      const int dst = (d + 1) % n;
-      chunk[d] = c;
-      tags[d] = next_tag_++;
-      const float* src = backed ? bufs[d] + off[c] : nullptr;
+    for (int r = 0; r < n; ++r) {
+      const int c = ((r - s) % n + n) % n;
+      const int dst = (r + 1) % n;
+      chunk[r] = c;
+      tags[r] = next_tag_++;
+      const float* src = backed ? bufs[r] + off[c] : nullptr;
       float* rcv = backed ? scratch_[static_cast<size_t>(dst)].data() : nullptr;
       // Collective hops are waited immediately below: on the async backend
       // they route to the per-link P2P workers at high priority, ahead of
       // any eager offload traffic sharing the engine.
-      ev[d] = engines_[d]->submit_p2p(tags[d], src, rcv, len[c] * sizeof(float), dst, ready[d],
+      ev[r] = engines_[r]->submit_p2p(tags[r], src, rcv, len[c] * sizeof(float),
+                                      devices_[static_cast<size_t>(dst)], ready[r],
                                       core::TransferPriority::kHigh);
     }
-    for (int d = 0; d < n; ++d) engines_[d]->wait(core::TransferDir::kP2P, tags[d]);
+    for (int r = 0; r < n; ++r) engines_[r]->wait(core::TransferDir::kP2P, tags[r]);
     std::vector<double> next(ready);
-    for (int d = 0; d < n; ++d) {
-      const int dst = (d + 1) % n;
-      const int c = chunk[d];
+    for (int r = 0; r < n; ++r) {
+      const int dst = (r + 1) % n;
+      const int c = chunk[r];
       if (backed) {
         float* acc = bufs[dst] + off[c];
         const float* in = scratch_[static_cast<size_t>(dst)].data();
         for (uint64_t i = 0; i < len[c]; ++i) acc[i] += in[i];
       }
-      next[dst] = std::max(ready[dst], ev[d].done_at) + add_seconds(dst, len[c] * sizeof(float));
+      next[dst] = std::max(ready[dst], ev[r].done_at) + add_seconds(dst, len[c] * sizeof(float));
     }
     ready = next;
   }
@@ -105,30 +165,154 @@ AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint
   for (int s = 0; s < n - 1; ++s) {
     std::vector<sim::Event> ev(static_cast<size_t>(n));
     std::vector<uint64_t> tags(static_cast<size_t>(n));
-    std::vector<int> chunk(static_cast<size_t>(n));
-    for (int d = 0; d < n; ++d) {
-      const int c = ((d + 1 - s) % n + n) % n;
-      const int dst = (d + 1) % n;
-      chunk[d] = c;
-      tags[d] = next_tag_++;
-      const float* src = backed ? bufs[d] + off[c] : nullptr;
+    for (int r = 0; r < n; ++r) {
+      const int c = ((r + 1 - s) % n + n) % n;
+      const int dst = (r + 1) % n;
+      tags[r] = next_tag_++;
+      const float* src = backed ? bufs[r] + off[c] : nullptr;
       float* rcv = backed ? bufs[dst] + off[c] : nullptr;
-      ev[d] = engines_[d]->submit_p2p(tags[d], src, rcv, len[c] * sizeof(float), dst, ready[d],
+      ev[r] = engines_[r]->submit_p2p(tags[r], src, rcv, len[c] * sizeof(float),
+                                      devices_[static_cast<size_t>(dst)], ready[r],
                                       core::TransferPriority::kHigh);
     }
-    for (int d = 0; d < n; ++d) engines_[d]->wait(core::TransferDir::kP2P, tags[d]);
-    for (int d = 0; d < n; ++d) {
-      const int dst = (d + 1) % n;
-      ready[dst] = std::max(ready[dst], ev[d].done_at);
+    for (int r = 0; r < n; ++r) engines_[r]->wait(core::TransferDir::kP2P, tags[r]);
+    for (int r = 0; r < n; ++r) {
+      const int dst = (r + 1) % n;
+      ready[dst] = std::max(ready[dst], ev[r].done_at);
     }
   }
 
-  for (int d = 0; d < n; ++d) {
-    cluster_.machine(d).wait_event(sim::Event{ready[d]});
-    stats.device_seconds[d] = cluster_.machine(d).now() - start[d];
-    stats.seconds = std::max(stats.seconds, stats.device_seconds[d]);
-    stats.p2p_bytes =
-        std::max(stats.p2p_bytes, cluster_.machine(d).counters().bytes_p2p - sent0[d]);
+  for (int r = 0; r < n; ++r) {
+    mach(r).wait_event(sim::Event{ready[r]});
+    stats.device_seconds[r] = mach(r).now() - start[r];
+    stats.seconds = std::max(stats.seconds, stats.device_seconds[r]);
+    stats.p2p_bytes = std::max(stats.p2p_bytes, mach(r).counters().bytes_p2p - sent0[r]);
+  }
+  return stats;
+}
+
+AllreduceStats Communicator::allreduce_halving_doubling(const std::vector<float*>& bufs,
+                                                        uint64_t elems) {
+  const int n = devices();
+  const bool backed = bufs[0] != nullptr;
+  assert(is_pow2(n) && n >= 2);
+
+  AllreduceStats stats;
+  stats.device_seconds.assign(static_cast<size_t>(n), 0.0);
+  stats.chunks = static_cast<uint64_t>(n);
+  stats.algo = AllreduceAlgo::kHalvingDoubling;
+
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  if (backed) {
+    // Largest receive is the first halving: ceil(elems / 2).
+    for (auto& s : scratch_) s.resize((elems + 1) / 2);
+  }
+
+  std::vector<double> start(static_cast<size_t>(n)), ready(static_cast<size_t>(n));
+  std::vector<uint64_t> sent0(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    start[r] = mach(r).now();
+    ready[r] = start[r];
+    sent0[r] = mach(r).counters().bytes_p2p;
+  }
+
+  // Per-rank owned segment [lo, hi). Partners always hold identical segments
+  // (the keep decision at step t depends only on rank bits < t), so the half
+  // a rank sends is exactly the half its partner keeps.
+  std::vector<uint64_t> lo(static_cast<size_t>(n), 0), hi(static_cast<size_t>(n), elems);
+
+  // --- reduce-scatter: vector halving, distance doubling -------------------
+  // Step t pairs rank r with r ^ 2^t, so the sum it materializes covers the
+  // aligned rank group of size 2^(t+1) — the binary-counter pairwise tree in
+  // ascending rank order, one two-operand (commutative) add per node.
+  for (int t = 0; t < k; ++t) {
+    const int bit = 1 << t;
+    std::vector<sim::Event> ev(static_cast<size_t>(n));
+    std::vector<uint64_t> tags(static_cast<size_t>(n), 0);
+    std::vector<uint64_t> keep_lo(static_cast<size_t>(n)), keep_hi(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      const int p = r ^ bit;
+      const uint64_t mid = lo[r] + (hi[r] - lo[r]) / 2;
+      const bool keep_lower = (r & bit) == 0;
+      keep_lo[r] = keep_lower ? lo[r] : mid;
+      keep_hi[r] = keep_lower ? mid : hi[r];
+      const uint64_t send_lo = keep_lower ? mid : lo[r];
+      const uint64_t send_hi = keep_lower ? hi[r] : mid;
+      if (send_hi == send_lo) continue;  // degenerate (elems < group): nothing to ship
+      tags[r] = next_tag_++;
+      const float* src = backed ? bufs[r] + send_lo : nullptr;
+      float* rcv = backed ? scratch_[static_cast<size_t>(p)].data() : nullptr;
+      ev[r] = engines_[r]->submit_p2p(tags[r], src, rcv, (send_hi - send_lo) * sizeof(float),
+                                      devices_[static_cast<size_t>(p)], ready[r],
+                                      core::TransferPriority::kHigh);
+    }
+    for (int r = 0; r < n; ++r) {
+      if (tags[r]) engines_[r]->wait(core::TransferDir::kP2P, tags[r]);
+    }
+    std::vector<double> next(ready);
+    for (int r = 0; r < n; ++r) {
+      if (!tags[r]) continue;
+      const int p = r ^ bit;
+      const uint64_t len = keep_hi[p] - keep_lo[p];  // == r's send length
+      if (backed) {
+        float* acc = bufs[p] + keep_lo[p];
+        const float* in = scratch_[static_cast<size_t>(p)].data();
+        for (uint64_t i = 0; i < len; ++i) acc[i] += in[i];
+      }
+      next[p] = std::max(ready[p], ev[r].done_at) + add_seconds(p, len * sizeof(float));
+    }
+    for (int r = 0; r < n; ++r) {
+      lo[r] = keep_lo[r];
+      hi[r] = keep_hi[r];
+    }
+    ready = next;
+  }
+
+  // --- all-gather: distance halving, vector doubling -----------------------
+  // Unwinds the scatter: each rank ships its whole reduced segment to the
+  // step's partner; partners end the step owning the (contiguous) union.
+  for (int t = k - 1; t >= 0; --t) {
+    const int bit = 1 << t;
+    std::vector<sim::Event> ev(static_cast<size_t>(n));
+    std::vector<uint64_t> tags(static_cast<size_t>(n), 0);
+    for (int r = 0; r < n; ++r) {
+      const int p = r ^ bit;
+      const uint64_t len = hi[r] - lo[r];
+      if (len == 0) continue;
+      tags[r] = next_tag_++;
+      const float* src = backed ? bufs[r] + lo[r] : nullptr;
+      float* rcv = backed ? bufs[p] + lo[r] : nullptr;
+      ev[r] = engines_[r]->submit_p2p(tags[r], src, rcv, len * sizeof(float),
+                                      devices_[static_cast<size_t>(p)], ready[r],
+                                      core::TransferPriority::kHigh);
+    }
+    for (int r = 0; r < n; ++r) {
+      if (tags[r]) engines_[r]->wait(core::TransferDir::kP2P, tags[r]);
+    }
+    std::vector<double> next(ready);
+    for (int r = 0; r < n; ++r) {
+      if (!tags[r]) continue;
+      const int p = r ^ bit;
+      next[p] = std::max(next[p], ev[r].done_at);
+    }
+    for (int r = 0; r < n; ++r) {
+      const int p = r ^ bit;
+      if (r < p) {
+        const uint64_t nlo = std::min(lo[r], lo[p]);
+        const uint64_t nhi = std::max(hi[r], hi[p]);
+        lo[r] = lo[p] = nlo;
+        hi[r] = hi[p] = nhi;
+      }
+    }
+    ready = next;
+  }
+
+  for (int r = 0; r < n; ++r) {
+    mach(r).wait_event(sim::Event{ready[r]});
+    stats.device_seconds[r] = mach(r).now() - start[r];
+    stats.seconds = std::max(stats.seconds, stats.device_seconds[r]);
+    stats.p2p_bytes = std::max(stats.p2p_bytes, mach(r).counters().bytes_p2p - sent0[r]);
   }
   return stats;
 }

@@ -1,25 +1,37 @@
 // dist::Communicator — collective operations over the simulated P2P fabric.
 //
-// Implements the classic bandwidth-optimal ring all-reduce: a chunked
-// reduce-scatter (N-1 hops; after it device d owns the fully reduced chunk
-// (d+1) mod N) followed by a ring all-gather (N-1 hops broadcasting the
-// reduced chunks). Every hop is a TransferEngine::submit_p2p on the SENDING
-// device's engine, so collectives share the tag-based submit/poll/wait layer
-// (and its telemetry) with offload/prefetch traffic, and virtual time falls
-// out of the link streams: hop k+1 chains on hop k's arrival through the
-// explicit not_before dependency. On the async backend each directed link
-// additionally gets its own DMA worker, so ring-neighbor hops drain
-// physically in parallel and never queue behind offload/prefetch copies.
+// A communicator spans a GROUP: any subset of a cluster's devices (rank i of
+// the group lives on device_ids[i]). Whole-cluster communicators are the
+// trivial identity group (dist::DataParallelTrainer); hybrid parallelism
+// builds one communicator per pipeline stage over that stage's replica
+// devices, so collectives within different stages ride disjoint links.
 //
-// Numerics: when the buffers are backed, the adds really execute, and every
-// device finishes with bit-identical bytes for any N (each chunk is reduced
-// once, on its owner, then broadcast). For N = 2 the reduction is a single
-// two-operand float add per element — commutative in IEEE — which is what
-// makes 2-device data-parallel gradients match a single-device run over the
-// combined batch bit for bit (the per-device partials are pairwise subtrees;
-// see util/pairwise.hpp). For N >= 4 the ring accumulates chunks in rotated
-// rank order, which is deterministic but can differ from the single-device
-// pairwise tree in final-ulp rounding.
+// Two all-reduce algorithms implement the same in-place sum contract:
+//
+//   * Ring — the classic bandwidth-optimal chunked reduce-scatter (N-1 hops;
+//     after it rank r owns the fully reduced chunk (r+1) mod N) followed by a
+//     ring all-gather (N-1 hops broadcasting the reduced chunks). Works for
+//     any group size; accumulates chunks in rotated rank order, which is
+//     deterministic but can differ from the single-device pairwise tree in
+//     final-ulp rounding for N >= 4.
+//   * Recursive halving-doubling — for power-of-two groups. Reduce-scatter
+//     by vector halving with distance DOUBLING (partner = rank ^ 2^t), so
+//     step t combines complete sums over aligned rank groups of size 2^t:
+//     exactly the binary-counter pairwise tree of util/pairwise.hpp, in
+//     ascending rank order. Every combine is a single two-operand IEEE add
+//     (commutative), so the result is BIT-IDENTICAL to combining the rank
+//     buffers pairwise on one device — which is what extends the "scheduling
+//     never changes training results" invariant to 4+-replica training.
+//     Same per-rank volume as the ring: 2 * (N-1)/N of the buffer.
+//
+// kAuto picks halving-doubling for power-of-two groups and falls back to the
+// ring otherwise. Every hop is a TransferEngine::submit_p2p on the SENDING
+// rank's engine, so collectives share the tag-based submit/poll/wait layer
+// (and its telemetry) with offload/prefetch traffic, and virtual time falls
+// out of the link streams: step k+1 chains on step k's arrival through the
+// explicit not_before dependency. On the async backend each directed link
+// additionally gets its own DMA worker, so neighbor hops drain physically in
+// parallel and never queue behind offload/prefetch copies.
 #pragma once
 
 #include <cstdint>
@@ -30,35 +42,67 @@
 
 namespace sn::dist {
 
+enum class AllreduceAlgo {
+  kAuto,             ///< halving-doubling when the group is a power of two, else ring
+  kRing,             ///< chunked ring (any group size; rotated-rank-order rounding)
+  kHalvingDoubling,  ///< pairwise-tree-exact; group size must be a power of two
+};
+
+const char* allreduce_algo_name(AllreduceAlgo a);
+
 struct AllreduceStats {
-  double seconds = 0.0;                ///< slowest device's time in the collective
-  std::vector<double> device_seconds;  ///< per-device time in the collective
-  uint64_t p2p_bytes = 0;              ///< bytes sent per device (ring: symmetric)
-  uint64_t chunks = 0;                 ///< ring chunks (= devices)
+  double seconds = 0.0;                ///< slowest rank's time in the collective
+  std::vector<double> device_seconds;  ///< per-rank time in the collective
+  uint64_t p2p_bytes = 0;              ///< bytes sent per rank (both algos: symmetric)
+  uint64_t chunks = 0;                 ///< ring chunks / halving-doubling segments (= ranks)
+  AllreduceAlgo algo = AllreduceAlgo::kRing;  ///< algorithm actually run
 };
 
 class Communicator {
  public:
-  /// `engines[d]` must be device d's TransferEngine on `cluster`'s machine d.
+  /// Whole-cluster group: `engines[d]` must be device d's TransferEngine on
+  /// `cluster`'s machine d. Equivalent to the sub-group ctor with the
+  /// identity device list.
   Communicator(sim::Cluster& cluster, std::vector<core::TransferEngine*> engines);
 
-  /// In-place sum all-reduce: after the call every bufs[d][0..elems) holds the
-  /// elementwise sum over devices. bufs[d] may be null when running unbacked
-  /// (simulation) — virtual time and telemetry advance, no bytes move.
-  AllreduceStats allreduce_sum(const std::vector<float*>& bufs, uint64_t elems);
+  /// Sub-group: rank i lives on cluster device `device_ids[i]` and sends
+  /// through `engines[i]` (which must belong to that device). Device ids
+  /// must be distinct; they need not be contiguous or sorted — a pipeline
+  /// stage's replica group is whatever the grid says it is.
+  Communicator(sim::Cluster& cluster, std::vector<int> device_ids,
+               std::vector<core::TransferEngine*> engines);
+
+  /// In-place sum all-reduce: after the call every bufs[r][0..elems) holds
+  /// the elementwise sum over ranks. bufs[r] may be null when running
+  /// unbacked (simulation) — virtual time and telemetry advance, no bytes
+  /// move. kAuto resolves per the group size (see file comment).
+  AllreduceStats allreduce_sum(const std::vector<float*>& bufs, uint64_t elems,
+                               AllreduceAlgo algo = AllreduceAlgo::kAuto);
 
   /// Pairwise (rank-ordered) combination of per-replica loss sums; matches
   /// the single-device pairwise loss tree bit for bit for power-of-two
-  /// device counts. Pure host arithmetic — the driver reads losses, devices
+  /// group sizes. Pure host arithmetic — the driver reads losses, devices
   /// do not.
   static double combine_loss_sums(const std::vector<double>& sums);
 
-  int devices() const { return cluster_.size(); }
+  int devices() const { return static_cast<int>(devices_.size()); }
+  /// Cluster device id of group rank `rank`.
+  int device_id(int rank) const { return devices_[static_cast<size_t>(rank)]; }
 
  private:
+  AllreduceStats allreduce_ring(const std::vector<float*>& bufs, uint64_t elems);
+  AllreduceStats allreduce_halving_doubling(const std::vector<float*>& bufs, uint64_t elems);
+
+  sim::Machine& mach(int rank) { return cluster_.machine(devices_[static_cast<size_t>(rank)]); }
+  /// Elementwise-sum time charged to a rank (read two operands, write one).
+  double add_seconds(int rank, uint64_t bytes) {
+    return 3.0 * static_cast<double>(bytes) / mach(rank).spec().mem_bw;
+  }
+
   sim::Cluster& cluster_;
+  std::vector<int> devices_;  ///< rank -> cluster device id
   std::vector<core::TransferEngine*> engines_;
-  std::vector<std::vector<float>> scratch_;  ///< per-device receive staging
+  std::vector<std::vector<float>> scratch_;  ///< per-rank receive staging
   uint64_t next_tag_ = 1;
 };
 

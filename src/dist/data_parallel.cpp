@@ -5,21 +5,12 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "dist/trainer_common.hpp"
+
 namespace sn::dist {
 
-namespace {
-
-tensor::Shape sample_shape_of(const graph::Net& net) {
-  tensor::Shape s = net.input_layer()->out_shape();
-  s.n = 1;
-  return s;
-}
-
-int classes_of(const graph::Net& net) {
-  return static_cast<int>(net.loss_layer()->out_shape().c);
-}
-
-}  // namespace
+using detail::classes_of;
+using detail::sample_shape_of;
 
 DataParallelTrainer::DataParallelTrainer(const NetFactory& factory, core::RuntimeOptions base,
                                          DataParallelConfig cfg)
@@ -45,6 +36,7 @@ DataParallelTrainer::DataParallelTrainer(const NetFactory& factory, core::Runtim
   base.loss_batch = cfg_.global_batch;
   for (int d = 0; d < cfg_.devices; ++d) {
     base.device_id = d;
+    base.replica = d;  // 1 x N grid: telemetry groups by replica column
     nets_.push_back(factory(shard_));
     if (!nets_.back()->finalized()) nets_.back()->finalize();
     runtimes_.push_back(std::make_unique<core::Runtime>(*nets_.back(), base));

@@ -9,12 +9,22 @@
 //
 // Loss gradients are scaled by the GLOBAL batch (RuntimeOptions::loss_batch)
 // and every batch reduction in the kernels is a pairwise tree
-// (util/pairwise.hpp), so for power-of-two shards 2-device training produces
-// bit-identical per-iteration losses and weights to a single-device run over
-// the combined batch — the multi-device extension of the paper's "memory
-// scheduling never changes training results" invariant. This holds for nets
-// whose kernels are per-sample (no BatchNorm batch statistics, no dropout —
-// both couple results to the position of a sample inside the local batch).
+// (util/pairwise.hpp), so each replica's gradient is exactly one subtree of
+// the full-batch reduction. The Communicator's kAuto all-reduce combines
+// those subtrees with the recursive halving-doubling algorithm for
+// power-of-two device counts — the same pairwise tree, so ANY power-of-two
+// replica count produces bit-identical per-iteration losses and weights to
+// a single-device run over the combined batch (non-power-of-two counts fall
+// back to the ring: deterministic, replicas bitwise lockstep, final-ulp
+// rounding vs single-device may differ). This is the multi-device extension
+// of the paper's "memory scheduling never changes training results"
+// invariant, and holds for nets whose kernels are per-sample (no BatchNorm
+// batch statistics, no dropout — both couple results to the position of a
+// sample inside the local batch).
+//
+// The trainer is the trivial one-group case of the sub-group Communicator:
+// its collective group is the whole cluster. dist::HybridParallelTrainer
+// builds one group per pipeline stage instead.
 #pragma once
 
 #include <functional>

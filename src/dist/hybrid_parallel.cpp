@@ -1,0 +1,432 @@
+#include "dist/hybrid_parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "dist/trainer_common.hpp"
+#include "util/pairwise.hpp"
+
+namespace sn::dist {
+
+using detail::accumulate;
+using detail::classes_of;
+using detail::layer_by_name;
+using detail::sample_shape_of;
+
+HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
+                                             core::RuntimeOptions base,
+                                             HybridParallelConfig cfg)
+    : cfg_([&] {
+        if (cfg.stages < 1) throw std::invalid_argument("hybrid: stages >= 1");
+        if (cfg.replicas < 1) throw std::invalid_argument("hybrid: replicas >= 1");
+        if (cfg.microbatches < 1) throw std::invalid_argument("hybrid: microbatches >= 1");
+        if (cfg.global_batch <= 0 || cfg.global_batch % cfg.replicas != 0) {
+          throw std::invalid_argument(
+              "hybrid: global_batch must divide evenly across replicas");
+        }
+        if ((cfg.global_batch / cfg.replicas) % cfg.microbatches != 0) {
+          throw std::invalid_argument(
+              "hybrid: the replica shard must divide evenly into microbatches");
+        }
+        if (!cfg.boundaries.empty() &&
+            static_cast<int>(cfg.boundaries.size()) + 1 != cfg.stages) {
+          throw std::invalid_argument("hybrid: need stages-1 explicit boundaries");
+        }
+        cfg.cluster.devices = cfg.stages * cfg.replicas;
+        return cfg;
+      }()),
+      real_(base.real),
+      shard_(cfg_.global_batch / cfg_.replicas),
+      microbatch_(shard_ / cfg_.microbatches),
+      full_([&] {
+        auto net = factory(microbatch_);
+        if (!net->finalized()) net->finalize();
+        return net;
+      }()),
+      plan_([&] {
+        // Memory-aware partition: every stage must fit the per-device pool
+        // even at the full-offload floor.
+        graph::NetPartitioner part(*full_, cfg_.cluster.device, cfg_.cluster.link,
+                                   base.device_capacity);
+        return cfg_.boundaries.empty() ? part.partition(cfg_.stages)
+                                       : part.partition_at(cfg_.boundaries);
+      }()),
+      cluster_(cfg_.cluster),
+      grid_(cluster_, cfg_.stages, cfg_.replicas),
+      dataset_(sample_shape_of(*full_), classes_of(*full_), cfg_.train.data_seed) {
+  const int S = cfg_.stages, R = cfg_.replicas;
+  const size_t cells = static_cast<size_t>(S) * static_cast<size_t>(R);
+  base.spec = cfg_.cluster.device;
+  base.cluster = &cluster_;
+  base.loss_batch = cfg_.global_batch;
+  for (int s = 0; s < S; ++s) {
+    for (int r = 0; r < R; ++r) {
+      // Each cell gets its own stage-net clone: replicas share topology and
+      // (via per-tensor-name seeded init) starting weights, never tensors.
+      stage_nets_.push_back(graph::extract_stage(*full_, plan_, s));
+      base.device_id = grid_.device(s, r);
+      base.stage = s;
+      base.replica = r;
+      runtimes_.push_back(std::make_unique<core::Runtime>(*stage_nets_.back(), base));
+      runtimes_.back()->initialize();
+    }
+  }
+
+  // Boundary tensors per column link (s, r) -> (s+1, r). The producers /
+  // landing sites are pinned: no in-stage layer re-defines a landing site,
+  // so liveness and eviction must never reclaim it mid-stream.
+  out_t_.assign(cells, nullptr);
+  out_grad_t_.assign(cells, nullptr);
+  in_t_.assign(cells, nullptr);
+  in_grad_t_.assign(cells, nullptr);
+  act_ev_.assign(cells, {});
+  grad_ev_.assign(cells, {});
+  act_tag_.assign(cells, 0);
+  grad_tag_.assign(cells, 0);
+  stash_.resize(cells);
+  for (int s = 0; s + 1 < S; ++s) {
+    const std::string& pname =
+        full_->route()[static_cast<size_t>(plan_.stages[static_cast<size_t>(s)].boundary_layer)]
+            ->name();
+    for (int r = 0; r < R; ++r) {
+      const size_t c = cell(s, r), cn = cell(s + 1, r);
+      graph::Layer* prod = layer_by_name(*stage_nets_[c], pname);
+      out_t_[c] = prod->output();
+      out_grad_t_[c] = prod->output_grad();
+      assert(out_grad_t_[c] && "boundary producer must carry a gradient");
+      runtimes_[c]->pin_external(out_t_[c]);
+      runtimes_[c]->pin_external(out_grad_t_[c]);
+      runtimes_[c]->mark_external_pending(out_grad_t_[c]);
+
+      graph::Layer* in = stage_nets_[cn]->input_layer();
+      in_t_[cn] = in->output();
+      in_grad_t_[cn] = in->output_grad();
+      assert(in_grad_t_[cn] && "stage input must carry a gradient");
+      runtimes_[cn]->pin_external(in_grad_t_[cn]);
+      runtimes_[cn]->mark_external_pending(in_t_[cn]);
+      if (real_) {
+        stash_[cn].assign(static_cast<size_t>(cfg_.microbatches),
+                          std::vector<float>(static_cast<size_t>(in_t_[cn]->shape().elems())));
+      }
+    }
+  }
+
+  // Param-grad tensors in net order — identical topology across a stage's
+  // replicas, so index i refers to the same logical gradient row-wide.
+  grads_.resize(cells);
+  grad_elems_.assign(static_cast<size_t>(S), 0);
+  grad_stash_.resize(cells);
+  if (real_) fused_.resize(cells);
+  for (int s = 0; s < S; ++s) {
+    for (int r = 0; r < R; ++r) {
+      const size_t c = cell(s, r);
+      for (const auto& l : stage_nets_[c]->layers()) {
+        for (tensor::Tensor* g : l->param_grads()) grads_[c].push_back(g);
+      }
+      assert(grads_[c].size() == grads_[cell(s, 0)].size() &&
+             "stage replicas must be topologically identical");
+    }
+    for (const tensor::Tensor* g : grads_[cell(s, 0)]) {
+      grad_elems_[static_cast<size_t>(s)] += static_cast<uint64_t>(g->shape().elems());
+    }
+    if (real_) {
+      for (int r = 0; r < R; ++r) {
+        grad_stash_[cell(s, r)].assign(
+            static_cast<size_t>(cfg_.microbatches),
+            std::vector<float>(static_cast<size_t>(grad_elems_[static_cast<size_t>(s)])));
+        fused_[cell(s, r)].resize(static_cast<size_t>(grad_elems_[static_cast<size_t>(s)]));
+      }
+    }
+  }
+
+  // One sub-group Communicator per stage row: ranks are replicas 0..R-1, on
+  // the row's grid devices, sending through the row cells' own engines.
+  for (int s = 0; s < S; ++s) {
+    std::vector<core::TransferEngine*> row;
+    for (int r = 0; r < R; ++r) row.push_back(&engine(s, r));
+    comms_.push_back(
+        std::make_unique<Communicator>(cluster_, grid_.replica_group(s), std::move(row)));
+  }
+
+  if (real_) {
+    batch_data_.resize(static_cast<size_t>(cfg_.global_batch) * dataset_.sample_elems());
+    batch_labels_.resize(static_cast<size_t>(cfg_.global_batch));
+  }
+}
+
+void HybridParallelTrainer::send_activation(int s, int r, int m) {
+  const size_t c = cell(s, r), cn = cell(s + 1, r);
+  const uint64_t tag = next_tag_++;
+  const float* src = device_ptr(s, r, out_t_[c]);
+  float* dst = real_ ? stash_[cn][static_cast<size_t>(m)].data() : nullptr;
+  // Activation streaming rides the critical path: high priority, like the
+  // Communicator's collective hops.
+  act_ev_[cn] = engine(s, r).submit_p2p(tag, src, dst, out_t_[c]->bytes(),
+                                        grid_.device(s + 1, r), grid_.machine(s, r).now(),
+                                        core::TransferPriority::kHigh);
+  act_tag_[cn] = tag;
+  in_flight_.push_back({c, tag});
+}
+
+void HybridParallelTrainer::receive_activation(int s, int r, std::vector<double>& bubble) {
+  const size_t c = cell(s, r);
+  sim::Machine& mach = grid_.machine(s, r);
+  const double stall0 = mach.counters().stall_time;
+  mach.wait_event(act_ev_[c]);  // virtual gate (deterministic)
+  bubble[c] += mach.counters().stall_time - stall0;
+  // Physical gate: the sender's DMA worker must have let go of the bytes.
+  engine(s - 1, r).await_landing(core::TransferDir::kP2P, act_tag_[c]);
+  runtimes_[c]->mark_external_landed(in_t_[c]);
+}
+
+void HybridParallelTrainer::send_gradient(int s, int r) {
+  const size_t c = cell(s, r), cp = cell(s - 1, r);
+  const uint64_t tag = next_tag_++;
+  const float* src = device_ptr(s, r, in_grad_t_[c]);
+  float* dst = device_ptr(s - 1, r, out_grad_t_[cp]);
+  grad_ev_[cp] = engine(s, r).submit_p2p(tag, src, dst, in_grad_t_[c]->bytes(),
+                                         grid_.device(s - 1, r), grid_.machine(s, r).now(),
+                                         core::TransferPriority::kHigh);
+  grad_tag_[cp] = tag;
+  in_flight_.push_back({c, tag});
+}
+
+void HybridParallelTrainer::receive_gradient(int s, int r, std::vector<double>& bubble) {
+  const size_t c = cell(s, r);
+  sim::Machine& mach = grid_.machine(s, r);
+  const double stall0 = mach.counters().stall_time;
+  mach.wait_event(grad_ev_[c]);
+  bubble[c] += mach.counters().stall_time - stall0;
+  engine(s + 1, r).await_landing(core::TransferDir::kP2P, grad_tag_[c]);
+  runtimes_[c]->mark_external_landed(out_grad_t_[c]);
+}
+
+void HybridParallelTrainer::retire_streams(bool force) {
+  auto it = in_flight_.begin();
+  while (it != in_flight_.end()) {
+    core::TransferEngine& eng = runtimes_[it->first]->tensor_pool().engine();
+    if (eng.try_retire(core::TransferDir::kP2P, it->second)) {
+      it = in_flight_.erase(it);
+    } else if (force) {
+      // Iteration boundary: the receiver consumed the bytes long ago; only
+      // the sender's lagging clock keeps the ticket open. Wait it out.
+      eng.wait(core::TransferDir::kP2P, it->second);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+HybridParallelReport HybridParallelTrainer::run() {
+  HybridParallelReport report;
+  const int S = cfg_.stages, R = cfg_.replicas, M = cfg_.microbatches;
+  const size_t cells = static_cast<size_t>(S) * static_cast<size_t>(R);
+  const int64_t mb_elems = static_cast<int64_t>(microbatch_) * dataset_.sample_elems();
+
+  for (int it = 0; it < cfg_.train.iterations; ++it) {
+    if (real_) {
+      dataset_.fill_batch(cfg_.global_batch, static_cast<uint64_t>(it), batch_data_.data(),
+                          batch_labels_.data());
+    }
+    std::vector<double> bubble(cells, 0.0);
+    std::vector<core::IterationStats> cell_st(cells);
+    std::vector<sim::MachineCounters> c0(cells);
+    std::vector<double> now0(cells);
+    for (int s = 0; s < S; ++s) {
+      for (int r = 0; r < R; ++r) {
+        const size_t c = cell(s, r);
+        c0[c] = grid_.machine(s, r).counters();
+        now0[c] = grid_.machine(s, r).now();
+      }
+    }
+    /// loss_sums[r][m]: raw NLL sum of replica r's microbatch m.
+    std::vector<std::vector<double>> loss_sums(
+        static_cast<size_t>(R), std::vector<double>(static_cast<size_t>(M), 0.0));
+
+    // Replica r's microbatch m holds the contiguous global samples
+    // [r*shard + m*b, r*shard + (m+1)*b) — microbatches nest inside the
+    // replica shard, so the pairwise combine below mirrors the full-batch
+    // reduction tree (see header).
+    auto stage_input = [&](int s, int r, int m) -> const float* {
+      if (!real_) return nullptr;
+      if (s == 0) {
+        return batch_data_.data() +
+               (static_cast<int64_t>(r) * shard_ * dataset_.sample_elems()) +
+               static_cast<int64_t>(m) * mb_elems;
+      }
+      return stash_[cell(s, r)][static_cast<size_t>(m)].data();
+    };
+    auto stage_labels = [&](int s, int r, int m) -> const int32_t* {
+      if (!real_ || s != S - 1) return nullptr;
+      return batch_labels_.data() + static_cast<int64_t>(r) * shard_ +
+             static_cast<int64_t>(m) * microbatch_;
+    };
+
+    // --- fill: forward every microbatch down every replica column ----------
+    // Columns are independent until the post-drain all-reduce; interleaving
+    // them stage-by-stage keeps the schedule deterministic while their
+    // transfers ride disjoint links.
+    for (int m = 0; m < M; ++m) {
+      for (int s = 0; s < S; ++s) {
+        for (int r = 0; r < R; ++r) {
+          const size_t c = cell(s, r);
+          if (s > 0) receive_activation(s, r, bubble);
+          core::IterationStats f =
+              runtimes_[c]->forward_pass(stage_input(s, r, m), stage_labels(s, r, m));
+          accumulate(cell_st[c], f);
+          if (s == S - 1) loss_sums[static_cast<size_t>(r)][static_cast<size_t>(m)] = f.loss_sum;
+          if (s > 0) {
+            // Until the next microbatch's activation lands, the stage
+            // input's authoritative bytes live upstream.
+            runtimes_[c]->mark_external_pending(in_t_[c]);
+          }
+          if (s + 1 < S) send_activation(s, r, m);
+          retire_streams(false);
+        }
+      }
+    }
+
+    // --- drain: retire microbatches newest-first ----------------------------
+    // The newest microbatch's activations are still resident in every cell;
+    // older ones are re-materialized from the stashed stage input (GPipe
+    // re-materialization) before their backward runs.
+    for (int m = M - 1; m >= 0; --m) {
+      for (int s = S - 1; s >= 0; --s) {
+        for (int r = 0; r < R; ++r) {
+          const size_t c = cell(s, r);
+          if (m < M - 1) {
+            if (s > 0) {
+              // Re-materialization reads the locally stashed input: valid.
+              runtimes_[c]->mark_external_landed(in_t_[c]);
+            }
+            core::IterationStats rf =
+                runtimes_[c]->forward_pass(stage_input(s, r, m), stage_labels(s, r, m));
+            accumulate(cell_st[c], rf);
+          }
+          if (s + 1 < S) receive_gradient(s, r, bubble);
+          core::IterationStats b = runtimes_[c]->backward_pass(stage_labels(s, r, m));
+          accumulate(cell_st[c], b);
+          if (s + 1 < S) runtimes_[c]->mark_external_pending(out_grad_t_[c]);
+          if (s > 0) {
+            send_gradient(s, r);
+            runtimes_[c]->mark_external_pending(in_t_[c]);
+          }
+          if (real_) {
+            // Snapshot this microbatch's gradients; combined pairwise below.
+            auto& snap = grad_stash_[c][static_cast<size_t>(m)];
+            uint64_t off = 0;
+            for (tensor::Tensor* g : grads_[c]) {
+              std::memcpy(snap.data() + off, device_ptr(s, r, g), g->bytes());
+              off += static_cast<uint64_t>(g->shape().elems());
+            }
+          }
+          retire_streams(false);
+        }
+      }
+    }
+    retire_streams(true);
+
+    // --- per-stage update: pairwise microbatch combine, replica all-reduce,
+    // SGD. Replica r's M snapshots combine (binary counter, ascending m)
+    // into its shard subtree; the row all-reduce (kAuto: halving-doubling
+    // for power-of-two R) combines the R subtrees in ascending rank order —
+    // together exactly the full-batch per-sample pairwise tree when b, M
+    // and R are powers of two (util/pairwise.hpp).
+    std::vector<double> allreduce_max(static_cast<size_t>(S), 0.0);
+    for (int s = 0; s < S; ++s) {
+      std::vector<float*> bufs(static_cast<size_t>(R), nullptr);
+      if (real_ && grad_elems_[static_cast<size_t>(s)] > 0) {
+        for (int r = 0; r < R; ++r) {
+          const size_t c = cell(s, r);
+          util::PairwiseVecAccumulator acc(
+              static_cast<size_t>(grad_elems_[static_cast<size_t>(s)]));
+          for (int m = 0; m < M; ++m) {
+            // push() consumes the leaf in place; the stash is fully
+            // rewritten by next iteration's snapshots.
+            acc.push(grad_stash_[c][static_cast<size_t>(m)].data());
+          }
+          acc.finish(fused_[c].data());
+          bufs[static_cast<size_t>(r)] = fused_[c].data();
+        }
+      }
+      AllreduceStats ar =
+          comms_[static_cast<size_t>(s)]->allreduce_sum(bufs, grad_elems_[static_cast<size_t>(s)]);
+      allreduce_max[static_cast<size_t>(s)] = ar.seconds;
+      for (int r = 0; r < R; ++r) {
+        const size_t c = cell(s, r);
+        cell_st[c].allreduce_seconds = ar.device_seconds[static_cast<size_t>(r)];
+        if (real_ && grad_elems_[static_cast<size_t>(s)] > 0) {
+          uint64_t off = 0;
+          for (tensor::Tensor* g : grads_[c]) {
+            std::memcpy(device_ptr(s, r, g), fused_[c].data() + off, g->bytes());
+            off += static_cast<uint64_t>(g->shape().elems());
+          }
+        }
+        runtimes_[c]->apply_sgd(cfg_.train.lr, cfg_.train.momentum, cfg_.train.weight_decay);
+        runtimes_[c]->advance_iteration();
+      }
+    }
+
+    // --- telemetry ----------------------------------------------------------
+    // Global loss tree: microbatches nest in replica shards, shards combine
+    // in rank order — the same grouping the gradients used.
+    double loss_sum = 0.0;
+    if (real_) {
+      std::vector<double> replica_sums(static_cast<size_t>(R), 0.0);
+      for (int r = 0; r < R; ++r) {
+        replica_sums[static_cast<size_t>(r)] = util::pairwise_sum<double>(
+            static_cast<uint64_t>(M),
+            [&](uint64_t i) { return loss_sums[static_cast<size_t>(r)][i]; });
+      }
+      loss_sum = Communicator::combine_loss_sums(replica_sums);
+    }
+    const double loss = loss_sum / cfg_.global_batch;
+    core::IterationStats agg;
+    agg.loss = loss;
+    agg.loss_sum = loss_sum;
+    for (int s = 0; s < S; ++s) {
+      agg.allreduce_seconds = std::max(agg.allreduce_seconds, allreduce_max[static_cast<size_t>(s)]);
+    }
+    std::vector<std::vector<core::IterationStats>> grid_st(
+        static_cast<size_t>(S), std::vector<core::IterationStats>(static_cast<size_t>(R)));
+    for (int s = 0; s < S; ++s) {
+      for (int r = 0; r < R; ++r) {
+        const size_t c = cell(s, r);
+        auto& st = cell_st[c];
+        const int d = grid_.device(s, r);
+        const auto& c1 = cluster_.machine(d).counters();
+        st.loss = loss;
+        st.loss_sum = loss_sum;
+        st.seconds = cluster_.machine(d).now() - now0[c];
+        st.stall_seconds = c1.stall_time - c0[c].stall_time;
+        st.bubble_seconds = bubble[c];
+        st.p2p_bytes = c1.bytes_p2p - c0[c].bytes_p2p;
+        st.p2p_seconds = c1.seconds_p2p - c0[c].seconds_p2p;
+
+        agg.seconds = std::max(agg.seconds, st.seconds);
+        agg.stall_seconds = std::max(agg.stall_seconds, st.stall_seconds);
+        agg.bubble_seconds += st.bubble_seconds;
+        agg.peak_mem = std::max(agg.peak_mem, st.peak_mem);
+        agg.host_peak = std::max(agg.host_peak, st.host_peak);
+        agg.p2p_bytes += st.p2p_bytes;
+        agg.p2p_seconds += st.p2p_seconds;
+        agg.bytes_d2h += st.bytes_d2h;
+        agg.bytes_h2d += st.bytes_h2d;
+        agg.evictions += st.evictions;
+        agg.extra_forwards += st.extra_forwards;
+        agg.allocs += st.allocs;
+        agg.dma_copies += st.dma_copies;
+        grid_st[static_cast<size_t>(s)][static_cast<size_t>(r)] = st;
+      }
+    }
+    report.losses.push_back(loss);
+    report.stats.push_back(agg);
+    report.cell_stats.push_back(std::move(grid_st));
+  }
+  return report;
+}
+
+}  // namespace sn::dist

@@ -1,0 +1,172 @@
+// dist::HybridParallelTrainer — 2D hybrid parallelism: pipeline stages
+// replicated across a second cluster axis.
+//
+// The cluster's S*R devices form a sim::GridView — S pipeline-stage rows by
+// R replica columns. The net is cut into S stages (graph::NetPartitioner,
+// memory-aware: every stage must fit its pool even at the full-offload
+// floor) and each stage is instantiated R times, one Runtime per grid cell:
+//
+//                     replica 0   replica 1  ...  replica R-1
+//        stage 0      dev 0       dev 1           dev R-1       ─┐ activations
+//        stage 1      dev R       dev R+1          ...           ─┘ stream down
+//          ...                                                      columns
+//        stage S-1    ...                          dev S*R-1
+//                     └────────── per-stage all-reduce ───────┘
+//
+// Each global batch is split across the R replica columns (contiguous
+// shards, like data parallelism), and each shard into M microbatches driven
+// through the column's GPipe fill/drain schedule (like pipeline
+// parallelism): activations/gradients stream between corresponding stage
+// replicas — cell (s, r) talks only to (s±1, r) — via
+// TransferEngine::submit_p2p, gated on virtual landing events exactly as in
+// dist::PipelineParallelTrainer (re-materialization at drain, per-microbatch
+// pairwise gradient combination). After the drain, each stage's R replicas
+// all-reduce their fused gradients over a SUB-GROUP Communicator spanning
+// just that stage's row — S independent collectives on disjoint links — and
+// then every cell steps SGD.
+//
+// Bit-parity: a replica's pairwise-combined microbatch gradient is one
+// contiguous-shard subtree of the full-batch reduction; the per-stage
+// all-reduce (kAuto: recursive halving-doubling for power-of-two R) combines
+// the R subtrees in ascending rank order — the same binary-counter pairwise
+// tree a single device builds. So S x R x M training is bit-identical
+// (losses AND weights) to single-device training on the combined batch for
+// power-of-two microbatch geometry — the paper's "scheduling never changes
+// training results" invariant, extended across BOTH cluster axes at once.
+// Same restriction as the 1D trainers: per-sample kernels only (no BatchNorm
+// batch statistics, no dropout).
+//
+// Determinism: the trainer is single-threaded; every cross-cell dependency
+// is an explicit virtual event (receivers machine-wait it; wall-clock bytes
+// gate separately on TransferEngine::await_landing), so the schedule is
+// bit-reproducible regardless of DMA-worker timing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "dist/communicator.hpp"
+#include "graph/partitioner.hpp"
+#include "sim/cluster.hpp"
+#include "train/dataset.hpp"
+#include "train/trainer.hpp"
+
+namespace sn::dist {
+
+struct HybridParallelConfig {
+  int stages = 2;              ///< pipeline depth S (grid rows)
+  int replicas = 2;            ///< replication width R (grid columns)
+  int microbatches = 2;        ///< per replica column; must divide the shard
+  int global_batch = 8;        ///< split across replicas, then microbatches
+  /// Explicit route cut positions (NetPartitioner::partition_at); empty =
+  /// cost- and memory-balanced automatic partition.
+  std::vector<int> boundaries;
+  sim::ClusterSpec cluster;    ///< device + link preset; .devices is overridden to S*R
+  train::TrainConfig train;    ///< iterations / lr / momentum / seed
+};
+
+struct HybridParallelReport {
+  std::vector<double> losses;               ///< combined global-batch loss
+  std::vector<core::IterationStats> stats;  ///< grid-aggregate per iteration
+  /// Per-cell stats: cell_stats[iter][stage][replica].
+  std::vector<std::vector<std::vector<core::IterationStats>>> cell_stats;
+
+  double first_loss() const { return losses.empty() ? 0.0 : losses.front(); }
+  double last_loss() const { return losses.empty() ? 0.0 : losses.back(); }
+};
+
+class HybridParallelTrainer {
+ public:
+  /// Builds the FULL net at a given batch size; the trainer partitions it
+  /// and rebuilds per-stage nets at the microbatch size, R copies each.
+  using NetFactory = std::function<std::unique_ptr<graph::Net>(int batch)>;
+
+  /// `base` supplies the runtime policy for every cell; its spec / cluster /
+  /// device_id / stage / replica / loss_batch fields are overwritten per
+  /// cell. S=1 degenerates to microbatched data parallelism, R=1 to the
+  /// plain pipeline.
+  HybridParallelTrainer(const NetFactory& factory, core::RuntimeOptions base,
+                        HybridParallelConfig cfg);
+
+  /// Run cfg.train.iterations hybrid rounds on synthetic data.
+  HybridParallelReport run();
+
+  int stages() const { return cfg_.stages; }
+  int replicas() const { return cfg_.replicas; }
+  int microbatches() const { return cfg_.microbatches; }
+  int microbatch_size() const { return microbatch_; }
+  int shard_batch() const { return shard_; }
+  const graph::PartitionPlan& plan() const { return plan_; }
+  core::Runtime& runtime(int stage, int replica) { return *runtimes_[cell(stage, replica)]; }
+  graph::Net& stage_net(int stage, int replica) { return *stage_nets_[cell(stage, replica)]; }
+  sim::Cluster& cluster() { return cluster_; }
+  sim::GridView& grid() { return grid_; }
+  Communicator& stage_communicator(int stage) { return *comms_[static_cast<size_t>(stage)]; }
+
+ private:
+  /// Flat cell index, stage-major — matches sim::GridView device numbering.
+  size_t cell(int stage, int replica) const {
+    return static_cast<size_t>(stage) * static_cast<size_t>(cfg_.replicas) +
+           static_cast<size_t>(replica);
+  }
+  core::TransferEngine& engine(int s, int r) {
+    return runtimes_[cell(s, r)]->tensor_pool().engine();
+  }
+  float* device_ptr(int s, int r, const tensor::Tensor* t) {
+    return runtimes_[cell(s, r)]->tensor_pool().device_ptr(t);
+  }
+  /// Stream cell (s, r)'s boundary activation of microbatch `m` down its column.
+  void send_activation(int s, int r, int m);
+  /// Gate cell (s, r)'s forward on the activation landing (bubble-accounted).
+  void receive_activation(int s, int r, std::vector<double>& bubble);
+  void send_gradient(int s, int r);
+  void receive_gradient(int s, int r, std::vector<double>& bubble);
+  /// Retire sender-side bookkeeping of streamed transfers (opportunistic;
+  /// forced at iteration end).
+  void retire_streams(bool force);
+
+  HybridParallelConfig cfg_;
+  bool real_;
+  int shard_;       ///< per-replica batch = global_batch / replicas
+  int microbatch_;  ///< per-microbatch batch = shard / microbatches
+  std::unique_ptr<graph::Net> full_;  ///< probe net (microbatch size) the plan is cut from
+  graph::PartitionPlan plan_;
+  sim::Cluster cluster_;
+  sim::GridView grid_;
+  std::vector<std::unique_ptr<graph::Net>> stage_nets_;      ///< [cell]
+  std::vector<std::unique_ptr<core::Runtime>> runtimes_;     ///< [cell]
+  std::vector<std::unique_ptr<Communicator>> comms_;         ///< [stage] replica-row groups
+  train::SyntheticDataset dataset_;
+  std::vector<float> batch_data_;
+  std::vector<int32_t> batch_labels_;
+
+  // Boundary tensors per cell (link s -> s+1 within a column; null on the
+  // last stage row / first stage row respectively):
+  std::vector<tensor::Tensor*> out_t_;       ///< cell (s,r): boundary activation (pinned)
+  std::vector<tensor::Tensor*> out_grad_t_;  ///< cell (s,r): its gradient, landed from (s+1,r)
+  std::vector<tensor::Tensor*> in_t_;        ///< cell (s,r): synthetic STAGE_IN tensor
+  std::vector<tensor::Tensor*> in_grad_t_;   ///< cell (s,r): input gradient, streamed to (s-1,r)
+  /// Cell (s,r)'s stashed boundary inputs, one per microbatch — both the P2P
+  /// landing site and the re-materialization source (real mode).
+  std::vector<std::vector<std::vector<float>>> stash_;  ///< [cell][microbatch]
+
+  /// In-flight event/tag per cell (consumed within the same microbatch turn).
+  std::vector<sim::Event> act_ev_, grad_ev_;
+  std::vector<uint64_t> act_tag_, grad_tag_;
+  std::vector<std::pair<size_t, uint64_t>> in_flight_;  ///< (sender cell, tag) to retire
+
+  /// Param-grad tensors per cell in net order (identical across a stage's
+  /// replicas), per-microbatch gradient snapshots combined pairwise at drain
+  /// end, and the fused flat buffers the per-stage all-reduce runs over
+  /// (real mode).
+  std::vector<std::vector<tensor::Tensor*>> grads_;          ///< [cell]
+  std::vector<uint64_t> grad_elems_;                         ///< [stage]
+  std::vector<std::vector<std::vector<float>>> grad_stash_;  ///< [cell][microbatch]
+  std::vector<std::vector<float>> fused_;                    ///< [cell]
+
+  uint64_t next_tag_ = 1;
+};
+
+}  // namespace sn::dist

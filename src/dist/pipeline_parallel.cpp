@@ -5,50 +5,15 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "dist/trainer_common.hpp"
 #include "util/pairwise.hpp"
 
 namespace sn::dist {
 
-namespace {
-
-tensor::Shape sample_shape_of(const graph::Net& net) {
-  tensor::Shape s = net.input_layer()->out_shape();
-  s.n = 1;
-  return s;
-}
-
-int classes_of(const graph::Net& net) {
-  const graph::Layer* loss = net.loss_layer();
-  return loss ? static_cast<int>(loss->out_shape().c) : 2;
-}
-
-graph::Layer* layer_by_name(graph::Net& net, const std::string& name) {
-  for (const auto& l : net.layers()) {
-    if (l->name() == name) return l.get();
-  }
-  throw std::logic_error("pipeline: stage net lost layer " + name);
-}
-
-/// Sum the additive per-pass counters into a per-stage iteration aggregate
-/// (time/stall/bubble/p2p are recomputed from machine counters at the end —
-/// the spans do not cover the trainer's own waits).
-void accumulate(core::IterationStats& a, const core::IterationStats& p) {
-  a.peak_mem = std::max(a.peak_mem, p.peak_mem);
-  a.host_peak = std::max(a.host_peak, p.host_peak);
-  a.bytes_d2h += p.bytes_d2h;
-  a.bytes_h2d += p.bytes_h2d;
-  a.extra_forwards += p.extra_forwards;
-  a.evictions += p.evictions;
-  a.cache_hits += p.cache_hits;
-  a.cache_misses += p.cache_misses;
-  a.allocs += p.allocs;
-  a.malloc_seconds += p.malloc_seconds;
-  a.dma_copies += p.dma_copies;
-  a.d2h_seconds += p.d2h_seconds;
-  a.h2d_seconds += p.h2d_seconds;
-}
-
-}  // namespace
+using detail::accumulate;
+using detail::classes_of;
+using detail::layer_by_name;
+using detail::sample_shape_of;
 
 PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
                                                  core::RuntimeOptions base,
@@ -75,7 +40,10 @@ PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
         return net;
       }()),
       plan_([&] {
-        graph::NetPartitioner part(*full_, cfg_.cluster.device, cfg_.cluster.link);
+        // Memory-aware partition: stages must fit the per-device pool even
+        // at the full-offload floor.
+        graph::NetPartitioner part(*full_, cfg_.cluster.device, cfg_.cluster.link,
+                                   base.device_capacity);
         return cfg_.boundaries.empty() ? part.partition(cfg_.stages)
                                        : part.partition_at(cfg_.boundaries);
       }()),
@@ -88,6 +56,7 @@ PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
   for (int s = 0; s < S; ++s) {
     stage_nets_.push_back(graph::extract_stage(*full_, plan_, s));
     base.device_id = s;
+    base.stage = s;  // S x 1 grid: telemetry groups by stage row
     runtimes_.push_back(std::make_unique<core::Runtime>(*stage_nets_.back(), base));
     runtimes_.back()->initialize();
   }

@@ -1,0 +1,54 @@
+// Internal helpers shared by the dist/ trainers (data-parallel, pipeline,
+// hybrid). Not part of the public dist/ surface.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/telemetry.hpp"
+#include "graph/net.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sn::dist::detail {
+
+inline tensor::Shape sample_shape_of(const graph::Net& net) {
+  tensor::Shape s = net.input_layer()->out_shape();
+  s.n = 1;
+  return s;
+}
+
+/// Class count for the synthetic dataset; stage nets without a loss layer
+/// (every pipeline stage but the last) fall back to a placeholder.
+inline int classes_of(const graph::Net& net) {
+  const graph::Layer* loss = net.loss_layer();
+  return loss ? static_cast<int>(loss->out_shape().c) : 2;
+}
+
+inline graph::Layer* layer_by_name(graph::Net& net, const std::string& name) {
+  for (const auto& l : net.layers()) {
+    if (l->name() == name) return l.get();
+  }
+  throw std::logic_error("dist: stage net lost layer " + name);
+}
+
+/// Sum the additive per-pass counters into a per-device iteration aggregate
+/// (time/stall/bubble/p2p are recomputed from machine counters at iteration
+/// end — the spans do not cover the trainer's own waits).
+inline void accumulate(core::IterationStats& a, const core::IterationStats& p) {
+  a.peak_mem = std::max(a.peak_mem, p.peak_mem);
+  a.host_peak = std::max(a.host_peak, p.host_peak);
+  a.bytes_d2h += p.bytes_d2h;
+  a.bytes_h2d += p.bytes_h2d;
+  a.extra_forwards += p.extra_forwards;
+  a.evictions += p.evictions;
+  a.cache_hits += p.cache_hits;
+  a.cache_misses += p.cache_misses;
+  a.allocs += p.allocs;
+  a.malloc_seconds += p.malloc_seconds;
+  a.dma_copies += p.dma_copies;
+  a.d2h_seconds += p.d2h_seconds;
+  a.h2d_seconds += p.h2d_seconds;
+}
+
+}  // namespace sn::dist::detail

@@ -1,14 +1,17 @@
 #include "graph/partitioner.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
 namespace sn::graph {
 
-NetPartitioner::NetPartitioner(const Net& net, sim::DeviceSpec spec, sim::LinkSpec link)
-    : net_(net), cost_(std::move(spec)), link_(std::move(link)) {
+NetPartitioner::NetPartitioner(const Net& net, sim::DeviceSpec spec, sim::LinkSpec link,
+                               uint64_t device_capacity)
+    : net_(net), cost_(std::move(spec)), link_(std::move(link)),
+      device_capacity_(device_capacity) {
   if (!net.finalized()) throw std::logic_error("NetPartitioner: net must be finalized");
   const auto& route = net_.route();
   const int n = static_cast<int>(route.size());
@@ -18,6 +21,34 @@ NetPartitioner::NetPartitioner(const Net& net, sim::DeviceSpec spec, sim::LinkSp
 
   prefix_.assign(static_cast<size_t>(n) + 1, 0.0);
   for (int i = 0; i < n; ++i) prefix_[i + 1] = prefix_[i] + layer_seconds(route[i]);
+
+  persist_prefix_.assign(static_cast<size_t>(n) + 1, 0);
+  nonparam_peak_.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const Layer* l = route[i];
+    uint64_t persist = 0;
+    for (const tensor::Tensor* p : l->params()) persist += p->bytes();
+    for (const tensor::Tensor* g : l->param_grads()) persist += g->bytes();
+    persist_prefix_[i + 1] = persist_prefix_[i] + persist;
+    // l_i counts everything the layer's kernels need resident; its own
+    // params/grads are already covered by the stage's persistent term.
+    const uint64_t li = l->layer_tensor_bytes();
+    nonparam_peak_[static_cast<size_t>(i)] = li > persist ? li - persist : 0;
+  }
+  // Sparse table over nonparam_peak_: level k holds window-2^k maxima.
+  if (n > 0) {
+    peak_table_.push_back(nonparam_peak_);
+    for (int k = 1; (1 << k) <= n; ++k) {
+      const auto& prev = peak_table_.back();
+      const int half = 1 << (k - 1);
+      std::vector<uint64_t> cur(static_cast<size_t>(n - (1 << k) + 1));
+      for (int i = 0; i + (1 << k) <= n; ++i) {
+        cur[static_cast<size_t>(i)] =
+            std::max(prev[static_cast<size_t>(i)], prev[static_cast<size_t>(i + half)]);
+      }
+      peak_table_.push_back(std::move(cur));
+    }
+  }
 
   // One O(route * fan-in) scan per position, cached: the partition DP and
   // make_plan consult producers per (i, j) pair and must not rescan.
@@ -62,6 +93,36 @@ int NetPartitioner::scan_boundary_producer(int cut) const {
   return producer;
 }
 
+uint64_t NetPartitioner::stage_min_bytes(int begin, int end) const {
+  uint64_t peak = 0;
+  if (end > begin) {
+    // O(1) range max: two overlapping power-of-two windows.
+    const int k = std::bit_width(static_cast<unsigned>(end - begin)) - 1;
+    peak = std::max(peak_table_[static_cast<size_t>(k)][static_cast<size_t>(begin)],
+                    peak_table_[static_cast<size_t>(k)][static_cast<size_t>(end - (1 << k))]);
+  }
+  // The trainers PIN stage-boundary tensors for the whole run (the outgoing
+  // activation + its gradient landing site, and the incoming gradient the
+  // stage streams upstream): eviction can never reclaim them, so they are a
+  // second lower bound on residency. Taken as max — not a sum — with the
+  // per-layer peak, because the boundary producer/consumer layers' own l_i
+  // already contains these tensors (adding would double-count and could
+  // falsely reject a fitting stage).
+  const int n = static_cast<int>(net_.route().size());
+  uint64_t pinned = 0;
+  if (begin > 0) {
+    const int prod = boundary_producer(begin);
+    if (prod >= 0) pinned += net_.route()[static_cast<size_t>(prod)]->output()->bytes();
+  }
+  if (end < n) {
+    const int prod = boundary_producer(end);
+    if (prod >= 0) pinned += 2 * net_.route()[static_cast<size_t>(prod)]->output()->bytes();
+  }
+  peak = std::max(peak, pinned);
+  return persist_prefix_[static_cast<size_t>(end)] - persist_prefix_[static_cast<size_t>(begin)] +
+         peak;
+}
+
 double NetPartitioner::stage_cost(int begin, int end) const {
   double c = prefix_[end] - prefix_[begin];
   const int n = static_cast<int>(net_.route().size());
@@ -96,6 +157,14 @@ PartitionPlan NetPartitioner::make_plan(const std::vector<int>& cuts) const {
     spec.begin = begin;
     spec.end = end;
     spec.compute_seconds = prefix_[end] - prefix_[begin];
+    spec.min_bytes = stage_min_bytes(begin, end);
+    if (!stage_fits(begin, end)) {
+      throw std::invalid_argument(
+          "NetPartitioner: stage [" + std::to_string(begin) + ", " + std::to_string(end) +
+          ") needs " + std::to_string(spec.min_bytes) +
+          " bytes even with full offload; device pool holds " +
+          std::to_string(device_capacity_));
+    }
     if (end < n) {
       spec.boundary_layer = boundary_producer(end);
       // Chained stages hand activations neighbor to neighbor: the tensor
@@ -135,10 +204,15 @@ PartitionPlan NetPartitioner::partition(int stages) const {
   auto cut_at = [&](int j) { return j < c ? valid_cuts_[static_cast<size_t>(j)] : n; };
   const double inf = std::numeric_limits<double>::infinity();
   // f[j] for the current stage count; choice[s][j] = predecessor index.
+  // Memory awareness: a segment that cannot fit its pool even at the
+  // full-offload floor costs infinity, so the DP routes around it.
+  auto seg_cost = [&](int begin, int end) {
+    return stage_fits(begin, end) ? stage_cost(begin, end) : inf;
+  };
   std::vector<std::vector<int>> choice(static_cast<size_t>(stages),
                                        std::vector<int>(static_cast<size_t>(c) + 1, -1));
   std::vector<double> f(static_cast<size_t>(c) + 1, inf);
-  for (int j = 0; j <= c; ++j) f[j] = stage_cost(0, cut_at(j));
+  for (int j = 0; j <= c; ++j) f[j] = seg_cost(0, cut_at(j));
   for (int s = 1; s < stages; ++s) {
     std::vector<double> g(static_cast<size_t>(c) + 1, inf);
     for (int j = s; j <= c; ++j) {
@@ -147,7 +221,8 @@ PartitionPlan NetPartitioner::partition(int stages) const {
       if (s < stages - 1 && j == c) continue;
       for (int i = s - 1; i < j; ++i) {
         if (i == c) continue;
-        double v = std::max(f[i], stage_cost(cut_at(i), cut_at(j)));
+        if (f[i] == inf) continue;
+        double v = std::max(f[i], seg_cost(cut_at(i), cut_at(j)));
         if (v < g[j]) {
           g[j] = v;
           choice[s][j] = i;
@@ -155,6 +230,12 @@ PartitionPlan NetPartitioner::partition(int stages) const {
       }
     }
     f = std::move(g);
+  }
+  if (f[static_cast<size_t>(c)] == inf) {
+    throw std::invalid_argument("NetPartitioner: no " + std::to_string(stages) +
+                                "-stage partition fits the device pool of " +
+                                std::to_string(device_capacity_) +
+                                " bytes even with full offload");
   }
 
   std::vector<int> cuts;

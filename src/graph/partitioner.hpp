@@ -17,6 +17,16 @@
 // partition_at() takes explicit boundaries so tests (and users who know
 // their net) can pin exact cuts.
 //
+// Memory awareness: when a device capacity is given, each candidate stage is
+// charged its working-set FLOOR under full offload — the stage's persistent
+// bytes (params + param grads stay device-resident for SGD) plus the largest
+// single layer's non-param tensor set (the paper's l_i: everything cuDNN
+// needs resident to run one layer; offload can spill everything else, but
+// never below one layer's own operands). The min-max DP skips cuts whose
+// stage cannot fit even at that floor, so partition() targets capacity as
+// well as throughput; partition_at() rejects explicitly-pinned infeasible
+// cuts with std::invalid_argument.
+//
 // extract_stage() materializes one stage as a standalone Net: stages after
 // the first replace the boundary producer with a synthetic DataLayer whose
 // output carries a gradient (DataLayer::set_input_grad), so the stage's
@@ -41,6 +51,7 @@ struct StageSpec {
   double compute_seconds = 0.0;  ///< modeled fwd+bwd seconds of the stage's layers
   uint64_t boundary_bytes = 0;   ///< activation bytes shipped downstream (0 for the last stage)
   int boundary_layer = -1;       ///< route index producing the outgoing boundary (-1 for last)
+  uint64_t min_bytes = 0;        ///< peak working-set floor under full offload
 };
 
 struct PartitionPlan {
@@ -53,8 +64,11 @@ class NetPartitioner {
  public:
   /// `net` must be finalized. `spec`/`link` calibrate the cost model the
   /// balance is computed against (defaults match the single-device sim).
+  /// `device_capacity` > 0 enables memory awareness: stages whose working-set
+  /// floor exceeds it are rejected (0 = unlimited, the pre-capacity default).
   explicit NetPartitioner(const Net& net, sim::DeviceSpec spec = sim::k40c_spec(),
-                          sim::LinkSpec link = sim::pcie_p2p_link_spec());
+                          sim::LinkSpec link = sim::pcie_p2p_link_spec(),
+                          uint64_t device_capacity = 0);
 
   /// Route positions i (0 < i < route size) where the net may be cut between
   /// route[i-1] and route[i]: exactly one layer output crosses. Ascending.
@@ -66,6 +80,21 @@ class NetPartitioner {
 
   /// Modeled forward+backward seconds of one layer (roofline cost model).
   double layer_seconds(const Layer* l) const;
+
+  /// Peak working-set floor of stage [begin, end) under full offload:
+  /// persistent (param + param-grad) bytes plus the larger of (a) the
+  /// largest single layer's non-param tensor set and (b) the pinned
+  /// stage-boundary tensors the trainers keep device-resident for the whole
+  /// run. Offload cannot shrink a stage below this.
+  uint64_t stage_min_bytes(int begin, int end) const;
+
+  /// False when a capacity is set and stage [begin, end) cannot fit its pool
+  /// even with everything offloadable offloaded.
+  bool stage_fits(int begin, int end) const {
+    return device_capacity_ == 0 || stage_min_bytes(begin, end) <= device_capacity_;
+  }
+
+  uint64_t device_capacity() const { return device_capacity_; }
 
   /// Cost-balanced partition into `stages` contiguous stages over the valid
   /// cuts: minimizes the slowest stage's compute + boundary-link seconds.
@@ -85,10 +114,18 @@ class NetPartitioner {
   const Net& net_;
   sim::CostModel cost_;
   sim::LinkSpec link_;
+  uint64_t device_capacity_ = 0;
   std::vector<int> pos_;         ///< layer id -> route position
   std::vector<double> prefix_;   ///< prefix_[i] = sum of layer_seconds(route[0..i))
   std::vector<int> producer_;    ///< cut position -> crossing producer (-1 = invalid cut)
   std::vector<int> valid_cuts_;
+  /// Memory-awareness inputs per route position: persistent (param +
+  /// param-grad) byte prefix sums, and each layer's non-param l_i term with
+  /// a sparse range-max table so stage_min_bytes is O(1) inside the
+  /// partition DP (like prefix_, cached: the DP must not rescan).
+  std::vector<uint64_t> persist_prefix_;
+  std::vector<uint64_t> nonparam_peak_;
+  std::vector<std::vector<uint64_t>> peak_table_;  ///< [k][i] = max of [i, i + 2^k)
 };
 
 /// Materialize stage `stage` of `plan` as a standalone finalized Net at the

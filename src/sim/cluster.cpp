@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace sn::sim {
 
@@ -35,6 +36,40 @@ ClusterSpec pcie_cluster_spec(int devices) {
   c.link = pcie_p2p_link_spec();
   c.devices = devices;
   return c;
+}
+
+GridView::GridView(Cluster& cluster, int stages, int replicas)
+    : cluster_(cluster), stages_(stages), replicas_(replicas) {
+  if (stages < 1 || replicas < 1) {
+    throw std::invalid_argument("GridView: stages and replicas must be >= 1");
+  }
+  if (stages * replicas != cluster.size()) {
+    throw std::invalid_argument("GridView: stages * replicas (" +
+                                std::to_string(stages * replicas) +
+                                ") must equal the cluster size (" +
+                                std::to_string(cluster.size()) + ")");
+  }
+}
+
+int GridView::device(int stage, int replica) const {
+  assert(stage >= 0 && stage < stages_ && replica >= 0 && replica < replicas_);
+  return stage * replicas_ + replica;
+}
+
+Machine& GridView::machine(int stage, int replica) {
+  return cluster_.machine(device(stage, replica));
+}
+
+std::vector<int> GridView::replica_group(int stage) const {
+  std::vector<int> ids(static_cast<size_t>(replicas_));
+  for (int r = 0; r < replicas_; ++r) ids[static_cast<size_t>(r)] = device(stage, r);
+  return ids;
+}
+
+std::vector<int> GridView::pipeline_column(int replica) const {
+  std::vector<int> ids(static_cast<size_t>(stages_));
+  for (int s = 0; s < stages_; ++s) ids[static_cast<size_t>(s)] = device(s, replica);
+  return ids;
 }
 
 Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {

@@ -30,6 +30,42 @@ ClusterSpec nvlink_cluster_spec(int devices);
 /// Commodity node: K40c-class devices behind a PCIe switch.
 ClusterSpec pcie_cluster_spec(int devices);
 
+class Cluster;
+
+/// 2D (stage, replica) coordinate view over a cluster's devices — the device
+/// grid hybrid parallelism (dist::HybridParallelTrainer) trains on. The view
+/// is stage-major: device = stage * replicas + replica, so a stage's replica
+/// group is a contiguous id range while a replica's pipeline column strides
+/// by `replicas`. Purely a naming layer: machines, links and virtual time
+/// stay owned by the cluster, so grid and flat views interoperate.
+class GridView {
+ public:
+  /// Requires stages * replicas == cluster.size().
+  GridView(Cluster& cluster, int stages, int replicas);
+
+  int stages() const { return stages_; }
+  int replicas() const { return replicas_; }
+
+  int device(int stage, int replica) const;
+  int stage_of(int device) const { return device / replicas_; }
+  int replica_of(int device) const { return device % replicas_; }
+
+  Machine& machine(int stage, int replica);
+
+  /// Devices of stage `stage` across every replica — the all-reduce group.
+  std::vector<int> replica_group(int stage) const;
+  /// Devices of replica `replica` across every stage — one pipeline column.
+  std::vector<int> pipeline_column(int replica) const;
+
+  Cluster& cluster() { return cluster_; }
+  const Cluster& cluster() const { return cluster_; }
+
+ private:
+  Cluster& cluster_;
+  int stages_;
+  int replicas_;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterSpec spec);

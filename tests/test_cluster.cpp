@@ -28,6 +28,41 @@ TEST(Cluster, MachinesCarryDeviceIds) {
   }
 }
 
+TEST(GridView, MapsStageReplicaCoordinatesToDevices) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(6));
+  sim::GridView grid(cluster, 3, 2);
+  EXPECT_EQ(grid.stages(), 3);
+  EXPECT_EQ(grid.replicas(), 2);
+  // Stage-major layout: a stage's replica row is contiguous, a replica's
+  // pipeline column strides by R.
+  EXPECT_EQ(grid.device(0, 0), 0);
+  EXPECT_EQ(grid.device(0, 1), 1);
+  EXPECT_EQ(grid.device(2, 1), 5);
+  EXPECT_EQ(grid.stage_of(5), 2);
+  EXPECT_EQ(grid.replica_of(5), 1);
+  EXPECT_EQ(grid.replica_group(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(grid.pipeline_column(1), (std::vector<int>{1, 3, 5}));
+  // The view shares the cluster's machines (no copies).
+  EXPECT_EQ(&grid.machine(2, 1), &cluster.machine(5));
+  // Round trip over the whole grid.
+  for (int s = 0; s < 3; ++s) {
+    for (int r = 0; r < 2; ++r) {
+      const int d = grid.device(s, r);
+      EXPECT_EQ(grid.stage_of(d), s);
+      EXPECT_EQ(grid.replica_of(d), r);
+    }
+  }
+}
+
+TEST(GridView, RejectsMismatchedGeometry) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(4));
+  EXPECT_THROW(sim::GridView(cluster, 3, 2), std::invalid_argument);
+  EXPECT_THROW(sim::GridView(cluster, 0, 4), std::invalid_argument);
+  EXPECT_NO_THROW(sim::GridView(cluster, 2, 2));
+  EXPECT_NO_THROW(sim::GridView(cluster, 4, 1));
+  EXPECT_NO_THROW(sim::GridView(cluster, 1, 4));
+}
+
 TEST(Cluster, P2pCopyModelsLatencyPlusBandwidth) {
   sim::Cluster cluster(sim::pcie_cluster_spec(2));
   const uint64_t bytes = 100 << 20;

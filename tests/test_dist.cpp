@@ -53,7 +53,7 @@ TEST(Communicator, RingAllreduceMatchesSerialReduction) {
 
   std::vector<float*> ptrs;
   for (auto& b : bufs) ptrs.push_back(b.data());
-  auto stats = comm->allreduce_sum(ptrs, kElems);
+  auto stats = comm->allreduce_sum(ptrs, kElems, dist::AllreduceAlgo::kRing);
 
   for (uint64_t i = 0; i < kElems; ++i) {
     EXPECT_NEAR(bufs[0][i], reference[i], 1e-4) << "element " << i;
@@ -61,7 +61,99 @@ TEST(Communicator, RingAllreduceMatchesSerialReduction) {
   // Every device finishes with bit-identical bytes.
   for (int d = 1; d < kDevices; ++d) EXPECT_EQ(bufs[0], bufs[static_cast<size_t>(d)]);
   EXPECT_EQ(stats.chunks, static_cast<uint64_t>(kDevices));
+  EXPECT_EQ(stats.algo, dist::AllreduceAlgo::kRing);
   EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Communicator, HalvingDoublingMatchesThePairwiseTreeBitForBit) {
+  // The exact-N>=4 invariant: for power-of-two groups the halving-doubling
+  // all-reduce must reproduce the binary-counter pairwise tree
+  // (util/pairwise.hpp) bit for bit — the tree a single device would build
+  // over the concatenated shards.
+  for (int devices : {2, 4, 8}) {
+    const uint64_t kElems = 1037;  // odd, so segment halving hits uneven splits
+    sim::Cluster cluster(sim::pcie_cluster_spec(devices));
+    std::vector<std::unique_ptr<core::TransferEngine>> engines;
+    auto comm = make_comm(cluster, engines);
+
+    auto bufs = random_buffers(devices, kElems, 1234 + static_cast<uint64_t>(devices));
+    std::vector<float> reference(kElems);
+    for (uint64_t i = 0; i < kElems; ++i) {
+      reference[i] = util::pairwise_sum<float>(
+          static_cast<uint64_t>(devices),
+          [&](uint64_t d) { return bufs[static_cast<size_t>(d)][i]; });
+    }
+
+    std::vector<float*> ptrs;
+    for (auto& b : bufs) ptrs.push_back(b.data());
+    auto stats = comm->allreduce_sum(ptrs, kElems);  // kAuto -> halving-doubling
+
+    EXPECT_EQ(stats.algo, dist::AllreduceAlgo::kHalvingDoubling)
+        << devices << " devices ran " << dist::allreduce_algo_name(stats.algo);
+    for (int d = 0; d < devices; ++d) {
+      EXPECT_EQ(bufs[static_cast<size_t>(d)], reference) << devices << " devices, rank " << d;
+    }
+    EXPECT_GT(stats.seconds, 0.0);
+    // Same per-rank volume as the ring: 2 * (N-1)/N of the buffer.
+    const uint64_t total = kElems * sizeof(float);
+    EXPECT_NEAR(static_cast<double>(stats.p2p_bytes),
+                2.0 * (devices - 1.0) / devices * static_cast<double>(total), total * 0.01);
+  }
+}
+
+TEST(Communicator, AutoFallsBackToRingOffPowersOfTwo) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(3));
+  std::vector<std::unique_ptr<core::TransferEngine>> engines;
+  auto comm = make_comm(cluster, engines);
+  std::vector<float*> bufs(3, nullptr);
+  auto stats = comm->allreduce_sum(bufs, 1 << 16);
+  EXPECT_EQ(stats.algo, dist::AllreduceAlgo::kRing)
+      << "3 devices ran " << dist::allreduce_algo_name(stats.algo);
+  EXPECT_THROW(comm->allreduce_sum(bufs, 1 << 16, dist::AllreduceAlgo::kHalvingDoubling),
+               std::invalid_argument);
+}
+
+TEST(Communicator, SubGroupRunsOnItsDevicesOnly) {
+  // A communicator over a device subset (a hybrid stage's replica row) must
+  // reduce within the group and leave the rest of the cluster untouched.
+  sim::Cluster cluster(sim::pcie_cluster_spec(4));
+  std::vector<std::unique_ptr<core::TransferEngine>> engines;
+  for (int d = 0; d < 4; ++d) {
+    engines.push_back(std::make_unique<core::TransferEngine>(cluster.machine(d), true, d));
+  }
+  dist::Communicator sub(cluster, {1, 3}, {engines[1].get(), engines[3].get()});
+  ASSERT_EQ(sub.devices(), 2);
+  EXPECT_EQ(sub.device_id(0), 1);
+  EXPECT_EQ(sub.device_id(1), 3);
+
+  const uint64_t kElems = 257;
+  auto bufs = random_buffers(2, kElems, 77);
+  std::vector<float> expect(kElems);
+  for (uint64_t i = 0; i < kElems; ++i) expect[i] = bufs[0][i] + bufs[1][i];
+  std::vector<float*> ptrs{bufs[0].data(), bufs[1].data()};
+  sub.allreduce_sum(ptrs, kElems);
+  EXPECT_EQ(bufs[0], expect);
+  EXPECT_EQ(bufs[1], expect);
+
+  // Group members sent; bystanders did not.
+  EXPECT_GT(cluster.machine(1).counters().bytes_p2p, 0u);
+  EXPECT_GT(cluster.machine(3).counters().bytes_p2p, 0u);
+  EXPECT_EQ(cluster.machine(0).counters().bytes_p2p, 0u);
+  EXPECT_EQ(cluster.machine(2).counters().bytes_p2p, 0u);
+}
+
+TEST(Communicator, RejectsMalformedGroups) {
+  sim::Cluster cluster(sim::pcie_cluster_spec(2));
+  std::vector<std::unique_ptr<core::TransferEngine>> engines;
+  for (int d = 0; d < 2; ++d) {
+    engines.push_back(std::make_unique<core::TransferEngine>(cluster.machine(d), true, d));
+  }
+  // Duplicate device, out-of-range device, engine/device mismatch.
+  EXPECT_THROW(dist::Communicator(cluster, {0, 0}, {engines[0].get(), engines[1].get()}),
+               std::invalid_argument);
+  EXPECT_THROW(dist::Communicator(cluster, {0, 5}, {engines[0].get(), engines[1].get()}),
+               std::invalid_argument);
+  EXPECT_THROW(dist::Communicator(cluster, {1}, {engines[0].get()}), std::invalid_argument);
 }
 
 TEST(Communicator, TwoDeviceAllreduceIsExact) {
@@ -194,6 +286,47 @@ TEST(DataParallel, TwoDevicesMatchSingleDeviceBitForBit) {
   }
 }
 
+TEST(DataParallel, FourDevicesMatchSingleDeviceBitForBit) {
+  // The ROADMAP's exact-N>=4 item: with the halving-doubling collective
+  // (kAuto picks it for power-of-two groups) 4-replica training reproduces
+  // the single-device pairwise tree exactly — losses AND weights.
+  const int kGlobalBatch = 8, kIters = 4;
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+  train::TrainConfig tc = parity_train_config(kIters);
+
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, tc);
+  auto single = trainer.run();
+
+  dist::DataParallelConfig cfg;
+  cfg.devices = 4;
+  cfg.global_batch = kGlobalBatch;
+  cfg.cluster = sim::pcie_cluster_spec(4);
+  cfg.train = tc;
+  dist::DataParallelTrainer dp(factory, o, cfg);
+  auto multi = dp.run();
+
+  ASSERT_EQ(single.losses.size(), multi.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], multi.losses[i]) << "iteration " << i;
+  }
+  const auto& single_layers = rt.net().layers();
+  for (int d = 0; d < 4; ++d) {
+    core::Runtime& rep = dp.runtime(d);
+    const auto& rep_layers = rep.net().layers();
+    for (size_t li = 0; li < single_layers.size(); ++li) {
+      const auto& sp = single_layers[li]->params();
+      const auto& rp = rep_layers[li]->params();
+      for (size_t pi = 0; pi < sp.size(); ++pi) {
+        EXPECT_EQ(rt.read_tensor(sp[pi]), rep.read_tensor(rp[pi]))
+            << "device " << d << " param " << sp[pi]->name();
+      }
+    }
+  }
+}
+
 TEST(DataParallel, LossDecreasesAndReplicasStayInLockstep) {
   auto factory = [](int batch) { return graph::build_tiny_fanjoin(batch); };
   core::RuntimeOptions o = parity_options();
@@ -258,8 +391,10 @@ TEST(DataParallel, CollectiveTelemetryIsVisible) {
     EXPECT_GT(st.p2p_bytes, 0u);
     EXPECT_GT(st.allreduce_seconds, 0.0);
   }
-  // Per-step telemetry is attributed to its device.
+  // Per-step telemetry is attributed to its device and replica column.
   EXPECT_EQ(dp.runtime(3).step_telemetry().front().device_id, 3);
+  EXPECT_EQ(dp.runtime(3).step_telemetry().front().replica, 3);
+  EXPECT_EQ(dp.runtime(3).step_telemetry().front().stage, 0);
 }
 
 TEST(DataParallel, SimModeScalesOut) {

@@ -1,0 +1,265 @@
+// HybridParallelTrainer tests. Flagship invariant: replicating pipeline
+// stages over a 2D device grid NEVER changes training results — S-stage x
+// R-replica x M-microbatch training is bit-identical to a single-device run
+// over the combined batch (losses AND weights), composing the data-parallel
+// and pipeline-parallel parity machinery (pairwise microbatch combine inside
+// a replica, halving-doubling all-reduce across a stage's replicas). Plus:
+// grid telemetry, degenerate axes, memory-pressure invariance, and sim-mode
+// scale-out.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "dist/data_parallel.hpp"
+#include "dist/hybrid_parallel.hpp"
+#include "dist/pipeline_parallel.hpp"
+#include "graph/zoo.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace sn;
+
+core::RuntimeOptions parity_options() {
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+  o.real = true;
+  o.device_capacity = 32ull << 20;
+  // Pin convolutions to the workspace-free algorithm: the dynamic choice
+  // depends on free device memory, which legitimately differs between the
+  // full-batch and microbatch runs.
+  o.allow_workspace = false;
+  return o;
+}
+
+train::TrainConfig parity_train_config(int iterations) {
+  train::TrainConfig tc;
+  tc.iterations = iterations;
+  tc.lr = 0.05f;
+  tc.momentum = 0.9f;
+  return tc;
+}
+
+dist::HybridParallelConfig hybrid_config(int stages, int replicas, int microbatches,
+                                         int global_batch, int iterations) {
+  dist::HybridParallelConfig cfg;
+  cfg.stages = stages;
+  cfg.replicas = replicas;
+  cfg.microbatches = microbatches;
+  cfg.global_batch = global_batch;
+  cfg.cluster = sim::pcie_cluster_spec(stages * replicas);
+  cfg.train = parity_train_config(iterations);
+  return cfg;
+}
+
+void expect_params_match(core::Runtime& single, dist::HybridParallelTrainer& hyb) {
+  // Every cell parameter must end bit-identical to its full-net namesake —
+  // on every replica of every stage.
+  for (int s = 0; s < hyb.stages(); ++s) {
+    for (int r = 0; r < hyb.replicas(); ++r) {
+      core::Runtime& rt = hyb.runtime(s, r);
+      for (const auto& l : rt.net().layers()) {
+        for (const auto* p : l->params()) {
+          const tensor::Tensor* ref = nullptr;
+          for (const auto& ol : single.net().layers()) {
+            for (const auto* op : ol->params()) {
+              if (op->name() == p->name()) ref = op;
+            }
+          }
+          ASSERT_NE(ref, nullptr) << p->name();
+          EXPECT_EQ(single.read_tensor(ref), rt.read_tensor(p))
+              << "cell (" << s << ", " << r << ") param " << p->name();
+        }
+      }
+    }
+  }
+}
+
+TEST(HybridParallel, TwoByTwoGridFourMicrobatchesMatchSingleDeviceBitForBit) {
+  const int kGlobalBatch = 8, kMicrobatches = 4, kIters = 5;
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+  train::TrainConfig tc = parity_train_config(kIters);
+
+  // Single device, combined batch.
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, tc);
+  auto single = trainer.run();
+
+  // 2 stages x 2 replicas, each column microbatched 4 ways.
+  dist::HybridParallelTrainer hyb(factory, o,
+                                  hybrid_config(2, 2, kMicrobatches, kGlobalBatch, kIters));
+  auto rep = hyb.run();
+
+  ASSERT_EQ(single.losses.size(), rep.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], rep.losses[i]) << "iteration " << i;
+  }
+  expect_params_match(rt, hyb);
+}
+
+TEST(HybridParallel, FourReplicaRowsUseHalvingDoublingAndStayExact) {
+  // R = 4 exercises the >2-rank pairwise tree: only the halving-doubling
+  // collective reproduces single-device bits at that width.
+  const int kGlobalBatch = 8, kIters = 4;
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, parity_train_config(kIters));
+  auto single = trainer.run();
+
+  dist::HybridParallelTrainer hyb(factory, o, hybrid_config(2, 4, 2, kGlobalBatch, kIters));
+  auto rep = hyb.run();
+  ASSERT_EQ(single.losses.size(), rep.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], rep.losses[i]) << "iteration " << i;
+  }
+  expect_params_match(rt, hyb);
+}
+
+TEST(HybridParallel, FanJoinNetMatchesSingleDevice) {
+  const int kGlobalBatch = 8, kIters = 4;
+  auto factory = [](int batch) { return graph::build_tiny_fanjoin(batch); };
+  core::RuntimeOptions o = parity_options();
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, parity_train_config(kIters));
+  auto single = trainer.run();
+
+  dist::HybridParallelTrainer hyb(factory, o, hybrid_config(2, 2, 2, kGlobalBatch, kIters));
+  auto rep = hyb.run();
+  ASSERT_EQ(single.losses.size(), rep.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], rep.losses[i]) << "iteration " << i;
+  }
+  EXPECT_LT(rep.last_loss(), rep.first_loss());
+}
+
+TEST(HybridParallel, DegenerateAxesReduceToThePureTrainers) {
+  // S=1 is microbatched data parallelism; R=1 is the plain pipeline. Both
+  // must reproduce the dedicated trainers' losses bit for bit.
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+
+  {
+    dist::DataParallelConfig dp_cfg;
+    dp_cfg.devices = 2;
+    dp_cfg.global_batch = 8;
+    dp_cfg.cluster = sim::pcie_cluster_spec(2);
+    dp_cfg.train = parity_train_config(4);
+    dist::DataParallelTrainer dp(factory, o, dp_cfg);
+    dist::HybridParallelTrainer hyb(factory, o, hybrid_config(1, 2, 1, 8, 4));
+    EXPECT_EQ(dp.run().losses, hyb.run().losses);
+  }
+  {
+    dist::PipelineParallelConfig pp_cfg;
+    pp_cfg.stages = 2;
+    pp_cfg.microbatches = 4;
+    pp_cfg.global_batch = 8;
+    pp_cfg.cluster = sim::pcie_cluster_spec(2);
+    pp_cfg.train = parity_train_config(4);
+    dist::PipelineParallelTrainer pipe(factory, o, pp_cfg);
+    dist::HybridParallelTrainer hyb(factory, o, hybrid_config(2, 1, 4, 8, 4));
+    EXPECT_EQ(pipe.run().losses, hyb.run().losses);
+  }
+}
+
+TEST(HybridParallel, ReplicasStayInBitwiseLockstep) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch, 16); };
+  dist::HybridParallelTrainer hyb(factory, parity_options(), hybrid_config(2, 2, 2, 8, 12));
+  auto rep = hyb.run();
+  EXPECT_LT(rep.last_loss(), rep.first_loss());
+  for (int s = 0; s < 2; ++s) {
+    const auto& l0 = hyb.runtime(s, 0).net().layers();
+    const auto& l1 = hyb.runtime(s, 1).net().layers();
+    ASSERT_EQ(l0.size(), l1.size());
+    for (size_t li = 0; li < l0.size(); ++li) {
+      const auto& p0 = l0[li]->params();
+      const auto& p1 = l1[li]->params();
+      ASSERT_EQ(p0.size(), p1.size());
+      for (size_t pi = 0; pi < p0.size(); ++pi) {
+        EXPECT_EQ(hyb.runtime(s, 0).read_tensor(p0[pi]), hyb.runtime(s, 1).read_tensor(p1[pi]))
+            << "stage " << s << " param " << p0[pi]->name();
+      }
+    }
+  }
+}
+
+TEST(HybridParallel, MemoryPressureInsideCellsDoesNotChangeLosses) {
+  // The paper's invariant, lifted across BOTH axes: squeezing every cell's
+  // pool (forcing offload/eviction/recompute inside cells) must not change
+  // training results.
+  auto run = [](uint64_t capacity) {
+    auto factory = [](int batch) { return graph::build_tiny_linear(batch, 16); };
+    core::RuntimeOptions o = parity_options();
+    o.device_capacity = capacity;
+    dist::HybridParallelTrainer hyb(factory, o, hybrid_config(2, 2, 2, 8, 5));
+    return hyb.run().losses;
+  };
+  EXPECT_EQ(run(64ull << 20), run(1ull << 20));
+}
+
+TEST(HybridParallel, GridTelemetryIsVisiblePerCell) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  dist::HybridParallelTrainer hyb(factory, parity_options(), hybrid_config(2, 2, 2, 8, 2));
+  auto rep = hyb.run();
+  ASSERT_EQ(rep.stats.size(), 2u);
+  ASSERT_EQ(rep.cell_stats[0].size(), 2u);
+  ASSERT_EQ(rep.cell_stats[0][0].size(), 2u);
+  for (int s = 0; s < 2; ++s) {
+    for (int r = 0; r < 2; ++r) {
+      const auto& st = rep.cell_stats.back()[static_cast<size_t>(s)][static_cast<size_t>(r)];
+      // Every cell streams activations or gradients AND all-reduce hops.
+      EXPECT_GT(st.p2p_bytes, 0u) << "cell (" << s << ", " << r << ")";
+      EXPECT_GT(st.allreduce_seconds, 0.0) << "cell (" << s << ", " << r << ")";
+      EXPECT_GT(st.seconds, 0.0);
+      // Per-step telemetry carries the full grid coordinates.
+      const auto& tele = hyb.runtime(s, r).step_telemetry().front();
+      EXPECT_EQ(tele.device_id, hyb.grid().device(s, r));
+      EXPECT_EQ(tele.stage, s);
+      EXPECT_EQ(tele.replica, r);
+    }
+  }
+  // The downstream stage idles during fill: its bubble must be visible.
+  EXPECT_GT(rep.stats[1].bubble_seconds, 0.0);
+  EXPECT_GT(rep.stats[1].allreduce_seconds, 0.0);
+}
+
+TEST(HybridParallel, SimModeScalesToZooNets) {
+  auto factory = [](int batch) { return graph::build_vgg(16, batch); };
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+  o.real = false;
+  auto cfg = hybrid_config(2, 4, 2, 64, 1);
+  cfg.cluster = sim::nvlink_cluster_spec(8);
+  dist::HybridParallelTrainer hyb(factory, o, cfg);
+  auto rep = hyb.run();
+  EXPECT_EQ(rep.losses[0], 0.0);  // unbacked: no numerics
+  EXPECT_GT(rep.stats[0].seconds, 0.0);
+  EXPECT_GT(rep.stats[0].p2p_bytes, 0u);
+  EXPECT_GT(rep.stats[0].allreduce_seconds, 0.0);
+  ASSERT_EQ(rep.cell_stats[0].size(), 2u);
+  ASSERT_EQ(rep.cell_stats[0][0].size(), 4u);
+}
+
+TEST(HybridParallel, RejectsBadConfigs) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+  // Batch does not divide across replicas.
+  EXPECT_THROW(dist::HybridParallelTrainer(factory, o, hybrid_config(2, 3, 1, 8, 1)),
+               std::invalid_argument);
+  // Shard does not divide into microbatches.
+  EXPECT_THROW(dist::HybridParallelTrainer(factory, o, hybrid_config(2, 2, 3, 8, 1)),
+               std::invalid_argument);
+  // Boundary count must be stages - 1.
+  auto cfg = hybrid_config(3, 2, 2, 8, 1);
+  cfg.boundaries = {2};
+  EXPECT_THROW(dist::HybridParallelTrainer(factory, o, cfg), std::invalid_argument);
+  EXPECT_THROW(dist::HybridParallelTrainer(factory, o, hybrid_config(0, 2, 2, 8, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace

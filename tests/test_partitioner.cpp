@@ -127,6 +127,70 @@ TEST(NetPartitioner, TooManyStagesThrows) {
   EXPECT_THROW(part.partition(0), std::invalid_argument);
 }
 
+TEST(NetPartitioner, StageMinBytesCoverPersistentPlusPeakLayer) {
+  auto net = graph::build_mini_alexnet(4);
+  NetPartitioner part(*net);
+  const int n = static_cast<int>(net->route().size());
+  // The whole-net floor: every param + param grad persists, plus at least
+  // the biggest layer's own operand set.
+  uint64_t persist = 0;
+  for (const auto* l : net->route()) {
+    for (const auto* p : l->params()) persist += p->bytes();
+    for (const auto* g : l->param_grads()) persist += g->bytes();
+  }
+  EXPECT_GT(part.stage_min_bytes(0, n), persist);
+  // Sub-stages need no more than the whole net.
+  const int cut = part.valid_cuts()[part.valid_cuts().size() / 2];
+  EXPECT_LE(part.stage_min_bytes(0, cut), part.stage_min_bytes(0, n));
+  EXPECT_LE(part.stage_min_bytes(cut, n), part.stage_min_bytes(0, n));
+  // Plans report the floor per stage.
+  auto plan = part.partition(2);
+  EXPECT_EQ(plan.stages[0].min_bytes, part.stage_min_bytes(plan.stages[0].begin,
+                                                           plan.stages[0].end));
+  EXPECT_GT(plan.stages[1].min_bytes, 0u);
+}
+
+TEST(NetPartitioner, CapacityRejectsCutsWhoseStageCannotFit) {
+  auto net = graph::build_mini_alexnet(4);
+  NetPartitioner unlimited(*net);
+  const int n = static_cast<int>(net->route().size());
+  const uint64_t whole = unlimited.stage_min_bytes(0, n);
+
+  // A pool below the single-stage floor: partition(1) must be rejected, and
+  // any explicit cut producing an oversized stage must throw.
+  uint64_t max_stage2 = 0;
+  {
+    NetPartitioner part(*net, sim::k40c_spec(), sim::pcie_p2p_link_spec(), whole - 1);
+    EXPECT_FALSE(part.stage_fits(0, n));
+    EXPECT_THROW(part.partition(1), std::invalid_argument);
+    // Memory-aware 2-stage partition still succeeds (each half fits)...
+    auto plan = part.partition(2);
+    for (const auto& s : plan.stages) {
+      EXPECT_LE(s.min_bytes, whole - 1);
+      max_stage2 = std::max(max_stage2, s.min_bytes);
+    }
+    // ...but pinning the boundary right behind the input leaves an
+    // oversized tail stage: rejected.
+    EXPECT_THROW(part.partition_at({part.valid_cuts().front()}), std::invalid_argument);
+  }
+
+  // A pool no stage can satisfy: the DP must report infeasibility instead
+  // of returning an over-capacity plan.
+  {
+    NetPartitioner part(*net, sim::k40c_spec(), sim::pcie_p2p_link_spec(), 1);
+    EXPECT_THROW(part.partition(2), std::invalid_argument);
+  }
+
+  // Capacity can steer the balance away from the pure-throughput optimum:
+  // with a pool just under the throughput-optimal bottleneck stage, the DP
+  // picks a feasible (if slower) plan rather than failing.
+  {
+    NetPartitioner part(*net, sim::k40c_spec(), sim::pcie_p2p_link_spec(), max_stage2);
+    auto plan = part.partition(2);
+    for (const auto& s : plan.stages) EXPECT_LE(s.min_bytes, max_stage2);
+  }
+}
+
 TEST(ExtractStage, SplitsLayersAndPreservesNames) {
   auto net = graph::build_mini_alexnet(4);
   NetPartitioner part(*net);

@@ -213,8 +213,10 @@ TEST(PipelineParallel, TelemetryIsVisiblePerStage) {
   // The downstream stage idles during fill: its bubble must be visible.
   EXPECT_GT(rep.stage_stats[1][1].bubble_seconds, 0.0);
   EXPECT_GT(rep.stats[1].bubble_seconds, 0.0);
-  // Per-step telemetry is attributed to its cluster device.
+  // Per-step telemetry is attributed to its cluster device and grid row.
   EXPECT_EQ(pipe.runtime(1).step_telemetry().front().device_id, 1);
+  EXPECT_EQ(pipe.runtime(1).step_telemetry().front().stage, 1);
+  EXPECT_EQ(pipe.runtime(1).step_telemetry().front().replica, 0);
 }
 
 TEST(PipelineParallel, RejectsBadConfigs) {
