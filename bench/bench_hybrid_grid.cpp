@@ -12,10 +12,19 @@
 // zoo net (the acceptance criterion), and reports bubble fraction,
 // all-reduce seconds and P2P volume per config.
 //
-//   ./bench_hybrid_grid [--json out.json]
+// The schedule axis compares GPipe (all-reduce after the full drain) with
+// 1F1B + gradient buckets (each stage's all-reduce issued bucket-by-bucket
+// the moment its last microbatch retires, overlapping the upstream drain).
+// allreduce_exposed_seconds is the collective time left sticking out past
+// the drain; the bench gates on 1F1B exposing less than GPipe.
+//
+//   ./bench_hybrid_grid [--json out.json] [--schedule gpipe|1f1b|both]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -30,6 +39,7 @@ namespace {
 struct Row {
   std::string net;
   std::string kind;  ///< "single" | "dp" | "pipeline" | "hybrid"
+  std::string schedule;
   int stages = 1;
   int replicas = 1;
   int microbatches = 1;
@@ -37,6 +47,7 @@ struct Row {
   double img_per_s = 0.0;
   double bubble_seconds = 0.0;
   double allreduce_seconds = 0.0;
+  double allreduce_exposed_seconds = 0.0;
   uint64_t p2p_bytes = 0;
 };
 
@@ -50,11 +61,24 @@ core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  std::string sched_arg = "both";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--schedule") == 0) sched_arg = argv[i + 1];
+  }
+  std::vector<dist::SchedulePolicy> policies;
+  if (sched_arg == "gpipe" || sched_arg == "both") {
+    policies.push_back(dist::SchedulePolicy::kGPipe);
+  }
+  if (sched_arg == "1f1b" || sched_arg == "both") {
+    policies.push_back(dist::SchedulePolicy::k1F1B);
+  }
+  if (policies.empty()) {
+    std::fprintf(stderr, "unknown --schedule %s (want gpipe|1f1b|both)\n", sched_arg.c_str());
+    return 1;
   }
 
-  const int kGlobalBatch = 32, kIters = 2, kMicrobatches = 4;
+  const int kGlobalBatch = 32, kIters = 2, kMicrobatches = 8;
   const char* nets[] = {"VGG16", "ResNet50", "InceptionV4"};
   struct GridCfg {
     int stages, replicas;
@@ -65,9 +89,12 @@ int main(int argc, char** argv) {
       "=== hybrid S x R grid vs pure-DP / pure-pipeline (global batch %d, TITAN-Xp NVLink "
       "sim) ===\n\n",
       kGlobalBatch);
-  util::Table t({"network", "config", "devices", "iter (ms)", "img/s", "bubble_frac",
-                 "allreduce (ms)", "p2p_bytes (MB)"});
+  util::Table t({"network", "config", "schedule", "devices", "iter (ms)", "img/s", "bubble_frac",
+                 "allreduce (ms)", "ar exposed (ms)", "p2p_bytes (MB)"});
   std::vector<Row> rows;
+  // allreduce_exposed_seconds keyed by (net, stages, replicas, schedule) for
+  // the overlap gate.
+  std::map<std::tuple<std::string, int, int, std::string>, double> exposed_by_cfg;
   bool grid_wins = false;
 
   for (const char* name : nets) {
@@ -79,10 +106,11 @@ int main(int argc, char** argv) {
       sim::ClusterSpec cs = sim::nvlink_cluster_spec(1);
       auto net = bench::build_network(name, kGlobalBatch);
       auto st = bench::run_sim_iteration(*net, sim_options(cs));
-      Row r{name, "single", 1, 1, 1, st.seconds, kGlobalBatch / st.seconds, 0.0, 0.0, 0};
+      Row r{name, "single", "-", 1, 1, 1, st.seconds, kGlobalBatch / st.seconds,
+            0.0,  0.0,      0.0, 0};
       rows.push_back(r);
-      t.add_row({name, "1 device", "1", util::format_double(r.seconds * 1e3, 1),
-                 util::format_double(r.img_per_s, 1), "0.000", "0.00", "0.0"});
+      t.add_row({name, "1 device", "-", "1", util::format_double(r.seconds * 1e3, 1),
+                 util::format_double(r.img_per_s, 1), "0.000", "0.00", "0.00", "0.0"});
     }
     // Pure data parallelism: 1 x 2.
     {
@@ -94,13 +122,16 @@ int main(int argc, char** argv) {
       dist::DataParallelTrainer dp(factory, sim_options(cfg.cluster), cfg);
       const auto rep = dp.run();
       const auto& st = rep.stats.back();
-      Row r{name, "dp", 1, 2, 1, st.seconds, kGlobalBatch / st.seconds,
-            0.0, st.allreduce_seconds, st.p2p_bytes};
+      Row r{name,       "dp", "-",
+            1,          2,    1,
+            st.seconds, kGlobalBatch / st.seconds,
+            0.0,        st.allreduce_seconds,
+            0.0,        st.p2p_bytes};
       rows.push_back(r);
       dp2_imgs = r.img_per_s;
-      t.add_row({name, "1 x 2 (pure DP)", "2", util::format_double(r.seconds * 1e3, 1),
+      t.add_row({name, "1 x 2 (pure DP)", "-", "2", util::format_double(r.seconds * 1e3, 1),
                  util::format_double(r.img_per_s, 1), "0.000",
-                 util::format_double(r.allreduce_seconds * 1e3, 2),
+                 util::format_double(r.allreduce_seconds * 1e3, 2), "0.00",
                  util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1)});
     }
     // Pure pipeline: 2 x 1.
@@ -114,41 +145,66 @@ int main(int argc, char** argv) {
       dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
       const auto rep = pipe.run();
       const auto& st = rep.stats.back();
-      Row r{name, "pipeline", 2, 1, kMicrobatches, st.seconds, kGlobalBatch / st.seconds,
-            st.bubble_seconds, 0.0, st.p2p_bytes};
+      // Standard pipeline-bubble fraction: span in excess of the bottleneck
+      // stage's own busy time (matches bench_pipeline_stages).
+      double busy_max = 0.0;
+      for (const auto& ss : rep.stage_stats.back()) {
+        busy_max = std::max(busy_max, ss.seconds - ss.bubble_seconds);
+      }
+      Row r{name,       "pipeline", "-",
+            2,          1,          kMicrobatches,
+            st.seconds, kGlobalBatch / st.seconds,
+            st.bubble_seconds, 0.0,
+            0.0,        st.p2p_bytes};
       rows.push_back(r);
       pipe2_imgs = r.img_per_s;
-      t.add_row({name, "2 x 1 (pure pipeline)", "2", util::format_double(r.seconds * 1e3, 1),
-                 util::format_double(r.img_per_s, 1),
-                 util::format_double(r.bubble_seconds / (2.0 * r.seconds), 3), "0.00",
+      t.add_row({name, "2 x 1 (pure pipeline)", "-", "2",
+                 util::format_double(r.seconds * 1e3, 1), util::format_double(r.img_per_s, 1),
+                 util::format_double((st.seconds - busy_max) / st.seconds, 3), "0.00", "0.00",
                  util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1)});
     }
-    // Hybrid grids.
+    // Hybrid grids, one run per schedule policy.
     for (const GridCfg& g : grids) {
-      dist::HybridParallelConfig cfg;
-      cfg.stages = g.stages;
-      cfg.replicas = g.replicas;
-      cfg.microbatches = kMicrobatches;
-      cfg.global_batch = kGlobalBatch;
-      cfg.cluster = sim::nvlink_cluster_spec(g.stages * g.replicas);
-      cfg.train.iterations = kIters;
-      dist::HybridParallelTrainer hyb(factory, sim_options(cfg.cluster), cfg);
-      const auto rep = hyb.run();
-      const auto& st = rep.stats.back();
-      Row r{name, "hybrid", g.stages, g.replicas, kMicrobatches, st.seconds,
-            kGlobalBatch / st.seconds, st.bubble_seconds, st.allreduce_seconds, st.p2p_bytes};
-      rows.push_back(r);
-      if (g.stages == 2 && g.replicas == 2 && r.img_per_s > dp2_imgs &&
-          r.img_per_s > pipe2_imgs) {
-        grid_wins = true;
+      for (dist::SchedulePolicy policy : policies) {
+        const char* pname = dist::schedule_policy_name(policy);
+        dist::HybridParallelConfig cfg;
+        cfg.stages = g.stages;
+        cfg.replicas = g.replicas;
+        cfg.microbatches = kMicrobatches;
+        cfg.global_batch = kGlobalBatch;
+        cfg.cluster = sim::nvlink_cluster_spec(g.stages * g.replicas);
+        cfg.train.iterations = kIters;
+        cfg.schedule = policy;
+        dist::HybridParallelTrainer hyb(factory, sim_options(cfg.cluster), cfg);
+        const auto rep = hyb.run();
+        const auto& st = rep.stats.back();
+        // Bottleneck cell busy time across the grid (see pure-pipeline row).
+        double busy_max = 0.0;
+        for (const auto& row_st : rep.cell_stats.back()) {
+          for (const auto& cs : row_st) {
+            busy_max = std::max(busy_max, cs.seconds - cs.bubble_seconds);
+          }
+        }
+        Row r{name,       "hybrid",  pname,
+              g.stages,   g.replicas, kMicrobatches,
+              st.seconds, kGlobalBatch / st.seconds,
+              st.bubble_seconds, st.allreduce_seconds,
+              st.allreduce_exposed_seconds, st.p2p_bytes};
+        rows.push_back(r);
+        exposed_by_cfg[{name, g.stages, g.replicas, pname}] = r.allreduce_exposed_seconds;
+        if (g.stages == 2 && g.replicas == 2 && r.img_per_s > dp2_imgs &&
+            r.img_per_s > pipe2_imgs) {
+          grid_wins = true;
+        }
+        t.add_row({name,
+                   std::to_string(g.stages) + " x " + std::to_string(g.replicas) + " hybrid",
+                   pname, std::to_string(g.stages * g.replicas),
+                   util::format_double(r.seconds * 1e3, 1), util::format_double(r.img_per_s, 1),
+                   util::format_double((st.seconds - busy_max) / st.seconds, 3),
+                   util::format_double(r.allreduce_seconds * 1e3, 2),
+                   util::format_double(r.allreduce_exposed_seconds * 1e3, 2),
+                   util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1)});
       }
-      t.add_row({name,
-                 std::to_string(g.stages) + " x " + std::to_string(g.replicas) + " hybrid",
-                 std::to_string(g.stages * g.replicas),
-                 util::format_double(r.seconds * 1e3, 1), util::format_double(r.img_per_s, 1),
-                 util::format_double(r.bubble_seconds / (g.stages * g.replicas * r.seconds), 3),
-                 util::format_double(r.allreduce_seconds * 1e3, 2),
-                 util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1)});
     }
   }
   t.print();
@@ -156,6 +212,32 @@ int main(int argc, char** argv) {
       "\n2 x 2 hybrid vs both 2-device baselines (shallower per-device batch than the\n"
       "pure pipeline, smaller per-device net than pure DP): %s\n",
       grid_wins ? "WINS for at least one net" : "NEVER WINS (gate violated)");
+
+  // Overlap gate: bucketed 1F1B issues each stage's all-reduce as soon as
+  // its last microbatch retires, so the collective time exposed past the
+  // drain must come in below GPipe's post-drain synchronous pass.
+  bool overlap_ok = true;
+  if (policies.size() == 2) {
+    bool strict_win = false;
+    for (const char* name : nets) {
+      for (const GridCfg& g : grids) {
+        double eg = exposed_by_cfg[{name, g.stages, g.replicas, "gpipe"}];
+        double e1 = exposed_by_cfg[{name, g.stages, g.replicas, "1f1b"}];
+        if (e1 > eg) {
+          overlap_ok = false;
+          std::printf("!! %s %dx%d: 1f1b exposed %.3fms > gpipe %.3fms\n", name, g.stages,
+                      g.replicas, e1 * 1e3, eg * 1e3);
+        }
+        if (eg > 0.0 && e1 < eg) strict_win = true;
+      }
+    }
+    if (!strict_win) {
+      overlap_ok = false;
+      std::printf("!! no config with gpipe exposure showed a strict 1f1b reduction\n");
+    }
+    std::printf("1f1b bucket overlap exposes less all-reduce than gpipe: %s\n",
+                overlap_ok ? "CONFIRMED" : "VIOLATED");
+  }
 
   if (json_path) {
     std::FILE* jf = std::fopen(json_path, "w");
@@ -167,16 +249,18 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::fprintf(jf,
-                   "%s\n    {\"net\": \"%s\", \"kind\": \"%s\", \"stages\": %d, "
-                   "\"replicas\": %d, \"microbatches\": %d, \"seconds\": %.6e, "
-                   "\"img_per_s\": %.2f, \"bubble_seconds\": %.6e, "
-                   "\"allreduce_seconds\": %.6e, \"p2p_bytes\": %llu}",
-                   i ? "," : "", r.net.c_str(), r.kind.c_str(), r.stages, r.replicas,
-                   r.microbatches, r.seconds, r.img_per_s, r.bubble_seconds,
-                   r.allreduce_seconds, static_cast<unsigned long long>(r.p2p_bytes));
+                   "%s\n    {\"net\": \"%s\", \"kind\": \"%s\", \"schedule\": \"%s\", "
+                   "\"stages\": %d, \"replicas\": %d, \"microbatches\": %d, "
+                   "\"seconds\": %.6e, \"img_per_s\": %.2f, \"bubble_seconds\": %.6e, "
+                   "\"allreduce_seconds\": %.6e, \"allreduce_exposed_seconds\": %.6e, "
+                   "\"p2p_bytes\": %llu}",
+                   i ? "," : "", r.net.c_str(), r.kind.c_str(), r.schedule.c_str(), r.stages,
+                   r.replicas, r.microbatches, r.seconds, r.img_per_s, r.bubble_seconds,
+                   r.allreduce_seconds, r.allreduce_exposed_seconds,
+                   static_cast<unsigned long long>(r.p2p_bytes));
     }
     std::fprintf(jf, "\n  ]\n}\n");
     std::fclose(jf);
   }
-  return grid_wins ? 0 : 1;
+  return (grid_wins && overlap_ok) ? 0 : 1;
 }

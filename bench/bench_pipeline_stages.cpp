@@ -1,17 +1,34 @@
-// bench_pipeline_stages: sweep pipeline stages x microbatches over the zoo
-// and compare against the single-device and data-parallel baselines.
+// bench_pipeline_stages: sweep pipeline stages x microbatches x schedule over
+// the zoo and compare against the single-device and data-parallel baselines.
 //
 // The pipeline's fill/drain ramps idle (S-1) microbatch slots per stage
-// regardless of M, so the bubble fraction — bubble_seconds / (S * span) —
-// must shrink as microbatches grow (GPipe's law); the bench gates on that
-// for the 2-stage configs. Per-config telemetry comes straight from
-// IterationStats: bubble_seconds (compute stalled on a pipeline neighbor),
-// p2p_bytes / p2p_seconds (boundary activation + gradient streaming).
+// regardless of M, so the bubble fraction must shrink as microbatches grow
+// (GPipe's law); the bench gates on that for the 2-stage configs. The 1F1B
+// (PipeDream-flush) schedule drains each microbatch as soon as its backward
+// is ready AND never re-materializes the last stage's forward (the backward
+// directly follows it), so whenever the pipe is deep in microbatches
+// (M >= 2S) its bubble fraction must come in strictly below GPipe's at the
+// same (S, M) — the bench gates on that too.
 //
-//   ./bench_pipeline_stages [--json out.json]
+// bubble_frac follows the standard pipeline-bubble definition: the span in
+// excess of the bottleneck stage's own busy time, (span - max_s busy_s) /
+// span — for a balanced pipe this is the classic (S-1)/(M+S-1). Summed
+// receiver-side stall seconds (IterationStats::bubble_seconds, what the
+// fill/steady/drain phase split attributes) are reported alongside, but make
+// a poor cross-schedule gate: 1F1B does strictly less work per iteration
+// (no last-stage remat), and at a fixed bottleneck every saved second shows
+// up as a stall on some non-critical stage. Per-config telemetry comes
+// straight from IterationStats: bubble_seconds (compute stalled on a
+// pipeline neighbor), p2p_bytes / p2p_seconds (boundary activation +
+// gradient streaming).
+//
+//   ./bench_pipeline_stages [--json out.json] [--schedule gpipe|1f1b|both]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -24,6 +41,7 @@ namespace {
 
 struct Row {
   std::string net;
+  std::string schedule;
   int stages = 1;
   int microbatches = 1;
   double seconds = 0.0;
@@ -43,8 +61,21 @@ core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  std::string sched_arg = "both";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--schedule") == 0) sched_arg = argv[i + 1];
+  }
+  std::vector<dist::SchedulePolicy> policies;
+  if (sched_arg == "gpipe" || sched_arg == "both") {
+    policies.push_back(dist::SchedulePolicy::kGPipe);
+  }
+  if (sched_arg == "1f1b" || sched_arg == "both") {
+    policies.push_back(dist::SchedulePolicy::k1F1B);
+  }
+  if (policies.empty()) {
+    std::fprintf(stderr, "unknown --schedule %s (want gpipe|1f1b|both)\n", sched_arg.c_str());
+    return 1;
   }
 
   const int kGlobalBatch = 32, kIters = 2;
@@ -54,9 +85,12 @@ int main(int argc, char** argv) {
 
   std::printf("=== pipeline stages x microbatches (global batch %d, TITAN-Xp NVLink sim) ===\n\n",
               kGlobalBatch);
-  util::Table t({"network", "config", "iter (ms)", "img/s", "bubble_seconds (ms)",
+  util::Table t({"network", "config", "schedule", "iter (ms)", "img/s", "bubble_seconds (ms)",
                  "bubble_frac", "p2p_bytes (MB)", "p2p busy (ms)"});
   std::vector<Row> rows;
+  // bubble_frac keyed by (net, stages, microbatches, schedule) for the
+  // cross-schedule gate.
+  std::map<std::tuple<std::string, int, int, std::string>, double> frac_by_cfg;
   bool shrink_ok = true;
 
   for (const char* name : nets) {
@@ -65,10 +99,10 @@ int main(int argc, char** argv) {
       sim::ClusterSpec cs = sim::nvlink_cluster_spec(1);
       auto net = bench::build_network(name, kGlobalBatch);
       auto st = bench::run_sim_iteration(*net, sim_options(cs));
-      t.add_row({name, "1 device", util::format_double(st.seconds * 1e3, 1),
+      t.add_row({name, "1 device", "-", util::format_double(st.seconds * 1e3, 1),
                  util::format_double(kGlobalBatch / st.seconds, 1), "0.00", "0.000", "0.0",
                  "0.00"});
-      rows.push_back(Row{name, 1, 1, st.seconds, 0.0, 0.0, 0, 0.0});
+      rows.push_back(Row{name, "-", 1, 1, st.seconds, 0.0, 0.0, 0, 0.0});
     }
     for (int stages : stage_sweep) {
       // Data-parallel baseline at the same device count.
@@ -82,47 +116,83 @@ int main(int argc, char** argv) {
         dist::DataParallelTrainer dp(factory, sim_options(cfg.cluster), cfg);
         auto rep = dp.run();
         const auto& st = rep.stats.back();
-        t.add_row({name, std::to_string(stages) + "-dev data-parallel",
+        t.add_row({name, std::to_string(stages) + "-dev data-parallel", "-",
                    util::format_double(st.seconds * 1e3, 1),
                    util::format_double(kGlobalBatch / st.seconds, 1), "0.00", "0.000",
                    util::format_double(st.p2p_bytes / 1048576.0, 1), "0.00"});
       }
-      double frac_first = -1.0, frac_last = -1.0;
-      for (int mb : microbatch_sweep) {
-        dist::PipelineParallelConfig cfg;
-        cfg.stages = stages;
-        cfg.microbatches = mb;
-        cfg.global_batch = kGlobalBatch;
-        cfg.cluster = sim::nvlink_cluster_spec(stages);
-        cfg.train.iterations = kIters;
-        auto factory = [&](int batch) { return bench::build_network(name, batch); };
-        dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
-        auto rep = pipe.run();
-        const auto& st = rep.stats.back();
-        Row r{name, stages, mb, st.seconds, st.bubble_seconds,
-              st.bubble_seconds / (stages * st.seconds), st.p2p_bytes, st.p2p_seconds};
-        rows.push_back(r);
-        if (frac_first < 0) frac_first = r.bubble_frac;
-        frac_last = r.bubble_frac;
-        t.add_row({name, std::to_string(stages) + " stages x " + std::to_string(mb) + " ubatch",
-                   util::format_double(r.seconds * 1e3, 1),
-                   util::format_double(kGlobalBatch / r.seconds, 1),
-                   util::format_double(r.bubble_seconds * 1e3, 2),
-                   util::format_double(r.bubble_frac, 3),
-                   util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1),
-                   util::format_double(r.p2p_seconds * 1e3, 2)});
-      }
-      if (stages == 2 && frac_last >= frac_first) {
-        shrink_ok = false;
-        std::printf("!! %s: 2-stage bubble_frac did not shrink (%f -> %f)\n", name, frac_first,
-                    frac_last);
+      for (dist::SchedulePolicy policy : policies) {
+        const char* pname = dist::schedule_policy_name(policy);
+        double frac_first = -1.0, frac_last = -1.0;
+        for (int mb : microbatch_sweep) {
+          dist::PipelineParallelConfig cfg;
+          cfg.stages = stages;
+          cfg.microbatches = mb;
+          cfg.global_batch = kGlobalBatch;
+          cfg.cluster = sim::nvlink_cluster_spec(stages);
+          cfg.train.iterations = kIters;
+          cfg.schedule = policy;
+          auto factory = [&](int batch) { return bench::build_network(name, batch); };
+          dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
+          auto rep = pipe.run();
+          const auto& st = rep.stats.back();
+          // Bottleneck stage busy time: per-stage span minus its stalls.
+          double busy_max = 0.0;
+          for (const auto& ss : rep.stage_stats.back()) {
+            busy_max = std::max(busy_max, ss.seconds - ss.bubble_seconds);
+          }
+          Row r{name,          pname,
+                stages,        mb,
+                st.seconds,    st.bubble_seconds,
+                (st.seconds - busy_max) / st.seconds,
+                st.p2p_bytes,  st.p2p_seconds};
+          rows.push_back(r);
+          frac_by_cfg[{name, stages, mb, pname}] = r.bubble_frac;
+          if (frac_first < 0) frac_first = r.bubble_frac;
+          frac_last = r.bubble_frac;
+          t.add_row({name, std::to_string(stages) + " stages x " + std::to_string(mb) + " ubatch",
+                     pname, util::format_double(r.seconds * 1e3, 1),
+                     util::format_double(kGlobalBatch / r.seconds, 1),
+                     util::format_double(r.bubble_seconds * 1e3, 2),
+                     util::format_double(r.bubble_frac, 3),
+                     util::format_double(static_cast<double>(r.p2p_bytes) / 1048576.0, 1),
+                     util::format_double(r.p2p_seconds * 1e3, 2)});
+        }
+        if (stages == 2 && policy == dist::SchedulePolicy::kGPipe && frac_last >= frac_first) {
+          shrink_ok = false;
+          std::printf("!! %s: 2-stage bubble_frac did not shrink (%f -> %f)\n", name, frac_first,
+                      frac_last);
+        }
       }
     }
   }
   t.print();
-  std::printf("\nbubble_frac = bubble_seconds / (stages * iteration span); GPipe predicts it\n"
+  std::printf("\nbubble_frac = (span - bottleneck stage busy) / span; GPipe predicts it\n"
               "falls as microbatches grow (fill/drain ramps amortize): %s\n",
               shrink_ok ? "CONFIRMED" : "VIOLATED");
+
+  // Cross-schedule gate: with the pipe deep in microbatches (M >= 2S), the
+  // 1F1B steady state starts draining during the fill ramp, so its bubble
+  // fraction must beat GPipe's at the same shape.
+  bool onef1b_ok = true;
+  if (policies.size() == 2) {
+    for (const char* name : nets) {
+      for (int stages : stage_sweep) {
+        for (int mb : microbatch_sweep) {
+          if (mb < 2 * stages) continue;
+          double fg = frac_by_cfg[{name, stages, mb, "gpipe"}];
+          double f1 = frac_by_cfg[{name, stages, mb, "1f1b"}];
+          if (f1 >= fg) {
+            onef1b_ok = false;
+            std::printf("!! %s %dx%d: 1f1b bubble_frac %.4f >= gpipe %.4f\n", name, stages, mb,
+                        f1, fg);
+          }
+        }
+      }
+    }
+    std::printf("1f1b bubble_frac < gpipe at every (S, M) with M >= 2S: %s\n",
+                onef1b_ok ? "CONFIRMED" : "VIOLATED");
+  }
   std::printf("(pipeline iterations re-materialize forwards at drain, so img/s trails the\n"
               "data-parallel baseline at equal devices; pipelining is for nets whose\n"
               "working set exceeds one device's pool.)\n");
@@ -137,15 +207,15 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::fprintf(jf,
-                   "%s\n    {\"net\": \"%s\", \"stages\": %d, \"microbatches\": %d, "
-                   "\"seconds\": %.6e, \"bubble_seconds\": %.6e, \"bubble_frac\": %.4f, "
-                   "\"p2p_bytes\": %llu, \"p2p_seconds\": %.6e}",
-                   i ? "," : "", r.net.c_str(), r.stages, r.microbatches, r.seconds,
-                   r.bubble_seconds, r.bubble_frac,
+                   "%s\n    {\"net\": \"%s\", \"schedule\": \"%s\", \"stages\": %d, "
+                   "\"microbatches\": %d, \"seconds\": %.6e, \"bubble_seconds\": %.6e, "
+                   "\"bubble_frac\": %.4f, \"p2p_bytes\": %llu, \"p2p_seconds\": %.6e}",
+                   i ? "," : "", r.net.c_str(), r.schedule.c_str(), r.stages, r.microbatches,
+                   r.seconds, r.bubble_seconds, r.bubble_frac,
                    static_cast<unsigned long long>(r.p2p_bytes), r.p2p_seconds);
     }
     std::fprintf(jf, "\n  ]\n}\n");
     std::fclose(jf);
   }
-  return shrink_ok ? 0 : 1;
+  return (shrink_ok && onef1b_ok) ? 0 : 1;
 }

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# run_trajectory.sh: sweep the CI-gated benches with --json and merge the
+# results into one trajectory point (BENCH_<N>.json at the repo root).
+#
+# The committed BENCH_<N>.json files form the perf trajectory the ROADMAP
+# perf-harness item tracks: one merged snapshot per PR that moves a gated
+# number, so regressions show up as a diff instead of a vanished log.
+#
+# Usage:
+#   bench/run_trajectory.sh [--build BUILDDIR] [--out FILE]
+#       build the four gated benches' JSON outputs under a temp dir, then
+#       merge them (default BUILDDIR=build, FILE=BENCH_6.json at repo root)
+#   bench/run_trajectory.sh --merge DIR [--out FILE]
+#       skip the runs and merge DIR/{pipeline_stages,hybrid_grid,
+#       stream_overlap,prefetch_lookahead}.json (CI reuses its bench-out/)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+out="$repo_root/BENCH_6.json"
+merge_dir=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build) build_dir="$2"; shift 2 ;;
+    --merge) merge_dir="$2"; shift 2 ;;
+    --out)   out="$2"; shift 2 ;;
+    *) echo "unknown arg: $1" >&2; exit 2 ;;
+  esac
+done
+
+benches=(pipeline_stages hybrid_grid stream_overlap prefetch_lookahead)
+
+if [ -z "$merge_dir" ]; then
+  merge_dir="$(mktemp -d)"
+  trap 'rm -rf "$merge_dir"' EXIT
+  for b in "${benches[@]}"; do
+    bin="$build_dir/bench_$b"
+    [ -x "$bin" ] || { echo "missing $bin (build the benches first)" >&2; exit 1; }
+    echo "== bench_$b"
+    # The gated benches exit nonzero when their own acceptance check fails
+    # (bubble shrink / 1f1b strict win / overlap exposure); let that fail us.
+    "$bin" --json "$merge_dir/$b.json" > "$merge_dir/$b.txt"
+  done
+fi
+
+for b in "${benches[@]}"; do
+  [ -s "$merge_dir/$b.json" ] || { echo "missing $merge_dir/$b.json" >&2; exit 1; }
+done
+
+# Merge: one top-level key per bench, bodies embedded verbatim (each bench
+# emits a self-contained JSON object), indented one level for readability.
+{
+  printf '{\n'
+  printf '  "trajectory_point": 6,\n'
+  first=1
+  for b in "${benches[@]}"; do
+    [ $first -eq 1 ] || printf ',\n'
+    first=0
+    # $(...) strips the file's trailing newline, so the comma lands cleanly.
+    body="$(sed '2,$s/^/  /' "$merge_dir/$b.json")"
+    printf '  "%s": %s' "$b" "$body"
+  done
+  printf '\n}\n'
+} > "$out"
+
+echo "wrote $out"

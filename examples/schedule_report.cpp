@@ -4,12 +4,18 @@
 //
 //   $ ./build/examples/schedule_report [network] [batch]
 //   $ ./build/examples/schedule_report [network] [batch] --csv
+//   $ ./build/examples/schedule_report [network] [batch] --pipeline S M [--schedule gpipe|1f1b]
 //   networks: AlexNet VGG16 VGG19 InceptionV4 ResNet50 ResNet101 ResNet152
 //
 // --csv emits the per-step overlap series instead of the tables: one row per
 // route step with the compute seconds and the {d2h,h2d,p2p} copy-engine busy
 // seconds that accrued during it — the raw material of the paper's
 // transfer/compute overlap figure (plot busy columns against compute).
+//
+// --pipeline runs the column-schedule engine over an S-stage pipeline at M
+// microbatches (simulated cluster) and breaks each stage's bubble into the
+// fill / steady / drain phases the engine stamps into StepTelemetry — the
+// 1F1B-vs-GPipe comparison surface. With no --schedule both policies print.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +25,7 @@
 #include "core/liveness.hpp"
 #include "core/recompute.hpp"
 #include "core/runtime.hpp"
+#include "dist/pipeline_parallel.hpp"
 #include "graph/zoo.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -41,20 +48,102 @@ std::unique_ptr<graph::Net> build(const std::string& name, int batch) {
 
 std::string mb(uint64_t b) { return util::format_double(b / 1048576.0, 1); }
 
+const char* phase_name(int ph) {
+  switch (ph) {
+    case 0: return "fill";
+    case 1: return "steady";
+    case 2: return "drain";
+    default: return "-";
+  }
+}
+
+// One policy's pipeline run: per-stage phase-split bubble plus a stamped
+// step-trace sample showing the engine's phase/microbatch annotations.
+void pipeline_phase_report(const std::string& name, int batch, int stages, int microbatches,
+                           dist::SchedulePolicy policy) {
+  dist::PipelineParallelConfig cfg;
+  cfg.stages = stages;
+  cfg.microbatches = microbatches;
+  cfg.global_batch = batch;
+  cfg.schedule = policy;
+  cfg.cluster = sim::nvlink_cluster_spec(stages);
+  cfg.train.iterations = 2;
+  auto factory = [&](int b) { return build(name, b); };
+  core::RuntimeOptions opts = core::make_policy(core::PolicyPreset::kSuperNeurons, cfg.cluster.device);
+  opts.real = false;
+  dist::PipelineParallelTrainer pipe(factory, opts, cfg);
+  for (int s = 0; s < stages; ++s) pipe.runtime(s).set_retain_telemetry(true);
+  auto rep = pipe.run();
+  const auto& agg = rep.stats.back();
+  const auto& per_stage = rep.stage_stats.back();
+
+  std::printf("--- schedule %s: iter %.1f ms, bubble %.2f ms "
+              "(fill %.2f / steady %.2f / drain %.2f)\n",
+              dist::schedule_policy_name(policy), agg.seconds * 1e3, agg.bubble_seconds * 1e3,
+              agg.bubble_fill_seconds * 1e3, agg.bubble_steady_seconds * 1e3,
+              agg.bubble_drain_seconds * 1e3);
+  util::Table t({"stage", "layers", "busy (ms)", "bubble fill (ms)", "steady (ms)",
+                 "drain (ms)", "stash (MB)"});
+  for (int s = 0; s < stages; ++s) {
+    const auto& st = per_stage[static_cast<size_t>(s)];
+    const auto& spec = pipe.plan().stages[static_cast<size_t>(s)];
+    t.add_row({std::to_string(s), std::to_string(spec.end - spec.begin),
+               util::format_double((st.seconds - st.bubble_seconds) * 1e3, 2),
+               util::format_double(st.bubble_fill_seconds * 1e3, 2),
+               util::format_double(st.bubble_steady_seconds * 1e3, 2),
+               util::format_double(st.bubble_drain_seconds * 1e3, 2),
+               mb(pipe.stash_bytes(s))});
+  }
+  t.print();
+
+  // The stamps themselves: the last stage's retained step telemetry carries
+  // the engine's (phase, microbatch) annotation on every step.
+  const auto& tele = pipe.runtime(stages - 1).step_telemetry();
+  std::printf("stage %d stamped steps (first 8 of %zu): ", stages - 1, tele.size());
+  for (size_t i = 0; i < tele.size() && i < 8; ++i) {
+    std::printf("%s%s:m%d:%s", i ? " " : "", tele[i].forward ? "F" : "B",
+                tele[i].microbatch, phase_name(tele[i].sched_phase));
+  }
+  std::printf("\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
+  int pipe_stages = 0, pipe_microbatches = 0;
+  std::string sched_arg = "both";
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
+    } else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 2 < argc) {
+      pipe_stages = std::atoi(argv[i + 1]);
+      pipe_microbatches = std::atoi(argv[i + 2]);
+      i += 2;
+    } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
+      sched_arg = argv[i + 1];
+      ++i;
     } else {
       pos.push_back(argv[i]);
     }
   }
   std::string name = !pos.empty() ? pos[0] : "AlexNet";
   int batch = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 64;
+
+  if (pipe_stages > 0) {
+    std::printf("=== %s (batch %d): %d-stage pipeline, %d microbatches ===\n", name.c_str(),
+                batch, pipe_stages, pipe_microbatches);
+    if (sched_arg == "gpipe" || sched_arg == "both") {
+      pipeline_phase_report(name, batch, pipe_stages, pipe_microbatches,
+                            dist::SchedulePolicy::kGPipe);
+    }
+    if (sched_arg == "1f1b" || sched_arg == "both") {
+      pipeline_phase_report(name, batch, pipe_stages, pipe_microbatches,
+                            dist::SchedulePolicy::k1F1B);
+    }
+    return 0;
+  }
 
   if (csv) {
     // Per-step transfer/compute overlap series (steady state: iteration 2).

@@ -322,6 +322,8 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
   tele.device_id = opts_.device_id;
   tele.stage = opts_.stage;
   tele.replica = opts_.replica;
+  tele.sched_phase = sched_phase_;
+  tele.microbatch = sched_microbatch_;
 
   run_layer_pass(layer, fwd, fwd && layer->type() == graph::LayerType::kData ? input : nullptr,
                  labels, loss_out, &tele);
@@ -485,7 +487,10 @@ void Runtime::initialize() {
 
 void Runtime::begin_iteration() {
   if (!initialized_) initialize();
-  telemetry_.clear();
+  // With retention on, microbatch passes within one global batch append to
+  // the same telemetry series; a new iteration (advance_iteration) resets it.
+  if (!retain_telemetry_ || fresh_iteration_) telemetry_.clear();
+  fresh_iteration_ = false;
   zeroed_grads_.clear();
   iter_peak_ = pool_->allocator().in_use();
   extra_forwards_ = 0;
@@ -546,7 +551,7 @@ IterationStats Runtime::train_iteration(const float* input, const int32_t* label
   pool_->drain();
 
   IterationStats st = end_span(span);
-  ++iter_;
+  advance_iteration();
   return st;
 }
 

@@ -84,7 +84,24 @@ class Runtime {
   IterationStats backward_pass(const int32_t* labels = nullptr);
 
   /// Bump the iteration counter (iteration-seeded state: dropout masks).
-  void advance_iteration() { ++iter_; }
+  void advance_iteration() {
+    ++iter_;
+    fresh_iteration_ = true;
+  }
+
+  /// Stamp subsequent steps' telemetry with the column-schedule position
+  /// (dist::SchedulePhase as int, plus the microbatch index); (-1, -1)
+  /// clears. Telemetry-only — never affects scheduling or numerics.
+  void set_schedule_phase(int phase, int microbatch) {
+    sched_phase_ = phase;
+    sched_microbatch_ = microbatch;
+  }
+
+  /// Keep step telemetry across the microbatch passes of one iteration
+  /// (cleared at the first pass after advance_iteration() instead of at
+  /// every forward_pass), so a whole pipeline iteration's phase-stamped
+  /// step series is readable afterwards. Off by default.
+  void set_retain_telemetry(bool retain) { retain_telemetry_ = retain; }
 
   // --- externally produced tensors (pipeline stage boundaries) --------------
 
@@ -208,6 +225,10 @@ class Runtime {
   uint64_t iter_peak_ = 0;
   uint64_t extra_forwards_ = 0;
   bool initialized_ = false;
+  int sched_phase_ = -1;       ///< schedule-phase stamp for step telemetry
+  int sched_microbatch_ = -1;  ///< microbatch stamp for step telemetry
+  bool retain_telemetry_ = false;
+  bool fresh_iteration_ = true;  ///< next begin_iteration starts a new global batch
   /// True while a recompute replay is on the stack: nested materializations
   /// then use targeted chain replays instead of whole-segment eagerness
   /// (prevents replay/eviction livelock under extreme pressure).

@@ -23,6 +23,12 @@ struct StepTelemetry {
   int device_id = 0;           ///< cluster device the step ran on (dist/)
   int stage = 0;               ///< pipeline-stage row on the (stage, replica) grid
   int replica = 0;             ///< replica column on the (stage, replica) grid
+  /// Column-schedule position (dist/ trainers; -1 off-pipeline): phase is a
+  /// dist::SchedulePhase value (0 fill / 1 steady / 2 drain), microbatch the
+  /// microbatch index the pass belonged to — so 1F1B's steady state is
+  /// visible per step, not just in aggregate bubble time.
+  int sched_phase = -1;
+  int microbatch = -1;
 
   uint64_t mem_in_use = 0;     ///< device bytes live right after the kernel
   uint64_t live_tensors = 0;   ///< tensors resident on device at that point
@@ -96,11 +102,23 @@ struct IterationStats {
   uint64_t p2p_bytes = 0;          ///< bytes this device sent over peer links
   double allreduce_seconds = 0.0;  ///< device time inside the gradient all-reduce
 
+  /// All-reduce virtual time NOT hidden behind the pipeline drain: how far
+  /// past the grid-wide drain end the last row's collective ran (aggregate
+  /// stats only; dist::HybridParallelTrainer). Bucketed-async 1F1B shrinks
+  /// this — the overlap win the hybrid bench gates on.
+  double allreduce_exposed_seconds = 0.0;
+
   // Pipeline telemetry, filled by dist::PipelineParallelTrainer and
   // dist::HybridParallelTrainer (zero elsewhere).
   double p2p_seconds = 0.0;     ///< link seconds occupied by this device's sends
   double bubble_seconds = 0.0;  ///< compute time stalled waiting on a pipeline
                                 ///< neighbor (fill/drain bubbles)
+  /// bubble_seconds split by schedule phase (fill / steady / drain), so the
+  /// receiver-side waits are attributable: GPipe's bubble is all ramp,
+  /// 1F1B's steady state should be near bubble-free once warmed up.
+  double bubble_fill_seconds = 0.0;
+  double bubble_steady_seconds = 0.0;
+  double bubble_drain_seconds = 0.0;
 };
 
 }  // namespace sn::core

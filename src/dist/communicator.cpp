@@ -63,6 +63,14 @@ double Communicator::combine_loss_sums(const std::vector<double>& sums) {
 
 AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint64_t elems,
                                            AllreduceAlgo algo) {
+  // Issue + immediate await: identical hop chain, identical per-rank
+  // wait_event — the same virtual timeline the collective always had.
+  AllreduceHandle h = all_reduce_async(bufs, elems, algo);
+  return await(h);
+}
+
+AllreduceHandle Communicator::all_reduce_async(const std::vector<float*>& bufs, uint64_t elems,
+                                               AllreduceAlgo algo) {
   const int n = devices();
   assert(static_cast<int>(bufs.size()) == n && "one buffer (or null) per rank");
   if (algo == AllreduceAlgo::kAuto) {
@@ -72,12 +80,13 @@ AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint
     throw std::invalid_argument("allreduce_sum: halving-doubling needs a power-of-two group");
   }
 
+  AllreduceHandle h;
+  h.stats.device_seconds.assign(static_cast<size_t>(n), 0.0);
+  h.stats.chunks = static_cast<uint64_t>(n);
+  h.stats.algo = algo;
   if (n <= 1 || elems == 0) {
-    AllreduceStats stats;
-    stats.device_seconds.assign(static_cast<size_t>(n), 0.0);
-    stats.chunks = static_cast<uint64_t>(n);
-    stats.algo = algo;
-    return stats;
+    h.done = true;
+    return h;
   }
 
   // All-or-nothing backing: a mix of null and real buffers would silently
@@ -88,18 +97,50 @@ AllreduceStats Communicator::allreduce_sum(const std::vector<float*>& bufs, uint
       throw std::invalid_argument("allreduce_sum: buffers must be uniformly backed or null");
     }
   }
-  return algo == AllreduceAlgo::kHalvingDoubling ? allreduce_halving_doubling(bufs, elems)
-                                                 : allreduce_ring(bufs, elems);
+
+  // Leave from each rank's current time — or the previous async issue's
+  // completion on this communicator, whichever is later (bucket chaining).
+  if (chain_ready_.size() != static_cast<size_t>(n)) {
+    chain_ready_.assign(static_cast<size_t>(n), 0.0);
+  }
+  h.start.resize(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    h.start[static_cast<size_t>(r)] =
+        std::max(mach(r).now(), chain_ready_[static_cast<size_t>(r)]);
+  }
+  if (algo == AllreduceAlgo::kHalvingDoubling) {
+    run_halving_doubling(bufs, elems, h);
+  } else {
+    run_ring(bufs, elems, h);
+  }
+  chain_ready_ = h.ready;
+  return h;
 }
 
-AllreduceStats Communicator::allreduce_ring(const std::vector<float*>& bufs, uint64_t elems) {
+AllreduceStats Communicator::await(AllreduceHandle& h) {
+  const int n = devices();
+  if (!h.done) {
+    for (int r = 0; r < n; ++r) {
+      mach(r).wait_event(sim::Event{h.ready[static_cast<size_t>(r)]});
+      // In-flight latency of the rank's hop chain (submit -> reduction
+      // complete), NOT now() - start: when the collective was issued async,
+      // the machine keeps computing through the window and now() would
+      // charge that unrelated progress to the collective. For the
+      // synchronous path the two are identical (the machine sits at the
+      // submit point until wait_event tops it up to the chain).
+      h.stats.device_seconds[static_cast<size_t>(r)] =
+          h.ready[static_cast<size_t>(r)] - h.start[static_cast<size_t>(r)];
+      h.stats.seconds = std::max(h.stats.seconds, h.stats.device_seconds[static_cast<size_t>(r)]);
+    }
+    h.done = true;
+  }
+  return h.stats;
+}
+
+void Communicator::run_ring(const std::vector<float*>& bufs, uint64_t elems,
+                            AllreduceHandle& h) {
   const int n = devices();
   const bool backed = bufs[0] != nullptr;
-
-  AllreduceStats stats;
-  stats.device_seconds.assign(static_cast<size_t>(n), 0.0);
-  stats.chunks = static_cast<uint64_t>(n);
-  stats.algo = AllreduceAlgo::kRing;
 
   // Ring chunking: chunk c = [off[c], off[c] + len[c]).
   const uint64_t base = elems / n, rem = elems % n;
@@ -117,15 +158,11 @@ AllreduceStats Communicator::allreduce_ring(const std::vector<float*>& bufs, uin
 
   // Per-rank virtual time through the collective. ready[r] advances on
   // receives (+ the local reduction add); the engines charge sends to the
-  // machine as stalls, and the final wait_event below tops every rank up to
-  // its receive chain, so stall telemetry covers the whole collective.
-  std::vector<double> start(static_cast<size_t>(n)), ready(static_cast<size_t>(n));
+  // machine as stalls, and await()'s wait_event tops every rank up to its
+  // receive chain, so stall telemetry covers the whole collective.
+  std::vector<double> ready(h.start);
   std::vector<uint64_t> sent0(static_cast<size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    start[r] = mach(r).now();
-    ready[r] = start[r];
-    sent0[r] = mach(r).counters().bytes_p2p;
-  }
+  for (int r = 0; r < n; ++r) sent0[r] = mach(r).counters().bytes_p2p;
 
   // --- reduce-scatter: N-1 hops; rank r ends up owning chunk (r+1) % N -----
   for (int s = 0; s < n - 1; ++s) {
@@ -183,24 +220,16 @@ AllreduceStats Communicator::allreduce_ring(const std::vector<float*>& bufs, uin
   }
 
   for (int r = 0; r < n; ++r) {
-    mach(r).wait_event(sim::Event{ready[r]});
-    stats.device_seconds[r] = mach(r).now() - start[r];
-    stats.seconds = std::max(stats.seconds, stats.device_seconds[r]);
-    stats.p2p_bytes = std::max(stats.p2p_bytes, mach(r).counters().bytes_p2p - sent0[r]);
+    h.stats.p2p_bytes = std::max(h.stats.p2p_bytes, mach(r).counters().bytes_p2p - sent0[r]);
   }
-  return stats;
+  h.ready = std::move(ready);
 }
 
-AllreduceStats Communicator::allreduce_halving_doubling(const std::vector<float*>& bufs,
-                                                        uint64_t elems) {
+void Communicator::run_halving_doubling(const std::vector<float*>& bufs, uint64_t elems,
+                                        AllreduceHandle& h) {
   const int n = devices();
   const bool backed = bufs[0] != nullptr;
   assert(is_pow2(n) && n >= 2);
-
-  AllreduceStats stats;
-  stats.device_seconds.assign(static_cast<size_t>(n), 0.0);
-  stats.chunks = static_cast<uint64_t>(n);
-  stats.algo = AllreduceAlgo::kHalvingDoubling;
 
   int k = 0;
   while ((1 << k) < n) ++k;
@@ -209,13 +238,9 @@ AllreduceStats Communicator::allreduce_halving_doubling(const std::vector<float*
     for (auto& s : scratch_) s.resize((elems + 1) / 2);
   }
 
-  std::vector<double> start(static_cast<size_t>(n)), ready(static_cast<size_t>(n));
+  std::vector<double> ready(h.start);
   std::vector<uint64_t> sent0(static_cast<size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    start[r] = mach(r).now();
-    ready[r] = start[r];
-    sent0[r] = mach(r).counters().bytes_p2p;
-  }
+  for (int r = 0; r < n; ++r) sent0[r] = mach(r).counters().bytes_p2p;
 
   // Per-rank owned segment [lo, hi). Partners always hold identical segments
   // (the keep decision at step t depends only on rank bits < t), so the half
@@ -309,12 +334,9 @@ AllreduceStats Communicator::allreduce_halving_doubling(const std::vector<float*
   }
 
   for (int r = 0; r < n; ++r) {
-    mach(r).wait_event(sim::Event{ready[r]});
-    stats.device_seconds[r] = mach(r).now() - start[r];
-    stats.seconds = std::max(stats.seconds, stats.device_seconds[r]);
-    stats.p2p_bytes = std::max(stats.p2p_bytes, mach(r).counters().bytes_p2p - sent0[r]);
+    h.stats.p2p_bytes = std::max(h.stats.p2p_bytes, mach(r).counters().bytes_p2p - sent0[r]);
   }
-  return stats;
+  h.ready = std::move(ready);
 }
 
 }  // namespace sn::dist

@@ -58,6 +58,20 @@ struct AllreduceStats {
   AllreduceAlgo algo = AllreduceAlgo::kRing;  ///< algorithm actually run
 };
 
+/// An issued-but-not-awaited all-reduce. The summed bytes are already final
+/// when all_reduce_async returns (hop memcpys and reduction adds execute at
+/// issue, exactly as in the synchronous call); what is deferred is the
+/// VIRTUAL completion: no rank's compute stream waits until await(). Ranks
+/// therefore keep draining pipeline work while the collective's link/add
+/// chain plays out in virtual time — the DDP-style bucket overlap.
+struct AllreduceHandle {
+  AllreduceStats stats;        ///< bytes/chunks/algo filled at issue;
+                               ///< seconds filled at await
+  std::vector<double> start;   ///< per-rank virtual time the collective left from
+  std::vector<double> ready;   ///< per-rank virtual completion time
+  bool done = false;           ///< degenerate (1 rank / 0 elems) or awaited
+};
+
 class Communicator {
  public:
   /// Whole-cluster group: `engines[d]` must be device d's TransferEngine on
@@ -79,6 +93,19 @@ class Communicator {
   AllreduceStats allreduce_sum(const std::vector<float*>& bufs, uint64_t elems,
                                AllreduceAlgo algo = AllreduceAlgo::kAuto);
 
+  /// Issue an all-reduce without blocking any rank's compute stream: the
+  /// bytes are summed eagerly (bufs hold the result on return) but virtual
+  /// completion is deferred to await(). Consecutive async calls on the same
+  /// communicator chain: each starts no earlier than the previous one's
+  /// per-rank ready time, so per-bucket collectives serialize on the group's
+  /// links exactly as the one fused collective would.
+  AllreduceHandle all_reduce_async(const std::vector<float*>& bufs, uint64_t elems,
+                                   AllreduceAlgo algo = AllreduceAlgo::kAuto);
+
+  /// Block every rank's compute stream until `h` completes; fills and
+  /// returns the per-rank timing stats. Idempotent per handle.
+  AllreduceStats await(AllreduceHandle& h);
+
   /// Pairwise (rank-ordered) combination of per-replica loss sums; matches
   /// the single-device pairwise loss tree bit for bit for power-of-two
   /// group sizes. Pure host arithmetic — the driver reads losses, devices
@@ -90,8 +117,13 @@ class Communicator {
   int device_id(int rank) const { return devices_[static_cast<size_t>(rank)]; }
 
  private:
-  AllreduceStats allreduce_ring(const std::vector<float*>& bufs, uint64_t elems);
-  AllreduceStats allreduce_halving_doubling(const std::vector<float*>& bufs, uint64_t elems);
+  /// Run the hop/add chain of one collective from the per-rank times in
+  /// h.start, leaving per-rank completion in h.ready. Physical bytes move at
+  /// call time; no machine's compute stream is touched (that is await()'s
+  /// job — or the sync wrapper's, immediately).
+  void run_ring(const std::vector<float*>& bufs, uint64_t elems, AllreduceHandle& h);
+  void run_halving_doubling(const std::vector<float*>& bufs, uint64_t elems,
+                            AllreduceHandle& h);
 
   sim::Machine& mach(int rank) { return cluster_.machine(devices_[static_cast<size_t>(rank)]); }
   /// Elementwise-sum time charged to a rank (read two operands, write one).
@@ -103,7 +135,16 @@ class Communicator {
   std::vector<int> devices_;  ///< rank -> cluster device id
   std::vector<core::TransferEngine*> engines_;
   std::vector<std::vector<float>> scratch_;  ///< per-rank receive staging
-  uint64_t next_tag_ = 1;
+  /// Per-rank ready time of the last async issue: back-to-back buckets chain
+  /// on the group's links instead of teleporting to the machines' now().
+  std::vector<double> chain_ready_;
+  /// Collective hops share each rank's TransferEngine with the trainer's
+  /// activation/gradient streams, and a tag collision silently replaces the
+  /// older transfer's ticket in the engine's pending map — its landing is
+  /// then never awaited. Trainers own the low tag space, so collectives
+  /// allocate from a disjoint high range (async buckets overlap the drain
+  /// and DO coexist with in-flight P2P streams).
+  uint64_t next_tag_ = uint64_t{1} << 48;
 };
 
 }  // namespace sn::dist

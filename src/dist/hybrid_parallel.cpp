@@ -1,6 +1,7 @@
 #include "dist/hybrid_parallel.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -47,10 +48,16 @@ HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
       }()),
       plan_([&] {
         // Memory-aware partition: every stage must fit the per-device pool
-        // even at the full-offload floor.
+        // even at the full-offload floor. 1F1B never re-materializes the
+        // last stage, so its balance discounts that stage's remat forward
+        // (StageRecompute::kAllButLast); GPipe keeps the legacy weighting
+        // and therefore the legacy cuts.
         graph::NetPartitioner part(*full_, cfg_.cluster.device, cfg_.cluster.link,
                                    base.device_capacity);
-        return cfg_.boundaries.empty() ? part.partition(cfg_.stages)
+        const graph::StageRecompute rc = cfg_.schedule == SchedulePolicy::k1F1B
+                                             ? graph::StageRecompute::kAllButLast
+                                             : graph::StageRecompute::kNone;
+        return cfg_.boundaries.empty() ? part.partition(cfg_.stages, rc)
                                        : part.partition_at(cfg_.boundaries);
       }()),
       cluster_(cfg_.cluster),
@@ -81,10 +88,8 @@ HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
   out_grad_t_.assign(cells, nullptr);
   in_t_.assign(cells, nullptr);
   in_grad_t_.assign(cells, nullptr);
-  act_ev_.assign(cells, {});
-  grad_ev_.assign(cells, {});
-  act_tag_.assign(cells, 0);
-  grad_tag_.assign(cells, 0);
+  act_q_.assign(cells, {});
+  grad_q_.assign(cells, {});
   stash_.resize(cells);
   for (int s = 0; s + 1 < S; ++s) {
     const std::string& pname =
@@ -106,10 +111,6 @@ HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
       assert(in_grad_t_[cn] && "stage input must carry a gradient");
       runtimes_[cn]->pin_external(in_grad_t_[cn]);
       runtimes_[cn]->mark_external_pending(in_t_[cn]);
-      if (real_) {
-        stash_[cn].assign(static_cast<size_t>(cfg_.microbatches),
-                          std::vector<float>(static_cast<size_t>(in_t_[cn]->shape().elems())));
-      }
     }
   }
 
@@ -141,6 +142,32 @@ HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
     }
   }
 
+  // Fused-gradient bucket counts (k1F1B's async all-reduce granularity; the
+  // engine emits a kBucketReady per bucket after each stage's last backward).
+  buckets_.assign(static_cast<size_t>(S), 1);
+  for (int s = 0; s < S; ++s) {
+    const uint64_t bytes = grad_elems_[static_cast<size_t>(s)] * sizeof(float);
+    if (cfg_.bucket_bytes > 0 && bytes > 0) {
+      buckets_[static_cast<size_t>(s)] =
+          static_cast<int>((bytes + cfg_.bucket_bytes - 1) / cfg_.bucket_bytes);
+    }
+  }
+  sched_ = std::make_unique<ScheduleEngine>(
+      cfg_.schedule, S, cfg_.microbatches,
+      cfg_.schedule == SchedulePolicy::k1F1B ? buckets_ : std::vector<int>{});
+
+  // Stash sized to the engine's real peak: all M slots under GPipe, at most
+  // min(M, S-s+1) under 1F1B.
+  if (real_) {
+    for (int s = 1; s < S; ++s) {
+      for (int r = 0; r < R; ++r) {
+        const size_t c = cell(s, r);
+        stash_[c].assign(static_cast<size_t>(sched_->peak_stash_slots(s)),
+                         std::vector<float>(static_cast<size_t>(in_t_[c]->shape().elems())));
+      }
+    }
+  }
+
   // One sub-group Communicator per stage row: ranks are replicas 0..R-1, on
   // the row's grid devices, sending through the row cells' own engines.
   for (int s = 0; s < S; ++s) {
@@ -156,29 +183,40 @@ HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
   }
 }
 
-void HybridParallelTrainer::send_activation(int s, int r, int m) {
+uint64_t HybridParallelTrainer::stash_bytes(int stage) const {
+  if (stage == 0) return 0;
+  const size_t c = cell(stage, 0);
+  return static_cast<uint64_t>(sched_->peak_stash_slots(stage)) *
+         static_cast<uint64_t>(in_t_[c]->shape().elems()) * sizeof(float);
+}
+
+void HybridParallelTrainer::send_activation(int s, int r, int m, int slot) {
+  (void)m;
   const size_t c = cell(s, r), cn = cell(s + 1, r);
   const uint64_t tag = next_tag_++;
   const float* src = device_ptr(s, r, out_t_[c]);
-  float* dst = real_ ? stash_[cn][static_cast<size_t>(m)].data() : nullptr;
+  float* dst = real_ ? stash_[cn][static_cast<size_t>(slot)].data() : nullptr;
   // Activation streaming rides the critical path: high priority, like the
   // Communicator's collective hops.
-  act_ev_[cn] = engine(s, r).submit_p2p(tag, src, dst, out_t_[c]->bytes(),
-                                        grid_.device(s + 1, r), grid_.machine(s, r).now(),
-                                        core::TransferPriority::kHigh);
-  act_tag_[cn] = tag;
+  sim::Event ev = engine(s, r).submit_p2p(tag, src, dst, out_t_[c]->bytes(),
+                                          grid_.device(s + 1, r), grid_.machine(s, r).now(),
+                                          core::TransferPriority::kHigh);
+  act_q_[cn].push_back({ev, tag});
   in_flight_.push_back({c, tag});
 }
 
-void HybridParallelTrainer::receive_activation(int s, int r, std::vector<double>& bubble) {
+double HybridParallelTrainer::receive_activation(int s, int r) {
   const size_t c = cell(s, r);
   sim::Machine& mach = grid_.machine(s, r);
+  auto [ev, tag] = act_q_[c].front();
+  act_q_[c].pop_front();
   const double stall0 = mach.counters().stall_time;
-  mach.wait_event(act_ev_[c]);  // virtual gate (deterministic)
-  bubble[c] += mach.counters().stall_time - stall0;
+  mach.wait_event(ev);  // virtual gate (deterministic)
+  const double stalled = mach.counters().stall_time - stall0;
   // Physical gate: the sender's DMA worker must have let go of the bytes.
-  engine(s - 1, r).await_landing(core::TransferDir::kP2P, act_tag_[c]);
+  engine(s - 1, r).await_landing(core::TransferDir::kP2P, tag);
   runtimes_[c]->mark_external_landed(in_t_[c]);
+  return stalled;
 }
 
 void HybridParallelTrainer::send_gradient(int s, int r) {
@@ -186,21 +224,24 @@ void HybridParallelTrainer::send_gradient(int s, int r) {
   const uint64_t tag = next_tag_++;
   const float* src = device_ptr(s, r, in_grad_t_[c]);
   float* dst = device_ptr(s - 1, r, out_grad_t_[cp]);
-  grad_ev_[cp] = engine(s, r).submit_p2p(tag, src, dst, in_grad_t_[c]->bytes(),
-                                         grid_.device(s - 1, r), grid_.machine(s, r).now(),
-                                         core::TransferPriority::kHigh);
-  grad_tag_[cp] = tag;
+  sim::Event ev = engine(s, r).submit_p2p(tag, src, dst, in_grad_t_[c]->bytes(),
+                                          grid_.device(s - 1, r), grid_.machine(s, r).now(),
+                                          core::TransferPriority::kHigh);
+  grad_q_[cp].push_back({ev, tag});
   in_flight_.push_back({c, tag});
 }
 
-void HybridParallelTrainer::receive_gradient(int s, int r, std::vector<double>& bubble) {
+double HybridParallelTrainer::receive_gradient(int s, int r) {
   const size_t c = cell(s, r);
   sim::Machine& mach = grid_.machine(s, r);
+  auto [ev, tag] = grad_q_[c].front();
+  grad_q_[c].pop_front();
   const double stall0 = mach.counters().stall_time;
-  mach.wait_event(grad_ev_[c]);
-  bubble[c] += mach.counters().stall_time - stall0;
-  engine(s + 1, r).await_landing(core::TransferDir::kP2P, grad_tag_[c]);
+  mach.wait_event(ev);
+  const double stalled = mach.counters().stall_time - stall0;
+  engine(s + 1, r).await_landing(core::TransferDir::kP2P, tag);
   runtimes_[c]->mark_external_landed(out_grad_t_[c]);
+  return stalled;
 }
 
 void HybridParallelTrainer::retire_streams(bool force) {
@@ -231,7 +272,7 @@ HybridParallelReport HybridParallelTrainer::run() {
       dataset_.fill_batch(cfg_.global_batch, static_cast<uint64_t>(it), batch_data_.data(),
                           batch_labels_.data());
     }
-    std::vector<double> bubble(cells, 0.0);
+    std::vector<std::array<double, 3>> bubble_ph(cells, {0.0, 0.0, 0.0});
     std::vector<core::IterationStats> cell_st(cells);
     std::vector<sim::MachineCounters> c0(cells);
     std::vector<double> now0(cells);
@@ -257,7 +298,7 @@ HybridParallelReport HybridParallelTrainer::run() {
                (static_cast<int64_t>(r) * shard_ * dataset_.sample_elems()) +
                static_cast<int64_t>(m) * mb_elems;
       }
-      return stash_[cell(s, r)][static_cast<size_t>(m)].data();
+      return stash_[cell(s, r)][static_cast<size_t>(sched_->stash_slot(s, m))].data();
     };
     auto stage_labels = [&](int s, int r, int m) -> const int32_t* {
       if (!real_ || s != S - 1) return nullptr;
@@ -265,69 +306,141 @@ HybridParallelReport HybridParallelTrainer::run() {
              static_cast<int64_t>(m) * microbatch_;
     };
 
-    // --- fill: forward every microbatch down every replica column ----------
-    // Columns are independent until the post-drain all-reduce; interleaving
-    // them stage-by-stage keeps the schedule deterministic while their
-    // transfers ride disjoint links.
-    for (int m = 0; m < M; ++m) {
-      for (int s = 0; s < S; ++s) {
-        for (int r = 0; r < R; ++r) {
-          const size_t c = cell(s, r);
-          if (s > 0) receive_activation(s, r, bubble);
-          core::IterationStats f =
-              runtimes_[c]->forward_pass(stage_input(s, r, m), stage_labels(s, r, m));
-          accumulate(cell_st[c], f);
-          if (s == S - 1) loss_sums[static_cast<size_t>(r)][static_cast<size_t>(m)] = f.loss_sum;
-          if (s > 0) {
-            // Until the next microbatch's activation lands, the stage
-            // input's authoritative bytes live upstream.
-            runtimes_[c]->mark_external_pending(in_t_[c]);
-          }
-          if (s + 1 < S) send_activation(s, r, m);
-          retire_streams(false);
-        }
-      }
-    }
-
-    // --- drain: retire microbatches newest-first ----------------------------
-    // The newest microbatch's activations are still resident in every cell;
-    // older ones are re-materialized from the stashed stage input (GPipe
-    // re-materialization) before their backward runs.
-    for (int m = M - 1; m >= 0; --m) {
-      for (int s = S - 1; s >= 0; --s) {
-        for (int r = 0; r < R; ++r) {
-          const size_t c = cell(s, r);
-          if (m < M - 1) {
-            if (s > 0) {
-              // Re-materialization reads the locally stashed input: valid.
-              runtimes_[c]->mark_external_landed(in_t_[c]);
+    // --- schedule replay: the engine's op list drives every replica column.
+    // Columns are independent until the per-stage all-reduce; each op
+    // executes across r = 0..R-1 (disjoint links) before the next, which
+    // keeps the schedule deterministic and — under kGPipe — reproduces the
+    // legacy (m, s, r) fill and (m desc, s desc, r) drain nests byte for
+    // byte.
+    std::vector<std::vector<AllreduceHandle>> ar_handles(static_cast<size_t>(S));
+    for (const ScheduleOp& op : sched_->ops()) {
+      const int s = op.stage, m = op.microbatch;
+      const size_t ph = static_cast<size_t>(op.phase);
+      switch (op.kind) {
+        case ScheduleOpKind::kForward: {
+          for (int r = 0; r < R; ++r) {
+            const size_t c = cell(s, r);
+            runtimes_[c]->set_schedule_phase(static_cast<int>(op.phase), m);
+            // Physical write-after-read gate: the forward overwrites out_t_,
+            // which an in-flight activation send may still be reading (see
+            // pipeline_parallel.cpp — 1F1B only; a no-op under GPipe).
+            if (s + 1 < S && !act_q_[cell(s + 1, r)].empty()) {
+              engine(s, r).await_landing(core::TransferDir::kP2P,
+                                         act_q_[cell(s + 1, r)].back().second);
             }
-            core::IterationStats rf =
+            if (s > 0) bubble_ph[c][ph] += receive_activation(s, r);
+            core::IterationStats f =
                 runtimes_[c]->forward_pass(stage_input(s, r, m), stage_labels(s, r, m));
-            accumulate(cell_st[c], rf);
+            accumulate(cell_st[c], f);
+            if (s == S - 1) {
+              loss_sums[static_cast<size_t>(r)][static_cast<size_t>(m)] = f.loss_sum;
+            }
+            if (s > 0) {
+              // Until the next activation lands in this slot, the stage
+              // input's authoritative bytes live upstream.
+              runtimes_[c]->mark_external_pending(in_t_[c]);
+            }
+            if (s + 1 < S) send_activation(s, r, m, sched_->stash_slot(s + 1, m));
+            retire_streams(false);
           }
-          if (s + 1 < S) receive_gradient(s, r, bubble);
-          core::IterationStats b = runtimes_[c]->backward_pass(stage_labels(s, r, m));
-          accumulate(cell_st[c], b);
-          if (s + 1 < S) runtimes_[c]->mark_external_pending(out_grad_t_[c]);
-          if (s > 0) {
-            send_gradient(s, r);
-            runtimes_[c]->mark_external_pending(in_t_[c]);
+          break;
+        }
+        case ScheduleOpKind::kBackward: {
+          for (int r = 0; r < R; ++r) {
+            const size_t c = cell(s, r);
+            runtimes_[c]->set_schedule_phase(static_cast<int>(op.phase), m);
+            // Physical write-after-read gates: the re-materialization forward
+            // overwrites out_t_ and the backward overwrites in_grad_t_ —
+            // either may still be feeding an in-flight send's DMA read.
+            if (s + 1 < S && !act_q_[cell(s + 1, r)].empty()) {
+              engine(s, r).await_landing(core::TransferDir::kP2P,
+                                         act_q_[cell(s + 1, r)].back().second);
+            }
+            if (s > 0 && !grad_q_[cell(s - 1, r)].empty()) {
+              engine(s, r).await_landing(core::TransferDir::kP2P,
+                                         grad_q_[cell(s - 1, r)].back().second);
+            }
+            if (op.recompute) {
+              if (s > 0) {
+                // Re-materialization reads the locally stashed input: valid.
+                runtimes_[c]->mark_external_landed(in_t_[c]);
+              }
+              core::IterationStats rf =
+                  runtimes_[c]->forward_pass(stage_input(s, r, m), stage_labels(s, r, m));
+              accumulate(cell_st[c], rf);
+            }
+            if (s + 1 < S) bubble_ph[c][ph] += receive_gradient(s, r);
+            core::IterationStats b = runtimes_[c]->backward_pass(stage_labels(s, r, m));
+            accumulate(cell_st[c], b);
+            if (s + 1 < S) runtimes_[c]->mark_external_pending(out_grad_t_[c]);
+            if (s > 0) {
+              send_gradient(s, r);
+              runtimes_[c]->mark_external_pending(in_t_[c]);
+            }
+            if (real_) {
+              // Snapshot this microbatch's gradients; combined pairwise at
+              // the stage's kBucketReady (k1F1B) or post-drain (kGPipe).
+              auto& snap = grad_stash_[c][static_cast<size_t>(m)];
+              uint64_t off = 0;
+              for (tensor::Tensor* g : grads_[c]) {
+                std::memcpy(snap.data() + off, device_ptr(s, r, g), g->bytes());
+                off += static_cast<uint64_t>(g->shape().elems());
+              }
+            }
+            retire_streams(false);
           }
-          if (real_) {
-            // Snapshot this microbatch's gradients; combined pairwise below.
-            auto& snap = grad_stash_[c][static_cast<size_t>(m)];
-            uint64_t off = 0;
-            for (tensor::Tensor* g : grads_[c]) {
-              std::memcpy(snap.data() + off, device_ptr(s, r, g), g->bytes());
-              off += static_cast<uint64_t>(g->shape().elems());
+          break;
+        }
+        case ScheduleOpKind::kBucketReady: {
+          // Stage s's last backward just retired (k1F1B only): combine its
+          // microbatch gradients and issue this bucket's row all-reduce
+          // ASYNCHRONOUSLY — upstream stages keep draining while the
+          // collective's link/add chain plays out in virtual time.
+          // Consecutive buckets chain on the row Communicator.
+          const uint64_t elems = grad_elems_[static_cast<size_t>(s)];
+          if (op.bucket == 0 && real_ && elems > 0) {
+            for (int r = 0; r < R; ++r) {
+              const size_t c = cell(s, r);
+              util::PairwiseVecAccumulator acc(static_cast<size_t>(elems));
+              for (int mm = 0; mm < M; ++mm) {
+                // push() consumes the leaf in place; the stash is fully
+                // rewritten by next iteration's snapshots.
+                acc.push(grad_stash_[c][static_cast<size_t>(mm)].data());
+              }
+              acc.finish(fused_[c].data());
             }
           }
-          retire_streams(false);
+          // Even split, front-loaded remainder — same carving as the ring
+          // algorithm's chunks. Bucketing is element-wise bit-identical to
+          // the unbucketed collective (each element's rank-combine tree is
+          // independent of segmentation).
+          const uint64_t nb = static_cast<uint64_t>(buckets_[static_cast<size_t>(s)]);
+          const uint64_t base = elems / nb, rem = elems % nb;
+          const uint64_t b = static_cast<uint64_t>(op.bucket);
+          const uint64_t off = b * base + std::min(b, rem);
+          const uint64_t len = base + (b < rem ? 1 : 0);
+          std::vector<float*> bufs(static_cast<size_t>(R), nullptr);
+          if (real_ && len > 0) {
+            for (int r = 0; r < R; ++r) {
+              bufs[static_cast<size_t>(r)] = fused_[cell(s, r)].data() + off;
+            }
+          }
+          ar_handles[static_cast<size_t>(s)].push_back(
+              comms_[static_cast<size_t>(s)]->all_reduce_async(bufs, len));
+          break;
         }
       }
     }
     retire_streams(true);
+    for (size_t c = 0; c < cells; ++c) runtimes_[c]->set_schedule_phase(-1, -1);
+
+    // Drain end: the moment the last cell finishes its column schedule. Any
+    // all-reduce virtual time past this point is EXPOSED (not overlapped).
+    double drain_end = 0.0;
+    for (int s = 0; s < S; ++s) {
+      for (int r = 0; r < R; ++r) drain_end = std::max(drain_end, grid_.machine(s, r).now());
+    }
+    double ar_end_max = drain_end;
 
     // --- per-stage update: pairwise microbatch combine, replica all-reduce,
     // SGD. Replica r's M snapshots combine (binary counter, ascending m)
@@ -336,39 +449,77 @@ HybridParallelReport HybridParallelTrainer::run() {
     // together exactly the full-batch per-sample pairwise tree when b, M
     // and R are powers of two (util/pairwise.hpp).
     std::vector<double> allreduce_max(static_cast<size_t>(S), 0.0);
-    for (int s = 0; s < S; ++s) {
-      std::vector<float*> bufs(static_cast<size_t>(R), nullptr);
-      if (real_ && grad_elems_[static_cast<size_t>(s)] > 0) {
+    if (cfg_.schedule == SchedulePolicy::k1F1B) {
+      // Buckets were combined and issued inside the op loop; settle the
+      // virtual completions (await) and measure exposure BEFORE any SGD
+      // advances the clocks (stage rows are disjoint machine sets).
+      for (int s = 0; s < S; ++s) {
+        for (AllreduceHandle& h : ar_handles[static_cast<size_t>(s)]) {
+          AllreduceStats ar = comms_[static_cast<size_t>(s)]->await(h);
+          allreduce_max[static_cast<size_t>(s)] += ar.seconds;
+          for (int r = 0; r < R; ++r) {
+            cell_st[cell(s, r)].allreduce_seconds += ar.device_seconds[static_cast<size_t>(r)];
+          }
+        }
+        for (int r = 0; r < R; ++r) {
+          ar_end_max = std::max(ar_end_max, grid_.machine(s, r).now());
+        }
+      }
+      for (int s = 0; s < S; ++s) {
         for (int r = 0; r < R; ++r) {
           const size_t c = cell(s, r);
-          util::PairwiseVecAccumulator acc(
-              static_cast<size_t>(grad_elems_[static_cast<size_t>(s)]));
-          for (int m = 0; m < M; ++m) {
-            // push() consumes the leaf in place; the stash is fully
-            // rewritten by next iteration's snapshots.
-            acc.push(grad_stash_[c][static_cast<size_t>(m)].data());
+          if (real_ && grad_elems_[static_cast<size_t>(s)] > 0) {
+            uint64_t off = 0;
+            for (tensor::Tensor* g : grads_[c]) {
+              std::memcpy(device_ptr(s, r, g), fused_[c].data() + off, g->bytes());
+              off += static_cast<uint64_t>(g->shape().elems());
+            }
           }
-          acc.finish(fused_[c].data());
-          bufs[static_cast<size_t>(r)] = fused_[c].data();
+          runtimes_[c]->apply_sgd(cfg_.train.lr, cfg_.train.momentum, cfg_.train.weight_decay);
+          runtimes_[c]->advance_iteration();
         }
       }
-      AllreduceStats ar =
-          comms_[static_cast<size_t>(s)]->allreduce_sum(bufs, grad_elems_[static_cast<size_t>(s)]);
-      allreduce_max[static_cast<size_t>(s)] = ar.seconds;
-      for (int r = 0; r < R; ++r) {
-        const size_t c = cell(s, r);
-        cell_st[c].allreduce_seconds = ar.device_seconds[static_cast<size_t>(r)];
+    } else {
+      // kGPipe: legacy fully synchronous post-drain update, byte-identical
+      // to the pre-engine trainer (allreduce_sum = issue + immediate await).
+      for (int s = 0; s < S; ++s) {
+        std::vector<float*> bufs(static_cast<size_t>(R), nullptr);
         if (real_ && grad_elems_[static_cast<size_t>(s)] > 0) {
-          uint64_t off = 0;
-          for (tensor::Tensor* g : grads_[c]) {
-            std::memcpy(device_ptr(s, r, g), fused_[c].data() + off, g->bytes());
-            off += static_cast<uint64_t>(g->shape().elems());
+          for (int r = 0; r < R; ++r) {
+            const size_t c = cell(s, r);
+            util::PairwiseVecAccumulator acc(
+                static_cast<size_t>(grad_elems_[static_cast<size_t>(s)]));
+            for (int m = 0; m < M; ++m) {
+              // push() consumes the leaf in place; the stash is fully
+              // rewritten by next iteration's snapshots.
+              acc.push(grad_stash_[c][static_cast<size_t>(m)].data());
+            }
+            acc.finish(fused_[c].data());
+            bufs[static_cast<size_t>(r)] = fused_[c].data();
           }
         }
-        runtimes_[c]->apply_sgd(cfg_.train.lr, cfg_.train.momentum, cfg_.train.weight_decay);
-        runtimes_[c]->advance_iteration();
+        AllreduceStats ar = comms_[static_cast<size_t>(s)]->allreduce_sum(
+            bufs, grad_elems_[static_cast<size_t>(s)]);
+        allreduce_max[static_cast<size_t>(s)] = ar.seconds;
+        for (int r = 0; r < R; ++r) {
+          ar_end_max = std::max(ar_end_max, grid_.machine(s, r).now());
+        }
+        for (int r = 0; r < R; ++r) {
+          const size_t c = cell(s, r);
+          cell_st[c].allreduce_seconds = ar.device_seconds[static_cast<size_t>(r)];
+          if (real_ && grad_elems_[static_cast<size_t>(s)] > 0) {
+            uint64_t off = 0;
+            for (tensor::Tensor* g : grads_[c]) {
+              std::memcpy(device_ptr(s, r, g), fused_[c].data() + off, g->bytes());
+              off += static_cast<uint64_t>(g->shape().elems());
+            }
+          }
+          runtimes_[c]->apply_sgd(cfg_.train.lr, cfg_.train.momentum, cfg_.train.weight_decay);
+          runtimes_[c]->advance_iteration();
+        }
       }
     }
+    const double allreduce_exposed = std::max(0.0, ar_end_max - drain_end);
 
     // --- telemetry ----------------------------------------------------------
     // Global loss tree: microbatches nest in replica shards, shards combine
@@ -387,6 +538,7 @@ HybridParallelReport HybridParallelTrainer::run() {
     core::IterationStats agg;
     agg.loss = loss;
     agg.loss_sum = loss_sum;
+    agg.allreduce_exposed_seconds = allreduce_exposed;
     for (int s = 0; s < S; ++s) {
       agg.allreduce_seconds = std::max(agg.allreduce_seconds, allreduce_max[static_cast<size_t>(s)]);
     }
@@ -402,13 +554,19 @@ HybridParallelReport HybridParallelTrainer::run() {
         st.loss_sum = loss_sum;
         st.seconds = cluster_.machine(d).now() - now0[c];
         st.stall_seconds = c1.stall_time - c0[c].stall_time;
-        st.bubble_seconds = bubble[c];
+        st.bubble_fill_seconds = bubble_ph[c][0];
+        st.bubble_steady_seconds = bubble_ph[c][1];
+        st.bubble_drain_seconds = bubble_ph[c][2];
+        st.bubble_seconds = bubble_ph[c][0] + bubble_ph[c][1] + bubble_ph[c][2];
         st.p2p_bytes = c1.bytes_p2p - c0[c].bytes_p2p;
         st.p2p_seconds = c1.seconds_p2p - c0[c].seconds_p2p;
 
         agg.seconds = std::max(agg.seconds, st.seconds);
         agg.stall_seconds = std::max(agg.stall_seconds, st.stall_seconds);
         agg.bubble_seconds += st.bubble_seconds;
+        agg.bubble_fill_seconds += st.bubble_fill_seconds;
+        agg.bubble_steady_seconds += st.bubble_steady_seconds;
+        agg.bubble_drain_seconds += st.bubble_drain_seconds;
         agg.peak_mem = std::max(agg.peak_mem, st.peak_mem);
         agg.host_peak = std::max(agg.host_peak, st.host_peak);
         agg.p2p_bytes += st.p2p_bytes;

@@ -42,12 +42,15 @@
 // bit-reproducible regardless of DMA-worker timing.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/runtime.hpp"
 #include "dist/communicator.hpp"
+#include "dist/schedule_engine.hpp"
 #include "graph/partitioner.hpp"
 #include "sim/cluster.hpp"
 #include "train/dataset.hpp"
@@ -60,6 +63,13 @@ struct HybridParallelConfig {
   int replicas = 2;            ///< replication width R (grid columns)
   int microbatches = 2;        ///< per replica column; must divide the shard
   int global_batch = 8;        ///< split across replicas, then microbatches
+  SchedulePolicy schedule = SchedulePolicy::kGPipe;
+  /// k1F1B only: a stage's fused gradient splits into ceil(bytes /
+  /// bucket_bytes) buckets whose row all-reduces issue asynchronously as
+  /// the stage's last microbatch retires, overlapping the remaining drain
+  /// (DDP-style bucketing). kGPipe keeps the legacy post-drain synchronous
+  /// update regardless.
+  uint64_t bucket_bytes = 4ull << 20;
   /// Explicit route cut positions (NetPartitioner::partition_at); empty =
   /// cost- and memory-balanced automatic partition.
   std::vector<int> boundaries;
@@ -98,6 +108,11 @@ class HybridParallelTrainer {
   int microbatches() const { return cfg_.microbatches; }
   int microbatch_size() const { return microbatch_; }
   int shard_batch() const { return shard_; }
+  const ScheduleEngine& schedule() const { return *sched_; }
+  /// Fused-gradient bucket count for `stage` (1 even when empty).
+  int buckets(int stage) const { return buckets_[static_cast<size_t>(stage)]; }
+  /// Stash bytes allocated per cell of `stage` (0 for stage 0).
+  uint64_t stash_bytes(int stage) const;
   const graph::PartitionPlan& plan() const { return plan_; }
   core::Runtime& runtime(int stage, int replica) { return *runtimes_[cell(stage, replica)]; }
   graph::Net& stage_net(int stage, int replica) { return *stage_nets_[cell(stage, replica)]; }
@@ -117,12 +132,14 @@ class HybridParallelTrainer {
   float* device_ptr(int s, int r, const tensor::Tensor* t) {
     return runtimes_[cell(s, r)]->tensor_pool().device_ptr(t);
   }
-  /// Stream cell (s, r)'s boundary activation of microbatch `m` down its column.
-  void send_activation(int s, int r, int m);
-  /// Gate cell (s, r)'s forward on the activation landing (bubble-accounted).
-  void receive_activation(int s, int r, std::vector<double>& bubble);
+  /// Stream cell (s, r)'s boundary activation of microbatch `m` down its
+  /// column into the successor cell's stash slot `slot`.
+  void send_activation(int s, int r, int m, int slot);
+  /// Gate cell (s, r)'s forward on the activation landing; returns the
+  /// compute-stall delta (the bubble share of this wait).
+  double receive_activation(int s, int r);
   void send_gradient(int s, int r);
-  void receive_gradient(int s, int r, std::vector<double>& bubble);
+  double receive_gradient(int s, int r);
   /// Retire sender-side bookkeeping of streamed transfers (opportunistic;
   /// forced at iteration end).
   void retire_streams(bool force);
@@ -148,14 +165,22 @@ class HybridParallelTrainer {
   std::vector<tensor::Tensor*> out_grad_t_;  ///< cell (s,r): its gradient, landed from (s+1,r)
   std::vector<tensor::Tensor*> in_t_;        ///< cell (s,r): synthetic STAGE_IN tensor
   std::vector<tensor::Tensor*> in_grad_t_;   ///< cell (s,r): input gradient, streamed to (s-1,r)
-  /// Cell (s,r)'s stashed boundary inputs, one per microbatch — both the P2P
-  /// landing site and the re-materialization source (real mode).
-  std::vector<std::vector<std::vector<float>>> stash_;  ///< [cell][microbatch]
+  /// Cell (s,r)'s stashed boundary inputs, one per live stash SLOT (sized
+  /// by ScheduleEngine::peak_stash_slots) — both the P2P landing site and
+  /// the re-materialization source (real mode). Slot == microbatch under
+  /// GPipe.
+  std::vector<std::vector<std::vector<float>>> stash_;  ///< [cell][slot]
 
-  /// In-flight event/tag per cell (consumed within the same microbatch turn).
-  std::vector<sim::Event> act_ev_, grad_ev_;
-  std::vector<uint64_t> act_tag_, grad_tag_;
+  /// In-flight (event, tag) FIFOs per cell link: sends push, receives pop —
+  /// a link's transfers are consumed in ascending microbatch order under
+  /// both policies.
+  std::vector<std::deque<std::pair<sim::Event, uint64_t>>> act_q_, grad_q_;
   std::vector<std::pair<size_t, uint64_t>> in_flight_;  ///< (sender cell, tag) to retire
+
+  /// Shared column-schedule engine (built once grad geometry fixes the
+  /// per-stage bucket counts).
+  std::unique_ptr<ScheduleEngine> sched_;
+  std::vector<int> buckets_;  ///< [stage] fused-gradient bucket count
 
   /// Param-grad tensors per cell in net order (identical across a stage's
   /// replicas), per-microbatch gradient snapshots combined pairwise at drain

@@ -1,6 +1,7 @@
 #include "dist/pipeline_parallel.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -41,14 +42,21 @@ PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
       }()),
       plan_([&] {
         // Memory-aware partition: stages must fit the per-device pool even
-        // at the full-offload floor.
+        // at the full-offload floor. 1F1B never re-materializes the last
+        // stage, so its balance discounts that stage's remat forward
+        // (StageRecompute::kAllButLast); GPipe keeps the legacy weighting
+        // and therefore the legacy cuts.
         graph::NetPartitioner part(*full_, cfg_.cluster.device, cfg_.cluster.link,
                                    base.device_capacity);
-        return cfg_.boundaries.empty() ? part.partition(cfg_.stages)
+        const graph::StageRecompute rc = cfg_.schedule == SchedulePolicy::k1F1B
+                                             ? graph::StageRecompute::kAllButLast
+                                             : graph::StageRecompute::kNone;
+        return cfg_.boundaries.empty() ? part.partition(cfg_.stages, rc)
                                        : part.partition_at(cfg_.boundaries);
       }()),
       cluster_(cfg_.cluster),
-      dataset_(sample_shape_of(*full_), classes_of(*full_), cfg_.train.data_seed) {
+      dataset_(sample_shape_of(*full_), classes_of(*full_), cfg_.train.data_seed),
+      sched_(cfg_.schedule, cfg_.stages, cfg_.microbatches) {
   const int S = cfg_.stages;
   base.spec = cfg_.cluster.device;
   base.cluster = &cluster_;
@@ -68,10 +76,8 @@ PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
   out_grad_t_.assign(static_cast<size_t>(S), nullptr);
   in_t_.assign(static_cast<size_t>(S), nullptr);
   in_grad_t_.assign(static_cast<size_t>(S), nullptr);
-  act_ev_.assign(static_cast<size_t>(S), {});
-  grad_ev_.assign(static_cast<size_t>(S), {});
-  act_tag_.assign(static_cast<size_t>(S), 0);
-  grad_tag_.assign(static_cast<size_t>(S), 0);
+  act_q_.assign(static_cast<size_t>(S), {});
+  grad_q_.assign(static_cast<size_t>(S), {});
   stash_.resize(static_cast<size_t>(S));
   for (int s = 0; s + 1 < S; ++s) {
     const std::string& pname =
@@ -92,8 +98,10 @@ PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
     runtimes_[static_cast<size_t>(s) + 1]->pin_external(in_grad_t_[static_cast<size_t>(s) + 1]);
     runtimes_[static_cast<size_t>(s) + 1]->mark_external_pending(in_t_[static_cast<size_t>(s) + 1]);
     if (real_) {
+      // The engine's peak is the real footprint: GPipe stashes all M
+      // microbatch inputs, 1F1B at most min(M, S-s+1).
       stash_[static_cast<size_t>(s) + 1].assign(
-          static_cast<size_t>(cfg_.microbatches),
+          static_cast<size_t>(sched_.peak_stash_slots(s + 1)),
           std::vector<float>(
               static_cast<size_t>(in_t_[static_cast<size_t>(s) + 1]->shape().elems())));
     }
@@ -123,48 +131,62 @@ PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
   }
 }
 
-void PipelineParallelTrainer::send_activation(int s, int m) {
+uint64_t PipelineParallelTrainer::stash_bytes(int stage) const {
+  if (stage == 0) return 0;
+  return static_cast<uint64_t>(sched_.peak_stash_slots(stage)) *
+         static_cast<uint64_t>(in_t_[static_cast<size_t>(stage)]->shape().elems()) *
+         sizeof(float);
+}
+
+void PipelineParallelTrainer::send_activation(int s, int m, int slot) {
+  (void)m;
   const uint64_t tag = next_tag_++;
   const float* src = device_ptr(s, out_t_[static_cast<size_t>(s)]);
-  float* dst = real_ ? stash_[static_cast<size_t>(s) + 1][static_cast<size_t>(m)].data()
+  float* dst = real_ ? stash_[static_cast<size_t>(s) + 1][static_cast<size_t>(slot)].data()
                      : nullptr;
   // Activation streaming rides the critical path: high priority, like the
   // Communicator's collective hops.
-  act_ev_[static_cast<size_t>(s) + 1] =
+  sim::Event ev =
       engine(s).submit_p2p(tag, src, dst, out_t_[static_cast<size_t>(s)]->bytes(), s + 1,
                            cluster_.machine(s).now(), core::TransferPriority::kHigh);
-  act_tag_[static_cast<size_t>(s) + 1] = tag;
+  act_q_[static_cast<size_t>(s) + 1].push_back({ev, tag});
   in_flight_.push_back({s, tag});
 }
 
-void PipelineParallelTrainer::receive_activation(int s, std::vector<double>& bubble) {
+double PipelineParallelTrainer::receive_activation(int s) {
   sim::Machine& mach = cluster_.machine(s);
+  auto [ev, tag] = act_q_[static_cast<size_t>(s)].front();
+  act_q_[static_cast<size_t>(s)].pop_front();
   const double stall0 = mach.counters().stall_time;
-  mach.wait_event(act_ev_[static_cast<size_t>(s)]);  // virtual gate (deterministic)
-  bubble[static_cast<size_t>(s)] += mach.counters().stall_time - stall0;
+  mach.wait_event(ev);  // virtual gate (deterministic)
+  const double stalled = mach.counters().stall_time - stall0;
   // Physical gate: the sender's DMA worker must have let go of the bytes.
-  engine(s - 1).await_landing(core::TransferDir::kP2P, act_tag_[static_cast<size_t>(s)]);
+  engine(s - 1).await_landing(core::TransferDir::kP2P, tag);
   runtimes_[static_cast<size_t>(s)]->mark_external_landed(in_t_[static_cast<size_t>(s)]);
+  return stalled;
 }
 
 void PipelineParallelTrainer::send_gradient(int s) {
   const uint64_t tag = next_tag_++;
   const float* src = device_ptr(s, in_grad_t_[static_cast<size_t>(s)]);
   float* dst = device_ptr(s - 1, out_grad_t_[static_cast<size_t>(s) - 1]);
-  grad_ev_[static_cast<size_t>(s) - 1] =
+  sim::Event ev =
       engine(s).submit_p2p(tag, src, dst, in_grad_t_[static_cast<size_t>(s)]->bytes(), s - 1,
                            cluster_.machine(s).now(), core::TransferPriority::kHigh);
-  grad_tag_[static_cast<size_t>(s) - 1] = tag;
+  grad_q_[static_cast<size_t>(s) - 1].push_back({ev, tag});
   in_flight_.push_back({s, tag});
 }
 
-void PipelineParallelTrainer::receive_gradient(int s, std::vector<double>& bubble) {
+double PipelineParallelTrainer::receive_gradient(int s) {
   sim::Machine& mach = cluster_.machine(s);
+  auto [ev, tag] = grad_q_[static_cast<size_t>(s)].front();
+  grad_q_[static_cast<size_t>(s)].pop_front();
   const double stall0 = mach.counters().stall_time;
-  mach.wait_event(grad_ev_[static_cast<size_t>(s)]);
-  bubble[static_cast<size_t>(s)] += mach.counters().stall_time - stall0;
-  engine(s + 1).await_landing(core::TransferDir::kP2P, grad_tag_[static_cast<size_t>(s)]);
+  mach.wait_event(ev);
+  const double stalled = mach.counters().stall_time - stall0;
+  engine(s + 1).await_landing(core::TransferDir::kP2P, tag);
   runtimes_[static_cast<size_t>(s)]->mark_external_landed(out_grad_t_[static_cast<size_t>(s)]);
+  return stalled;
 }
 
 void PipelineParallelTrainer::retire_streams(bool force) {
@@ -195,6 +217,8 @@ PipelineParallelReport PipelineParallelTrainer::run() {
                           batch_labels_.data());
     }
     std::vector<double> bubble(static_cast<size_t>(S), 0.0);
+    /// bubble split by schedule phase: [stage][fill/steady/drain].
+    std::vector<std::array<double, 3>> bubble_ph(static_cast<size_t>(S), {0.0, 0.0, 0.0});
     std::vector<core::IterationStats> stage_st(static_cast<size_t>(S));
     std::vector<sim::MachineCounters> c0(static_cast<size_t>(S));
     std::vector<double> now0(static_cast<size_t>(S));
@@ -207,62 +231,74 @@ PipelineParallelReport PipelineParallelTrainer::run() {
     auto stage_input = [&](int s, int m) -> const float* {
       if (!real_) return nullptr;
       if (s == 0) return batch_data_.data() + static_cast<int64_t>(m) * mb_elems;
-      return stash_[static_cast<size_t>(s)][static_cast<size_t>(m)].data();
+      return stash_[static_cast<size_t>(s)][static_cast<size_t>(sched_.stash_slot(s, m))]
+          .data();
     };
     auto stage_labels = [&](int s, int m) -> const int32_t* {
       if (!real_ || s != S - 1) return nullptr;
       return batch_labels_.data() + static_cast<int64_t>(m) * microbatch_;
     };
 
-    // --- fill: forward every microbatch through the pipeline -----------------
-    for (int m = 0; m < M; ++m) {
-      for (int s = 0; s < S; ++s) {
-        if (s > 0) receive_activation(s, bubble);
-        core::IterationStats f =
-            runtimes_[static_cast<size_t>(s)]->forward_pass(stage_input(s, m),
-                                                            stage_labels(s, m));
+    // --- replay the engine's op list -----------------------------------------
+    // Under kGPipe this walks the exact historical fill/drain nest; under
+    // k1F1B the PipeDream-flush interleaving. Cross-stage data dependencies
+    // ride the per-link FIFOs either way.
+    for (const ScheduleOp& op : sched_.ops()) {
+      const int s = op.stage, m = op.microbatch;
+      const size_t ph = static_cast<size_t>(op.phase);
+      core::Runtime& rt = *runtimes_[static_cast<size_t>(s)];
+      rt.set_schedule_phase(static_cast<int>(op.phase), m);
+      // Physical write-after-read gate: a forward overwrites out_t_ and a
+      // backward overwrites in_grad_t_ — both may still be feeding an
+      // in-flight send's DMA read (1F1B runs stage s's backward while its
+      // next activation is still streaming; GPipe never does, so these are
+      // no-ops there). The worker queue is FIFO, so landing the NEWEST
+      // outstanding tag lands them all. Wall-clock only: virtual time and
+      // the schedule are untouched.
+      if (s + 1 < S && !act_q_[static_cast<size_t>(s) + 1].empty()) {
+        engine(s).await_landing(core::TransferDir::kP2P,
+                                act_q_[static_cast<size_t>(s) + 1].back().second);
+      }
+      if (op.kind == ScheduleOpKind::kBackward && s > 0 &&
+          !grad_q_[static_cast<size_t>(s) - 1].empty()) {
+        engine(s).await_landing(core::TransferDir::kP2P,
+                                grad_q_[static_cast<size_t>(s) - 1].back().second);
+      }
+      if (op.kind == ScheduleOpKind::kForward) {
+        double stalled = 0.0;
+        if (s > 0) stalled = receive_activation(s);
+        core::IterationStats f = rt.forward_pass(stage_input(s, m), stage_labels(s, m));
         accumulate(stage_st[static_cast<size_t>(s)], f);
         if (s == S - 1) loss_sums[static_cast<size_t>(m)] = f.loss_sum;
         if (s > 0) {
           // Until the next microbatch's activation lands, the stage input's
           // authoritative bytes live upstream.
-          runtimes_[static_cast<size_t>(s)]->mark_external_pending(in_t_[static_cast<size_t>(s)]);
+          rt.mark_external_pending(in_t_[static_cast<size_t>(s)]);
         }
-        if (s + 1 < S) send_activation(s, m);
-        retire_streams(false);
-      }
-    }
-
-    // --- drain: retire microbatches newest-first -----------------------------
-    // The newest microbatch's activations are still resident on every stage;
-    // older ones are re-materialized from the stashed stage input (GPipe
-    // re-materialization) before their backward runs.
-    for (int m = M - 1; m >= 0; --m) {
-      for (int s = S - 1; s >= 0; --s) {
-        if (m < M - 1) {
+        if (s + 1 < S) send_activation(s, m, sched_.stash_slot(s + 1, m));
+        bubble[static_cast<size_t>(s)] += stalled;
+        bubble_ph[static_cast<size_t>(s)][ph] += stalled;
+      } else {
+        double stalled = 0.0;
+        if (op.recompute) {
           if (s > 0) {
             // Re-materialization reads the locally stashed input: valid.
-            runtimes_[static_cast<size_t>(s)]->mark_external_landed(in_t_[static_cast<size_t>(s)]);
+            rt.mark_external_landed(in_t_[static_cast<size_t>(s)]);
           }
-          core::IterationStats rf =
-              runtimes_[static_cast<size_t>(s)]->forward_pass(stage_input(s, m),
-                                                              stage_labels(s, m));
+          core::IterationStats rf = rt.forward_pass(stage_input(s, m), stage_labels(s, m));
           accumulate(stage_st[static_cast<size_t>(s)], rf);
         }
-        if (s + 1 < S) receive_gradient(s, bubble);
-        core::IterationStats b =
-            runtimes_[static_cast<size_t>(s)]->backward_pass(stage_labels(s, m));
+        if (s + 1 < S) stalled = receive_gradient(s);
+        core::IterationStats b = rt.backward_pass(stage_labels(s, m));
         accumulate(stage_st[static_cast<size_t>(s)], b);
-        if (s + 1 < S) {
-          runtimes_[static_cast<size_t>(s)]->mark_external_pending(
-              out_grad_t_[static_cast<size_t>(s)]);
-        }
+        if (s + 1 < S) rt.mark_external_pending(out_grad_t_[static_cast<size_t>(s)]);
         if (s > 0) {
           send_gradient(s);
-          runtimes_[static_cast<size_t>(s)]->mark_external_pending(in_t_[static_cast<size_t>(s)]);
+          rt.mark_external_pending(in_t_[static_cast<size_t>(s)]);
         }
         if (real_) {
-          // Snapshot this microbatch's gradients; combined pairwise below.
+          // Snapshot this microbatch's gradients; combined pairwise below in
+          // ascending microbatch order whatever order backwards retired in.
           auto& snap = grad_stash_[static_cast<size_t>(s)][static_cast<size_t>(m)];
           uint64_t off = 0;
           for (tensor::Tensor* g : grads_[static_cast<size_t>(s)]) {
@@ -270,10 +306,13 @@ PipelineParallelReport PipelineParallelTrainer::run() {
             off += static_cast<uint64_t>(g->shape().elems());
           }
         }
-        retire_streams(false);
+        bubble[static_cast<size_t>(s)] += stalled;
+        bubble_ph[static_cast<size_t>(s)][ph] += stalled;
       }
+      retire_streams(false);
     }
     retire_streams(true);
+    for (int s = 0; s < S; ++s) runtimes_[static_cast<size_t>(s)]->set_schedule_phase(-1, -1);
 
     // --- per-stage update: pairwise-combine microbatch grads, then SGD -------
     // Microbatch m holds the contiguous samples [m*b, (m+1)*b); combining the
@@ -318,12 +357,18 @@ PipelineParallelReport PipelineParallelTrainer::run() {
       st.seconds = cluster_.machine(s).now() - now0[static_cast<size_t>(s)];
       st.stall_seconds = c1.stall_time - c0[static_cast<size_t>(s)].stall_time;
       st.bubble_seconds = bubble[static_cast<size_t>(s)];
+      st.bubble_fill_seconds = bubble_ph[static_cast<size_t>(s)][0];
+      st.bubble_steady_seconds = bubble_ph[static_cast<size_t>(s)][1];
+      st.bubble_drain_seconds = bubble_ph[static_cast<size_t>(s)][2];
       st.p2p_bytes = c1.bytes_p2p - c0[static_cast<size_t>(s)].bytes_p2p;
       st.p2p_seconds = c1.seconds_p2p - c0[static_cast<size_t>(s)].seconds_p2p;
 
       agg.seconds = std::max(agg.seconds, st.seconds);
       agg.stall_seconds = std::max(agg.stall_seconds, st.stall_seconds);
       agg.bubble_seconds += st.bubble_seconds;
+      agg.bubble_fill_seconds += st.bubble_fill_seconds;
+      agg.bubble_steady_seconds += st.bubble_steady_seconds;
+      agg.bubble_drain_seconds += st.bubble_drain_seconds;
       agg.peak_mem = std::max(agg.peak_mem, st.peak_mem);
       agg.host_peak = std::max(agg.host_peak, st.host_peak);
       agg.p2p_bytes += st.p2p_bytes;

@@ -1,31 +1,35 @@
-// dist::PipelineParallelTrainer — GPipe-style pipeline parallelism over the
-// simulated multi-device cluster.
+// dist::PipelineParallelTrainer — pipeline parallelism over the simulated
+// multi-device cluster, scheduled by the shared dist::ScheduleEngine.
 //
 // A net whose working set exceeds one device's pool is cut into contiguous
 // stages (graph::NetPartitioner), one Runtime per stage on its own
 // sim::Cluster device. Each global batch is split into M microbatches and
-// driven through a fill/drain schedule:
+// driven through the engine's op list under the configured SchedulePolicy:
 //
-//   fill:  every stage runs the forward pass of microbatch 0..M-1, streaming
-//          the boundary activation to its successor over
+//   kGPipe: fill (every stage forwards microbatch 0..M-1, streaming the
+//          boundary activation to its successor over
 //          TransferEngine::submit_p2p; a stage's forward for microbatch m is
 //          gated on the virtual landing event of that activation, so the
-//          classic fill ramp (and its bubble) falls out of virtual time.
-//   drain: microbatches retire in reverse order (newest first — its
-//          activations are still resident). A stage REMATERIALIZES the
-//          forward of older microbatches from its stashed boundary input
-//          (GPipe re-materialization: one tensor set per stage holds one
-//          microbatch, and the runtime's recompute machinery replays the
-//          rest), receives the output gradient from its successor, runs
-//          backward, and streams the input gradient upstream.
+//          classic fill ramp and its bubble fall out of virtual time) then
+//          drain (microbatches retire newest-first; a stage REMATERIALIZES
+//          older forwards from its stashed boundary input — GPipe
+//          re-materialization — receives the output gradient, runs backward,
+//          and streams the input gradient upstream).
+//   k1F1B: PipeDream-flush — warmup forwards, then one-forward-one-backward
+//          steady state (backwards retire in ASCENDING microbatch order),
+//          then cooldown. Smaller bubble, and the stash holds at most
+//          min(M, S-s+1) microbatch inputs instead of all M (the trainer
+//          sizes it from ScheduleEngine::peak_stash_slots).
 //
 // Weights update per stage after the drain: per-microbatch gradients are
-// combined with the binary-counter pairwise machinery (util/pairwise.hpp),
-// so for power-of-two microbatch counts and sizes the combined gradient is
-// bit-identical to a single-device pass over the whole batch — the paper's
-// "scheduling never changes training results" invariant, extended across
-// the pipeline (same restriction as data parallelism: per-sample kernels;
-// no BatchNorm batch statistics, no dropout).
+// combined with the binary-counter pairwise machinery (util/pairwise.hpp)
+// in ascending microbatch order REGARDLESS of backward execution order, so
+// for power-of-two microbatch counts and sizes the combined gradient is
+// bit-identical to a single-device pass over the whole batch under BOTH
+// policies — the paper's "scheduling never changes training results"
+// invariant, extended across the pipeline (same restriction as data
+// parallelism: per-sample kernels; no BatchNorm batch statistics, no
+// dropout).
 //
 // Determinism: the trainer is single-threaded; every cross-stage dependency
 // is an explicit virtual event (receivers machine-wait it; the wall-clock
@@ -34,11 +38,14 @@
 // DMA-worker timing.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "dist/schedule_engine.hpp"
 #include "graph/partitioner.hpp"
 #include "sim/cluster.hpp"
 #include "train/dataset.hpp"
@@ -50,6 +57,7 @@ struct PipelineParallelConfig {
   int stages = 2;
   int microbatches = 2;        ///< must divide global_batch
   int global_batch = 8;
+  SchedulePolicy schedule = SchedulePolicy::kGPipe;
   /// Explicit route cut positions (NetPartitioner::partition_at); empty =
   /// cost-balanced automatic partition.
   std::vector<int> boundaries;
@@ -83,6 +91,10 @@ class PipelineParallelTrainer {
   int stages() const { return cfg_.stages; }
   int microbatches() const { return cfg_.microbatches; }
   int microbatch_size() const { return microbatch_; }
+  const ScheduleEngine& schedule() const { return sched_; }
+  /// Bytes of stashed boundary-input stash allocated for `stage` (0 for
+  /// stage 0). 1F1B's peak is strictly below GPipe's for M > S.
+  uint64_t stash_bytes(int stage) const;
   const graph::PartitionPlan& plan() const { return plan_; }
   core::Runtime& runtime(int stage) { return *runtimes_[static_cast<size_t>(stage)]; }
   graph::Net& stage_net(int stage) { return *stage_nets_[static_cast<size_t>(stage)]; }
@@ -95,12 +107,14 @@ class PipelineParallelTrainer {
   float* device_ptr(int stage, const tensor::Tensor* t) {
     return runtimes_[static_cast<size_t>(stage)]->tensor_pool().device_ptr(t);
   }
-  /// Stream stage `s`'s boundary activation of microbatch `m` downstream.
-  void send_activation(int s, int m);
-  /// Gate stage `s`'s forward on the activation landing (bubble-accounted).
-  void receive_activation(int s, std::vector<double>& bubble);
+  /// Stream stage `s`'s boundary activation of microbatch `m` downstream
+  /// into the successor's stash slot `slot`.
+  void send_activation(int s, int m, int slot);
+  /// Gate stage `s`'s forward on the activation landing; returns the
+  /// compute-stall delta (the bubble share of this wait).
+  double receive_activation(int s);
   void send_gradient(int s);
-  void receive_gradient(int s, std::vector<double>& bubble);
+  double receive_gradient(int s);
   /// Retire sender-side bookkeeping of streamed transfers (opportunistic;
   /// forced at iteration end).
   void retire_streams(bool force);
@@ -122,14 +136,18 @@ class PipelineParallelTrainer {
   std::vector<tensor::Tensor*> out_grad_t_;  ///< stage s: its gradient, landed from s+1 (pinned)
   std::vector<tensor::Tensor*> in_t_;        ///< stage s+1: synthetic input tensor
   std::vector<tensor::Tensor*> in_grad_t_;   ///< stage s+1: input gradient, streamed to s (pinned)
-  /// Stage s+1's stashed boundary inputs, one per microbatch — both the P2P
-  /// landing site and the re-materialization source (real mode).
-  std::vector<std::vector<std::vector<float>>> stash_;  ///< [stage][microbatch]
+  /// Stage s+1's stashed boundary inputs, one per live stash SLOT (sized by
+  /// ScheduleEngine::peak_stash_slots) — both the P2P landing site and the
+  /// re-materialization source (real mode). Slot == microbatch under GPipe.
+  std::vector<std::vector<std::vector<float>>> stash_;  ///< [stage][slot]
 
-  /// In-flight event/tag per link (consumed within the same microbatch turn).
-  std::vector<sim::Event> act_ev_, grad_ev_;
-  std::vector<uint64_t> act_tag_, grad_tag_;
+  /// In-flight (event, tag) FIFOs per link: sends push, receives pop — a
+  /// link's transfers are consumed in ascending microbatch order under both
+  /// policies.
+  std::vector<std::deque<std::pair<sim::Event, uint64_t>>> act_q_, grad_q_;
   std::vector<std::pair<int, uint64_t>> in_flight_;  ///< (sender stage, tag) to retire
+
+  ScheduleEngine sched_;
 
   /// Param-grad tensors per stage in net order, and per-microbatch gradient
   /// snapshots combined pairwise at drain end (real mode).

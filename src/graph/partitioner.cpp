@@ -20,7 +20,15 @@ NetPartitioner::NetPartitioner(const Net& net, sim::DeviceSpec spec, sim::LinkSp
   for (int i = 0; i < n; ++i) pos_[static_cast<size_t>(route[i]->id())] = i;
 
   prefix_.assign(static_cast<size_t>(n) + 1, 0.0);
-  for (int i = 0; i < n; ++i) prefix_[i + 1] = prefix_[i] + layer_seconds(route[i]);
+  fwd_prefix_.assign(static_cast<size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const Layer* l = route[i];
+    prefix_[i + 1] = prefix_[i] + layer_seconds(l);
+    fwd_prefix_[i + 1] =
+        fwd_prefix_[i] + cost_.compute_time(l->forward_flops(),
+                                            static_cast<double>(l->forward_bytes()),
+                                            l->compute_efficiency());
+  }
 
   persist_prefix_.assign(static_cast<size_t>(n) + 1, 0);
   nonparam_peak_.assign(static_cast<size_t>(n), 0);
@@ -123,8 +131,9 @@ uint64_t NetPartitioner::stage_min_bytes(int begin, int end) const {
          peak;
 }
 
-double NetPartitioner::stage_cost(int begin, int end) const {
+double NetPartitioner::stage_cost(int begin, int end, bool remat) const {
   double c = prefix_[end] - prefix_[begin];
+  if (remat) c += fwd_prefix_[end] - fwd_prefix_[begin];
   const int n = static_cast<int>(net_.route().size());
   if (end < n) {
     int prod = boundary_producer(end);
@@ -187,7 +196,7 @@ PartitionPlan NetPartitioner::partition_at(const std::vector<int>& cuts) const {
   return make_plan(cuts);
 }
 
-PartitionPlan NetPartitioner::partition(int stages) const {
+PartitionPlan NetPartitioner::partition(int stages, StageRecompute recompute) const {
   const int n = static_cast<int>(net_.route().size());
   if (stages < 1) throw std::invalid_argument("NetPartitioner: stages >= 1");
   if (stages == 1) return make_plan({});
@@ -206,13 +215,18 @@ PartitionPlan NetPartitioner::partition(int stages) const {
   // f[j] for the current stage count; choice[s][j] = predecessor index.
   // Memory awareness: a segment that cannot fit its pool even at the
   // full-offload floor costs infinity, so the DP routes around it.
-  auto seg_cost = [&](int begin, int end) {
-    return stage_fits(begin, end) ? stage_cost(begin, end) : inf;
+  // StageRecompute::kAllButLast charges every stage but the final one its
+  // forward a second time (1F1B steady state: interior stages re-materialize
+  // before each backward, the last never does). Stages >= 2 here, so the
+  // first-stage seeds below are never the last stage.
+  const bool remat_mid = recompute == StageRecompute::kAllButLast;
+  auto seg_cost = [&](int begin, int end, bool last) {
+    return stage_fits(begin, end) ? stage_cost(begin, end, remat_mid && !last) : inf;
   };
   std::vector<std::vector<int>> choice(static_cast<size_t>(stages),
                                        std::vector<int>(static_cast<size_t>(c) + 1, -1));
   std::vector<double> f(static_cast<size_t>(c) + 1, inf);
-  for (int j = 0; j <= c; ++j) f[j] = seg_cost(0, cut_at(j));
+  for (int j = 0; j <= c; ++j) f[j] = seg_cost(0, cut_at(j), /*last=*/false);
   for (int s = 1; s < stages; ++s) {
     std::vector<double> g(static_cast<size_t>(c) + 1, inf);
     for (int j = s; j <= c; ++j) {
@@ -222,7 +236,7 @@ PartitionPlan NetPartitioner::partition(int stages) const {
       for (int i = s - 1; i < j; ++i) {
         if (i == c) continue;
         if (f[i] == inf) continue;
-        double v = std::max(f[i], seg_cost(cut_at(i), cut_at(j)));
+        double v = std::max(f[i], seg_cost(cut_at(i), cut_at(j), s == stages - 1));
         if (v < g[j]) {
           g[j] = v;
           choice[s][j] = i;

@@ -45,6 +45,16 @@
 
 namespace sn::graph {
 
+/// How the partition cost model charges stash-and-recompute forwards.
+/// kNone is the legacy balance (forward + backward only) that GPipe-era
+/// cuts were chosen with — kept as the default so existing schedules stay
+/// byte-identical. kAllButLast models the 1F1B steady state: every stage
+/// re-materializes its forward before each backward EXCEPT the last, whose
+/// backward always directly follows its forward (src/dist/schedule_engine).
+/// Without this weighting the last stage runs systematically light and its
+/// saved remat time turns into pipeline idle instead of wall-clock.
+enum class StageRecompute { kNone, kAllButLast };
+
 struct StageSpec {
   int begin = 0;                 ///< first route index of the stage
   int end = 0;                   ///< one past the last route index
@@ -98,8 +108,10 @@ class NetPartitioner {
 
   /// Cost-balanced partition into `stages` contiguous stages over the valid
   /// cuts: minimizes the slowest stage's compute + boundary-link seconds.
-  /// Throws std::invalid_argument when fewer than `stages`-1 valid cuts exist.
-  PartitionPlan partition(int stages) const;
+  /// `recompute` selects how re-materialization weights the balance (see
+  /// StageRecompute). Throws std::invalid_argument when fewer than
+  /// `stages`-1 valid cuts exist.
+  PartitionPlan partition(int stages, StageRecompute recompute = StageRecompute::kNone) const;
 
   /// Explicit-boundary override: `cuts` must be ascending valid cut
   /// positions, each boundary produced inside the immediately preceding
@@ -108,7 +120,9 @@ class NetPartitioner {
 
  private:
   PartitionPlan make_plan(const std::vector<int>& cuts) const;
-  double stage_cost(int begin, int end) const;  ///< compute + outgoing boundary link seconds
+  /// Compute + outgoing boundary link seconds; `remat` adds the stage's
+  /// forward seconds once more (stash-and-recompute steady state).
+  double stage_cost(int begin, int end, bool remat = false) const;
   int scan_boundary_producer(int cut) const;    ///< O(route * fan-in); ctor fills producer_
 
   const Net& net_;
@@ -117,6 +131,7 @@ class NetPartitioner {
   uint64_t device_capacity_ = 0;
   std::vector<int> pos_;         ///< layer id -> route position
   std::vector<double> prefix_;   ///< prefix_[i] = sum of layer_seconds(route[0..i))
+  std::vector<double> fwd_prefix_;  ///< forward-only seconds prefix (remat weighting)
   std::vector<int> producer_;    ///< cut position -> crossing producer (-1 = invalid cut)
   std::vector<int> valid_cuts_;
   /// Memory-awareness inputs per route position: persistent (param +

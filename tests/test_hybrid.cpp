@@ -245,6 +245,90 @@ TEST(HybridParallel, SimModeScalesToZooNets) {
   ASSERT_EQ(rep.cell_stats[0][0].size(), 4u);
 }
 
+TEST(HybridParallel, OneF1BBucketedAllreduceMatchesSingleDeviceBitForBit) {
+  // 2 x 2 x 4 under PipeDream-flush WITH asynchronous bucketed all-reduce:
+  // the schedule engine changes execution order and the update splits into
+  // chained sub-group collectives, yet losses AND weights must still be
+  // bit-identical to the single-device run — bucketing slices the fused
+  // vector, and each element's halving-doubling rank-combine tree is
+  // independent of segmentation.
+  const int kGlobalBatch = 8, kMicrobatches = 4, kIters = 5;
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, parity_train_config(kIters));
+  auto single = trainer.run();
+
+  auto cfg = hybrid_config(2, 2, kMicrobatches, kGlobalBatch, kIters);
+  cfg.schedule = dist::SchedulePolicy::k1F1B;
+  cfg.bucket_bytes = 256;  // tiny buckets: force a real multi-bucket chain
+  dist::HybridParallelTrainer hyb(factory, o, cfg);
+  auto rep = hyb.run();
+
+  for (int s = 0; s < 2; ++s) EXPECT_GT(hyb.buckets(s), 1) << "stage " << s;
+  ASSERT_EQ(single.losses.size(), rep.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], rep.losses[i]) << "iteration " << i;
+  }
+  expect_params_match(rt, hyb);
+}
+
+TEST(HybridParallel, BucketSizeDoesNotChangeResults) {
+  // One mega-bucket vs many tiny buckets: identical trajectories. The
+  // bucket axis is pure overlap mechanics, never numerics.
+  auto run = [](uint64_t bucket_bytes) {
+    auto factory = [](int batch) { return graph::build_tiny_linear(batch, 16); };
+    auto cfg = hybrid_config(2, 2, 4, 8, 4);
+    cfg.schedule = dist::SchedulePolicy::k1F1B;
+    cfg.bucket_bytes = bucket_bytes;
+    dist::HybridParallelTrainer hyb(factory, parity_options(), cfg);
+    return hyb.run().losses;
+  };
+  EXPECT_EQ(run(64ull << 20), run(128));
+}
+
+TEST(HybridParallel, OneF1BMatchesGPipeTrajectoryAndShrinksTheStash) {
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  auto make = [&](dist::SchedulePolicy pol) {
+    auto cfg = hybrid_config(2, 2, 4, 8, 4);
+    cfg.schedule = pol;
+    return std::make_unique<dist::HybridParallelTrainer>(factory, parity_options(), cfg);
+  };
+  auto gpipe = make(dist::SchedulePolicy::kGPipe);
+  auto f1b = make(dist::SchedulePolicy::k1F1B);
+  // M=4 > S=2: 1F1B stashes min(M, S-s+1) = 2 slots, GPipe all 4.
+  EXPECT_LT(f1b->stash_bytes(1), gpipe->stash_bytes(1));
+  EXPECT_EQ(gpipe->run().losses, f1b->run().losses);
+}
+
+TEST(HybridParallel, OneF1BOverlapExposesLessAllreduceInSim) {
+  // The overlap telemetry itself: with bucketed async all-reduce issued at
+  // each stage's last backward, the exposed (non-overlapped) collective
+  // time must not exceed the synchronous GPipe update's exposure.
+  auto exposed = [](dist::SchedulePolicy pol) {
+    auto factory = [](int batch) { return graph::build_vgg(16, batch); };
+    core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+    o.real = false;
+    dist::HybridParallelConfig cfg;
+    cfg.stages = 4;
+    cfg.replicas = 2;
+    cfg.microbatches = 8;
+    cfg.global_batch = 64;
+    cfg.cluster = sim::pcie_cluster_spec(8);
+    cfg.train = parity_train_config(2);
+    cfg.schedule = pol;
+    dist::HybridParallelTrainer hyb(factory, o, cfg);
+    auto rep = hyb.run();
+    return rep.stats.back().allreduce_exposed_seconds;
+  };
+  const double sync_exposed = exposed(dist::SchedulePolicy::kGPipe);
+  const double overlap_exposed = exposed(dist::SchedulePolicy::k1F1B);
+  EXPECT_GT(sync_exposed, 0.0);
+  EXPECT_LT(overlap_exposed, sync_exposed);
+}
+
 TEST(HybridParallel, RejectsBadConfigs) {
   auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
   core::RuntimeOptions o = parity_options();

@@ -219,6 +219,113 @@ TEST(PipelineParallel, TelemetryIsVisiblePerStage) {
   EXPECT_EQ(pipe.runtime(1).step_telemetry().front().replica, 0);
 }
 
+TEST(PipelineParallel, OneF1BMatchesSingleDeviceBitForBit) {
+  // The schedule engine's flagship invariant: changing the EXECUTION ORDER
+  // (PipeDream-flush instead of fill/drain) never changes training results
+  // — gradients are snapshotted per microbatch and combined in ascending-m
+  // pairwise order regardless of when each backward ran.
+  const int kGlobalBatch = 8, kMicrobatches = 4, kIters = 5;
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  core::RuntimeOptions o = parity_options();
+
+  auto net = factory(kGlobalBatch);
+  core::Runtime rt(*net, o);
+  train::Trainer trainer(rt, parity_train_config(kIters));
+  auto single = trainer.run();
+
+  auto cfg = pipe_config(2, kMicrobatches, kGlobalBatch, kIters);
+  cfg.schedule = dist::SchedulePolicy::k1F1B;
+  dist::PipelineParallelTrainer pipe(factory, o, cfg);
+  auto piped = pipe.run();
+
+  ASSERT_EQ(single.losses.size(), piped.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    EXPECT_EQ(single.losses[i], piped.losses[i]) << "iteration " << i;
+  }
+  expect_params_match(rt, pipe);
+}
+
+TEST(PipelineParallel, OneF1BThreeStagesMatchGPipeBitForBit) {
+  // Same net, same data, both policies: identical loss trajectories. A
+  // deeper pipe (S=3) exercises warmup depths 2/1/0 and cooldown remat.
+  auto run = [&](dist::SchedulePolicy pol) {
+    auto factory = [](int batch) { return graph::build_tiny_linear(batch, 16); };
+    auto cfg = pipe_config(3, 4, 8, 5);
+    cfg.schedule = pol;
+    dist::PipelineParallelTrainer pipe(factory, parity_options(), cfg);
+    return pipe.run().losses;
+  };
+  EXPECT_EQ(run(dist::SchedulePolicy::kGPipe), run(dist::SchedulePolicy::k1F1B));
+}
+
+TEST(PipelineParallel, OneF1BStashStaysStrictlyBelowGPipe) {
+  // M > S: 1F1B's peak stashed-input footprint must be STRICTLY below
+  // GPipe's all-M stash on every consuming stage — the memory half of the
+  // PipeDream-flush win, measured on the trainer's real allocation.
+  auto build = [&](dist::SchedulePolicy pol) {
+    auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+    auto cfg = pipe_config(3, 8, 16, 1);
+    cfg.schedule = pol;
+    return std::make_unique<dist::PipelineParallelTrainer>(factory, parity_options(), cfg);
+  };
+  auto gpipe = build(dist::SchedulePolicy::kGPipe);
+  auto f1b = build(dist::SchedulePolicy::k1F1B);
+  EXPECT_EQ(gpipe->stash_bytes(0), 0u);
+  EXPECT_EQ(f1b->stash_bytes(0), 0u);
+  for (int s = 1; s < 3; ++s) {
+    EXPECT_GT(f1b->stash_bytes(s), 0u);
+    EXPECT_LT(f1b->stash_bytes(s), gpipe->stash_bytes(s)) << "stage " << s;
+  }
+  // min(M, S - s + 1) slots vs M.
+  EXPECT_EQ(f1b->schedule().peak_stash_slots(1), 3);
+  EXPECT_EQ(f1b->schedule().peak_stash_slots(2), 2);
+  EXPECT_EQ(gpipe->schedule().peak_stash_slots(1), 8);
+}
+
+TEST(PipelineParallel, OneF1BShrinksTheBubble) {
+  // Steady-state 1F1B keeps every stage busy between warmup and cooldown:
+  // with M >= 2S its bubble fraction lands strictly below GPipe's.
+  auto bubble_fraction = [](dist::SchedulePolicy pol) {
+    auto factory = [](int batch) { return graph::build_mini_alexnet(batch); };
+    core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons);
+    o.real = false;
+    auto cfg = pipe_config(4, 8, 64, 2);
+    cfg.cluster = sim::nvlink_cluster_spec(4);
+    cfg.schedule = pol;
+    dist::PipelineParallelTrainer pipe(factory, o, cfg);
+    auto rep = pipe.run();
+    const auto& st = rep.stats.back();
+    return st.bubble_seconds / (st.seconds * 4);
+  };
+  EXPECT_LT(bubble_fraction(dist::SchedulePolicy::k1F1B),
+            bubble_fraction(dist::SchedulePolicy::kGPipe));
+}
+
+TEST(PipelineParallel, PhaseTelemetryAttributesTheBubble) {
+  // The per-phase split must (a) sum to the total bubble and (b) show the
+  // 1F1B steady state: the last stage never waits in fill under 1F1B once
+  // warmup is folded into steady ops, while GPipe's fill wait is all kFill.
+  auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
+  auto cfg = pipe_config(2, 4, 8, 2);
+  cfg.schedule = dist::SchedulePolicy::k1F1B;
+  dist::PipelineParallelTrainer pipe(factory, parity_options(), cfg);
+  auto rep = pipe.run();
+  for (const auto& st : rep.stage_stats.back()) {
+    EXPECT_DOUBLE_EQ(
+        st.bubble_seconds,
+        st.bubble_fill_seconds + st.bubble_steady_seconds + st.bubble_drain_seconds);
+  }
+  // Per-step telemetry carries the schedule phase and microbatch stamps.
+  bool saw_phase = false;
+  for (const auto& t : pipe.runtime(1).step_telemetry()) {
+    if (t.sched_phase >= 0) {
+      saw_phase = true;
+      EXPECT_GE(t.microbatch, 0);
+    }
+  }
+  EXPECT_TRUE(saw_phase);
+}
+
 TEST(PipelineParallel, RejectsBadConfigs) {
   auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
   core::RuntimeOptions o = parity_options();
