@@ -31,6 +31,7 @@
 #include "dist/data_parallel.hpp"
 #include "dist/hybrid_parallel.hpp"
 #include "dist/pipeline_parallel.hpp"
+#include "util/json_writer.hpp"
 
 using namespace sn;
 
@@ -240,27 +241,31 @@ int main(int argc, char** argv) {
   }
 
   if (json_path) {
-    std::FILE* jf = std::fopen(json_path, "w");
-    if (!jf) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("global_batch").value(kGlobalBatch);
+    w.key("configs").begin_array();
+    for (const Row& r : rows) {
+      w.begin_object(util::JsonWriter::kInline);
+      w.key("net").value(r.net);
+      w.key("kind").value(r.kind);
+      w.key("schedule").value(r.schedule);
+      w.key("stages").value(r.stages);
+      w.key("replicas").value(r.replicas);
+      w.key("microbatches").value(r.microbatches);
+      w.key("seconds").value_sci(r.seconds, 6);
+      w.key("img_per_s").value_fixed(r.img_per_s, 2);
+      w.key("bubble_seconds").value_sci(r.bubble_seconds, 6);
+      w.key("allreduce_seconds").value_sci(r.allreduce_seconds, 6);
+      w.key("allreduce_exposed_seconds").value_sci(r.allreduce_exposed_seconds, 6);
+      w.key("p2p_bytes").value(r.p2p_bytes);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    if (!w.save(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
     }
-    std::fprintf(jf, "{\n  \"global_batch\": %d,\n  \"configs\": [", kGlobalBatch);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(jf,
-                   "%s\n    {\"net\": \"%s\", \"kind\": \"%s\", \"schedule\": \"%s\", "
-                   "\"stages\": %d, \"replicas\": %d, \"microbatches\": %d, "
-                   "\"seconds\": %.6e, \"img_per_s\": %.2f, \"bubble_seconds\": %.6e, "
-                   "\"allreduce_seconds\": %.6e, \"allreduce_exposed_seconds\": %.6e, "
-                   "\"p2p_bytes\": %llu}",
-                   i ? "," : "", r.net.c_str(), r.kind.c_str(), r.schedule.c_str(), r.stages,
-                   r.replicas, r.microbatches, r.seconds, r.img_per_s, r.bubble_seconds,
-                   r.allreduce_seconds, r.allreduce_exposed_seconds,
-                   static_cast<unsigned long long>(r.p2p_bytes));
-    }
-    std::fprintf(jf, "\n  ]\n}\n");
-    std::fclose(jf);
   }
   return (grid_wins && overlap_ok) ? 0 : 1;
 }

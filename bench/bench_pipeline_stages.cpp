@@ -34,6 +34,7 @@
 #include "bench/common.hpp"
 #include "dist/data_parallel.hpp"
 #include "dist/pipeline_parallel.hpp"
+#include "util/json_writer.hpp"
 
 using namespace sn;
 
@@ -198,24 +199,28 @@ int main(int argc, char** argv) {
               "working set exceeds one device's pool.)\n");
 
   if (json_path) {
-    std::FILE* jf = std::fopen(json_path, "w");
-    if (!jf) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("global_batch").value(kGlobalBatch);
+    w.key("configs").begin_array();
+    for (const Row& r : rows) {
+      w.begin_object(util::JsonWriter::kInline);
+      w.key("net").value(r.net);
+      w.key("schedule").value(r.schedule);
+      w.key("stages").value(r.stages);
+      w.key("microbatches").value(r.microbatches);
+      w.key("seconds").value_sci(r.seconds, 6);
+      w.key("bubble_seconds").value_sci(r.bubble_seconds, 6);
+      w.key("bubble_frac").value_fixed(r.bubble_frac, 4);
+      w.key("p2p_bytes").value(r.p2p_bytes);
+      w.key("p2p_seconds").value_sci(r.p2p_seconds, 6);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    if (!w.save(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
     }
-    std::fprintf(jf, "{\n  \"global_batch\": %d,\n  \"configs\": [", kGlobalBatch);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(jf,
-                   "%s\n    {\"net\": \"%s\", \"schedule\": \"%s\", \"stages\": %d, "
-                   "\"microbatches\": %d, \"seconds\": %.6e, \"bubble_seconds\": %.6e, "
-                   "\"bubble_frac\": %.4f, \"p2p_bytes\": %llu, \"p2p_seconds\": %.6e}",
-                   i ? "," : "", r.net.c_str(), r.schedule.c_str(), r.stages, r.microbatches,
-                   r.seconds, r.bubble_seconds, r.bubble_frac,
-                   static_cast<unsigned long long>(r.p2p_bytes), r.p2p_seconds);
-    }
-    std::fprintf(jf, "\n  ]\n}\n");
-    std::fclose(jf);
   }
   return (shrink_ok && onef1b_ok) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "bench/common.hpp"
+#include "util/json_writer.hpp"
 
 using namespace sn;
 
@@ -28,15 +29,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
   }
-  std::FILE* jf = nullptr;
-  if (json_path) {
-    jf = std::fopen(json_path, "w");
-    if (!jf) {
-      std::fprintf(stderr, "cannot write %s\n", json_path);
-      return 1;
-    }
-    std::fprintf(jf, "{\n  \"nets\": [");
-  }
+  // Rows stream into the writer as the sweep runs; saved only with --json.
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("nets").begin_array();
   // Batches in paper-evaluation territory; capacity chosen to force the
   // unified tensor pool to swap (fractions of the 12 GB K40c).
   const NetCase cases[] = {
@@ -50,7 +46,6 @@ int main(int argc, char** argv) {
   std::printf("(lookahead 0 disables prefetch; the paper uses 1)\n\n");
   util::Table t({"network", "batch", "L=0 (ms)", "L=1 (ms)", "L=2 (ms)", "L=3 (ms)", "L=4 (ms)",
                  "best L", "iter@best (ms)"});
-  bool first_net = true;
   for (const auto& c : cases) {
     // Per-depth results; a depth that OOMs (deeper staging raises the
     // resident footprint) gets an OOM cell, the rest still rank.
@@ -79,24 +74,29 @@ int main(int argc, char** argv) {
     t.add_row({c.name, std::to_string(c.batch), cell(0), cell(1), cell(2), cell(3), cell(4),
                best < 0 ? "-" : std::to_string(best),
                best < 0 ? "-" : util::format_double(iters[best] * 1e3, 1)});
-    if (jf) {
-      std::fprintf(jf, "%s\n    {\"name\": \"%s\", \"batch\": %d, \"best_lookahead\": %d, "
-                       "\"stall_ms\": [",
-                   first_net ? "" : ",", c.name, c.batch, best);
-      for (int l = 0; l <= kMaxLookahead; ++l) {
-        std::fprintf(jf, "%s%s", l ? ", " : "",
-                     ok[l] ? util::format_double(stalls[l] * 1e3, 4).c_str() : "null");
+    w.begin_object(util::JsonWriter::kInline);
+    w.key("name").value(c.name);
+    w.key("batch").value(c.batch);
+    w.key("best_lookahead").value(best);
+    w.key("stall_ms").begin_array(util::JsonWriter::kInline);
+    for (int l = 0; l <= kMaxLookahead; ++l) {
+      // format_double tokens pass through raw() so the cells stay byte-for-
+      // byte what the fprintf emitter produced.
+      if (ok[l]) {
+        w.raw(util::format_double(stalls[l] * 1e3, 4));
+      } else {
+        w.value_null();
       }
-      std::fprintf(jf, "]}");
-      first_net = false;
     }
+    w.end_array().end_object();
   }
   t.print();
   std::printf("\nbest L = lookahead minimizing iteration time (stall is the driver;\n"
               "deeper staging can also displace resident tensors).\n");
-  if (jf) {
-    std::fprintf(jf, "\n  ]\n}\n");
-    std::fclose(jf);
+  w.end_array().end_object();
+  if (json_path && !w.save(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
   }
   return 0;
 }

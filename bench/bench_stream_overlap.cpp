@@ -25,6 +25,7 @@
 
 #include "bench/common.hpp"
 #include "core/transfer_engine.hpp"
+#include "util/json_writer.hpp"
 
 using namespace sn;
 
@@ -173,24 +174,29 @@ int main(int argc, char** argv) {
               "IterationStats now carry.)\n");
 
   if (json_path) {
-    if (std::FILE* f = std::fopen(json_path, "w")) {
-      std::fprintf(f, "{\n  \"micro\": {\"serialized_s\": %.9f, \"dual_s\": %.9f, "
-                      "\"d2h_seconds\": %.9f, \"h2d_seconds\": %.9f, \"overlap_ratio\": %.6f},\n",
-                   serialized.drain_s, dual.drain_s, dual.d2h_busy, dual.h2d_busy,
-                   overlap_ratio);
-      std::fprintf(f, "  \"nets\": [");
-      for (size_t i = 0; i < nets.size(); ++i) {
-        const NetResult& r = nets[i];
-        std::fprintf(f,
-                     "%s\n    {\"name\": \"%s\", \"batch\": %d, \"ok\": %s, "
-                     "\"serialized_ms\": %.4f, \"dual_ms\": %.4f, \"d2h_seconds\": %.9f, "
-                     "\"h2d_seconds\": %.9f}",
-                     i ? "," : "", r.name.c_str(), r.batch, r.ok ? "true" : "false",
-                     r.serialized_ms, r.dual_ms, r.d2h_seconds, r.h2d_seconds);
-      }
-      std::fprintf(f, "\n  ]\n}\n");
-      std::fclose(f);
-    } else {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("micro").begin_object(util::JsonWriter::kInline);
+    w.key("serialized_s").value_fixed(serialized.drain_s, 9);
+    w.key("dual_s").value_fixed(dual.drain_s, 9);
+    w.key("d2h_seconds").value_fixed(dual.d2h_busy, 9);
+    w.key("h2d_seconds").value_fixed(dual.h2d_busy, 9);
+    w.key("overlap_ratio").value_fixed(overlap_ratio, 6);
+    w.end_object();
+    w.key("nets").begin_array();
+    for (const NetResult& r : nets) {
+      w.begin_object(util::JsonWriter::kInline);
+      w.key("name").value(r.name);
+      w.key("batch").value(r.batch);
+      w.key("ok").value(r.ok);
+      w.key("serialized_ms").value_fixed(r.serialized_ms, 4);
+      w.key("dual_ms").value_fixed(r.dual_ms, 4);
+      w.key("d2h_seconds").value_fixed(r.d2h_seconds, 9);
+      w.key("h2d_seconds").value_fixed(r.h2d_seconds, 9);
+      w.end_object();
+    }
+    w.end_array().end_object();
+    if (!w.save(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
     }

@@ -44,12 +44,25 @@ if [ -z "$merge_dir" ]; then
   done
 fi
 
+# Fail loudly, naming EVERY missing/empty input, before touching $out — a
+# partial merge would commit a trajectory point that silently dropped a
+# gated bench.
+missing=()
 for b in "${benches[@]}"; do
-  [ -s "$merge_dir/$b.json" ] || { echo "missing $merge_dir/$b.json" >&2; exit 1; }
+  [ -s "$merge_dir/$b.json" ] || missing+=("$merge_dir/$b.json")
 done
+if [ "${#missing[@]}" -gt 0 ]; then
+  for f in "${missing[@]}"; do
+    echo "missing bench output: $f" >&2
+  done
+  echo "refusing to merge ${#missing[@]} missing input(s); $out left untouched" >&2
+  exit 1
+fi
 
 # Merge: one top-level key per bench, bodies embedded verbatim (each bench
 # emits a self-contained JSON object), indented one level for readability.
+# Write to a temp file and move into place so a mid-merge failure can never
+# leave a truncated $out behind.
 {
   printf '{\n'
   printf '  "trajectory_point": 6,\n'
@@ -62,6 +75,7 @@ done
     printf '  "%s": %s' "$b" "$body"
   done
   printf '\n}\n'
-} > "$out"
+} > "$out.tmp"
+mv "$out.tmp" "$out"
 
 echo "wrote $out"

@@ -5,6 +5,7 @@
 //   $ ./build/examples/schedule_report [network] [batch]
 //   $ ./build/examples/schedule_report [network] [batch] --csv
 //   $ ./build/examples/schedule_report [network] [batch] --pipeline S M [--schedule gpipe|1f1b]
+//   $ ./build/examples/schedule_report [network] [batch] --pipeline S M --trace out.json
 //   networks: AlexNet VGG16 VGG19 InceptionV4 ResNet50 ResNet101 ResNet152
 //
 // --csv emits the per-step overlap series instead of the tables: one row per
@@ -16,6 +17,11 @@
 // microbatches (simulated cluster) and breaks each stage's bubble into the
 // fill / steady / drain phases the engine stamps into StepTelemetry — the
 // 1F1B-vs-GPipe comparison surface. With no --schedule both policies print.
+//
+// --trace FILE (with --pipeline) additionally records the replay with
+// obs::TraceRecorder and exports a Perfetto-loadable Chrome-trace JSON.
+// When both policies run, each overwrites FILE — pass --schedule to keep a
+// specific one. trace_report is the richer tool (attribution, hybrid grid).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +33,7 @@
 #include "core/runtime.hpp"
 #include "dist/pipeline_parallel.hpp"
 #include "graph/zoo.hpp"
+#include "obs/chrome_trace.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -60,7 +67,7 @@ const char* phase_name(int ph) {
 // One policy's pipeline run: per-stage phase-split bubble plus a stamped
 // step-trace sample showing the engine's phase/microbatch annotations.
 void pipeline_phase_report(const std::string& name, int batch, int stages, int microbatches,
-                           dist::SchedulePolicy policy) {
+                           dist::SchedulePolicy policy, const std::string& trace_path) {
   dist::PipelineParallelConfig cfg;
   cfg.stages = stages;
   cfg.microbatches = microbatches;
@@ -73,7 +80,19 @@ void pipeline_phase_report(const std::string& name, int batch, int stages, int m
   opts.real = false;
   dist::PipelineParallelTrainer pipe(factory, opts, cfg);
   for (int s = 0; s < stages; ++s) pipe.runtime(s).set_retain_telemetry(true);
+  obs::TraceSession session;
+  if (!trace_path.empty()) pipe.attach_trace(&session);
   auto rep = pipe.run();
+  if (!trace_path.empty()) {
+    if (obs::write_chrome_trace(session, trace_path)) {
+      std::printf("wrote trace %s (%s)\n", trace_path.c_str(),
+                  dist::schedule_policy_name(policy));
+    } else {
+      std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
+      std::exit(1);
+    }
+    pipe.attach_trace(nullptr);
+  }
   const auto& agg = rep.stats.back();
   const auto& per_stage = rep.stage_stats.back();
 
@@ -113,6 +132,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   int pipe_stages = 0, pipe_microbatches = 0;
   std::string sched_arg = "both";
+  std::string trace_path;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
@@ -123,6 +143,9 @@ int main(int argc, char** argv) {
       i += 2;
     } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
       sched_arg = argv[i + 1];
+      ++i;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[i + 1];
       ++i;
     } else {
       pos.push_back(argv[i]);
@@ -136,13 +159,17 @@ int main(int argc, char** argv) {
                 batch, pipe_stages, pipe_microbatches);
     if (sched_arg == "gpipe" || sched_arg == "both") {
       pipeline_phase_report(name, batch, pipe_stages, pipe_microbatches,
-                            dist::SchedulePolicy::kGPipe);
+                            dist::SchedulePolicy::kGPipe, trace_path);
     }
     if (sched_arg == "1f1b" || sched_arg == "both") {
       pipeline_phase_report(name, batch, pipe_stages, pipe_microbatches,
-                            dist::SchedulePolicy::k1F1B);
+                            dist::SchedulePolicy::k1F1B, trace_path);
     }
     return 0;
+  }
+  if (!trace_path.empty()) {
+    std::fprintf(stderr, "--trace requires --pipeline (see trace_report for more)\n");
+    return 2;
   }
 
   if (csv) {

@@ -1,0 +1,228 @@
+// trace_report: run a traced schedule replay over the simulated cluster and
+// AUDIT the bubble/overlap accounting — the obs::TraceAnalyzer re-derives
+// {compute, exposed transfer, bubble-by-phase, exposed collective} from the
+// recorded span DAG and the tool reconciles them against the trainer's own
+// IterationStats scalars, plus a flow audit (every P2P/collective arrow must
+// pair) and the per-iteration critical path. Exits nonzero on any
+// reconciliation or flow-pairing failure, so CI can gate on it.
+//
+//   $ ./build/trace_report [network] [--stages S] [--replicas R]
+//         [--microbatches M] [--batch B] [--schedule gpipe|1f1b]
+//         [--iters N] [--trace out.json] [--metrics out.json]
+//
+// replicas > 1 drives the S x R hybrid grid (per-stage row all-reduces, the
+// exposed-collective surface); replicas == 1 the plain S-stage pipeline.
+// --trace exports the Perfetto-loadable Chrome-trace JSON (wall-clock DMA
+// staging rows included); --metrics exports the analyzer's counters /
+// gauges / stall histogram through the shared util::JsonWriter path.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "dist/hybrid_parallel.hpp"
+#include "dist/pipeline_parallel.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_analyzer.hpp"
+#include "util/json_writer.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace sn;
+
+namespace {
+
+std::string ms(double s) { return util::format_double(s * 1e3, 3); }
+
+core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
+  core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons, cluster.device);
+  o.real = false;
+  return o;
+}
+
+bool within(double a, double b, double eps) { return std::abs(a - b) <= eps; }
+
+/// One reconciliation line; flips `ok` on mismatch.
+void check(const char* what, double trainer, double analyzer, bool* ok) {
+  const bool match = within(trainer, analyzer, 1e-9);
+  std::printf("  %-28s trainer %12.9f s   trace %12.9f s   %s\n", what, trainer, analyzer,
+              match ? "ok" : "MISMATCH");
+  if (!match) *ok = false;
+}
+
+void print_attribution(const obs::TraceAnalyzer& an) {
+  util::Table t({"device", "compute (ms)", "alloc (ms)", "bubble fill (ms)", "steady (ms)",
+                 "drain (ms)", "xfer stall (ms)", "coll stall (ms)", "p2p (ms)"});
+  for (const auto& [dev, a] : an.device_attribution()) {
+    t.add_row({std::to_string(dev), ms(a.compute_seconds), ms(a.alloc_seconds),
+               ms(a.bubble_fill_seconds), ms(a.bubble_steady_seconds), ms(a.bubble_drain_seconds),
+               ms(a.transfer_stall_seconds), ms(a.collective_stall_seconds),
+               ms(a.p2p_seconds)});
+  }
+  t.print();
+}
+
+void print_critical_path(const obs::TraceAnalyzer& an) {
+  const auto path = an.critical_path();
+  double compute = 0.0, stall = 0.0;
+  int hops = 0;
+  for (const auto& step : path) {
+    if (step.kind == obs::SpanKind::kCompute) compute += step.vend - step.vbegin;
+    if (step.kind == obs::SpanKind::kStall) stall += step.vend - step.vbegin;
+    if (step.via_flow != 0) ++hops;
+  }
+  std::printf("critical path: %zu spans, %d cross-device flow hops, %s ms compute / %s ms "
+              "stalled on it\n",
+              path.size(), hops, ms(compute).c_str(), ms(stall).c_str());
+  const size_t show = path.size() < 6 ? path.size() : 6;
+  for (size_t i = path.size() - show; i < path.size(); ++i) {
+    const auto& s = path[i];
+    std::printf("  dev%d %-10s %-12s [%s, %s] ms%s\n", s.device, obs::span_kind_name(s.kind),
+                s.name.c_str(), ms(s.vbegin).c_str(), ms(s.vend).c_str(),
+                s.via_flow ? "  <- flow" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = "VGG16";
+  int stages = 2, replicas = 2, microbatches = 4, batch = 32, iters = 2;
+  std::string sched_arg = "1f1b";
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](int* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      *out = std::atoi(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--stages") == 0) {
+      next(&stages);
+    } else if (std::strcmp(argv[i], "--replicas") == 0) {
+      next(&replicas);
+    } else if (std::strcmp(argv[i], "--microbatches") == 0) {
+      next(&microbatches);
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      next(&batch);
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      next(&iters);
+    } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
+      sched_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (argv[i][0] != '-') {
+      name = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown arg %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const dist::SchedulePolicy policy =
+      sched_arg == "gpipe" ? dist::SchedulePolicy::kGPipe : dist::SchedulePolicy::k1F1B;
+  auto factory = [&](int b) { return bench::build_network(name, b); };
+
+  std::printf("=== trace_report: %s, %dx%d grid, %d microbatches, %s, %d iters ===\n",
+              name.c_str(), stages, replicas, microbatches,
+              dist::schedule_policy_name(policy), iters);
+
+  obs::TraceSession session;
+  // Trainer-side scalars the analyzer must reproduce from spans alone.
+  double bubble_total = 0.0, bubble_fill = 0.0, bubble_steady = 0.0, bubble_drain = 0.0;
+  double exposed_last = 0.0;
+
+  if (replicas > 1) {
+    dist::HybridParallelConfig cfg;
+    cfg.stages = stages;
+    cfg.replicas = replicas;
+    cfg.microbatches = microbatches;
+    cfg.global_batch = batch;
+    cfg.schedule = policy;
+    cfg.cluster = sim::nvlink_cluster_spec(stages * replicas);
+    cfg.train.iterations = iters;
+    dist::HybridParallelTrainer hyb(factory, sim_options(cfg.cluster), cfg);
+    hyb.attach_trace(&session);
+    auto rep = hyb.run();
+    for (const auto& st : rep.stats) {
+      bubble_total += st.bubble_seconds;
+      bubble_fill += st.bubble_fill_seconds;
+      bubble_steady += st.bubble_steady_seconds;
+      bubble_drain += st.bubble_drain_seconds;
+    }
+    exposed_last = rep.stats.back().allreduce_exposed_seconds;
+    hyb.attach_trace(nullptr);
+  } else {
+    dist::PipelineParallelConfig cfg;
+    cfg.stages = stages;
+    cfg.microbatches = microbatches;
+    cfg.global_batch = batch;
+    cfg.schedule = policy;
+    cfg.cluster = sim::nvlink_cluster_spec(stages);
+    cfg.train.iterations = iters;
+    dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
+    pipe.attach_trace(&session);
+    auto rep = pipe.run();
+    for (const auto& st : rep.stats) {
+      bubble_total += st.bubble_seconds;
+      bubble_fill += st.bubble_fill_seconds;
+      bubble_steady += st.bubble_steady_seconds;
+      bubble_drain += st.bubble_drain_seconds;
+    }
+    pipe.attach_trace(nullptr);
+  }
+
+  obs::TraceAnalyzer an(session);
+  print_attribution(an);
+
+  const obs::Attribution total = an.total();
+  std::printf("\nreconciliation (trainer scalars vs span-derived):\n");
+  bool ok = true;
+  check("bubble", bubble_total, total.bubble_seconds, &ok);
+  check("bubble fill", bubble_fill, total.bubble_fill_seconds, &ok);
+  check("bubble steady", bubble_steady, total.bubble_steady_seconds, &ok);
+  check("bubble drain", bubble_drain, total.bubble_drain_seconds, &ok);
+  if (replicas > 1) {
+    // The exposed-collective scalar is per iteration; the span algebra
+    // anchors on the LAST drain-end marker, so compare the final iteration.
+    check("allreduce exposed (last it)", exposed_last, an.exposed_collective_seconds(), &ok);
+  }
+
+  const auto unmatched = an.unmatched_flows();
+  std::printf("flow audit: %zu produced, %zu consumed, %zu unmatched\n", an.flows_produced(),
+              an.flows_consumed(), unmatched.size());
+  if (!unmatched.empty()) ok = false;
+
+  print_critical_path(an);
+
+  if (!trace_path.empty()) {
+    if (!obs::write_chrome_trace(session, trace_path)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry m;
+    an.fill_metrics(m);
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("metrics");
+    m.write_json(w);
+    w.end_object();
+    if (!w.save(metrics_path)) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics %s\n", metrics_path.c_str());
+  }
+
+  std::printf("%s\n", ok ? "AUDIT OK" : "AUDIT FAILED");
+  return ok ? 0 : 1;
+}

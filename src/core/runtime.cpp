@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "util/logging.hpp"
 
@@ -301,6 +302,13 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
   const bool fwd = step.forward;
   regenerated_.clear();
 
+  // Label the machine-level spans this step will emit (compute, allocs and
+  // any transfer stalls materialize/prefetch trigger) before they happen.
+  if (auto* rec = machine_.trace()) {
+    rec->set_op_context(layer->name() + (fwd ? ":f" : ":b"),
+                        obs::schedule_phase_name(sched_phase_), sched_microbatch_);
+  }
+
   auto uses = fwd ? layer->forward_uses() : layer->backward_uses();
   auto defs = fwd ? layer->forward_defs() : layer->backward_defs();
 
@@ -346,6 +354,11 @@ void Runtime::exec_step(const graph::Step& step, const float* input, const int32
   tele.h2d_busy_seconds = machine_.counters().seconds_h2d;
   tele.p2p_busy_seconds = machine_.counters().seconds_p2p;
   tele.compute_seconds = machine_.counters().compute_time;
+  if (telemetry_capacity_ > 0 && telemetry_.size() >= telemetry_capacity_) {
+    const size_t excess = telemetry_.size() - telemetry_capacity_ + 1;
+    telemetry_.erase(telemetry_.begin(), telemetry_.begin() + static_cast<ptrdiff_t>(excess));
+    telemetry_dropped_ += excess;
+  }
   telemetry_.push_back(tele);
 
   lock(uses, false);
@@ -656,6 +669,9 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
 }
 
 void Runtime::apply_sgd(float lr, float momentum, float weight_decay) {
+  if (auto* rec = machine_.trace()) {
+    rec->set_op_context("sgd", obs::schedule_phase_name(sched_phase_), -1);
+  }
   for (const auto& l : net_.layers()) {
     const auto& params = l->params();
     const auto& grads = l->param_grads();

@@ -103,6 +103,12 @@ class Runtime {
   /// step series is readable afterwards. Off by default.
   void set_retain_telemetry(bool retain) { retain_telemetry_ = retain; }
 
+  /// Cap the retained step-telemetry series: once `cap` records exist the
+  /// oldest are evicted (bounds memory on long retained runs). 0 = unbounded
+  /// (the default, preserving historical behaviour).
+  void set_telemetry_capacity(size_t cap) { telemetry_capacity_ = cap; }
+  size_t telemetry_dropped() const { return telemetry_dropped_; }
+
   // --- externally produced tensors (pipeline stage boundaries) --------------
 
   /// Pin a tensor no in-stage layer defines (a P2P landing site: the
@@ -237,6 +243,8 @@ class Runtime {
   bool inference_mode_ = false;
 
   std::vector<StepTelemetry> telemetry_;
+  size_t telemetry_capacity_ = 0;  ///< 0 = unbounded
+  size_t telemetry_dropped_ = 0;   ///< records evicted by the cap
   std::unordered_map<const tensor::Tensor*, std::vector<float>> momentum_;
 };
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "mem/host_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace sn::core {
 
@@ -40,10 +41,15 @@ sim::Event TransferEngine::submit(TransferDir dir, uint64_t tag, const void* src
 }
 
 sim::Event TransferEngine::submit_p2p(uint64_t tag, const void* src, void* dst, uint64_t bytes,
-                                      int peer, double not_before, TransferPriority prio) {
+                                      int peer, double not_before, TransferPriority prio,
+                                      uint64_t flow) {
   assert_submit_owner();
   assert(!pending(TransferDir::kP2P, tag) && "one transfer per (dir, tag) may be in flight");
   sim::Event e = machine_.p2p_copy(peer, bytes, not_before);
+  if (auto* rec = machine_.trace()) {
+    rec->record_copy(obs::SpanKind::kP2P, obs::kStreamP2PBase + peer,
+                     e.done_at - machine_.p2p_seconds(bytes), e.done_at, bytes, flow, "p2p");
+  }
   return track(TransferDir::kP2P, peer, tag, e, src, dst, bytes, prio);
 }
 
@@ -329,8 +335,10 @@ void DmaTransferEngine::run_job(Worker& w, const Job& job) {
   auto* dst = static_cast<std::byte*>(job.dst);
   uint64_t off = 0;
   int buf = 0;
+  int chunk_index = 0;
   while (off < job.bytes) {
     uint64_t chunk = std::min<uint64_t>(staging_bytes_, job.bytes - off);
+    double wbegin = obs::TraceRecorder::wall_now();
     {
       std::unique_lock<std::mutex> lock(w.smu);
       w.scv.wait(lock, [&] { return !w.slot[buf].full; });
@@ -344,8 +352,13 @@ void DmaTransferEngine::run_job(Worker& w, const Job& job) {
     }
     w.scv.notify_all();
     w.staged_chunks.fetch_add(1, std::memory_order_relaxed);
+    if (auto* rec = machine_.trace()) {
+      rec->record_wall_chunk(w.stream, job.seq, chunk_index, chunk, wbegin,
+                             obs::TraceRecorder::wall_now());
+    }
     off += chunk;
     buf ^= 1;
+    ++chunk_index;
   }
   // Job boundary: every staged chunk must reach its destination before the
   // job counts as landed (and before the next job may stage).

@@ -126,9 +126,12 @@ class TransferEngine {
   /// hop k+1 on hop k's arrival this way). Tracked under TransferDir::kP2P;
   /// the async backend runs it on the per-link worker for `peer`, so hops on
   /// distinct links drain concurrently. Requires the machine to be a
-  /// sim::Cluster member.
+  /// sim::Cluster member. `flow` tags the recorded span as a flow producer
+  /// (obs::flow_id_p2p) so the receiver's stall span links back to it; 0
+  /// records no arrow (collective hops).
   sim::Event submit_p2p(uint64_t tag, const void* src, void* dst, uint64_t bytes, int peer,
-                        double not_before, TransferPriority prio = TransferPriority::kNormal);
+                        double not_before, TransferPriority prio = TransferPriority::kNormal,
+                        uint64_t flow = 0);
 
   /// Retire the transfer if it has completed in virtual time (blocking, if
   /// needed, until the bytes have physically landed). Returns true when no

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
 #include "util/pairwise.hpp"
 
 namespace sn::dist {
@@ -108,10 +109,30 @@ AllreduceHandle Communicator::all_reduce_async(const std::vector<float*>& bufs, 
     h.start[static_cast<size_t>(r)] =
         std::max(mach(r).now(), chain_ready_[static_cast<size_t>(r)]);
   }
+  h.trace_seq = bucket_seq_++;
+  // Hop sends stall the SENDING machine at issue (engines_[r]->wait inside
+  // run_*): tag those stalls as collective time, not generic transfer time.
+  for (int r = 0; r < n; ++r) {
+    if (auto* rec = mach(r).trace()) {
+      rec->set_stall_context(obs::StallSource::kCollective, "ar_hop", "", -1, 0);
+    }
+  }
   if (algo == AllreduceAlgo::kHalvingDoubling) {
     run_halving_doubling(bufs, elems, h);
   } else {
     run_ring(bufs, elems, h);
+  }
+  for (int r = 0; r < n; ++r) {
+    if (auto* rec = mach(r).trace()) {
+      rec->clear_stall_context();
+      // One chain span per rank: submit -> hop chain complete, flow-linked to
+      // the await that will consume it.
+      rec->record_copy(obs::SpanKind::kCollective, obs::kStreamCollective,
+                       h.start[static_cast<size_t>(r)], h.ready[static_cast<size_t>(r)],
+                       h.stats.p2p_bytes,
+                       obs::flow_id_collective(h.trace_seq, devices_[static_cast<size_t>(r)]),
+                       "allreduce");
+    }
   }
   chain_ready_ = h.ready;
   return h;
@@ -121,7 +142,13 @@ AllreduceStats Communicator::await(AllreduceHandle& h) {
   const int n = devices();
   if (!h.done) {
     for (int r = 0; r < n; ++r) {
+      if (auto* rec = mach(r).trace()) {
+        rec->set_stall_context(
+            obs::StallSource::kCollective, "ar_await", "", -1,
+            obs::flow_id_collective(h.trace_seq, devices_[static_cast<size_t>(r)]));
+      }
       mach(r).wait_event(sim::Event{h.ready[static_cast<size_t>(r)]});
+      if (auto* rec = mach(r).trace()) rec->clear_stall_context();
       // In-flight latency of the rank's hop chain (submit -> reduction
       // complete), NOT now() - start: when the collective was issued async,
       // the machine keeps computing through the window and now() would

@@ -70,6 +70,7 @@ struct AllreduceHandle {
   std::vector<double> start;   ///< per-rank virtual time the collective left from
   std::vector<double> ready;   ///< per-rank virtual completion time
   bool done = false;           ///< degenerate (1 rank / 0 elems) or awaited
+  uint64_t trace_seq = 0;      ///< bucket sequence (obs flow linkage)
 };
 
 class Communicator {
@@ -145,6 +146,9 @@ class Communicator {
   /// allocate from a disjoint high range (async buckets overlap the drain
   /// and DO coexist with in-flight P2P streams).
   uint64_t next_tag_ = uint64_t{1} << 48;
+  /// Monotone bucket counter: keys the obs collective flow ids (chain span →
+  /// await stall) of each issued all-reduce.
+  uint64_t bucket_seq_ = 0;
 };
 
 }  // namespace sn::dist

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -183,6 +184,21 @@ HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
   }
 }
 
+void HybridParallelTrainer::attach_trace(obs::TraceSession* session) {
+  for (int s = 0; s < cfg_.stages; ++s) {
+    for (int r = 0; r < cfg_.replicas; ++r) {
+      const int d = grid_.device(s, r);
+      if (session) {
+        obs::TraceRecorder& rec = session->recorder_for(d);
+        rec.set_ids(d, s, r);
+        grid_.machine(s, r).set_trace(&rec);
+      } else {
+        grid_.machine(s, r).set_trace(nullptr);
+      }
+    }
+  }
+}
+
 uint64_t HybridParallelTrainer::stash_bytes(int stage) const {
   if (stage == 0) return 0;
   const size_t c = cell(stage, 0);
@@ -200,19 +216,26 @@ void HybridParallelTrainer::send_activation(int s, int r, int m, int slot) {
   // Communicator's collective hops.
   sim::Event ev = engine(s, r).submit_p2p(tag, src, dst, out_t_[c]->bytes(),
                                           grid_.device(s + 1, r), grid_.machine(s, r).now(),
-                                          core::TransferPriority::kHigh);
+                                          core::TransferPriority::kHigh,
+                                          obs::flow_id_p2p(tag, grid_.device(s, r)));
   act_q_[cn].push_back({ev, tag});
   in_flight_.push_back({c, tag});
 }
 
-double HybridParallelTrainer::receive_activation(int s, int r) {
+double HybridParallelTrainer::receive_activation(int s, int r, int phase, int m) {
   const size_t c = cell(s, r);
   sim::Machine& mach = grid_.machine(s, r);
   auto [ev, tag] = act_q_[c].front();
   act_q_[c].pop_front();
+  if (auto* rec = mach.trace()) {
+    rec->set_stall_context(obs::StallSource::kPipelineRecv, "recv_act",
+                           obs::schedule_phase_name(phase), m,
+                           obs::flow_id_p2p(tag, grid_.device(s - 1, r)));
+  }
   const double stall0 = mach.counters().stall_time;
   mach.wait_event(ev);  // virtual gate (deterministic)
   const double stalled = mach.counters().stall_time - stall0;
+  if (auto* rec = mach.trace()) rec->clear_stall_context();
   // Physical gate: the sender's DMA worker must have let go of the bytes.
   engine(s - 1, r).await_landing(core::TransferDir::kP2P, tag);
   runtimes_[c]->mark_external_landed(in_t_[c]);
@@ -226,19 +249,26 @@ void HybridParallelTrainer::send_gradient(int s, int r) {
   float* dst = device_ptr(s - 1, r, out_grad_t_[cp]);
   sim::Event ev = engine(s, r).submit_p2p(tag, src, dst, in_grad_t_[c]->bytes(),
                                           grid_.device(s - 1, r), grid_.machine(s, r).now(),
-                                          core::TransferPriority::kHigh);
+                                          core::TransferPriority::kHigh,
+                                          obs::flow_id_p2p(tag, grid_.device(s, r)));
   grad_q_[cp].push_back({ev, tag});
   in_flight_.push_back({c, tag});
 }
 
-double HybridParallelTrainer::receive_gradient(int s, int r) {
+double HybridParallelTrainer::receive_gradient(int s, int r, int phase, int m) {
   const size_t c = cell(s, r);
   sim::Machine& mach = grid_.machine(s, r);
   auto [ev, tag] = grad_q_[c].front();
   grad_q_[c].pop_front();
+  if (auto* rec = mach.trace()) {
+    rec->set_stall_context(obs::StallSource::kPipelineRecv, "recv_grad",
+                           obs::schedule_phase_name(phase), m,
+                           obs::flow_id_p2p(tag, grid_.device(s + 1, r)));
+  }
   const double stall0 = mach.counters().stall_time;
   mach.wait_event(ev);
   const double stalled = mach.counters().stall_time - stall0;
+  if (auto* rec = mach.trace()) rec->clear_stall_context();
   engine(s + 1, r).await_landing(core::TransferDir::kP2P, tag);
   runtimes_[c]->mark_external_landed(out_grad_t_[c]);
   return stalled;
@@ -320,6 +350,7 @@ HybridParallelReport HybridParallelTrainer::run() {
         case ScheduleOpKind::kForward: {
           for (int r = 0; r < R; ++r) {
             const size_t c = cell(s, r);
+            const double op_v0 = grid_.machine(s, r).now();
             runtimes_[c]->set_schedule_phase(static_cast<int>(op.phase), m);
             // Physical write-after-read gate: the forward overwrites out_t_,
             // which an in-flight activation send may still be reading (see
@@ -328,7 +359,9 @@ HybridParallelReport HybridParallelTrainer::run() {
               engine(s, r).await_landing(core::TransferDir::kP2P,
                                          act_q_[cell(s + 1, r)].back().second);
             }
-            if (s > 0) bubble_ph[c][ph] += receive_activation(s, r);
+            if (s > 0) {
+              bubble_ph[c][ph] += receive_activation(s, r, static_cast<int>(op.phase), m);
+            }
             core::IterationStats f =
                 runtimes_[c]->forward_pass(stage_input(s, r, m), stage_labels(s, r, m));
             accumulate(cell_st[c], f);
@@ -342,12 +375,19 @@ HybridParallelReport HybridParallelTrainer::run() {
             }
             if (s + 1 < S) send_activation(s, r, m, sched_->stash_slot(s + 1, m));
             retire_streams(false);
+            if (auto* rec = grid_.machine(s, r).trace()) {
+              char opname[16];
+              std::snprintf(opname, sizeof(opname), "F%d", m);
+              rec->record_schedule_op(opname, op_v0, grid_.machine(s, r).now(),
+                                      obs::schedule_phase_name(static_cast<int>(op.phase)), m);
+            }
           }
           break;
         }
         case ScheduleOpKind::kBackward: {
           for (int r = 0; r < R; ++r) {
             const size_t c = cell(s, r);
+            const double op_v0 = grid_.machine(s, r).now();
             runtimes_[c]->set_schedule_phase(static_cast<int>(op.phase), m);
             // Physical write-after-read gates: the re-materialization forward
             // overwrites out_t_ and the backward overwrites in_grad_t_ —
@@ -369,7 +409,9 @@ HybridParallelReport HybridParallelTrainer::run() {
                   runtimes_[c]->forward_pass(stage_input(s, r, m), stage_labels(s, r, m));
               accumulate(cell_st[c], rf);
             }
-            if (s + 1 < S) bubble_ph[c][ph] += receive_gradient(s, r);
+            if (s + 1 < S) {
+              bubble_ph[c][ph] += receive_gradient(s, r, static_cast<int>(op.phase), m);
+            }
             core::IterationStats b = runtimes_[c]->backward_pass(stage_labels(s, r, m));
             accumulate(cell_st[c], b);
             if (s + 1 < S) runtimes_[c]->mark_external_pending(out_grad_t_[c]);
@@ -388,6 +430,12 @@ HybridParallelReport HybridParallelTrainer::run() {
               }
             }
             retire_streams(false);
+            if (auto* rec = grid_.machine(s, r).trace()) {
+              char opname[16];
+              std::snprintf(opname, sizeof(opname), "B%d", m);
+              rec->record_schedule_op(opname, op_v0, grid_.machine(s, r).now(),
+                                      obs::schedule_phase_name(static_cast<int>(op.phase)), m);
+            }
           }
           break;
         }
@@ -425,8 +473,21 @@ HybridParallelReport HybridParallelTrainer::run() {
               bufs[static_cast<size_t>(r)] = fused_[cell(s, r)].data() + off;
             }
           }
+          std::vector<double> ar_v0(static_cast<size_t>(R));
+          for (int r = 0; r < R; ++r) {
+            ar_v0[static_cast<size_t>(r)] = grid_.machine(s, r).now();
+          }
           ar_handles[static_cast<size_t>(s)].push_back(
               comms_[static_cast<size_t>(s)]->all_reduce_async(bufs, len));
+          for (int r = 0; r < R; ++r) {
+            if (auto* rec = grid_.machine(s, r).trace()) {
+              char opname[16];
+              std::snprintf(opname, sizeof(opname), "AR%d", op.bucket);
+              rec->record_schedule_op(opname, ar_v0[static_cast<size_t>(r)],
+                                      grid_.machine(s, r).now(),
+                                      obs::schedule_phase_name(static_cast<int>(op.phase)), -1);
+            }
+          }
           break;
         }
       }
@@ -438,7 +499,11 @@ HybridParallelReport HybridParallelTrainer::run() {
     // all-reduce virtual time past this point is EXPOSED (not overlapped).
     double drain_end = 0.0;
     for (int s = 0; s < S; ++s) {
-      for (int r = 0; r < R; ++r) drain_end = std::max(drain_end, grid_.machine(s, r).now());
+      for (int r = 0; r < R; ++r) {
+        const double t = grid_.machine(s, r).now();
+        drain_end = std::max(drain_end, t);
+        if (auto* rec = grid_.machine(s, r).trace()) rec->record_marker("drain-end", t);
+      }
     }
     double ar_end_max = drain_end;
 

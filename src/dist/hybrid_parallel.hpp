@@ -52,6 +52,7 @@
 #include "dist/communicator.hpp"
 #include "dist/schedule_engine.hpp"
 #include "graph/partitioner.hpp"
+#include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "train/dataset.hpp"
 #include "train/trainer.hpp"
@@ -120,6 +121,12 @@ class HybridParallelTrainer {
   sim::GridView& grid() { return grid_; }
   Communicator& stage_communicator(int stage) { return *comms_[static_cast<size_t>(stage)]; }
 
+  /// Attach a trace session: one recorder per grid device (ids stamped with
+  /// the cell's stage/replica), hooked into the cell machines. Pass nullptr
+  /// to detach. Recording is wall-clock-only — the replayed schedule and all
+  /// numerics are unchanged (pinned by test_trace).
+  void attach_trace(obs::TraceSession* session);
+
  private:
   /// Flat cell index, stage-major — matches sim::GridView device numbering.
   size_t cell(int stage, int replica) const {
@@ -136,10 +143,11 @@ class HybridParallelTrainer {
   /// column into the successor cell's stash slot `slot`.
   void send_activation(int s, int r, int m, int slot);
   /// Gate cell (s, r)'s forward on the activation landing; returns the
-  /// compute-stall delta (the bubble share of this wait).
-  double receive_activation(int s, int r);
+  /// compute-stall delta (the bubble share of this wait). `phase`/`m` label
+  /// the recorded stall span (SchedulePhase as int; trace-only).
+  double receive_activation(int s, int r, int phase, int m);
   void send_gradient(int s, int r);
-  double receive_gradient(int s, int r);
+  double receive_gradient(int s, int r, int phase, int m);
   /// Retire sender-side bookkeeping of streamed transfers (opportunistic;
   /// forced at iteration end).
   void retire_streams(bool force);

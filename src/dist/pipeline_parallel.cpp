@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -131,6 +132,18 @@ PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
   }
 }
 
+void PipelineParallelTrainer::attach_trace(obs::TraceSession* session) {
+  for (int s = 0; s < cfg_.stages; ++s) {
+    if (session) {
+      obs::TraceRecorder& rec = session->recorder_for(s);
+      rec.set_ids(s, s, -1);
+      cluster_.machine(s).set_trace(&rec);
+    } else {
+      cluster_.machine(s).set_trace(nullptr);
+    }
+  }
+}
+
 uint64_t PipelineParallelTrainer::stash_bytes(int stage) const {
   if (stage == 0) return 0;
   return static_cast<uint64_t>(sched_.peak_stash_slots(stage)) *
@@ -148,18 +161,24 @@ void PipelineParallelTrainer::send_activation(int s, int m, int slot) {
   // Communicator's collective hops.
   sim::Event ev =
       engine(s).submit_p2p(tag, src, dst, out_t_[static_cast<size_t>(s)]->bytes(), s + 1,
-                           cluster_.machine(s).now(), core::TransferPriority::kHigh);
+                           cluster_.machine(s).now(), core::TransferPriority::kHigh,
+                           obs::flow_id_p2p(tag, s));
   act_q_[static_cast<size_t>(s) + 1].push_back({ev, tag});
   in_flight_.push_back({s, tag});
 }
 
-double PipelineParallelTrainer::receive_activation(int s) {
+double PipelineParallelTrainer::receive_activation(int s, int phase, int m) {
   sim::Machine& mach = cluster_.machine(s);
   auto [ev, tag] = act_q_[static_cast<size_t>(s)].front();
   act_q_[static_cast<size_t>(s)].pop_front();
+  if (auto* rec = mach.trace()) {
+    rec->set_stall_context(obs::StallSource::kPipelineRecv, "recv_act",
+                           obs::schedule_phase_name(phase), m, obs::flow_id_p2p(tag, s - 1));
+  }
   const double stall0 = mach.counters().stall_time;
   mach.wait_event(ev);  // virtual gate (deterministic)
   const double stalled = mach.counters().stall_time - stall0;
+  if (auto* rec = mach.trace()) rec->clear_stall_context();
   // Physical gate: the sender's DMA worker must have let go of the bytes.
   engine(s - 1).await_landing(core::TransferDir::kP2P, tag);
   runtimes_[static_cast<size_t>(s)]->mark_external_landed(in_t_[static_cast<size_t>(s)]);
@@ -172,18 +191,24 @@ void PipelineParallelTrainer::send_gradient(int s) {
   float* dst = device_ptr(s - 1, out_grad_t_[static_cast<size_t>(s) - 1]);
   sim::Event ev =
       engine(s).submit_p2p(tag, src, dst, in_grad_t_[static_cast<size_t>(s)]->bytes(), s - 1,
-                           cluster_.machine(s).now(), core::TransferPriority::kHigh);
+                           cluster_.machine(s).now(), core::TransferPriority::kHigh,
+                           obs::flow_id_p2p(tag, s));
   grad_q_[static_cast<size_t>(s) - 1].push_back({ev, tag});
   in_flight_.push_back({s, tag});
 }
 
-double PipelineParallelTrainer::receive_gradient(int s) {
+double PipelineParallelTrainer::receive_gradient(int s, int phase, int m) {
   sim::Machine& mach = cluster_.machine(s);
   auto [ev, tag] = grad_q_[static_cast<size_t>(s)].front();
   grad_q_[static_cast<size_t>(s)].pop_front();
+  if (auto* rec = mach.trace()) {
+    rec->set_stall_context(obs::StallSource::kPipelineRecv, "recv_grad",
+                           obs::schedule_phase_name(phase), m, obs::flow_id_p2p(tag, s + 1));
+  }
   const double stall0 = mach.counters().stall_time;
   mach.wait_event(ev);
   const double stalled = mach.counters().stall_time - stall0;
+  if (auto* rec = mach.trace()) rec->clear_stall_context();
   engine(s + 1).await_landing(core::TransferDir::kP2P, tag);
   runtimes_[static_cast<size_t>(s)]->mark_external_landed(out_grad_t_[static_cast<size_t>(s)]);
   return stalled;
@@ -248,6 +273,7 @@ PipelineParallelReport PipelineParallelTrainer::run() {
       const size_t ph = static_cast<size_t>(op.phase);
       core::Runtime& rt = *runtimes_[static_cast<size_t>(s)];
       rt.set_schedule_phase(static_cast<int>(op.phase), m);
+      const double op_v0 = cluster_.machine(s).now();
       // Physical write-after-read gate: a forward overwrites out_t_ and a
       // backward overwrites in_grad_t_ — both may still be feeding an
       // in-flight send's DMA read (1F1B runs stage s's backward while its
@@ -266,7 +292,7 @@ PipelineParallelReport PipelineParallelTrainer::run() {
       }
       if (op.kind == ScheduleOpKind::kForward) {
         double stalled = 0.0;
-        if (s > 0) stalled = receive_activation(s);
+        if (s > 0) stalled = receive_activation(s, static_cast<int>(op.phase), m);
         core::IterationStats f = rt.forward_pass(stage_input(s, m), stage_labels(s, m));
         accumulate(stage_st[static_cast<size_t>(s)], f);
         if (s == S - 1) loss_sums[static_cast<size_t>(m)] = f.loss_sum;
@@ -288,7 +314,7 @@ PipelineParallelReport PipelineParallelTrainer::run() {
           core::IterationStats rf = rt.forward_pass(stage_input(s, m), stage_labels(s, m));
           accumulate(stage_st[static_cast<size_t>(s)], rf);
         }
-        if (s + 1 < S) stalled = receive_gradient(s);
+        if (s + 1 < S) stalled = receive_gradient(s, static_cast<int>(op.phase), m);
         core::IterationStats b = rt.backward_pass(stage_labels(s, m));
         accumulate(stage_st[static_cast<size_t>(s)], b);
         if (s + 1 < S) rt.mark_external_pending(out_grad_t_[static_cast<size_t>(s)]);
@@ -309,9 +335,21 @@ PipelineParallelReport PipelineParallelTrainer::run() {
         bubble[static_cast<size_t>(s)] += stalled;
         bubble_ph[static_cast<size_t>(s)][ph] += stalled;
       }
+      if (auto* rec = cluster_.machine(s).trace()) {
+        char opname[16];
+        std::snprintf(opname, sizeof(opname), "%s%d",
+                      op.kind == ScheduleOpKind::kForward ? "F" : "B", m);
+        rec->record_schedule_op(opname, op_v0, cluster_.machine(s).now(),
+                                obs::schedule_phase_name(static_cast<int>(op.phase)), m);
+      }
       retire_streams(false);
     }
     retire_streams(true);
+    for (int s = 0; s < S; ++s) {
+      if (auto* rec = cluster_.machine(s).trace()) {
+        rec->record_marker("drain-end", cluster_.machine(s).now());
+      }
+    }
     for (int s = 0; s < S; ++s) runtimes_[static_cast<size_t>(s)]->set_schedule_phase(-1, -1);
 
     // --- per-stage update: pairwise-combine microbatch grads, then SGD -------

@@ -47,6 +47,7 @@
 #include "core/runtime.hpp"
 #include "dist/schedule_engine.hpp"
 #include "graph/partitioner.hpp"
+#include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "train/dataset.hpp"
 #include "train/trainer.hpp"
@@ -100,6 +101,12 @@ class PipelineParallelTrainer {
   graph::Net& stage_net(int stage) { return *stage_nets_[static_cast<size_t>(stage)]; }
   sim::Cluster& cluster() { return cluster_; }
 
+  /// Attach a trace session: one recorder per stage device, hooked into the
+  /// stage machines. Pass nullptr to detach. Recording is wall-clock-only —
+  /// the replayed schedule and all numerics are unchanged (pinned by
+  /// test_trace).
+  void attach_trace(obs::TraceSession* session);
+
  private:
   core::TransferEngine& engine(int stage) {
     return runtimes_[static_cast<size_t>(stage)]->tensor_pool().engine();
@@ -111,10 +118,11 @@ class PipelineParallelTrainer {
   /// into the successor's stash slot `slot`.
   void send_activation(int s, int m, int slot);
   /// Gate stage `s`'s forward on the activation landing; returns the
-  /// compute-stall delta (the bubble share of this wait).
-  double receive_activation(int s);
+  /// compute-stall delta (the bubble share of this wait). `phase`/`m` label
+  /// the recorded stall span (SchedulePhase as int; trace-only).
+  double receive_activation(int s, int phase, int m);
   void send_gradient(int s);
-  double receive_gradient(int s);
+  double receive_gradient(int s, int phase, int m);
   /// Retire sender-side bookkeeping of streamed transfers (opportunistic;
   /// forced at iteration end).
   void retire_streams(bool force);

@@ -1,0 +1,196 @@
+#include "obs/trace_analyzer.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace sn::obs {
+
+const std::vector<double>& TraceAnalyzer::stall_histogram_bounds() {
+  // Fixed decades from 1µs to 100ms; pinned by test_trace.
+  static const std::vector<double> bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+  return bounds;
+}
+
+TraceAnalyzer::TraceAnalyzer(const TraceSession& session) {
+  for (int dev : session.devices()) {
+    const TraceRecorder* rec = session.recorder(dev);
+    std::vector<TraceSpan> spans = rec->spans();
+    Attribution& a = per_device_[dev];
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const TraceSpan& s = spans[i];
+      const double dur = s.vend - s.vbegin;
+      span_counts_[s.kind]++;
+      switch (s.kind) {
+        case SpanKind::kCompute: a.compute_seconds += dur; break;
+        case SpanKind::kAlloc: a.alloc_seconds += dur; break;
+        case SpanKind::kH2D: a.h2d_seconds += dur; break;
+        case SpanKind::kD2H: a.d2h_seconds += dur; break;
+        case SpanKind::kP2P: a.p2p_seconds += dur; break;
+        case SpanKind::kCollective:
+          collective_end_ = std::max(collective_end_, s.vend);
+          break;
+        case SpanKind::kStall:
+          a.stall_seconds += dur;
+          switch (s.stall) {
+            case StallSource::kPipelineRecv:
+              a.bubble_seconds += dur;
+              if (s.phase == "fill") a.bubble_fill_seconds += dur;
+              if (s.phase == "steady") a.bubble_steady_seconds += dur;
+              if (s.phase == "drain") a.bubble_drain_seconds += dur;
+              break;
+            case StallSource::kCollective:
+              a.collective_stall_seconds += dur;
+              collective_end_ = std::max(collective_end_, s.vend);
+              break;
+            default: a.transfer_stall_seconds += dur; break;
+          }
+          break;
+        case SpanKind::kScheduleOp:
+          if (s.name == "drain-end") {
+            have_drain_marker_ = true;
+            drain_end_ = std::max(drain_end_, s.vend);
+          }
+          break;
+      }
+      if (s.flow_out != 0) producers_.emplace(s.flow_out, SpanRef{dev, i});
+      if (s.flow_in != 0) consumers_.emplace(s.flow_in, SpanRef{dev, i});
+    }
+    spans_by_device_.emplace(dev, std::move(spans));
+  }
+}
+
+const TraceSpan& TraceAnalyzer::span(const SpanRef& r) const {
+  return spans_by_device_.at(r.device)[r.index];
+}
+
+Attribution TraceAnalyzer::total() const {
+  Attribution t;
+  for (const auto& [dev, a] : per_device_) {
+    t.compute_seconds += a.compute_seconds;
+    t.alloc_seconds += a.alloc_seconds;
+    t.stall_seconds += a.stall_seconds;
+    t.transfer_stall_seconds += a.transfer_stall_seconds;
+    t.bubble_seconds += a.bubble_seconds;
+    t.bubble_fill_seconds += a.bubble_fill_seconds;
+    t.bubble_steady_seconds += a.bubble_steady_seconds;
+    t.bubble_drain_seconds += a.bubble_drain_seconds;
+    t.collective_stall_seconds += a.collective_stall_seconds;
+    t.h2d_seconds += a.h2d_seconds;
+    t.d2h_seconds += a.d2h_seconds;
+    t.p2p_seconds += a.p2p_seconds;
+  }
+  return t;
+}
+
+double TraceAnalyzer::exposed_collective_seconds() const {
+  if (!have_drain_marker_) return 0.0;
+  return std::max(0.0, collective_end_ - drain_end_);
+}
+
+std::vector<uint64_t> TraceAnalyzer::unmatched_flows() const {
+  std::vector<uint64_t> out;
+  for (const auto& [id, ref] : producers_) {
+    if (!consumers_.count(id)) out.push_back(id);
+  }
+  for (const auto& [id, ref] : consumers_) {
+    if (!producers_.count(id)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CriticalStep> TraceAnalyzer::critical_path() const {
+  // Start from the latest-finishing span on any device; walk backwards
+  // choosing the binding predecessor: the flow producer (for flow-linked
+  // stalls) or the previous span on the same (device, stream), whichever
+  // ends later — that is the dependency that set this span's start time.
+  std::vector<CriticalStep> path;
+  SpanRef cur{-1, 0};
+  double best_end = -1.0;
+  for (const auto& [dev, spans] : spans_by_device_) {
+    for (size_t i = 0; i < spans.size(); ++i) {
+      // Schedule-row spans shadow the machine-level work they wrap; skip.
+      if (spans[i].kind == SpanKind::kScheduleOp) continue;
+      if (spans[i].vend > best_end) {
+        best_end = spans[i].vend;
+        cur = SpanRef{dev, i};
+      }
+    }
+  }
+  if (cur.device < 0) return path;
+
+  uint64_t via_flow = 0;
+  const size_t kMaxSteps = 4096;  // cycle/degenerate-trace guard
+  while (path.size() < kMaxSteps) {
+    const TraceSpan& s = span(cur);
+    path.push_back(CriticalStep{s.device, s.kind, s.stall, s.name, s.vbegin, s.vend, via_flow});
+    via_flow = 0;
+
+    // Candidate 1: previous span on the same (device, stream) ending at or
+    // before this span's start (record order is time order per stream).
+    bool have_prev = false;
+    SpanRef prev{cur.device, 0};
+    const auto& spans = spans_by_device_.at(cur.device);
+    for (size_t i = cur.index; i-- > 0;) {
+      if (spans[i].kind == SpanKind::kScheduleOp) continue;
+      if (spans[i].stream != s.stream) continue;
+      if (spans[i].vend <= s.vbegin + 1e-12) {
+        prev = SpanRef{cur.device, i};
+        have_prev = true;
+      }
+      break;  // nearest same-stream predecessor only
+    }
+    // Candidate 2: the flow producer (cross-device dependency).
+    bool have_flow = false;
+    SpanRef flow_src{-1, 0};
+    if (s.flow_in != 0) {
+      auto it = producers_.find(s.flow_in);
+      if (it != producers_.end()) {
+        flow_src = it->second;
+        have_flow = true;
+      }
+    }
+    if (have_flow && (!have_prev || span(flow_src).vend >= span(prev).vend)) {
+      via_flow = s.flow_in;
+      cur = flow_src;
+    } else if (have_prev) {
+      cur = prev;
+    } else {
+      break;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void TraceAnalyzer::fill_metrics(MetricsRegistry& m) const {
+  for (const auto& [kind, count] : span_counts_) {
+    m.counter_add(std::string("spans.") + span_kind_name(kind), count);
+  }
+  m.counter_add("flows.produced", producers_.size());
+  m.counter_add("flows.consumed", consumers_.size());
+  m.counter_add("flows.unmatched", unmatched_flows().size());
+
+  Attribution t = total();
+  m.gauge_set("attr.compute_seconds", t.compute_seconds);
+  m.gauge_set("attr.alloc_seconds", t.alloc_seconds);
+  m.gauge_set("attr.stall_seconds", t.stall_seconds);
+  m.gauge_set("attr.transfer_stall_seconds", t.transfer_stall_seconds);
+  m.gauge_set("attr.bubble_seconds", t.bubble_seconds);
+  m.gauge_set("attr.bubble_fill_seconds", t.bubble_fill_seconds);
+  m.gauge_set("attr.bubble_steady_seconds", t.bubble_steady_seconds);
+  m.gauge_set("attr.bubble_drain_seconds", t.bubble_drain_seconds);
+  m.gauge_set("attr.collective_stall_seconds", t.collective_stall_seconds);
+  m.gauge_set("attr.exposed_collective_seconds", exposed_collective_seconds());
+
+  for (const auto& [dev, spans] : spans_by_device_) {
+    for (const TraceSpan& s : spans) {
+      if (s.kind != SpanKind::kStall) continue;
+      m.histogram_observe("stall_duration_seconds", stall_histogram_bounds(),
+                          s.vend - s.vbegin);
+    }
+  }
+}
+
+}  // namespace sn::obs

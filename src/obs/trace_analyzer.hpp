@@ -1,0 +1,106 @@
+// TraceAnalyzer: walks a recorded span DAG (per-stream order + flow edges)
+// and attributes timeline seconds to {compute, exposed transfer,
+// bubble-by-phase, exposed collective} — the same quantities
+// core::IterationStats reports as aggregate scalars, derived independently
+// from the spans. test_trace reconciles the two within epsilon on
+// single-device, pipeline and hybrid runs, which makes the bubble/overlap
+// accounting self-auditing: a mis-charged wait shows up as a reconciliation
+// failure, not a silently wrong scalar.
+//
+// Contracts this leans on (all pinned by the recording hooks):
+//   * Every compute-stream advance is exactly one of {kCompute, kAlloc,
+//     kStall} — so per device Σ durations == machine clock motion.
+//   * Bubble == Σ kStall(kPipelineRecv), phase-split by the span's phase tag.
+//   * Exposed collective == max vend over {kCollective chain spans,
+//     kStall(kCollective) spans} minus the "drain-end" marker, clamped at 0 —
+//     algebraically the trainers' max(0, ar_end_max - drain_end).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace sn::obs {
+
+class MetricsRegistry;
+
+/// Per-device (or summed) second-by-kind attribution.
+struct Attribution {
+  double compute_seconds = 0.0;          ///< Σ kCompute
+  double alloc_seconds = 0.0;            ///< Σ kAlloc (native malloc/free)
+  double stall_seconds = 0.0;            ///< Σ kStall, every source
+  double transfer_stall_seconds = 0.0;   ///< kStall(kTransfer): exposed DMA
+  double bubble_seconds = 0.0;           ///< kStall(kPipelineRecv)
+  double bubble_fill_seconds = 0.0;
+  double bubble_steady_seconds = 0.0;
+  double bubble_drain_seconds = 0.0;
+  double collective_stall_seconds = 0.0; ///< kStall(kCollective)
+  double h2d_seconds = 0.0;              ///< Σ kH2D copy occupancy
+  double d2h_seconds = 0.0;
+  double p2p_seconds = 0.0;              ///< Σ kP2P link occupancy (sent)
+};
+
+/// One hop of the per-iteration critical path (latest-finishing span walked
+/// backwards; via_flow != 0 marks a cross-device jump along a flow edge).
+struct CriticalStep {
+  int device = -1;
+  SpanKind kind = SpanKind::kCompute;
+  StallSource stall = StallSource::kNone;
+  std::string name;
+  double vbegin = 0.0;
+  double vend = 0.0;
+  uint64_t via_flow = 0;
+};
+
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const TraceSession& session);
+
+  const std::map<int, Attribution>& device_attribution() const { return per_device_; }
+  /// Element-wise sum of every device's attribution.
+  Attribution total() const;
+
+  /// Latest "drain-end" marker across devices (0 when none was recorded).
+  double drain_end() const { return drain_end_; }
+  /// Collective virtual time extending past the drain (the trainers'
+  /// allreduce_exposed_seconds); 0 without a drain-end anchor.
+  double exposed_collective_seconds() const;
+
+  /// Critical path, earliest hop first.
+  std::vector<CriticalStep> critical_path() const;
+
+  // --- flow audit ----------------------------------------------------------
+  size_t flows_produced() const { return producers_.size(); }
+  size_t flows_consumed() const { return consumers_.size(); }
+  /// Flow ids with a producer but no consumer, or vice versa (sorted).
+  std::vector<uint64_t> unmatched_flows() const;
+
+  /// Export the attribution + flow audit into a registry: counters
+  /// (span totals per kind, flow pairing), gauges (attribution seconds) and
+  /// the pinned-bucket stall-duration histogram.
+  void fill_metrics(MetricsRegistry& m) const;
+
+  /// Fixed stall-duration histogram bounds (seconds) — pinned by test_trace.
+  static const std::vector<double>& stall_histogram_bounds();
+
+ private:
+  struct SpanRef {
+    int device;
+    size_t index;  ///< into spans_by_device_ at device
+  };
+  const TraceSpan& span(const SpanRef& r) const;
+
+  std::map<int, std::vector<TraceSpan>> spans_by_device_;
+  std::map<int, Attribution> per_device_;
+  std::map<uint64_t, SpanRef> producers_;  ///< flow id -> producing span
+  std::map<uint64_t, SpanRef> consumers_;  ///< flow id -> consuming span
+  double drain_end_ = 0.0;
+  bool have_drain_marker_ = false;
+  double collective_end_ = 0.0;  ///< max vend over collective chain + stalls
+  std::map<SpanKind, uint64_t> span_counts_;
+};
+
+}  // namespace sn::obs

@@ -124,4 +124,9 @@ Event Machine::p2p_copy(int dst, uint64_t bytes, double not_before) {
   return cluster_->p2p_copy(device_id_, dst, bytes, not_before);
 }
 
+double Machine::p2p_seconds(uint64_t bytes) const {
+  assert(cluster_ && "p2p_seconds requires cluster membership");
+  return cluster_->p2p_seconds(bytes);
+}
+
 }  // namespace sn::sim

@@ -1,5 +1,7 @@
 #include "sim/machine.hpp"
 
+#include "obs/trace.hpp"
+
 namespace sn::sim {
 
 DeviceSpec k40c_spec() {
@@ -23,6 +25,7 @@ DeviceSpec titan_xp_spec() {
 void Machine::run_compute(double seconds) {
   compute_.enqueue(seconds, compute_.busy_until());
   counters_.compute_time += seconds;
+  if (auto* rec = trace()) rec->record_compute(now() - seconds, now());
 }
 
 void Machine::native_malloc(uint64_t bytes) {
@@ -31,12 +34,14 @@ void Machine::native_malloc(uint64_t bytes) {
   compute_.enqueue(t, compute_.busy_until());
   counters_.native_mallocs++;
   counters_.malloc_time += t;
+  if (auto* rec = trace()) rec->record_alloc("malloc", now() - t, now(), bytes);
 }
 
 void Machine::native_free() {
   compute_.enqueue(spec_.free_base_s, compute_.busy_until());
   counters_.native_frees++;
   counters_.malloc_time += spec_.free_base_s;
+  if (auto* rec = trace()) rec->record_alloc("free", now() - spec_.free_base_s, now(), 0);
 }
 
 double Machine::copy_seconds(CopyDir dir, uint64_t bytes, bool pinned) const {
@@ -57,6 +62,12 @@ Event Machine::async_copy(CopyDir dir, uint64_t bytes, bool pinned) {
     counters_.copies_d2h++;
     counters_.seconds_d2h += seconds;
   }
+  if (auto* rec = trace()) {
+    bool h2d = dir == CopyDir::kH2D;
+    rec->record_copy(h2d ? obs::SpanKind::kH2D : obs::SpanKind::kD2H,
+                     h2d ? obs::kStreamH2D : obs::kStreamD2H, done - seconds, done, bytes, 0,
+                     h2d ? "h2d" : "d2h");
+  }
   return Event{done};
 }
 
@@ -66,6 +77,7 @@ void Machine::wait_event(const Event& e) {
     counters_.stall_time += e.done_at - t;
     compute_.enqueue(e.done_at - t, t);
   }
+  if (auto* rec = trace()) rec->record_wait(t, now());
 }
 
 void Machine::reset() {

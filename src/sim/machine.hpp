@@ -9,9 +9,14 @@
 // free" under subsequent compute.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "sim/device_spec.hpp"
+
+namespace sn::obs {
+class TraceRecorder;
+}
 
 namespace sn::sim {
 
@@ -136,9 +141,18 @@ class Machine {
 
   double copy_seconds(CopyDir dir, uint64_t bytes, bool pinned) const;
 
+  /// Link seconds a P2P transfer of `bytes` occupies (cluster members only).
+  double p2p_seconds(uint64_t bytes) const;
+
   const MachineCounters& counters() const { return counters_; }
   const StreamSet& dma_streams() const { return dma_; }
   void reset();
+
+  /// Attach/detach an observability recorder. Atomic because DMA worker
+  /// threads read it while the driving thread may swap it; recording is
+  /// wall-clock-only bookkeeping and never perturbs virtual time.
+  void set_trace(obs::TraceRecorder* rec) { trace_.store(rec, std::memory_order_release); }
+  obs::TraceRecorder* trace() const { return trace_.load(std::memory_order_acquire); }
 
  private:
   DeviceSpec spec_;
@@ -147,6 +161,7 @@ class Machine {
   Stream compute_;
   StreamSet dma_;               ///< per-direction copy-engine streams
   MachineCounters counters_;
+  std::atomic<obs::TraceRecorder*> trace_{nullptr};
 };
 
 }  // namespace sn::sim

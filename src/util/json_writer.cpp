@@ -1,0 +1,168 @@
+#include "util/json_writer.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace sn::util {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent(size_t depth) {
+  out_ += '\n';
+  out_.append(depth * static_cast<size_t>(indent_width_), ' ');
+}
+
+void JsonWriter::pre_value() {
+  if (pending_key_) {
+    pending_key_ = false;  // `"key": ` already emitted
+    return;
+  }
+  if (stack_.empty()) return;  // top-level value
+  Frame& f = stack_.back();
+  assert(!f.is_object && "object members need key() before the value");
+  if (f.inline_style) {
+    if (f.count > 0) out_ += ", ";
+  } else {
+    if (f.count > 0) out_ += ',';
+    indent(stack_.size());
+  }
+  f.count++;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  assert(!stack_.empty() && stack_.back().is_object && "key() outside an object");
+  Frame& f = stack_.back();
+  if (f.inline_style) {
+    if (f.count > 0) out_ += ", ";
+  } else {
+    if (f.count > 0) out_ += ',';
+    indent(stack_.size());
+  }
+  f.count++;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(Style style) {
+  bool parent_inline = !stack_.empty() && stack_.back().inline_style;
+  pre_value();
+  stack_.push_back(Frame{true, style == kInline || parent_inline, 0});
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back().is_object);
+  Frame f = stack_.back();
+  stack_.pop_back();
+  if (!f.inline_style && f.count > 0) indent(stack_.size());
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(Style style) {
+  bool parent_inline = !stack_.empty() && stack_.back().inline_style;
+  pre_value();
+  stack_.push_back(Frame{false, style == kInline || parent_inline, 0});
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && !stack_.back().is_object);
+  Frame f = stack_.back();
+  stack_.pop_back();
+  if (!f.inline_style && f.count > 0) indent(stack_.size());
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  pre_value();
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  pre_value();
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  pre_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& token) {
+  pre_value();
+  out_ += token;
+  return *this;
+}
+
+bool JsonWriter::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace sn::util

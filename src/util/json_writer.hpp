@@ -1,0 +1,75 @@
+// Streaming JSON writer shared by the bench emitters and the obs trace /
+// metrics exporters. One escaping + nesting implementation instead of the
+// hand-rolled fprintf blocks each bench used to carry.
+//
+// Containers open in one of two styles:
+//   * kBlock  — every element on its own line, indented (the outer shape the
+//     benches emit: readable diffs in committed BENCH_*.json files).
+//   * kInline — elements joined by ", " on one line (the per-row objects and
+//     small numeric arrays). A container nested inside an inline container is
+//     forced inline.
+// Keys always render as `"key": value` — a space after the colon — because
+// CI greps gate on that exact byte shape (e.g. '"schedule": "1f1b"').
+//
+// Number formatting is explicit (value_fixed / value_sci) so emitters stay
+// byte-stable across runs and compilers; raw() passes through a token that
+// was formatted elsewhere (util::format_double cells, "null").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sn::util {
+
+class JsonWriter {
+ public:
+  enum Style { kBlock, kInline };
+
+  explicit JsonWriter(int indent_width = 2) : indent_width_(indent_width) {}
+
+  JsonWriter& begin_object(Style style = kBlock);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(Style style = kBlock);
+  JsonWriter& end_array();
+
+  /// Emit `"k": ` — must be inside an object, directly before the value.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);  ///< escaped, quoted
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value_fixed(double v, int precision);  ///< printf %.Nf
+  JsonWriter& value_sci(double v, int precision);    ///< printf %.Ne
+  JsonWriter& value_null();
+  /// Pre-formatted token (a number formatted elsewhere); emitted verbatim.
+  JsonWriter& raw(const std::string& token);
+
+  /// The document so far; complete once every container is closed.
+  const std::string& str() const { return out_; }
+
+  /// Write str() plus a trailing newline to `path`; false on I/O failure.
+  bool save(const std::string& path) const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool inline_style = false;
+    size_t count = 0;
+  };
+
+  void pre_value();  ///< separator + newline/indent bookkeeping
+  void indent(size_t depth);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  int indent_width_;
+  bool pending_key_ = false;
+};
+
+}  // namespace sn::util
