@@ -18,7 +18,13 @@
 // allreduce_exposed_seconds is the collective time left sticking out past
 // the drain; the bench gates on 1F1B exposing less than GPipe.
 //
+// With --repeats N every measured config runs N times and each JSON row
+// carries {repeats, seconds_lo, seconds_hi} alongside the median "seconds",
+// so the committed trajectory point records its own noise band for
+// trajectory_diff to judge future deltas against.
+//
 //   ./bench_hybrid_grid [--json out.json] [--schedule gpipe|1f1b|both]
+//                       [--repeats N]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -50,7 +56,26 @@ struct Row {
   double allreduce_seconds = 0.0;
   double allreduce_exposed_seconds = 0.0;
   uint64_t p2p_bytes = 0;
+  int repeats = 1;
+  double seconds_lo = 0.0;
+  double seconds_hi = 0.0;
 };
+
+/// Re-run the config repeats-1 more times via run_once (returning seconds),
+/// then record median + extremes on the row. The table and gates use the
+/// first run's full stats; the JSON row records the dispersion.
+template <class RunOnce>
+void add_dispersion(Row* r, int repeats, int global_batch, RunOnce run_once) {
+  std::vector<double> samples{r->seconds};
+  for (int i = 1; i < repeats; ++i) samples.push_back(run_once());
+  std::sort(samples.begin(), samples.end());
+  size_t n = samples.size();
+  r->repeats = static_cast<int>(n);
+  r->seconds = n % 2 == 1 ? samples[n / 2] : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  r->seconds_lo = samples.front();
+  r->seconds_hi = samples.back();
+  r->img_per_s = global_batch / r->seconds;
+}
 
 core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
   core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons, cluster.device);
@@ -63,9 +88,15 @@ core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
   std::string sched_arg = "both";
+  int repeats = 1;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     if (std::strcmp(argv[i], "--schedule") == 0) sched_arg = argv[i + 1];
+    if (std::strcmp(argv[i], "--repeats") == 0) repeats = std::atoi(argv[i + 1]);
+  }
+  if (repeats < 1) {
+    std::fprintf(stderr, "--repeats must be >= 1\n");
+    return 1;
   }
   std::vector<dist::SchedulePolicy> policies;
   if (sched_arg == "gpipe" || sched_arg == "both") {
@@ -109,6 +140,10 @@ int main(int argc, char** argv) {
       auto st = bench::run_sim_iteration(*net, sim_options(cs));
       Row r{name, "single", "-", 1, 1, 1, st.seconds, kGlobalBatch / st.seconds,
             0.0,  0.0,      0.0, 0};
+      add_dispersion(&r, repeats, kGlobalBatch, [&] {
+        auto n2 = bench::build_network(name, kGlobalBatch);
+        return bench::run_sim_iteration(*n2, sim_options(cs)).seconds;
+      });
       rows.push_back(r);
       t.add_row({name, "1 device", "-", "1", util::format_double(r.seconds * 1e3, 1),
                  util::format_double(r.img_per_s, 1), "0.000", "0.00", "0.00", "0.0"});
@@ -128,6 +163,10 @@ int main(int argc, char** argv) {
             st.seconds, kGlobalBatch / st.seconds,
             0.0,        st.allreduce_seconds,
             0.0,        st.p2p_bytes};
+      add_dispersion(&r, repeats, kGlobalBatch, [&] {
+        dist::DataParallelTrainer again(factory, sim_options(cfg.cluster), cfg);
+        return again.run().stats.back().seconds;
+      });
       rows.push_back(r);
       dp2_imgs = r.img_per_s;
       t.add_row({name, "1 x 2 (pure DP)", "-", "2", util::format_double(r.seconds * 1e3, 1),
@@ -157,6 +196,10 @@ int main(int argc, char** argv) {
             st.seconds, kGlobalBatch / st.seconds,
             st.bubble_seconds, 0.0,
             0.0,        st.p2p_bytes};
+      add_dispersion(&r, repeats, kGlobalBatch, [&] {
+        dist::PipelineParallelTrainer again(factory, sim_options(cfg.cluster), cfg);
+        return again.run().stats.back().seconds;
+      });
       rows.push_back(r);
       pipe2_imgs = r.img_per_s;
       t.add_row({name, "2 x 1 (pure pipeline)", "-", "2",
@@ -191,6 +234,10 @@ int main(int argc, char** argv) {
               st.seconds, kGlobalBatch / st.seconds,
               st.bubble_seconds, st.allreduce_seconds,
               st.allreduce_exposed_seconds, st.p2p_bytes};
+        add_dispersion(&r, repeats, kGlobalBatch, [&] {
+          dist::HybridParallelTrainer again(factory, sim_options(cfg.cluster), cfg);
+          return again.run().stats.back().seconds;
+        });
         rows.push_back(r);
         exposed_by_cfg[{name, g.stages, g.replicas, pname}] = r.allreduce_exposed_seconds;
         if (g.stages == 2 && g.replicas == 2 && r.img_per_s > dp2_imgs &&
@@ -254,6 +301,9 @@ int main(int argc, char** argv) {
       w.key("replicas").value(r.replicas);
       w.key("microbatches").value(r.microbatches);
       w.key("seconds").value_sci(r.seconds, 6);
+      w.key("repeats").value(r.repeats);
+      w.key("seconds_lo").value_sci(r.seconds_lo, 6);
+      w.key("seconds_hi").value_sci(r.seconds_hi, 6);
       w.key("img_per_s").value_fixed(r.img_per_s, 2);
       w.key("bubble_seconds").value_sci(r.bubble_seconds, 6);
       w.key("allreduce_seconds").value_sci(r.allreduce_seconds, 6);

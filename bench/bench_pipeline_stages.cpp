@@ -22,7 +22,13 @@
 // pipeline neighbor), p2p_bytes / p2p_seconds (boundary activation +
 // gradient streaming).
 //
+// With --repeats N every measured config runs N times and each JSON row
+// carries {repeats, seconds_lo, seconds_hi} alongside the median "seconds",
+// so the committed trajectory point records its own noise band for
+// trajectory_diff to judge future deltas against.
+//
 //   ./bench_pipeline_stages [--json out.json] [--schedule gpipe|1f1b|both]
+//                           [--repeats N]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -50,7 +56,21 @@ struct Row {
   double bubble_frac = 0.0;
   uint64_t p2p_bytes = 0;
   double p2p_seconds = 0.0;
+  int repeats = 1;
+  double seconds_lo = 0.0;
+  double seconds_hi = 0.0;
 };
+
+/// Median + extremes over per-repeat samples; the table and gates use the
+/// first repeat's full stats, the JSON row records the dispersion.
+void fill_dispersion(Row* r, std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  size_t n = samples.size();
+  r->repeats = static_cast<int>(n);
+  r->seconds = n % 2 == 1 ? samples[n / 2] : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  r->seconds_lo = samples.front();
+  r->seconds_hi = samples.back();
+}
 
 core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
   core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons, cluster.device);
@@ -63,9 +83,15 @@ core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
   std::string sched_arg = "both";
+  int repeats = 1;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     if (std::strcmp(argv[i], "--schedule") == 0) sched_arg = argv[i + 1];
+    if (std::strcmp(argv[i], "--repeats") == 0) repeats = std::atoi(argv[i + 1]);
+  }
+  if (repeats < 1) {
+    std::fprintf(stderr, "--repeats must be >= 1\n");
+    return 1;
   }
   std::vector<dist::SchedulePolicy> policies;
   if (sched_arg == "gpipe" || sched_arg == "both") {
@@ -98,12 +124,17 @@ int main(int argc, char** argv) {
     // Single-device baseline: the same net over the combined batch.
     {
       sim::ClusterSpec cs = sim::nvlink_cluster_spec(1);
-      auto net = bench::build_network(name, kGlobalBatch);
-      auto st = bench::run_sim_iteration(*net, sim_options(cs));
-      t.add_row({name, "1 device", "-", util::format_double(st.seconds * 1e3, 1),
-                 util::format_double(kGlobalBatch / st.seconds, 1), "0.00", "0.000", "0.0",
+      std::vector<double> samples;
+      for (int rep = 0; rep < repeats; ++rep) {
+        auto net = bench::build_network(name, kGlobalBatch);
+        samples.push_back(bench::run_sim_iteration(*net, sim_options(cs)).seconds);
+      }
+      Row r{name, "-", 1, 1, samples[0], 0.0, 0.0, 0, 0.0, 1, 0.0, 0.0};
+      fill_dispersion(&r, samples);
+      t.add_row({name, "1 device", "-", util::format_double(r.seconds * 1e3, 1),
+                 util::format_double(kGlobalBatch / r.seconds, 1), "0.00", "0.000", "0.0",
                  "0.00"});
-      rows.push_back(Row{name, "-", 1, 1, st.seconds, 0.0, 0.0, 0, 0.0});
+      rows.push_back(r);
     }
     for (int stages : stage_sweep) {
       // Data-parallel baseline at the same device count.
@@ -126,27 +157,36 @@ int main(int argc, char** argv) {
         const char* pname = dist::schedule_policy_name(policy);
         double frac_first = -1.0, frac_last = -1.0;
         for (int mb : microbatch_sweep) {
-          dist::PipelineParallelConfig cfg;
-          cfg.stages = stages;
-          cfg.microbatches = mb;
-          cfg.global_batch = kGlobalBatch;
-          cfg.cluster = sim::nvlink_cluster_spec(stages);
-          cfg.train.iterations = kIters;
-          cfg.schedule = policy;
-          auto factory = [&](int batch) { return bench::build_network(name, batch); };
-          dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
-          auto rep = pipe.run();
-          const auto& st = rep.stats.back();
-          // Bottleneck stage busy time: per-stage span minus its stalls.
-          double busy_max = 0.0;
-          for (const auto& ss : rep.stage_stats.back()) {
-            busy_max = std::max(busy_max, ss.seconds - ss.bubble_seconds);
+          std::vector<double> samples;
+          Row r;
+          for (int run = 0; run < repeats; ++run) {
+            dist::PipelineParallelConfig cfg;
+            cfg.stages = stages;
+            cfg.microbatches = mb;
+            cfg.global_batch = kGlobalBatch;
+            cfg.cluster = sim::nvlink_cluster_spec(stages);
+            cfg.train.iterations = kIters;
+            cfg.schedule = policy;
+            auto factory = [&](int batch) { return bench::build_network(name, batch); };
+            dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
+            auto rep = pipe.run();
+            const auto& st = rep.stats.back();
+            samples.push_back(st.seconds);
+            if (run > 0) continue;
+            // Bottleneck stage busy time: per-stage span minus its stalls.
+            double busy_max = 0.0;
+            for (const auto& ss : rep.stage_stats.back()) {
+              busy_max = std::max(busy_max, ss.seconds - ss.bubble_seconds);
+            }
+            r = Row{name,          pname,
+                    stages,        mb,
+                    st.seconds,    st.bubble_seconds,
+                    (st.seconds - busy_max) / st.seconds,
+                    st.p2p_bytes,  st.p2p_seconds,
+                    1,             0.0,
+                    0.0};
           }
-          Row r{name,          pname,
-                stages,        mb,
-                st.seconds,    st.bubble_seconds,
-                (st.seconds - busy_max) / st.seconds,
-                st.p2p_bytes,  st.p2p_seconds};
+          fill_dispersion(&r, samples);
           rows.push_back(r);
           frac_by_cfg[{name, stages, mb, pname}] = r.bubble_frac;
           if (frac_first < 0) frac_first = r.bubble_frac;
@@ -210,6 +250,9 @@ int main(int argc, char** argv) {
       w.key("stages").value(r.stages);
       w.key("microbatches").value(r.microbatches);
       w.key("seconds").value_sci(r.seconds, 6);
+      w.key("repeats").value(r.repeats);
+      w.key("seconds_lo").value_sci(r.seconds_lo, 6);
+      w.key("seconds_hi").value_sci(r.seconds_hi, 6);
       w.key("bubble_seconds").value_sci(r.bubble_seconds, 6);
       w.key("bubble_frac").value_fixed(r.bubble_frac, 4);
       w.key("p2p_bytes").value(r.p2p_bytes);

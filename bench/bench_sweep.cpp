@@ -1,0 +1,179 @@
+// bench_sweep: run the declared {net x grid geometry x link spec x pool
+// budget x schedule policy} matrix (bench/sweep_config.hpp) with R repeats
+// per cell and emit one schema-versioned sweep document — the "sweep"
+// section of a committed BENCH_<n>.json trajectory point.
+//
+// Every metric records {median, lo, hi, n} over the repeats, so the noise
+// band trajectory_diff judges future deltas against is data carried by the
+// baseline, not a constant baked into CI. (The simulator is virtual-time
+// deterministic, so lo == hi today — the dispersion machinery is what keeps
+// the gate honest the day a wall-clock-coupled metric joins the sweep.)
+//
+// Every cell runs through dist::HybridParallelTrainer: S=1/R=1 degenerate to
+// microbatched data parallelism, the plain pipeline, or a single device, so
+// all four geometries share one accounting path.
+//
+//   ./bench_sweep [--json out.json] [--tier small|full] [--repeats N]
+//                 [--point N] [--seed S]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/sweep_config.hpp"
+#include "dist/hybrid_parallel.hpp"
+#include "util/json_writer.hpp"
+
+using namespace sn;
+
+namespace {
+
+struct CellResult {
+  bench::SweepCellSpec spec;
+  /// metric name -> per-repeat samples (insertion-ordered for stable JSON).
+  std::vector<std::pair<std::string, std::vector<double>>> samples;
+};
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+sim::ClusterSpec cluster_for(const bench::SweepCellSpec& s) {
+  int devices = s.stages * s.replicas;
+  if (s.link == "nvlink") return sim::nvlink_cluster_spec(devices);
+  if (s.link == "pcie") return sim::pcie_cluster_spec(devices);
+  throw std::invalid_argument("unknown link spec " + s.link);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::string tier = "small";
+  int repeats = 3;
+  int point = 8;
+  uint64_t data_seed = 1234;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--tier") == 0) tier = argv[i + 1];
+    if (std::strcmp(argv[i], "--repeats") == 0) repeats = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--point") == 0) point = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--seed") == 0) data_seed = std::strtoull(argv[i + 1], nullptr, 0);
+  }
+  if (repeats < 1) {
+    std::fprintf(stderr, "--repeats must be >= 1\n");
+    return 2;
+  }
+
+  const int kGlobalBatch = 32, kIters = 2;
+  std::vector<bench::SweepCellSpec> matrix;
+  try {
+    matrix = bench::sweep_matrix(tier);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("=== config sweep: %zu cells, tier %s, %d repeat(s), global batch %d ===\n\n",
+              matrix.size(), tier.c_str(), repeats, kGlobalBatch);
+  util::Table t({"net", "link", "grid", "pool", "schedule", "iter (ms)", "img/s",
+                 "bubble (ms)", "ar exposed (ms)"});
+
+  std::vector<CellResult> results;
+  for (const bench::SweepCellSpec& spec : matrix) {
+    CellResult cell{spec, {}};
+    std::map<std::string, std::vector<double>*> sample_of;
+    for (const char* name : {"seconds", "img_per_s", "stall_seconds", "bubble_seconds",
+                             "allreduce_seconds", "allreduce_exposed_seconds", "p2p_bytes"}) {
+      cell.samples.emplace_back(name, std::vector<double>{});
+    }
+    for (auto& [name, v] : cell.samples) sample_of[name] = &v;
+
+    for (int rep = 0; rep < repeats; ++rep) {
+      dist::HybridParallelConfig cfg;
+      cfg.stages = spec.stages;
+      cfg.replicas = spec.replicas;
+      cfg.microbatches = spec.microbatches;
+      cfg.global_batch = kGlobalBatch;
+      cfg.cluster = cluster_for(spec);
+      cfg.train.iterations = kIters;
+      cfg.train.data_seed = data_seed;
+      cfg.schedule =
+          spec.schedule == "1f1b" ? dist::SchedulePolicy::k1F1B : dist::SchedulePolicy::kGPipe;
+      core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons,
+                                                 cfg.cluster.device);
+      o.real = false;
+      o.device_capacity = static_cast<uint64_t>(spec.pool_gb) << 30;
+      auto factory = [&](int batch) { return bench::build_network(spec.net, batch); };
+      dist::HybridParallelTrainer trainer(factory, o, cfg);
+      const auto report = trainer.run();
+      const auto& st = report.stats.back();
+      sample_of["seconds"]->push_back(st.seconds);
+      sample_of["img_per_s"]->push_back(kGlobalBatch / st.seconds);
+      sample_of["stall_seconds"]->push_back(st.stall_seconds);
+      sample_of["bubble_seconds"]->push_back(st.bubble_seconds);
+      sample_of["allreduce_seconds"]->push_back(st.allreduce_seconds);
+      sample_of["allreduce_exposed_seconds"]->push_back(st.allreduce_exposed_seconds);
+      sample_of["p2p_bytes"]->push_back(static_cast<double>(st.p2p_bytes));
+    }
+    results.push_back(cell);
+
+    auto med = [&](const char* name) { return median_of(*sample_of[name]); };
+    std::string grid = std::to_string(spec.stages) + "x" + std::to_string(spec.replicas) + "x" +
+                       std::to_string(spec.microbatches);
+    t.add_row({spec.net, spec.link, grid, std::to_string(spec.pool_gb) + "G", spec.schedule,
+               util::format_double(med("seconds") * 1e3, 1),
+               util::format_double(med("img_per_s"), 1),
+               util::format_double(med("bubble_seconds") * 1e3, 2),
+               util::format_double(med("allreduce_exposed_seconds") * 1e3, 2)});
+  }
+  t.print();
+  std::printf("\n%zu cells x %d repeat(s); medians above, full {median, lo, hi, n} per metric "
+              "in the JSON output.\n",
+              results.size(), repeats);
+
+  if (json_path) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("schema_version").value(1);
+    w.key("kind").value("sweep");
+    w.key("trajectory_point").value(point);
+    w.key("tier").value(tier);
+    w.key("repeats").value(repeats);
+    w.key("global_batch").value(kGlobalBatch);
+    w.key("cells").begin_array();
+    for (const CellResult& cell : results) {
+      const bench::SweepCellSpec& s = cell.spec;
+      w.begin_object();
+      w.key("net").value(s.net);
+      w.key("link").value(s.link);
+      w.key("stages").value(s.stages);
+      w.key("replicas").value(s.replicas);
+      w.key("microbatches").value(s.microbatches);
+      w.key("pool_gb").value(s.pool_gb);
+      w.key("schedule").value(s.schedule);
+      w.key("metrics").begin_object();
+      for (const auto& [name, samples] : cell.samples) {
+        w.key(name).begin_object(util::JsonWriter::kInline);
+        w.key("median").value_sci(median_of(samples), 6);
+        w.key("lo").value_sci(*std::min_element(samples.begin(), samples.end()), 6);
+        w.key("hi").value_sci(*std::max_element(samples.begin(), samples.end()), 6);
+        w.key("n").value(static_cast<int>(samples.size()));
+        w.end_object();
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array().end_object();
+    if (!w.save(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,33 +1,73 @@
 #!/usr/bin/env bash
-# run_trajectory.sh: sweep the CI-gated benches with --json and merge the
-# results into one trajectory point (BENCH_<N>.json at the repo root).
+# run_trajectory.sh: build one perf-trajectory point (BENCH_<N>.json at the
+# repo root) from the gated benches plus the config sweep, and diff it
+# against the committed previous point.
 #
-# The committed BENCH_<N>.json files form the perf trajectory the ROADMAP
-# perf-harness item tracks: one merged snapshot per PR that moves a gated
-# number, so regressions show up as a diff instead of a vanished log.
+# The committed BENCH_<N>.json files form the perf trajectory: one merged,
+# schema-versioned snapshot per PR that moves a gated number. trajectory_diff
+# joins two points by cell key and fails on any out-of-band regression, so
+# PR N+1 cannot silently lose PR N's win.
 #
 # Usage:
-#   bench/run_trajectory.sh [--build BUILDDIR] [--out FILE]
-#       build the four gated benches' JSON outputs under a temp dir, then
-#       merge them (default BUILDDIR=build, FILE=BENCH_6.json at repo root)
-#   bench/run_trajectory.sh --merge DIR [--out FILE]
+#   bench/run_trajectory.sh [--build BUILDDIR] [--out FILE] [--point N]
+#                           [--tier small|full] [--repeats R] [--no-sweep]
+#       run the four gated benches (--json) plus bench_sweep, merge the five
+#       sections into FILE (default: BENCH_8.json at the repo root,
+#       schema_version 1)
+#   bench/run_trajectory.sh --merge DIR [--out FILE] [--point N]
 #       skip the runs and merge DIR/{pipeline_stages,hybrid_grid,
-#       stream_overlap,prefetch_lookahead}.json (CI reuses its bench-out/)
+#       stream_overlap,prefetch_lookahead,sweep}.json (CI reuses bench-out/;
+#       with --no-sweep, merges a legacy 4-section unversioned point)
+#   bench/run_trajectory.sh --diff BASELINE [--candidate FILE] [--report OUT]
+#       run trajectory_diff BASELINE -> candidate (default candidate: the
+#       default --out path); exits nonzero on out-of-band regressions
+#   bench/run_trajectory.sh --update-baseline [--tier full] ...
+#       full-tier sweep + merge straight onto the committed default --out,
+#       then diff the fresh point against itself as a self-check. Commit the
+#       result when a PR legitimately moves a gated number.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build"
-out="$repo_root/BENCH_6.json"
+point=8
+out=""
 merge_dir=""
+tier="small"
+repeats=3
+with_sweep=1
+diff_baseline=""
+diff_candidate=""
+diff_report=""
+update_baseline=0
 
 while [ $# -gt 0 ]; do
   case "$1" in
-    --build) build_dir="$2"; shift 2 ;;
-    --merge) merge_dir="$2"; shift 2 ;;
-    --out)   out="$2"; shift 2 ;;
+    --build)     build_dir="$2"; shift 2 ;;
+    --merge)     merge_dir="$2"; shift 2 ;;
+    --out)       out="$2"; shift 2 ;;
+    --point)     point="$2"; shift 2 ;;
+    --tier)      tier="$2"; shift 2 ;;
+    --repeats)   repeats="$2"; shift 2 ;;
+    --no-sweep)  with_sweep=0; shift ;;
+    --diff)      diff_baseline="$2"; shift 2 ;;
+    --candidate) diff_candidate="$2"; shift 2 ;;
+    --report)    diff_report="$2"; shift 2 ;;
+    --update-baseline) update_baseline=1; tier="full"; shift ;;
     *) echo "unknown arg: $1" >&2; exit 2 ;;
   esac
 done
+[ -n "$out" ] || out="$repo_root/BENCH_$point.json"
+
+diff_tool="$build_dir/trajectory_diff"
+
+# --- diff mode: no runs, just gate candidate against baseline --------------
+if [ -n "$diff_baseline" ]; then
+  [ -x "$diff_tool" ] || { echo "missing $diff_tool (build first)" >&2; exit 1; }
+  [ -n "$diff_candidate" ] || diff_candidate="$out"
+  args=(--baseline "$diff_baseline" --candidate "$diff_candidate")
+  [ -n "$diff_report" ] && args+=(--report "$diff_report")
+  exec "$diff_tool" "${args[@]}"
+fi
 
 benches=(pipeline_stages hybrid_grid stream_overlap prefetch_lookahead)
 
@@ -40,15 +80,31 @@ if [ -z "$merge_dir" ]; then
     echo "== bench_$b"
     # The gated benches exit nonzero when their own acceptance check fails
     # (bubble shrink / 1f1b strict win / overlap exposure); let that fail us.
-    "$bin" --json "$merge_dir/$b.json" > "$merge_dir/$b.txt"
+    # The grid benches repeat each config so their rows record a dispersion
+    # envelope; the overlap/prefetch pair are single-shot emitters.
+    extra=()
+    case "$b" in
+      pipeline_stages|hybrid_grid) extra=(--repeats "$repeats") ;;
+    esac
+    "$bin" "${extra[@]}" --json "$merge_dir/$b.json" > "$merge_dir/$b.txt"
   done
+  if [ "$with_sweep" -eq 1 ]; then
+    bin="$build_dir/bench_sweep"
+    [ -x "$bin" ] || { echo "missing $bin (build the benches first)" >&2; exit 1; }
+    echo "== bench_sweep ($tier tier, $repeats repeats)"
+    "$bin" --tier "$tier" --repeats "$repeats" --point "$point" \
+           --json "$merge_dir/sweep.json" > "$merge_dir/sweep.txt"
+  fi
 fi
+
+sections=("${benches[@]}")
+[ "$with_sweep" -eq 1 ] && sections+=(sweep)
 
 # Fail loudly, naming EVERY missing/empty input, before touching $out — a
 # partial merge would commit a trajectory point that silently dropped a
 # gated bench.
 missing=()
-for b in "${benches[@]}"; do
+for b in "${sections[@]}"; do
   [ -s "$merge_dir/$b.json" ] || missing+=("$merge_dir/$b.json")
 done
 if [ "${#missing[@]}" -gt 0 ]; then
@@ -59,15 +115,18 @@ if [ "${#missing[@]}" -gt 0 ]; then
   exit 1
 fi
 
-# Merge: one top-level key per bench, bodies embedded verbatim (each bench
+# Merge: one top-level key per section, bodies embedded verbatim (each bench
 # emits a self-contained JSON object), indented one level for readability.
 # Write to a temp file and move into place so a mid-merge failure can never
-# leave a truncated $out behind.
+# leave a truncated $out behind. A sweep-bearing point is schema_version 1;
+# --no-sweep keeps the legacy unversioned 4-section shape for comparison
+# against pre-sweep baselines.
 {
   printf '{\n'
-  printf '  "trajectory_point": 6,\n'
+  printf '  "trajectory_point": %d,\n' "$point"
+  [ "$with_sweep" -eq 1 ] && printf '  "schema_version": 1,\n'
   first=1
-  for b in "${benches[@]}"; do
+  for b in "${sections[@]}"; do
     [ $first -eq 1 ] || printf ',\n'
     first=0
     # $(...) strips the file's trailing newline, so the comma lands cleanly.
@@ -76,6 +135,19 @@ fi
   done
   printf '\n}\n'
 } > "$out.tmp"
-mv "$out.tmp" "$out"
 
+# Validate the merged point structurally before moving it into place.
+if [ -x "$diff_tool" ]; then
+  "$diff_tool" --schema-check trajectory "$out.tmp"
+else
+  echo "warning: $diff_tool not built; skipping schema check" >&2
+fi
+mv "$out.tmp" "$out"
 echo "wrote $out"
+
+# Baseline refresh self-check: the fresh point must diff clean against
+# itself (catches a point that fails its own join/classify pass).
+if [ "$update_baseline" -eq 1 ] && [ -x "$diff_tool" ]; then
+  "$diff_tool" --baseline "$out" --candidate "$out" --quiet
+  echo "baseline $out self-diff OK"
+fi

@@ -1,0 +1,74 @@
+// Declared sweep matrix for bench_sweep: the {net x grid geometry x link
+// spec x pool budget x schedule policy} cells one trajectory point records.
+//
+// The matrix is data, not loops buried in a main(): the small tier is what
+// the CI perf-gate runs on every PR (kept to tens of cells so the gate stays
+// inside the smoke budget), the full tier is what --update-baseline sweeps
+// when a PR claims a perf win and refreshes the committed BENCH_<n>.json.
+// Every cell runs through dist::HybridParallelTrainer — S=1/R=1 degenerate
+// to microbatched data parallelism / the plain pipeline / a single device,
+// so one driver covers all four geometries with identical accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sn::bench {
+
+struct SweepCellSpec {
+  std::string net;       ///< zoo name (build_network)
+  std::string link;      ///< "nvlink" | "pcie" (sim cluster preset)
+  int stages = 1;        ///< pipeline depth S
+  int replicas = 1;      ///< replica width R
+  int microbatches = 1;  ///< per replica column
+  int pool_gb = 12;      ///< RuntimeOptions::device_capacity budget
+  std::string schedule;  ///< "gpipe" | "1f1b" | "-" (S == 1)
+};
+
+/// Expand the declared matrix for a tier ("small" | "full"); throws
+/// std::invalid_argument on an unknown tier.
+inline std::vector<SweepCellSpec> sweep_matrix(const std::string& tier) {
+  struct Geometry {
+    int stages, replicas, microbatches;
+  };
+  std::vector<std::string> nets;
+  std::vector<std::string> links;
+  std::vector<Geometry> geometries;
+  std::vector<int> pools_gb;
+  if (tier == "small") {
+    nets = {"VGG16", "ResNet50"};
+    links = {"nvlink"};
+    geometries = {{1, 1, 1}, {1, 2, 1}, {2, 1, 4}, {2, 2, 4}};
+    pools_gb = {12, 6};
+  } else if (tier == "full") {
+    nets = {"VGG16", "ResNet50", "InceptionV4"};
+    links = {"nvlink", "pcie"};
+    geometries = {{1, 1, 1}, {1, 2, 1}, {2, 1, 4}, {2, 2, 4}, {2, 4, 4}, {4, 2, 4}};
+    pools_gb = {12, 6};
+  } else {
+    throw std::invalid_argument("unknown sweep tier " + tier + " (want small|full)");
+  }
+
+  std::vector<SweepCellSpec> cells;
+  for (const std::string& net : nets) {
+    for (const std::string& link : links) {
+      for (const Geometry& g : geometries) {
+        for (int pool : pools_gb) {
+          // The schedule axis only exists once there is a pipeline to
+          // schedule; S == 1 cells carry the "-" placeholder the gated
+          // benches use for their baseline rows.
+          std::vector<std::string> schedules =
+              g.stages > 1 ? std::vector<std::string>{"gpipe", "1f1b"}
+                           : std::vector<std::string>{"-"};
+          for (const std::string& sched : schedules) {
+            cells.push_back(
+                SweepCellSpec{net, link, g.stages, g.replicas, g.microbatches, pool, sched});
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace sn::bench

@@ -1,0 +1,75 @@
+// Recursive-descent JSON reader — the counterpart of util::JsonWriter, used
+// by the perf-trajectory tools to load committed BENCH_<n>.json points, bench
+// emitter output and diff reports back into memory.
+//
+// Scope matches what the emitters produce: null / bool / finite numbers /
+// strings (with the writer's escape set) / arrays / objects. Objects keep
+// insertion order (the writer emits deterministically ordered keys, and the
+// diff tool's reports should render in that order) with linear-scan lookup —
+// trajectory documents are a few hundred keys, not millions. Parse errors
+// carry line:column so a truncated or hand-edited baseline names the exact
+// byte that broke it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sn::util {
+
+/// Thrown by JsonValue::parse (malformed text) and the typed accessors
+/// (wrong-type / missing-key access), always with a "where" in the message.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  /// `origin` labels error messages (a file name, "<inline>", ...).
+  static JsonValue parse(const std::string& text, const std::string& origin = "<json>");
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError naming the expected type on mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access. size() is 0 for non-containers.
+  size_t size() const;
+  const JsonValue& at(size_t i) const;
+
+  /// Object lookup: find() returns nullptr when absent, get() throws.
+  const JsonValue* find(const std::string& key) const;
+  const JsonValue& get(const std::string& key) const;
+  /// Object entries in document order (empty for non-objects).
+  const std::vector<std::pair<std::string, JsonValue>>& entries() const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Read a whole file and parse it; JsonError on I/O failure or bad JSON.
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace sn::util

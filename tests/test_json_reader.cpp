@@ -1,0 +1,99 @@
+// util::JsonValue — the reader counterpart of util::JsonWriter. The
+// round-trip tests feed writer output back through the parser; the error
+// tests pin the line:column diagnostics the trajectory tools rely on to
+// name the exact byte that broke a hand-edited baseline.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
+
+using sn::util::JsonError;
+using sn::util::JsonValue;
+
+TEST(JsonReader, ScalarsAndContainers) {
+  JsonValue v = JsonValue::parse(
+      R"({"a": 1.5, "b": -2e3, "c": "hi", "d": true, "e": false, "f": null,
+          "g": [1, 2, 3], "h": {"x": 0}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.get("a").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(v.get("b").as_number(), -2000.0);
+  EXPECT_EQ(v.get("c").as_string(), "hi");
+  EXPECT_TRUE(v.get("d").as_bool());
+  EXPECT_FALSE(v.get("e").as_bool());
+  EXPECT_TRUE(v.get("f").is_null());
+  ASSERT_EQ(v.get("g").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.get("g").at(2).as_number(), 3.0);
+  EXPECT_TRUE(v.get("h").is_object());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReader, ObjectKeepsInsertionOrder) {
+  JsonValue v = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& e = v.entries();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].first, "z");
+  EXPECT_EQ(e[1].first, "a");
+  EXPECT_EQ(e[2].first, "m");
+}
+
+TEST(JsonReader, StringEscapes) {
+  JsonValue v = JsonValue::parse(R"({"s": "a\"b\\c\n\tA"})");
+  EXPECT_EQ(v.get("s").as_string(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  sn::util::JsonWriter w;
+  w.begin_object();
+  w.key("name").value("bench \"quoted\"\n");
+  w.key("seconds").value_sci(1.234567e-3, 6);
+  w.key("count").value(42);
+  w.key("rows").begin_array();
+  w.begin_object(sn::util::JsonWriter::kInline);
+  w.key("ok").value(true);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+
+  JsonValue v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.get("name").as_string(), "bench \"quoted\"\n");
+  EXPECT_NEAR(v.get("seconds").as_number(), 1.234567e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(v.get("count").as_number(), 42.0);
+  EXPECT_TRUE(v.get("rows").at(0).get("ok").as_bool());
+}
+
+TEST(JsonReader, ErrorsCarryLineAndColumn) {
+  try {
+    JsonValue::parse("{\n  \"a\": 1,\n  \"b\": }\n", "bad.json");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("bad.json"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3:"), std::string::npos) << msg;  // error on line 3
+  }
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1, 2"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1} extra"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(JsonValue::parse("nul"), JsonError);
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  // Non-finite numbers are not JSON and never appear in writer output.
+  EXPECT_THROW(JsonValue::parse("1e999"), JsonError);
+}
+
+TEST(JsonReader, TypedAccessorsNameTheMismatch) {
+  JsonValue v = JsonValue::parse(R"({"a": "text"})");
+  EXPECT_THROW(v.get("a").as_number(), JsonError);
+  EXPECT_THROW(v.get("a").as_bool(), JsonError);
+  EXPECT_THROW(v.get("b"), JsonError);  // missing key via get()
+  EXPECT_THROW(v.at(0), JsonError);     // array access on an object
+}
+
+TEST(JsonReader, ParseFileReportsMissingPath) {
+  EXPECT_THROW(sn::util::parse_json_file("/nonexistent/certainly_absent.json"), JsonError);
+}
