@@ -14,7 +14,13 @@
 // all four geometries share one accounting path.
 //
 //   ./bench_sweep [--json out.json] [--tier small|full] [--repeats N]
-//                 [--point N] [--seed S]
+//                 [--point N] [--seed S] [--peer-staging auto|on|off]
+//
+// --peer-staging overrides the per-cell peer_staging spec: "off" forces the
+// pure-host offload path everywhere (the A/B baseline for the staging demo
+// cells), "on" enables staging for every multi-device cell, "auto" (default)
+// runs each cell as declared. Cell keys do not encode the mode, so two runs
+// of the same tier diff cleanly against each other.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -55,8 +61,9 @@ sim::ClusterSpec cluster_for(const bench::SweepCellSpec& s) {
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
   std::string tier = "small";
+  std::string staging_mode = "auto";
   int repeats = 3;
-  int point = 8;
+  int point = 9;
   uint64_t data_seed = 1234;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
@@ -64,9 +71,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--repeats") == 0) repeats = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--point") == 0) point = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--seed") == 0) data_seed = std::strtoull(argv[i + 1], nullptr, 0);
+    if (std::strcmp(argv[i], "--peer-staging") == 0) staging_mode = argv[i + 1];
   }
   if (repeats < 1) {
     std::fprintf(stderr, "--repeats must be >= 1\n");
+    return 2;
+  }
+  if (staging_mode != "auto" && staging_mode != "on" && staging_mode != "off") {
+    std::fprintf(stderr, "--peer-staging must be auto|on|off\n");
     return 2;
   }
 
@@ -82,18 +94,30 @@ int main(int argc, char** argv) {
   std::printf("=== config sweep: %zu cells, tier %s, %d repeat(s), global batch %d ===\n\n",
               matrix.size(), tier.c_str(), repeats, kGlobalBatch);
   util::Table t({"net", "link", "grid", "pool", "schedule", "iter (ms)", "img/s",
-                 "bubble (ms)", "ar exposed (ms)"});
+                 "bubble (ms)", "ar exposed (ms)", "staged"});
 
   std::vector<CellResult> results;
   for (const bench::SweepCellSpec& spec : matrix) {
     CellResult cell{spec, {}};
-    std::map<std::string, std::vector<double>*> sample_of;
     for (const char* name : {"seconds", "img_per_s", "stall_seconds", "bubble_seconds",
-                             "allreduce_seconds", "allreduce_exposed_seconds", "p2p_bytes"}) {
+                             "allreduce_seconds", "allreduce_exposed_seconds", "p2p_bytes",
+                             "peer_stage_count"}) {
       cell.samples.emplace_back(name, std::vector<double>{});
     }
-    for (auto& [name, v] : cell.samples) sample_of[name] = &v;
+    // By-name append; late-appearing names (the per-link occupancy metrics)
+    // register on first use. The simulator is deterministic, so every repeat
+    // touches the same link set and the sample vectors stay rectangular.
+    auto push = [&cell](const std::string& name, double v) {
+      for (auto& [n, s] : cell.samples) {
+        if (n == name) {
+          s.push_back(v);
+          return;
+        }
+      }
+      cell.samples.emplace_back(name, std::vector<double>{v});
+    };
 
+    const int devices = spec.stages * spec.replicas;
     for (int rep = 0; rep < repeats; ++rep) {
       dist::HybridParallelConfig cfg;
       cfg.stages = spec.stages;
@@ -105,6 +129,9 @@ int main(int argc, char** argv) {
       cfg.train.data_seed = data_seed;
       cfg.schedule =
           spec.schedule == "1f1b" ? dist::SchedulePolicy::k1F1B : dist::SchedulePolicy::kGPipe;
+      cfg.peer_staging = staging_mode == "on"    ? devices > 1
+                         : staging_mode == "off" ? false
+                                                 : spec.peer_staging;
       core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons,
                                                  cfg.cluster.device);
       o.real = false;
@@ -113,24 +140,43 @@ int main(int argc, char** argv) {
       dist::HybridParallelTrainer trainer(factory, o, cfg);
       const auto report = trainer.run();
       const auto& st = report.stats.back();
-      sample_of["seconds"]->push_back(st.seconds);
-      sample_of["img_per_s"]->push_back(kGlobalBatch / st.seconds);
-      sample_of["stall_seconds"]->push_back(st.stall_seconds);
-      sample_of["bubble_seconds"]->push_back(st.bubble_seconds);
-      sample_of["allreduce_seconds"]->push_back(st.allreduce_seconds);
-      sample_of["allreduce_exposed_seconds"]->push_back(st.allreduce_exposed_seconds);
-      sample_of["p2p_bytes"]->push_back(static_cast<double>(st.p2p_bytes));
+      push("seconds", st.seconds);
+      push("img_per_s", kGlobalBatch / st.seconds);
+      push("stall_seconds", st.stall_seconds);
+      push("bubble_seconds", st.bubble_seconds);
+      push("allreduce_seconds", st.allreduce_seconds);
+      push("allreduce_exposed_seconds", st.allreduce_exposed_seconds);
+      push("p2p_bytes", static_cast<double>(st.p2p_bytes));
+      push("peer_stage_count", static_cast<double>(st.peer_stage_count));
+      // Per-directed-link occupancy over the whole run: which links the
+      // schedule (and the peer-staging router) actually used, as a fraction
+      // of cluster virtual time. Idle links are omitted.
+      const double total = trainer.cluster().now();
+      for (int s = 0; s < devices && total > 0.0; ++s) {
+        for (int d = 0; d < devices; ++d) {
+          if (s == d) continue;
+          double busy = trainer.cluster().link_busy_seconds(s, d);
+          if (busy <= 0.0) continue;
+          push("link_busy_frac_" + std::to_string(s) + "_" + std::to_string(d), busy / total);
+        }
+      }
     }
     results.push_back(cell);
 
-    auto med = [&](const char* name) { return median_of(*sample_of[name]); };
+    auto med = [&](const char* name) {
+      for (const auto& [n, s] : cell.samples) {
+        if (n == name) return median_of(s);
+      }
+      return 0.0;
+    };
     std::string grid = std::to_string(spec.stages) + "x" + std::to_string(spec.replicas) + "x" +
                        std::to_string(spec.microbatches);
     t.add_row({spec.net, spec.link, grid, std::to_string(spec.pool_gb) + "G", spec.schedule,
                util::format_double(med("seconds") * 1e3, 1),
                util::format_double(med("img_per_s"), 1),
                util::format_double(med("bubble_seconds") * 1e3, 2),
-               util::format_double(med("allreduce_exposed_seconds") * 1e3, 2)});
+               util::format_double(med("allreduce_exposed_seconds") * 1e3, 2),
+               util::format_double(med("peer_stage_count"), 0)});
   }
   t.print();
   std::printf("\n%zu cells x %d repeat(s); medians above, full {median, lo, hi, n} per metric "

@@ -12,7 +12,7 @@
 #   bench/run_trajectory.sh [--build BUILDDIR] [--out FILE] [--point N]
 #                           [--tier small|full] [--repeats R] [--no-sweep]
 #       run the four gated benches (--json) plus bench_sweep, merge the five
-#       sections into FILE (default: BENCH_8.json at the repo root,
+#       sections into FILE (default: BENCH_9.json at the repo root,
 #       schema_version 1)
 #   bench/run_trajectory.sh --merge DIR [--out FILE] [--point N]
 #       skip the runs and merge DIR/{pipeline_stages,hybrid_grid,
@@ -29,7 +29,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build"
-point=8
+point=9
 out=""
 merge_dir=""
 tier="small"

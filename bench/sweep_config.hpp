@@ -21,12 +21,15 @@ struct SweepCellSpec {
   int stages = 1;        ///< pipeline depth S
   int replicas = 1;      ///< replica width R
   int microbatches = 1;  ///< per replica column
-  int pool_gb = 12;      ///< RuntimeOptions::device_capacity budget
-  std::string schedule;  ///< "gpipe" | "1f1b" | "-" (S == 1)
+  int pool_gb = 12;          ///< RuntimeOptions::device_capacity budget
+  std::string schedule;      ///< "gpipe" | "1f1b" | "-" (S == 1)
+  bool peer_staging = false; ///< route pool evictions over idle P2P links
 };
 
-/// Expand the declared matrix for a tier ("small" | "full"); throws
-/// std::invalid_argument on an unknown tier.
+/// Expand the declared matrix for a tier ("small" | "full" | "demo"); the
+/// demo tier is just the pool-constrained peer-staging cells, cheap enough
+/// for CI to run twice (--peer-staging off vs on) and diff the A/B pair.
+/// Throws std::invalid_argument on an unknown tier.
 inline std::vector<SweepCellSpec> sweep_matrix(const std::string& tier) {
   struct Geometry {
     int stages, replicas, microbatches;
@@ -45,8 +48,8 @@ inline std::vector<SweepCellSpec> sweep_matrix(const std::string& tier) {
     links = {"nvlink", "pcie"};
     geometries = {{1, 1, 1}, {1, 2, 1}, {2, 1, 4}, {2, 2, 4}, {2, 4, 4}, {4, 2, 4}};
     pools_gb = {12, 6};
-  } else {
-    throw std::invalid_argument("unknown sweep tier " + tier + " (want small|full)");
+  } else if (tier != "demo") {
+    throw std::invalid_argument("unknown sweep tier " + tier + " (want small|full|demo)");
   }
 
   std::vector<SweepCellSpec> cells;
@@ -66,6 +69,23 @@ inline std::vector<SweepCellSpec> sweep_matrix(const std::string& tier) {
           }
         }
       }
+    }
+  }
+
+  // Pool-constrained peer-staging demo cells: a single microbatch keeps the
+  // whole activation set of stage 0 live across the forward, so a 2 GB pool
+  // evicts mid-schedule while the peer stage has slack — the geometry the
+  // peer-memory router is built for. peer_staging defaults ON here (the
+  // bench's --peer-staging off forces the pure-host path for A/B diffs);
+  // the m1/pool2 coordinates keep these cell keys disjoint from the grid
+  // above, so committed baselines gain them as new cells.
+  std::vector<std::string> demo_nets =
+      tier == "small" ? std::vector<std::string>{"VGG16"}
+                      : std::vector<std::string>{"VGG16", "ResNet50"};
+  for (const std::string& net : demo_nets) {
+    for (const char* sched : {"gpipe", "1f1b"}) {
+      cells.push_back(SweepCellSpec{net, "nvlink", 2, 1, 1, 2, sched,
+                                    /*peer_staging=*/true});
     }
   }
   return cells;

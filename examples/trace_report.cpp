@@ -8,7 +8,13 @@
 //
 //   $ ./build/trace_report [network] [--stages S] [--replicas R]
 //         [--microbatches M] [--batch B] [--schedule gpipe|1f1b]
-//         [--iters N] [--trace out.json] [--metrics out.json]
+//         [--iters N] [--pool-gb G] [--peer-staging]
+//         [--trace out.json] [--metrics out.json]
+//
+// --pool-gb caps the device pool (default: the cluster preset's capacity)
+// and --peer-staging enables the peer-memory staging tier, so the audit can
+// cover the peer_stage/peer_fetch spans and their evict->stage->fetch flow
+// arrows on the pool-constrained demo geometry.
 //
 // replicas > 1 drives the S x R hybrid grid (per-stage row all-reduces, the
 // exposed-collective surface); replicas == 1 the plain S-stage pipeline.
@@ -38,9 +44,10 @@ namespace {
 
 std::string ms(double s) { return util::format_double(s * 1e3, 3); }
 
-core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster) {
+core::RuntimeOptions sim_options(const sim::ClusterSpec& cluster, int pool_gb) {
   core::RuntimeOptions o = core::make_policy(core::PolicyPreset::kSuperNeurons, cluster.device);
   o.real = false;
+  if (pool_gb > 0) o.device_capacity = static_cast<uint64_t>(pool_gb) << 30;
   return o;
 }
 
@@ -91,7 +98,8 @@ void print_critical_path(const obs::TraceAnalyzer& an) {
 
 int main(int argc, char** argv) {
   std::string name = "VGG16";
-  int stages = 2, replicas = 2, microbatches = 4, batch = 32, iters = 2;
+  int stages = 2, replicas = 2, microbatches = 4, batch = 32, iters = 2, pool_gb = 0;
+  bool peer_staging = false;
   std::string sched_arg = "1f1b";
   std::string trace_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +120,10 @@ int main(int argc, char** argv) {
       next(&batch);
     } else if (std::strcmp(argv[i], "--iters") == 0) {
       next(&iters);
+    } else if (std::strcmp(argv[i], "--pool-gb") == 0) {
+      next(&pool_gb);
+    } else if (std::strcmp(argv[i], "--peer-staging") == 0) {
+      peer_staging = true;
     } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
       sched_arg = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -147,7 +159,8 @@ int main(int argc, char** argv) {
     cfg.schedule = policy;
     cfg.cluster = sim::nvlink_cluster_spec(stages * replicas);
     cfg.train.iterations = iters;
-    dist::HybridParallelTrainer hyb(factory, sim_options(cfg.cluster), cfg);
+    cfg.peer_staging = peer_staging;
+    dist::HybridParallelTrainer hyb(factory, sim_options(cfg.cluster, pool_gb), cfg);
     hyb.attach_trace(&session);
     auto rep = hyb.run();
     for (const auto& st : rep.stats) {
@@ -166,7 +179,8 @@ int main(int argc, char** argv) {
     cfg.schedule = policy;
     cfg.cluster = sim::nvlink_cluster_spec(stages);
     cfg.train.iterations = iters;
-    dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster), cfg);
+    cfg.peer_staging = peer_staging;
+    dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster, pool_gb), cfg);
     pipe.attach_trace(&session);
     auto rep = pipe.run();
     for (const auto& st : rep.stats) {

@@ -1,0 +1,147 @@
+#include "core/peer_staging.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/tensor_pool.hpp"
+#include "obs/trace.hpp"
+
+namespace sn::core {
+
+void PeerStagingGroup::add_member(UnifiedTensorPool& pool, uint64_t donation_budget) {
+  assert(!member(pool.device_id()) && "one pool per device id in a staging group");
+  Member m;
+  m.pool = &pool;
+  m.device = pool.device_id();
+  m.donation_budget = donation_budget;
+  members_.push_back(m);
+  std::sort(members_.begin(), members_.end(),
+            [](const Member& a, const Member& b) { return a.device < b.device; });
+  pool.set_staging_group(this);
+}
+
+void PeerStagingGroup::detach(UnifiedTensorPool* pool) {
+  guests_.remove_if([&](const Guest& g) { return g.owner == pool || g.host == pool; });
+  members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                [&](const Member& m) { return m.pool == pool; }),
+                 members_.end());
+}
+
+PeerStagingGroup::Member* PeerStagingGroup::member(int device) {
+  for (Member& m : members_) {
+    if (m.device == device) return &m;
+  }
+  return nullptr;
+}
+
+const PeerStagingGroup::Member* PeerStagingGroup::member(int device) const {
+  for (const Member& m : members_) {
+    if (m.device == device) return &m;
+  }
+  return nullptr;
+}
+
+UnifiedTensorPool* PeerStagingGroup::member_pool(int device) const {
+  const Member* m = member(device);
+  return m ? m->pool : nullptr;
+}
+
+uint64_t PeerStagingGroup::next_flow(int device) {
+  return obs::flow_id_peer_stage(flow_seq_++, device);
+}
+
+int PeerStagingGroup::route(const UnifiedTensorPool& owner, uint64_t bytes) const {
+  int best = -1;
+  // The host path is the incumbent: a peer must strictly beat the D2H
+  // stream's backlogged arrival time to win the eviction.
+  double best_eta = owner.engine().eta_d2h(bytes);
+  for (const Member& m : members_) {
+    if (m.pool == &owner) continue;
+    if (m.donated_in_use + bytes > m.donation_budget) continue;
+    if (m.pool->under_pressure_now()) continue;  // a pressured peer would just spill it back
+    if (m.pool->allocator().largest_free() < bytes) continue;
+    double eta = owner.engine().eta_p2p(bytes, m.device);
+    if (eta < best_eta) {  // strict: ties go to the earlier (lower-id) peer
+      best_eta = eta;
+      best = m.device;
+    }
+  }
+  return best;
+}
+
+void PeerStagingGroup::register_guest(UnifiedTensorPool* owner, UnifiedTensorPool* host,
+                                      uint64_t uid, uint64_t handle, uint64_t bytes,
+                                      double staged_at) {
+  Member* m = member(host->device_id());
+  assert(m && "guest host must be a group member");
+  m->donated_in_use += bytes;
+  guests_.push_back(Guest{owner, host, uid, handle, bytes, staged_at, false});
+}
+
+std::list<PeerStagingGroup::Guest>::iterator PeerStagingGroup::find_guest(
+    const UnifiedTensorPool* owner, uint64_t uid) {
+  for (auto it = guests_.begin(); it != guests_.end(); ++it) {
+    if (it->owner == owner && it->uid == uid) return it;
+  }
+  return guests_.end();
+}
+
+std::list<PeerStagingGroup::Guest>::const_iterator PeerStagingGroup::find_guest(
+    const UnifiedTensorPool* owner, uint64_t uid) const {
+  for (auto it = guests_.begin(); it != guests_.end(); ++it) {
+    if (it->owner == owner && it->uid == uid) return it;
+  }
+  return guests_.end();
+}
+
+void PeerStagingGroup::unregister_guest(const UnifiedTensorPool* owner, uint64_t uid) {
+  auto it = find_guest(owner, uid);
+  assert(it != guests_.end() && "unregistering an unknown guest");
+  if (Member* m = member(it->host->device_id())) {
+    assert(m->donated_in_use >= it->bytes);
+    m->donated_in_use -= it->bytes;
+  }
+  guests_.erase(it);
+}
+
+double PeerStagingGroup::guest_staged_at(const UnifiedTensorPool* owner, uint64_t uid) const {
+  auto it = find_guest(owner, uid);
+  assert(it != guests_.end() && "querying an unknown guest");
+  return it->staged_at;
+}
+
+void PeerStagingGroup::mark_fetch_pending(const UnifiedTensorPool* owner, uint64_t uid,
+                                          bool pending) {
+  auto it = find_guest(owner, uid);
+  assert(it != guests_.end() && "marking an unknown guest");
+  it->fetch_pending = pending;
+}
+
+bool PeerStagingGroup::spill_one_guest(UnifiedTensorPool& host) {
+  for (auto it = guests_.begin(); it != guests_.end(); ++it) {
+    if (it->host != &host || it->fetch_pending) continue;
+    UnifiedTensorPool* owner = it->owner;
+    uint64_t uid = it->uid;
+    uint64_t handle = it->handle;
+    if (Member* m = member(host.device_id())) {
+      assert(m->donated_in_use >= it->bytes);
+      m->donated_in_use -= it->bytes;
+    }
+    guests_.erase(it);
+    host.spill_guest_to_owner(*owner, uid, handle, next_tag());
+    return true;
+  }
+  return false;
+}
+
+uint64_t PeerStagingGroup::donated_in_use(int device) const {
+  const Member* m = member(device);
+  return m ? m->donated_in_use : 0;
+}
+
+uint64_t PeerStagingGroup::donation_budget(int device) const {
+  const Member* m = member(device);
+  return m ? m->donation_budget : 0;
+}
+
+}  // namespace sn::core

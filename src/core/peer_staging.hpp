@@ -1,0 +1,132 @@
+// Peer-memory staging: a third placement tier between kDevice and kHost.
+//
+// When a pool must evict a dirty tensor but the D2H uplink is backlogged and
+// a peer device has spare pool budget on an idle P2P link, the tensor is
+// staged in the PEER's device pool instead of host memory (Residency::kPeer)
+// and fetched back over the same link — the host uplink never sees it.
+//
+// A PeerStagingGroup ties the participating UnifiedTensorPools of one
+// trainer together:
+//
+//   * membership + donation budget — each member grants a bounded number of
+//     bytes of its own pool to guests (evictees of other members). Guests
+//     are allocated from FREE space only (never by evicting the host's own
+//     tensors) and stay out of the host's tensor cache, so the host's own
+//     eviction order is untouched.
+//   * routing — route() compares the deterministic ETA of a hypothetical
+//     host offload (TransferEngine::eta_d2h: D2H stream backlog head + copy
+//     time) against the ETA over each candidate peer link (eta_p2p). A peer
+//     qualifies when it has budget and free space left and is not itself
+//     under recent allocation pressure; the tensor is staged only when the
+//     best peer ETA beats the host ETA. Every input is compute-thread
+//     virtual-time bookkeeping, so the decision is bit-reproducible.
+//   * guest registry — staged copies in FIFO order. When a HOST comes under
+//     its own pressure it reclaims guests before evicting its own tensors:
+//     spill_one_guest() moves the oldest idle guest to its owner's host pool
+//     over the host's D2H engine, and the owner transparently falls back to
+//     the ordinary kHost fetch path (bit-identical bytes either way).
+//   * id spaces — transfer tags live at kTagBase (bit 52), disjoint from
+//     tensor uids and from the dist-layer tag namespaces; flow ids come from
+//     obs::flow_id_peer_stage (bit 61), so trace_report pairs every staging
+//     hop's producer span with the stall that consumed it.
+//
+// Thread model: like everything submit-side, a group is driven by the single
+// trainer thread that constructed its pools. Lifetime: declare the group
+// before the runtimes that use it (pools detach() themselves on destruction,
+// which only drops bookkeeping — teardown never moves bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <vector>
+
+namespace sn::tensor {
+class Tensor;
+}
+
+namespace sn::core {
+
+class UnifiedTensorPool;
+
+class PeerStagingGroup {
+ public:
+  /// Transfer-tag namespace for staging hops (stage-out P2P, fetch-back P2P,
+  /// spill D2H). Bit 52 keeps it disjoint from tensor uids (dense small
+  /// ints), trainer boundary tags and communicator tags (bit 48).
+  static constexpr uint64_t kTagBase = 1ull << 52;
+
+  /// Grant `pool` membership, donating up to `donation_budget` bytes of its
+  /// device pool to staged guests from other members.
+  void add_member(UnifiedTensorPool& pool, uint64_t donation_budget);
+
+  /// Drop `pool` from the group and forget every guest it hosts or owns.
+  /// Teardown-only bookkeeping (pool destructors call this); no transfers.
+  void detach(UnifiedTensorPool* pool);
+
+  /// Pick the staging destination for `bytes` evicted from `owner`: the
+  /// qualifying peer with the lowest arrival ETA, or -1 when the host
+  /// offload path wins (or no peer qualifies). Deterministic (see file
+  /// comment).
+  int route(const UnifiedTensorPool& owner, uint64_t bytes) const;
+
+  UnifiedTensorPool* member_pool(int device) const;
+
+  uint64_t next_tag() { return kTagBase + tag_seq_++; }
+  /// Fresh flow id for one staging hop sent by `device`.
+  uint64_t next_flow(int device);
+
+  // --- guest registry (called by UnifiedTensorPool) -------------------------
+
+  void register_guest(UnifiedTensorPool* owner, UnifiedTensorPool* host, uint64_t uid,
+                      uint64_t handle, uint64_t bytes, double staged_at);
+  /// Forget the guest and return its bytes to the host's donation budget.
+  void unregister_guest(const UnifiedTensorPool* owner, uint64_t uid);
+  /// Virtual time the guest's bytes finished landing on the host (the
+  /// fetch-back's sender-side data dependency).
+  double guest_staged_at(const UnifiedTensorPool* owner, uint64_t uid) const;
+  /// Guests with a fetch-back in flight are exempt from spilling.
+  void mark_fetch_pending(const UnifiedTensorPool* owner, uint64_t uid, bool pending);
+
+  /// Spill the oldest idle guest hosted by `host` to its owner's host pool
+  /// (synchronously, over `host`'s D2H engine). Returns false when `host`
+  /// hosts no spillable guest. Called by the host's allocator-pressure path
+  /// BEFORE it starts evicting its own tensors.
+  bool spill_one_guest(UnifiedTensorPool& host);
+
+  // --- introspection (tests / telemetry) ------------------------------------
+
+  size_t guest_count() const { return guests_.size(); }
+  uint64_t donated_in_use(int device) const;
+  uint64_t donation_budget(int device) const;
+
+ private:
+  struct Member {
+    UnifiedTensorPool* pool = nullptr;
+    int device = -1;
+    uint64_t donation_budget = 0;
+    uint64_t donated_in_use = 0;
+  };
+  struct Guest {
+    UnifiedTensorPool* owner = nullptr;
+    UnifiedTensorPool* host = nullptr;
+    uint64_t uid = 0;
+    uint64_t handle = 0;   ///< allocation handle inside the host's allocator
+    uint64_t bytes = 0;
+    double staged_at = 0.0;
+    bool fetch_pending = false;
+  };
+
+  Member* member(int device);
+  const Member* member(int device) const;
+  std::list<Guest>::iterator find_guest(const UnifiedTensorPool* owner, uint64_t uid);
+  std::list<Guest>::const_iterator find_guest(const UnifiedTensorPool* owner,
+                                              uint64_t uid) const;
+
+  std::vector<Member> members_;  ///< ascending device id (route scan order)
+  std::list<Guest> guests_;      ///< staging order: front = oldest (spill first)
+  uint64_t tag_seq_ = 0;
+  uint64_t flow_seq_ = 0;
+};
+
+}  // namespace sn::core

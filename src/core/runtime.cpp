@@ -97,8 +97,10 @@ Runtime::Runtime(graph::Net& net, RuntimeOptions opts)
 
 void Runtime::materialize(tensor::Tensor* t) {
   // A prefetch may be in flight for this tensor: its device buffer exists
-  // but the data lands only when the event completes.
+  // but the data lands only when the event completes. Peer fetch-backs leave
+  // the tensor kPeer while in flight, so land those first too.
   if (pool_->prefetch_pending(t->uid())) pool_->finish_prefetch(t);
+  if (pool_->peer_fetch_pending(t->uid())) pool_->finish_peer_fetch(t);
   if (t->on_device()) {
     if (opts_.tensor_cache && !liveness_.is_persistent(t->uid())) {
       pool_->cache().touch(t->uid());
@@ -108,6 +110,10 @@ void Runtime::materialize(tensor::Tensor* t) {
   }
   if (t->on_host()) {
     pool_->fetch_from_host(t);
+    return;
+  }
+  if (t->residency == tensor::Residency::kPeer) {
+    pool_->fetch_from_peer(t);
     return;
   }
   if (t->residency == tensor::Residency::kDropped) {
@@ -173,6 +179,7 @@ void Runtime::ensure_def(tensor::Tensor* t) {
   // accumulated gradient staged back for this step): the kernel must not
   // write the buffer while the DMA engine is still filling it.
   if (pool_->prefetch_pending(t->uid())) pool_->finish_prefetch(t);
+  if (pool_->peer_fetch_pending(t->uid())) pool_->finish_peer_fetch(t);
   if (!t->on_device()) {
     if (t->on_host()) {
       // Definitions can be read-modify-write (gradient accumulation across
@@ -180,6 +187,9 @@ void Runtime::ensure_def(tensor::Tensor* t) {
       // not be re-allocated blank. Falls through to the first-def zeroing
       // check below, which is a no-op within the same iteration.
       pool_->fetch_from_host(t);
+    } else if (t->residency == tensor::Residency::kPeer) {
+      // Same round-trip contract for a partial result staged in a peer pool.
+      pool_->fetch_from_peer(t);
     } else {
       // Aliased definitions consume no new device memory (simulation-only
       // accounting of framework-specific reuse): Torch-style in-place
@@ -372,13 +382,22 @@ void Runtime::issue_prefetches(int step) {
   // pressure the nearest span's stages go out high-priority, so they bypass
   // any deeper speculative backlog on the H2D stream's wall clock (the
   // virtual-time schedule is unaffected by priorities).
-  const bool pressured = pool_->under_pressure();
+  // Windowed pressure (not the latching under_pressure()): escalation should
+  // stop once allocation traffic has moved past the contended stretch.
+  const bool pressured = pool_->under_pressure_now();
   for (const Prefetcher::Entry& e : prefetcher_.plan_spans(step)) {
     tensor::Tensor* u = e.tensor;
-    if (u->residency != tensor::Residency::kHost) continue;
-    if (pool_->prefetch_pending(u->uid())) continue;
     const TransferPriority prio = (pressured && e.span == 0) ? TransferPriority::kHigh
                                                              : TransferPriority::kNormal;
+    if (u->residency == tensor::Residency::kPeer) {
+      // Peer-staged dependency: stage it back over the P2P link, off the
+      // host uplink entirely.
+      if (pool_->peer_fetch_pending(u->uid())) continue;
+      if (!pool_->prefetch_from_peer(u, prio)) return;  // no room: stop staging
+      continue;
+    }
+    if (u->residency != tensor::Residency::kHost) continue;
+    if (pool_->prefetch_pending(u->uid())) continue;
     if (!pool_->prefetch(u, prio)) return;  // no room: stop staging
   }
 }
@@ -407,6 +426,7 @@ void Runtime::post_step(const graph::Step& step) {
     for (uint64_t uid : liveness_.free_after(step.index)) {
       tensor::Tensor* t = tensor_by_uid(uid);
       if (t->locked()) continue;
+      pool_->free_peer(t);  // before free_device: discards any in-flight fetch-back
       pool_->free_device(t);
       pool_->free_host(t);
       t->residency = tensor::Residency::kNone;
@@ -523,6 +543,10 @@ Runtime::StatSpan Runtime::begin_span() const {
   s.evict0 = pool_->evictions();
   s.alloc0 = pool_->alloc_count();
   s.extra0 = extra_forwards_;
+  s.pstage0 = pool_->peer_stage_count();
+  s.pstageb0 = pool_->peer_stage_bytes();
+  s.pfetch0 = pool_->peer_fetch_count();
+  s.pspill0 = pool_->peer_spill_count();
   return s;
 }
 
@@ -548,6 +572,10 @@ IterationStats Runtime::end_span(const StatSpan& s) {
   st.d2h_seconds = c1.seconds_d2h - s.c0.seconds_d2h;
   st.h2d_seconds = c1.seconds_h2d - s.c0.seconds_h2d;
   st.p2p_seconds = c1.seconds_p2p - s.c0.seconds_p2p;
+  st.peer_stage_count = pool_->peer_stage_count() - s.pstage0;
+  st.peer_stage_bytes = pool_->peer_stage_bytes() - s.pstageb0;
+  st.peer_fetch_count = pool_->peer_fetch_count() - s.pfetch0;
+  st.peer_spill_count = pool_->peer_spill_count() - s.pspill0;
   return st;
 }
 
@@ -634,6 +662,7 @@ IterationStats Runtime::forward_iteration(const float* input, const int32_t* lab
       tensor::Tensor* t = tensor_by_uid(uid);
       if (liveness_.is_persistent(uid) || t->locked()) continue;
       if (t == net_.loss_layer()->output()) continue;  // caller may read it
+      pool_->free_peer(t);
       pool_->free_device(t);
       pool_->free_host(t);
       t->residency = tensor::Residency::kNone;

@@ -191,6 +191,7 @@ class Runtime {
     sim::MachineCounters c0;
     double t0 = 0.0;
     uint64_t hits0 = 0, misses0 = 0, dma0 = 0, evict0 = 0, alloc0 = 0, extra0 = 0;
+    uint64_t pstage0 = 0, pstageb0 = 0, pfetch0 = 0, pspill0 = 0;
   };
   StatSpan begin_span() const;
   IterationStats end_span(const StatSpan& s);

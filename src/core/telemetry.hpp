@@ -89,6 +89,12 @@ struct IterationStats {
   uint64_t host_peak = 0;       ///< host-pool peak bytes so far (lifetime high
                                 ///< water mark — a peak is monotone, unlike the
                                 ///< per-iteration deltas above)
+  // Peer-memory staging (zero unless a PeerStagingGroup is attached).
+  uint64_t peer_stage_count = 0;  ///< evictions routed into a peer pool over P2P
+  uint64_t peer_stage_bytes = 0;  ///< bytes those evictions kept off the D2H uplink
+  uint64_t peer_fetch_count = 0;  ///< staged tensors fetched back over P2P
+  uint64_t peer_spill_count = 0;  ///< staged tensors the hosting peer spilled to
+                                  ///< the owner's host pool under its own pressure
   uint64_t dma_copies = 0;      ///< DMA-worker memcpys this iteration (async engine)
   // Per-stream copy-engine occupancy this iteration (virtual seconds the H2D
   // and D2H engines spent busy). With dual engines their sum can exceed the

@@ -5,9 +5,18 @@
 // its placement states:
 //
 //     kNone ──alloc──> kDevice ──offload──> kBoth ──release──> kHost
-//       ^                 │                                       │
-//       └────free─────────┤ <────────────fetch/prefetch───────────┘
-//                         └──drop──> kDropped   (recompute restores)
+//       ^                 │ ^                                     │ ^
+//       └────free─────────┤ └────────────fetch/prefetch───────────┘ │
+//                         ├──drop──> kDropped   (recompute restores)│
+//                         └──stage──> kPeer ──(host spills guest)───┘
+//                                       └──fetch-back──> kDevice
+//
+// The kPeer tier (peer-memory staging) is active only when a
+// PeerStagingGroup is attached: eviction may then route a dirty tensor into
+// a peer device's pool over an idle P2P link instead of the backlogged D2H
+// uplink, and fetch it back the same way. The peer can spill the staged copy
+// to the owner's host pool under its own pressure, degrading transparently
+// to the ordinary kHost path.
 //
 // The pool is pure mechanism: *what* to evict comes from the cache's LRU
 // order plus the hooks the orchestrator installs (is a tensor droppable by
@@ -20,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "core/tensor_cache.hpp"
@@ -29,6 +39,8 @@
 #include "tensor/tensor.hpp"
 
 namespace sn::core {
+
+class PeerStagingGroup;
 
 class UnifiedTensorPool {
  public:
@@ -58,6 +70,7 @@ class UnifiedTensorPool {
 
   UnifiedTensorPool(tensor::TensorRegistry& registry, sim::Machine& machine, Config cfg,
                     Hooks hooks);
+  ~UnifiedTensorPool();
 
   // --- state transitions ----------------------------------------------------
 
@@ -71,8 +84,9 @@ class UnifiedTensorPool {
   /// Release the device copy (waits out any in-flight transfer first).
   void free_device(tensor::Tensor* t);
 
-  /// Evict one tensor: drop it if recompute can restore it, else offload
-  /// synchronously (the memory is reused immediately).
+  /// Evict one tensor: drop it if recompute can restore it; else stage it in
+  /// a peer pool when the staging router says the P2P link beats the D2H
+  /// backlog; else offload synchronously (the memory is reused immediately).
   void evict_one(tensor::Tensor* t);
 
   /// Copy to the host pool. `async` (with cfg.async_transfers) leaves the
@@ -125,6 +139,55 @@ class UnifiedTensorPool {
     return engine_->pending(TransferDir::kH2D, uid);
   }
 
+  // --- peer-memory staging (active only with a PeerStagingGroup attached) ---
+
+  /// Try to evict `t` into a peer member's pool over P2P instead of the host
+  /// uplink. Synchronous (the device memory is reused immediately), like the
+  /// eviction offload it replaces. Returns false — and moves nothing — when
+  /// no group is attached, no peer beats the host ETA, or the tensor has an
+  /// offload already in flight (the host path owns that case).
+  bool stage_to_peer(tensor::Tensor* t);
+
+  /// On-demand fetch-back of a kPeer tensor: allocate device memory, pull the
+  /// bytes over the peer link (submitted on the PEER's engine; this pool's
+  /// machine stalls on the arrival), release the guest slot.
+  void fetch_from_peer(tensor::Tensor* t);
+
+  /// Asynchronous fetch-back (prefetch analogue). Refuses — returns false —
+  /// when the free device memory cannot fit it: staging back must never
+  /// trigger eviction, exactly like prefetch(). The tensor stays kPeer until
+  /// finish_peer_fetch() retires the landing.
+  bool prefetch_from_peer(tensor::Tensor* t, TransferPriority prio = TransferPriority::kNormal);
+
+  /// Wait out an in-flight peer fetch of `t` (no-op when none is pending).
+  void finish_peer_fetch(tensor::Tensor* t);
+
+  bool peer_fetch_pending(uint64_t uid) const { return peer_fetches_.count(uid) != 0; }
+
+  /// Release `t`'s staged peer copy (and discard any in-flight fetch-back) —
+  /// the liveness end-of-life path, symmetric with free_device/free_host.
+  void free_peer(tensor::Tensor* t);
+
+  // Guest side (host-pool role; called by the PeerStagingGroup / owner pool).
+
+  /// Reserve `bytes` of free pool space for a staged guest. Never evicts and
+  /// never touches the tensor cache (guests are invisible to this pool's LRU
+  /// order). Returns 0 when the free space cannot fit it.
+  uint64_t accept_guest(uint64_t bytes);
+  void* guest_ptr(uint64_t handle) { return allocator_->ptr(handle); }
+  void release_guest(uint64_t handle) { allocator_->deallocate(handle); }
+
+  /// Spill the guest holding `owner`'s tensor `uid` (handle `handle`) to the
+  /// OWNER's host pool over THIS pool's D2H engine, synchronously; the owner's
+  /// tensor degrades to plain kHost. `tag` must come from the group's tag
+  /// namespace (disjoint from this pool's uid-keyed D2H tags).
+  void spill_guest_to_owner(UnifiedTensorPool& owner, uint64_t uid, uint64_t handle,
+                            uint64_t tag);
+
+  void set_staging_group(PeerStagingGroup* g) { group_ = g; }
+  PeerStagingGroup* staging_group() const { return group_; }
+  sim::Machine& machine() { return machine_; }
+
   // --- components & counters ------------------------------------------------
 
   mem::GpuAllocator& allocator() { return *allocator_; }
@@ -144,19 +207,42 @@ class UnifiedTensorPool {
   uint64_t evictions() const { return evictions_; }
   uint64_t alloc_count() const { return alloc_count_; }
 
+  // Peer-staging counters (owner-side: spills count against the owner whose
+  // tensor degraded to kHost, wherever it was hosted).
+  uint64_t peer_stage_count() const { return peer_stage_count_; }
+  uint64_t peer_stage_bytes() const { return peer_stage_bytes_; }
+  uint64_t peer_fetch_count() const { return peer_fetch_count_; }
+  uint64_t peer_spill_count() const { return peer_spill_count_; }
+
   /// True once this iteration has had to evict: device memory is contended,
   /// so the orchestrator escalates the nearest prefetches to high priority
   /// ("prefetch > offload" on the DMA streams' wall clock).
+  /// NOTE: latches for the rest of the iteration — one early eviction keeps
+  /// escalating long after the contention has passed. Kept for existing
+  /// callers/tests; new policy goes through under_pressure_now().
   bool under_pressure() const { return evictions_ > 0; }
+
+  /// Windowed pressure signal: an eviction happened within the last
+  /// kPressureWindowAllocs device allocations. Unlike under_pressure() this
+  /// decays as allocation traffic moves on, so prefetch-priority escalation
+  /// stops once contention passes, and the peer-staging router can tell a
+  /// currently-squeezed pool from one that merely had a rough start.
+  bool under_pressure_now() const {
+    return evictions_ > 0 && alloc_count_ - last_eviction_alloc_ <= kPressureWindowAllocs;
+  }
+  static constexpr uint64_t kPressureWindowAllocs = 32;
+
   void reset_iteration_counters() {
     evictions_ = 0;
     alloc_count_ = 0;
+    last_eviction_alloc_ = 0;
   }
 
  private:
   tensor::Tensor* by_uid(uint64_t uid) { return registry_.get(uid); }
 
   tensor::TensorRegistry& registry_;
+  sim::Machine& machine_;
   Config cfg_;
   Hooks hooks_;
   std::unique_ptr<mem::GpuAllocator> allocator_;
@@ -164,10 +250,26 @@ class UnifiedTensorPool {
   TensorCache cache_;
   std::unique_ptr<TransferEngine> engine_;  ///< declared after host_pool_: the
                                             ///< DMA backend stages through it
+  PeerStagingGroup* group_ = nullptr;       ///< non-null while a member
+
+  /// In-flight asynchronous fetch-backs, keyed by tensor uid. Ordered map:
+  /// drain() walks it, and wait order must be reproducible.
+  struct PendingPeerFetch {
+    int peer = -1;
+    uint64_t tag = 0;
+    sim::Event event;
+    uint64_t flow = 0;
+  };
+  std::map<uint64_t, PendingPeerFetch> peer_fetches_;
 
   uint64_t live_count_ = 0;
   uint64_t evictions_ = 0;
   uint64_t alloc_count_ = 0;
+  uint64_t last_eviction_alloc_ = 0;  ///< alloc_count_ at the most recent eviction
+  uint64_t peer_stage_count_ = 0;
+  uint64_t peer_stage_bytes_ = 0;
+  uint64_t peer_fetch_count_ = 0;
+  uint64_t peer_spill_count_ = 0;
 };
 
 }  // namespace sn::core

@@ -6,6 +6,7 @@
 
 #include "mem/host_pool.hpp"
 #include "obs/trace.hpp"
+#include "sim/cluster.hpp"
 
 namespace sn::core {
 
@@ -42,13 +43,13 @@ sim::Event TransferEngine::submit(TransferDir dir, uint64_t tag, const void* src
 
 sim::Event TransferEngine::submit_p2p(uint64_t tag, const void* src, void* dst, uint64_t bytes,
                                       int peer, double not_before, TransferPriority prio,
-                                      uint64_t flow) {
+                                      uint64_t flow, const char* span_name) {
   assert_submit_owner();
   assert(!pending(TransferDir::kP2P, tag) && "one transfer per (dir, tag) may be in flight");
   sim::Event e = machine_.p2p_copy(peer, bytes, not_before);
   if (auto* rec = machine_.trace()) {
     rec->record_copy(obs::SpanKind::kP2P, obs::kStreamP2PBase + peer,
-                     e.done_at - machine_.p2p_seconds(bytes), e.done_at, bytes, flow, "p2p");
+                     e.done_at - machine_.p2p_seconds(bytes), e.done_at, bytes, flow, span_name);
   }
   return track(TransferDir::kP2P, peer, tag, e, src, dst, bytes, prio);
 }
@@ -122,6 +123,30 @@ void TransferEngine::await_landing(TransferDir dir, uint64_t tag) {
   auto it = map.find(tag);
   if (it == map.end()) return;
   ensure_landed(it->second.ticket);
+}
+
+void TransferEngine::retire_landed(TransferDir dir, uint64_t tag) {
+  assert_submit_owner();
+  auto& map = pending_[index(dir)];
+  auto it = map.find(tag);
+  if (it == map.end()) return;
+  ensure_landed(it->second.ticket);
+  retire(dir, tag, /*discarded=*/false);
+}
+
+double TransferEngine::eta_d2h(uint64_t bytes) const {
+  assert_submit_owner();
+  const sim::Stream& s = machine_.dma_streams().stream(sim::CopyDir::kD2H);
+  double start = std::max(machine_.now(), s.busy_until());
+  return start + machine_.copy_seconds(sim::CopyDir::kD2H, bytes, pinned_);
+}
+
+double TransferEngine::eta_p2p(uint64_t bytes, int peer) const {
+  assert_submit_owner();
+  sim::Cluster* cluster = machine_.cluster();
+  assert(cluster && "eta_p2p requires cluster membership");
+  double start = std::max(machine_.now(), cluster->link_busy_until(device_id_, peer));
+  return start + machine_.p2p_seconds(bytes);
 }
 
 bool TransferEngine::pending(TransferDir dir, uint64_t tag) const {

@@ -127,11 +127,13 @@ class TransferEngine {
   /// the async backend runs it on the per-link worker for `peer`, so hops on
   /// distinct links drain concurrently. Requires the machine to be a
   /// sim::Cluster member. `flow` tags the recorded span as a flow producer
-  /// (obs::flow_id_p2p) so the receiver's stall span links back to it; 0
-  /// records no arrow (collective hops).
+  /// (obs::flow_id_p2p / obs::flow_id_peer_stage) so the consumer's stall
+  /// span links back to it; 0 records no arrow (collective hops). `span_name`
+  /// labels the recorded kP2P span ("p2p" for schedule sends; peer staging
+  /// passes "peer_stage" / "peer_fetch" so traces attribute the variant).
   sim::Event submit_p2p(uint64_t tag, const void* src, void* dst, uint64_t bytes, int peer,
                         double not_before, TransferPriority prio = TransferPriority::kNormal,
-                        uint64_t flow = 0);
+                        uint64_t flow = 0, const char* span_name = "p2p");
 
   /// Retire the transfer if it has completed in virtual time (blocking, if
   /// needed, until the bytes have physically landed). Returns true when no
@@ -156,6 +158,26 @@ class TransferEngine {
   /// sender's clock — which try_retire/wait consult — must not be touched.
   /// No-op when nothing is pending for the tag.
   void await_landing(TransferDir dir, uint64_t tag);
+
+  /// Retire (dir, tag) as COMPLETED once its bytes have landed, without
+  /// touching the submitting machine's clock. For transfers whose completion
+  /// was already gated on ANOTHER machine's timeline (a peer-staging
+  /// fetch-back: the owner waited the virtual event on its own machine), so
+  /// neither wait() — which would stall the sender — nor discard() — which
+  /// miscounts a consumed result as thrown away — fits. No-op when nothing
+  /// is pending.
+  void retire_landed(TransferDir dir, uint64_t tag);
+
+  /// Deterministic ETA of a hypothetical D2H copy submitted now: the stream's
+  /// backlog head plus the copy's own duration. Fed (with eta_p2p) into the
+  /// peer-staging route decision; reads only compute-thread bookkeeping, so
+  /// the decision is bit-reproducible.
+  double eta_d2h(uint64_t bytes) const;
+
+  /// Deterministic ETA of a hypothetical P2P copy to `peer` submitted now:
+  /// the directed link's backlog head plus the transfer duration. Requires
+  /// cluster membership.
+  double eta_p2p(uint64_t bytes, int peer) const;
 
   bool pending(TransferDir dir, uint64_t tag) const;
   size_t pending_count(TransferDir dir) const {

@@ -82,6 +82,14 @@ HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
     }
   }
 
+  // Peer-memory staging: enroll every cell's pool after parameters are
+  // placed, so donation headroom reflects the steady-state footprint.
+  if (cfg_.peer_staging) {
+    for (auto& rt : runtimes_) {
+      staging_group_.add_member(rt->tensor_pool(), cfg_.peer_donation_bytes);
+    }
+  }
+
   // Boundary tensors per column link (s, r) -> (s+1, r). The producers /
   // landing sites are pinned: no in-stage layer re-defines a landing site,
   // so liveness and eviction must never reclaim it mid-stream.
@@ -639,6 +647,10 @@ HybridParallelReport HybridParallelTrainer::run() {
         agg.bytes_d2h += st.bytes_d2h;
         agg.bytes_h2d += st.bytes_h2d;
         agg.evictions += st.evictions;
+        agg.peer_stage_count += st.peer_stage_count;
+        agg.peer_stage_bytes += st.peer_stage_bytes;
+        agg.peer_fetch_count += st.peer_fetch_count;
+        agg.peer_spill_count += st.peer_spill_count;
         agg.extra_forwards += st.extra_forwards;
         agg.allocs += st.allocs;
         agg.dma_copies += st.dma_copies;

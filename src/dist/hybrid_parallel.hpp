@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/peer_staging.hpp"
 #include "core/runtime.hpp"
 #include "dist/communicator.hpp"
 #include "dist/schedule_engine.hpp"
@@ -74,6 +75,14 @@ struct HybridParallelConfig {
   /// Explicit route cut positions (NetPartitioner::partition_at); empty =
   /// cost- and memory-balanced automatic partition.
   std::vector<int> boundaries;
+  /// Peer-memory staging (core::PeerStagingGroup): evictions may ride idle
+  /// P2P links into a peer cell's pool instead of the D2H uplink, each cell
+  /// donating at most peer_donation_bytes of its pool to staged guests.
+  /// Off by default: with it off, every existing schedule is byte-identical
+  /// to previous releases; with it on, numerics are still bit-identical
+  /// (staging only re-routes copies), only the virtual timeline changes.
+  bool peer_staging = false;
+  uint64_t peer_donation_bytes = 1ull << 30;
   sim::ClusterSpec cluster;    ///< device + link preset; .devices is overridden to S*R
   train::TrainConfig train;    ///< iterations / lr / momentum / seed
 };
@@ -120,6 +129,7 @@ class HybridParallelTrainer {
   sim::Cluster& cluster() { return cluster_; }
   sim::GridView& grid() { return grid_; }
   Communicator& stage_communicator(int stage) { return *comms_[static_cast<size_t>(stage)]; }
+  core::PeerStagingGroup& staging_group() { return staging_group_; }
 
   /// Attach a trace session: one recorder per grid device (ids stamped with
   /// the cell's stage/replica), hooked into the cell machines. Pass nullptr
@@ -160,6 +170,9 @@ class HybridParallelTrainer {
   graph::PartitionPlan plan_;
   sim::Cluster cluster_;
   sim::GridView grid_;
+  /// Declared before runtimes_: pools detach from the group in their
+  /// destructors, so the group must outlive them.
+  core::PeerStagingGroup staging_group_;
   std::vector<std::unique_ptr<graph::Net>> stage_nets_;      ///< [cell]
   std::vector<std::unique_ptr<core::Runtime>> runtimes_;     ///< [cell]
   std::vector<std::unique_ptr<Communicator>> comms_;         ///< [stage] replica-row groups

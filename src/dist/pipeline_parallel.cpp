@@ -70,6 +70,14 @@ PipelineParallelTrainer::PipelineParallelTrainer(const NetFactory& factory,
     runtimes_.back()->initialize();
   }
 
+  // Peer-memory staging: enroll every stage's pool after parameters are
+  // placed, so donation headroom reflects the steady-state footprint.
+  if (cfg_.peer_staging) {
+    for (auto& rt : runtimes_) {
+      staging_group_.add_member(rt->tensor_pool(), cfg_.peer_donation_bytes);
+    }
+  }
+
   // Boundary tensors per link s -> s+1. The producers/landing sites are
   // pinned: no in-stage layer re-defines a landing site, so liveness and
   // eviction must never reclaim it mid-stream.

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/peer_staging.hpp"
 #include "core/runtime.hpp"
 #include "dist/schedule_engine.hpp"
 #include "graph/partitioner.hpp"
@@ -62,6 +63,13 @@ struct PipelineParallelConfig {
   /// Explicit route cut positions (NetPartitioner::partition_at); empty =
   /// cost-balanced automatic partition.
   std::vector<int> boundaries;
+  /// Peer-memory staging (core::PeerStagingGroup): evictions may ride idle
+  /// P2P links into a peer stage's pool instead of the D2H uplink, each
+  /// stage donating at most peer_donation_bytes of its pool to guests. Off
+  /// by default (byte-identical legacy schedules); on, numerics stay
+  /// bit-identical — staging only re-routes copies.
+  bool peer_staging = false;
+  uint64_t peer_donation_bytes = 1ull << 30;
   sim::ClusterSpec cluster;    ///< device + link preset; .devices is overridden
   train::TrainConfig train;    ///< iterations / lr / momentum / seed
 };
@@ -100,6 +108,7 @@ class PipelineParallelTrainer {
   core::Runtime& runtime(int stage) { return *runtimes_[static_cast<size_t>(stage)]; }
   graph::Net& stage_net(int stage) { return *stage_nets_[static_cast<size_t>(stage)]; }
   sim::Cluster& cluster() { return cluster_; }
+  core::PeerStagingGroup& staging_group() { return staging_group_; }
 
   /// Attach a trace session: one recorder per stage device, hooked into the
   /// stage machines. Pass nullptr to detach. Recording is wall-clock-only —
@@ -133,6 +142,9 @@ class PipelineParallelTrainer {
   std::unique_ptr<graph::Net> full_;  ///< probe net (microbatch size) the plan is cut from
   graph::PartitionPlan plan_;
   sim::Cluster cluster_;
+  /// Declared before runtimes_: pools detach from the group in their
+  /// destructors, so the group must outlive them.
+  core::PeerStagingGroup staging_group_;
   std::vector<std::unique_ptr<graph::Net>> stage_nets_;
   std::vector<std::unique_ptr<core::Runtime>> runtimes_;
   train::SyntheticDataset dataset_;

@@ -49,6 +49,10 @@ inline void accumulate(core::IterationStats& a, const core::IterationStats& p) {
   a.dma_copies += p.dma_copies;
   a.d2h_seconds += p.d2h_seconds;
   a.h2d_seconds += p.h2d_seconds;
+  a.peer_stage_count += p.peer_stage_count;
+  a.peer_stage_bytes += p.peer_stage_bytes;
+  a.peer_fetch_count += p.peer_fetch_count;
+  a.peer_spill_count += p.peer_spill_count;
 }
 
 }  // namespace sn::dist::detail

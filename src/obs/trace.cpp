@@ -46,6 +46,10 @@ uint64_t flow_id_collective(uint64_t seq, int device) {
   return (1ull << 62) | (seq << 8) | (static_cast<uint64_t>(device) & 0xff);
 }
 
+uint64_t flow_id_peer_stage(uint64_t seq, int device) {
+  return (1ull << 61) | (seq << 8) | (static_cast<uint64_t>(device) & 0xff);
+}
+
 double TraceRecorder::wall_now() {
   using clock = std::chrono::steady_clock;
   static const clock::time_point epoch = clock::now();

@@ -93,6 +93,13 @@ uint64_t flow_id_p2p(uint64_t tag, int src_device);
 /// unique). High bit keeps the namespace disjoint from flow_id_p2p.
 uint64_t flow_id_collective(uint64_t seq, int device);
 
+/// Flow id for one peer-staging hop (evict -> peer-store, or the fetch-back):
+/// `seq` is the PeerStagingGroup's monotone transfer counter, `device` the
+/// sending device. Bit 61 keeps the namespace disjoint from flow_id_p2p
+/// (schedule tags stay far below 2^53) and flow_id_collective (bit 62), so
+/// trace_report can attribute recovered uplink time to staging arrows.
+uint64_t flow_id_peer_stage(uint64_t seq, int device);
+
 struct TraceSpan {
   SpanKind kind = SpanKind::kCompute;
   StallSource stall = StallSource::kNone;

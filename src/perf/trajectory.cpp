@@ -420,6 +420,12 @@ MetricKind metric_kind(const std::string& name) {
   }
   if (name.rfind("stall_ms", 0) == 0) return MetricKind::kLowerBetter;
   if (name == "img_per_s" || name == "overlap_ratio") return MetricKind::kHigherBetter;
+  // Attribution metrics, not gates: per-directed-link occupancy fractions
+  // (link_busy_frac_<src>_<dst>) and the peer-staging activity counter move
+  // by design when routing changes — classify as info drift, never as a
+  // regression.
+  if (name.rfind("link_busy_frac", 0) == 0) return MetricKind::kInfo;
+  if (name == "peer_stage_count") return MetricKind::kInfo;
   return MetricKind::kInfo;
 }
 

@@ -87,11 +87,27 @@ class Cluster {
   /// Cluster-wide virtual time: the latest of any device's compute head.
   double now() const;
 
+  /// Busy head of the directed link src -> dst: the virtual time a transfer
+  /// submitted now would start. The peer-staging router compares this against
+  /// the host uplink's backlog to pick the faster route.
+  double link_busy_until(int src, int dst) const {
+    return link(src, dst).busy_until();
+  }
+
+  /// Cumulative virtual seconds the directed link src -> dst spent occupied
+  /// (per-link occupancy telemetry; bench_sweep's link_busy_frac).
+  double link_busy_seconds(int src, int dst) const {
+    return link(src, dst).busy_seconds();
+  }
+
   /// Reset every machine and link stream to time zero.
   void reset();
 
  private:
   Stream& link(int src, int dst) {
+    return links_[static_cast<size_t>(src) * machines_.size() + static_cast<size_t>(dst)];
+  }
+  const Stream& link(int src, int dst) const {
     return links_[static_cast<size_t>(src) * machines_.size() + static_cast<size_t>(dst)];
   }
 

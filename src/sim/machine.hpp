@@ -146,6 +146,11 @@ class Machine {
 
   const MachineCounters& counters() const { return counters_; }
   const StreamSet& dma_streams() const { return dma_; }
+
+  /// Owning cluster (nullptr when standalone). Routing layers read link
+  /// occupancy through it; single-device runtimes have no peers to route to.
+  Cluster* cluster() const { return cluster_; }
+
   void reset();
 
   /// Attach/detach an observability recorder. Atomic because DMA worker

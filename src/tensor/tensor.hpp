@@ -49,6 +49,7 @@ enum class Residency {
   kHost,     ///< offloaded to host pool
   kBoth,     ///< valid on GPU and host (clean cache entry)
   kDropped,  ///< freed; reconstructible only by recomputation
+  kPeer,     ///< staged in a peer device's pool (core::PeerStagingGroup)
 };
 
 class Tensor {
@@ -84,10 +85,17 @@ class Tensor {
 
   Residency residency = Residency::kNone;
 
+  /// Peer staging (kPeer only): cluster device whose pool holds the staged
+  /// copy, and the allocation handle inside that pool's device allocator.
+  int peer_device = -1;
+  uint64_t peer_handle = 0;
+
   /// Forward step that (re)defines this tensor; recomputation replays from
   /// the owning segment's checkpoint to reconstruct it.
   int producer_step = -1;
 
+  /// kPeer is deliberately neither on_device nor on_host: the copy is usable
+  /// only after a fetch-back, and eviction must never victimize it.
   bool on_device() const {
     return residency == Residency::kDevice || residency == Residency::kBoth;
   }

@@ -326,6 +326,43 @@ TEST(PipelineParallel, PhaseTelemetryAttributesTheBubble) {
   EXPECT_TRUE(saw_phase);
 }
 
+TEST(PipelineParallel, OneF1BWithPeerStagingKeepsResultsAndStages) {
+  // Peer-memory staging under PipeDream-flush: the 1F1B stash retirement
+  // (ascending-m backwards, stash slots recycled mid-iteration) interleaves
+  // with stage-outs and fetch-backs on the same link, and neither training
+  // results nor the staging bookkeeping may notice. mini-alexnet with an
+  // early explicit cut leaves stage 0 pool-constrained and stage 1 with
+  // donation slack.
+  auto run = [](dist::SchedulePolicy pol, bool staging) {
+    auto factory = [](int batch) { return graph::build_mini_alexnet(batch); };
+    core::RuntimeOptions o = parity_options();
+    o.recompute = core::RecomputeMode::kNone;
+    o.use_liveness = false;
+    o.device_capacity = 3ull << 18;
+    auto cfg = pipe_config(2, 4, 32, 3);
+    cfg.cluster = sim::nvlink_cluster_spec(2);
+    cfg.boundaries = {9};
+    cfg.schedule = pol;
+    cfg.peer_staging = staging;
+    dist::PipelineParallelTrainer pipe(factory, o, cfg);
+    auto rep = pipe.run();
+    uint64_t staged = 0;
+    for (int s = 0; s < pipe.stages(); ++s) {
+      staged += pipe.runtime(s).tensor_pool().peer_stage_count();
+    }
+    return std::tuple(rep.losses, staged);
+  };
+  auto [f1b_off, f1b_off_staged] = run(dist::SchedulePolicy::k1F1B, false);
+  auto [f1b_on, f1b_on_staged] = run(dist::SchedulePolicy::k1F1B, true);
+  auto [gpipe_on, gpipe_on_staged] = run(dist::SchedulePolicy::kGPipe, true);
+
+  EXPECT_EQ(f1b_off_staged, 0u);
+  EXPECT_GT(f1b_on_staged, 0u) << "1F1B run never exercised staging";
+  EXPECT_GT(gpipe_on_staged, 0u) << "GPipe run never exercised staging";
+  EXPECT_EQ(f1b_off, f1b_on) << "staging changed 1F1B training results";
+  EXPECT_EQ(f1b_on, gpipe_on) << "schedules diverged under staging";
+}
+
 TEST(PipelineParallel, RejectsBadConfigs) {
   auto factory = [](int batch) { return graph::build_tiny_linear(batch); };
   core::RuntimeOptions o = parity_options();
