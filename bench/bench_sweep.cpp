@@ -15,12 +15,18 @@
 //
 //   ./bench_sweep [--json out.json] [--tier small|full] [--repeats N]
 //                 [--point N] [--seed S] [--peer-staging auto|on|off]
+//                 [--trace-out DIR]
 //
 // --peer-staging overrides the per-cell peer_staging spec: "off" forces the
 // pure-host offload path everywhere (the A/B baseline for the staging demo
 // cells), "on" enables staging for every multi-device cell, "auto" (default)
 // runs each cell as declared. Cell keys do not encode the mode, so two runs
 // of the same tier diff cleanly against each other.
+//
+// --trace-out DIR writes one deterministic Chrome-trace JSON per cell
+// (first repeat, wall stamps stripped) named after the cell key, so the CI
+// perf-gate can trace_diff a regressed cell against the baseline capture
+// without any source edits.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -28,9 +34,13 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "bench/common.hpp"
 #include "bench/sweep_config.hpp"
 #include "dist/hybrid_parallel.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "util/json_writer.hpp"
 
 using namespace sn;
@@ -49,6 +59,15 @@ double median_of(std::vector<double> v) {
   return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
+/// Filename-safe cell identity for --trace-out captures, mirroring the
+/// trajectory cell key (sweep/VGG16/nvlink/s2r1m1/pool2/gpipe with '/'
+/// flattened to '_').
+std::string cell_trace_name(const bench::SweepCellSpec& s) {
+  return s.net + "_" + s.link + "_s" + std::to_string(s.stages) + "r" +
+         std::to_string(s.replicas) + "m" + std::to_string(s.microbatches) + "_pool" +
+         std::to_string(s.pool_gb) + "_" + s.schedule + ".trace.json";
+}
+
 sim::ClusterSpec cluster_for(const bench::SweepCellSpec& s) {
   int devices = s.stages * s.replicas;
   if (s.link == "nvlink") return sim::nvlink_cluster_spec(devices);
@@ -60,6 +79,7 @@ sim::ClusterSpec cluster_for(const bench::SweepCellSpec& s) {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  const char* trace_dir = nullptr;
   std::string tier = "small";
   std::string staging_mode = "auto";
   int repeats = 3;
@@ -67,6 +87,7 @@ int main(int argc, char** argv) {
   uint64_t data_seed = 1234;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_dir = argv[i + 1];
     if (std::strcmp(argv[i], "--tier") == 0) tier = argv[i + 1];
     if (std::strcmp(argv[i], "--repeats") == 0) repeats = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--point") == 0) point = std::atoi(argv[i + 1]);
@@ -81,6 +102,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--peer-staging must be auto|on|off\n");
     return 2;
   }
+  if (trace_dir) ::mkdir(trace_dir, 0755);  // existing directory is fine
 
   const int kGlobalBatch = 32, kIters = 2;
   std::vector<bench::SweepCellSpec> matrix;
@@ -138,7 +160,23 @@ int main(int argc, char** argv) {
       o.device_capacity = static_cast<uint64_t>(spec.pool_gb) << 30;
       auto factory = [&](int batch) { return bench::build_network(spec.net, batch); };
       dist::HybridParallelTrainer trainer(factory, o, cfg);
+      // Per-cell iteration trace for the perf-gate's trace_diff attribution:
+      // first repeat only (the virtual-clock export is deterministic, so one
+      // capture represents every repeat byte-for-byte).
+      obs::TraceSession trace_session;
+      const bool capture = trace_dir != nullptr && rep == 0;
+      if (capture) trainer.attach_trace(&trace_session);
       const auto report = trainer.run();
+      if (capture) {
+        trainer.attach_trace(nullptr);
+        obs::ChromeTraceOptions topts;
+        topts.include_wall = false;  // strip wall stamps: diffable across runs
+        const std::string path = std::string(trace_dir) + "/" + cell_trace_name(spec);
+        if (!obs::write_chrome_trace(trace_session, path, topts)) {
+          std::fprintf(stderr, "cannot write %s\n", path.c_str());
+          return 1;
+        }
+      }
       const auto& st = report.stats.back();
       push("seconds", st.seconds);
       push("img_per_s", kGlobalBatch / st.seconds);

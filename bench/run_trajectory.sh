@@ -11,9 +11,12 @@
 # Usage:
 #   bench/run_trajectory.sh [--build BUILDDIR] [--out FILE] [--point N]
 #                           [--tier small|full] [--repeats R] [--no-sweep]
+#                           [--trace-out DIR]
 #       run the four gated benches (--json) plus bench_sweep, merge the five
 #       sections into FILE (default: BENCH_9.json at the repo root,
-#       schema_version 1)
+#       schema_version 1); --trace-out forwards to bench_sweep so every
+#       sweep cell also leaves a deterministic per-cell trace for
+#       trace_diff attribution
 #   bench/run_trajectory.sh --merge DIR [--out FILE] [--point N]
 #       skip the runs and merge DIR/{pipeline_stages,hybrid_grid,
 #       stream_overlap,prefetch_lookahead,sweep}.json (CI reuses bench-out/;
@@ -35,6 +38,7 @@ merge_dir=""
 tier="small"
 repeats=3
 with_sweep=1
+trace_out=""
 diff_baseline=""
 diff_candidate=""
 diff_report=""
@@ -49,6 +53,7 @@ while [ $# -gt 0 ]; do
     --tier)      tier="$2"; shift 2 ;;
     --repeats)   repeats="$2"; shift 2 ;;
     --no-sweep)  with_sweep=0; shift ;;
+    --trace-out) trace_out="$2"; shift 2 ;;
     --diff)      diff_baseline="$2"; shift 2 ;;
     --candidate) diff_candidate="$2"; shift 2 ;;
     --report)    diff_report="$2"; shift 2 ;;
@@ -92,8 +97,10 @@ if [ -z "$merge_dir" ]; then
     bin="$build_dir/bench_sweep"
     [ -x "$bin" ] || { echo "missing $bin (build the benches first)" >&2; exit 1; }
     echo "== bench_sweep ($tier tier, $repeats repeats)"
+    sweep_extra=()
+    [ -n "$trace_out" ] && sweep_extra+=(--trace-out "$trace_out")
     "$bin" --tier "$tier" --repeats "$repeats" --point "$point" \
-           --json "$merge_dir/sweep.json" > "$merge_dir/sweep.txt"
+           "${sweep_extra[@]}" --json "$merge_dir/sweep.json" > "$merge_dir/sweep.txt"
   fi
 fi
 

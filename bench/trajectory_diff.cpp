@@ -18,7 +18,7 @@
 //   trajectory_diff --schema-check KIND FILE [KIND FILE ...]
 //     KIND: pipeline_stages | hybrid_grid | stream_overlap |
 //           prefetch_lookahead | sweep | trajectory | chrome_trace |
-//           metrics | diff_report
+//           metrics | diff_report | trace_diff_report | cost_profile
 //
 // Exit codes: 0 = gate passed; 1 = regression / removed cells; 2 = usage,
 // I/O, parse or schema error.

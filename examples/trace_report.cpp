@@ -10,6 +10,8 @@
 //         [--microbatches M] [--batch B] [--schedule gpipe|1f1b]
 //         [--iters N] [--pool-gb G] [--peer-staging]
 //         [--trace out.json] [--metrics out.json]
+//         [--profile-out prof.json] [--profile-in prof.json]
+//         [--prom out.prom] [--metrics-listen PORT]
 //
 // --pool-gb caps the device pool (default: the cluster preset's capacity)
 // and --peer-staging enables the peer-memory staging tier, so the audit can
@@ -21,19 +23,37 @@
 // --trace exports the Perfetto-loadable Chrome-trace JSON (wall-clock DMA
 // staging rows included); --metrics exports the analyzer's counters /
 // gauges / stall histogram through the shared util::JsonWriter path.
+//
+// Profile-guided partitioning loop (ISSUE 10): --profile-out persists the
+// run's obs::CostProfile (observed per-layer kernel seconds + per-device
+// occupancy); --profile-in loads one back, re-cuts the net with observed
+// costs replacing the analytic roofline, prints analytic-vs-profile cuts
+// with both evaluated under OBSERVED stage seconds, and runs the traced
+// schedule on the profile-guided cuts. --prom dumps the Prometheus text
+// exposition; --metrics-listen serves ONE scrape of it on 127.0.0.1:PORT
+// (port 0 picks an ephemeral port) — the surface the serving path will bind.
+//
+// The AUDIT additionally fails when any device's span ring evicted spans
+// (TraceRecorder::dropped() > 0): attribution over a truncated ring would
+// reconcile against nothing.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "dist/hybrid_parallel.hpp"
 #include "dist/pipeline_parallel.hpp"
+#include "graph/partitioner.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/cost_profile.hpp"
 #include "obs/metrics.hpp"
+#include "obs/metrics_serve.hpp"
 #include "obs/trace_analyzer.hpp"
+#include "util/json_reader.hpp"
 #include "util/json_writer.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -94,14 +114,55 @@ void print_critical_path(const obs::TraceAnalyzer& an) {
   }
 }
 
+/// Format a cut vector as "[a, b]".
+std::string cuts_str(const std::vector<int>& cuts) {
+  std::string s = "[";
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(cuts[i]);
+  }
+  return s + "]";
+}
+
+/// Analytic vs profile-guided partition, BOTH cut sets evaluated under the
+/// observed cost prefixes (partition_at on the profile-guided partitioner),
+/// so "max-stage" compares what the profile says each cut actually costs.
+void print_partition_comparison(const std::string& name, int microbatch, int stages,
+                                dist::SchedulePolicy policy, const sim::ClusterSpec& cluster,
+                                uint64_t device_capacity, const obs::CostProfile& profile) {
+  auto net = bench::build_network(name, microbatch);
+  if (!net->finalized()) net->finalize();
+  const graph::StageRecompute rc = policy == dist::SchedulePolicy::k1F1B
+                                       ? graph::StageRecompute::kAllButLast
+                                       : graph::StageRecompute::kNone;
+  graph::NetPartitioner analytic(*net, cluster.device, cluster.link, device_capacity);
+  graph::NetPartitioner observed(
+      *net, cluster.device, cluster.link, device_capacity,
+      [&profile](const std::string& layer, double* fwd, double* bwd) {
+        return profile.layer_seconds(layer, fwd, bwd);
+      });
+  const auto plan_a = analytic.partition(stages, rc);
+  const auto plan_o = observed.partition(stages, rc);
+  const double a_obs = observed.partition_at(plan_a.cuts).max_stage_seconds;
+  const double o_obs = plan_o.max_stage_seconds;
+  std::printf("\nprofile-guided partition (%d stages, %s):\n", stages,
+              dist::schedule_policy_name(policy));
+  std::printf("  analytic cuts %-14s -> observed max-stage %s ms\n",
+              cuts_str(plan_a.cuts).c_str(), ms(a_obs).c_str());
+  std::printf("  profile  cuts %-14s -> observed max-stage %s ms  (%s)\n",
+              cuts_str(plan_o.cuts).c_str(), ms(o_obs).c_str(),
+              plan_o.cuts == plan_a.cuts ? "same cuts" : "cuts moved");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string name = "VGG16";
   int stages = 2, replicas = 2, microbatches = 4, batch = 32, iters = 2, pool_gb = 0;
+  int listen_port = -1;
   bool peer_staging = false;
   std::string sched_arg = "1f1b";
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, profile_out, profile_in, prom_path;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](int* out) {
       if (i + 1 >= argc) {
@@ -130,6 +191,14 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-in") == 0 && i + 1 < argc) {
+      profile_in = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-listen") == 0) {
+      next(&listen_port);
     } else if (argv[i][0] != '-') {
       name = argv[i];
     } else {
@@ -144,6 +213,22 @@ int main(int argc, char** argv) {
   std::printf("=== trace_report: %s, %dx%d grid, %d microbatches, %s, %d iters ===\n",
               name.c_str(), stages, replicas, microbatches,
               dist::schedule_policy_name(policy), iters);
+
+  // Profile-guided partitioning: load observed costs and hand them to the
+  // trainer config, so the traced run below already uses the observed cuts.
+  obs::CostProfile profile;
+  bool have_profile = false;
+  if (!profile_in.empty()) {
+    try {
+      profile = obs::CostProfile::load(profile_in);
+      have_profile = true;
+    } catch (const util::JsonError& e) {
+      std::fprintf(stderr, "trace_report: %s\n", e.what());
+      return 2;
+    }
+    std::printf("loaded cost profile %s (%zu layers, %zu devices)\n", profile_in.c_str(),
+                profile.layers().size(), profile.devices().size());
+  }
 
   obs::TraceSession session;
   // Trainer-side scalars the analyzer must reproduce from spans alone.
@@ -160,7 +245,13 @@ int main(int argc, char** argv) {
     cfg.cluster = sim::nvlink_cluster_spec(stages * replicas);
     cfg.train.iterations = iters;
     cfg.peer_staging = peer_staging;
-    dist::HybridParallelTrainer hyb(factory, sim_options(cfg.cluster, pool_gb), cfg);
+    if (have_profile) cfg.cost_profile = &profile;
+    const core::RuntimeOptions opts = sim_options(cfg.cluster, pool_gb);
+    if (have_profile) {
+      print_partition_comparison(name, batch / replicas / microbatches, stages, policy,
+                                 cfg.cluster, opts.device_capacity, profile);
+    }
+    dist::HybridParallelTrainer hyb(factory, opts, cfg);
     hyb.attach_trace(&session);
     auto rep = hyb.run();
     for (const auto& st : rep.stats) {
@@ -180,7 +271,13 @@ int main(int argc, char** argv) {
     cfg.cluster = sim::nvlink_cluster_spec(stages);
     cfg.train.iterations = iters;
     cfg.peer_staging = peer_staging;
-    dist::PipelineParallelTrainer pipe(factory, sim_options(cfg.cluster, pool_gb), cfg);
+    if (have_profile) cfg.cost_profile = &profile;
+    const core::RuntimeOptions opts = sim_options(cfg.cluster, pool_gb);
+    if (have_profile) {
+      print_partition_comparison(name, batch / microbatches, stages, policy, cfg.cluster,
+                                 opts.device_capacity, profile);
+    }
+    dist::PipelineParallelTrainer pipe(factory, opts, cfg);
     pipe.attach_trace(&session);
     auto rep = pipe.run();
     for (const auto& st : rep.stats) {
@@ -213,7 +310,28 @@ int main(int argc, char** argv) {
               an.flows_consumed(), unmatched.size());
   if (!unmatched.empty()) ok = false;
 
+  // Ring-eviction audit: a truncated ring means every reconciliation above
+  // ran on a partial record — fail loudly instead of passing by luck.
+  size_t dropped_total = 0;
+  for (int dev : session.devices()) {
+    const size_t d = session.recorder(dev)->dropped();
+    if (d > 0) std::printf("  dev%d dropped %zu spans at ring capacity\n", dev, d);
+    dropped_total += d;
+  }
+  std::printf("span rings: %zu dropped\n", dropped_total);
+  if (dropped_total > 0) ok = false;
+
   print_critical_path(an);
+
+  if (!profile_out.empty()) {
+    obs::CostProfile captured = obs::CostProfile::from_session(session);
+    if (!captured.save(profile_out)) {
+      std::fprintf(stderr, "failed to write %s\n", profile_out.c_str());
+      return 1;
+    }
+    std::printf("wrote cost profile %s (%zu layers, %zu devices)\n", profile_out.c_str(),
+                captured.layers().size(), captured.devices().size());
+  }
 
   if (!trace_path.empty()) {
     if (!obs::write_chrome_trace(session, trace_path)) {
@@ -235,6 +353,35 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote metrics %s\n", metrics_path.c_str());
+  }
+  if (!prom_path.empty() || listen_port >= 0) {
+    obs::MetricsRegistry m;
+    an.fill_metrics(m);
+    const std::string prom = m.to_prometheus();
+    if (!prom_path.empty()) {
+      std::FILE* f = std::fopen(prom_path.c_str(), "w");
+      if (!f || std::fwrite(prom.data(), 1, prom.size(), f) != prom.size()) {
+        std::fprintf(stderr, "failed to write %s\n", prom_path.c_str());
+        if (f) std::fclose(f);
+        return 1;
+      }
+      std::fclose(f);
+      std::printf("wrote prometheus exposition %s\n", prom_path.c_str());
+    }
+    if (listen_port >= 0) {
+      try {
+        obs::OneShotTextServer srv(listen_port);
+        std::printf("metrics: serving one scrape on 127.0.0.1:%d\n", srv.port());
+        std::fflush(stdout);
+        if (!srv.serve_once(prom)) {
+          std::fprintf(stderr, "metrics: scrape failed\n");
+          return 1;
+        }
+      } catch (const std::runtime_error& e) {
+        std::fprintf(stderr, "metrics: %s\n", e.what());
+        return 1;
+      }
+    }
   }
 
   std::printf("%s\n", ok ? "AUDIT OK" : "AUDIT FAILED");

@@ -53,8 +53,16 @@ HybridParallelTrainer::HybridParallelTrainer(const NetFactory& factory,
         // last stage, so its balance discounts that stage's remat forward
         // (StageRecompute::kAllButLast); GPipe keeps the legacy weighting
         // and therefore the legacy cuts.
+        // Profile-guided balance: a loaded CostProfile's observed medians
+        // replace the roofline per layer (null = analytic, legacy cuts).
+        graph::LayerCostFn observed;
+        if (const obs::CostProfile* prof = cfg_.cost_profile) {
+          observed = [prof](const std::string& name, double* fwd, double* bwd) {
+            return prof->layer_seconds(name, fwd, bwd);
+          };
+        }
         graph::NetPartitioner part(*full_, cfg_.cluster.device, cfg_.cluster.link,
-                                   base.device_capacity);
+                                   base.device_capacity, std::move(observed));
         const graph::StageRecompute rc = cfg_.schedule == SchedulePolicy::k1F1B
                                              ? graph::StageRecompute::kAllButLast
                                              : graph::StageRecompute::kNone;

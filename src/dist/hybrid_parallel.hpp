@@ -53,6 +53,7 @@
 #include "dist/communicator.hpp"
 #include "dist/schedule_engine.hpp"
 #include "graph/partitioner.hpp"
+#include "obs/cost_profile.hpp"
 #include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "train/dataset.hpp"
@@ -75,6 +76,11 @@ struct HybridParallelConfig {
   /// Explicit route cut positions (NetPartitioner::partition_at); empty =
   /// cost- and memory-balanced automatic partition.
   std::vector<int> boundaries;
+  /// Profile-guided partitioning: observed per-layer seconds from a prior
+  /// traced run replace the analytic roofline in the cut balance. Must
+  /// outlive the trainer. Null (default) keeps cuts — and therefore every
+  /// schedule — byte-identical to the analytic path.
+  const obs::CostProfile* cost_profile = nullptr;
   /// Peer-memory staging (core::PeerStagingGroup): evictions may ride idle
   /// P2P links into a peer cell's pool instead of the D2H uplink, each cell
   /// donating at most peer_donation_bytes of its pool to staged guests.

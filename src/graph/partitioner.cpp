@@ -9,9 +9,9 @@
 namespace sn::graph {
 
 NetPartitioner::NetPartitioner(const Net& net, sim::DeviceSpec spec, sim::LinkSpec link,
-                               uint64_t device_capacity)
+                               uint64_t device_capacity, LayerCostFn observed)
     : net_(net), cost_(std::move(spec)), link_(std::move(link)),
-      device_capacity_(device_capacity) {
+      device_capacity_(device_capacity), observed_(std::move(observed)) {
   if (!net.finalized()) throw std::logic_error("NetPartitioner: net must be finalized");
   const auto& route = net_.route();
   const int n = static_cast<int>(route.size());
@@ -19,15 +19,30 @@ NetPartitioner::NetPartitioner(const Net& net, sim::DeviceSpec spec, sim::LinkSp
   pos_.assign(net_.num_layers(), -1);
   for (int i = 0; i < n; ++i) pos_[static_cast<size_t>(route[i]->id())] = i;
 
+  // Balance prefixes: observed per-layer seconds when a profile provides
+  // them (profile-guided partitioning), the analytic roofline otherwise.
+  // With observed_ null this is exactly the legacy computation, so the cuts
+  // stay byte-identical.
   prefix_.assign(static_cast<size_t>(n) + 1, 0.0);
   fwd_prefix_.assign(static_cast<size_t>(n) + 1, 0.0);
   for (int i = 0; i < n; ++i) {
     const Layer* l = route[i];
-    prefix_[i + 1] = prefix_[i] + layer_seconds(l);
-    fwd_prefix_[i + 1] =
-        fwd_prefix_[i] + cost_.compute_time(l->forward_flops(),
-                                            static_cast<double>(l->forward_bytes()),
-                                            l->compute_efficiency());
+    double fwd = cost_.compute_time(l->forward_flops(), static_cast<double>(l->forward_bytes()),
+                                    l->compute_efficiency());
+    double bwd = cost_.compute_time(l->backward_flops(),
+                                    static_cast<double>(l->backward_bytes()),
+                                    l->compute_efficiency());
+    if (observed_) {
+      double ofwd = 0.0, obwd = 0.0;
+      if (observed_(l->name(), &ofwd, &obwd)) {
+        fwd = ofwd;
+        bwd = obwd;
+      }
+    }
+    // Parenthesized (fwd + bwd) first: the same association layer_seconds()
+    // used, so analytic prefixes stay bit-identical to the legacy ctor.
+    prefix_[i + 1] = prefix_[i] + (fwd + bwd);
+    fwd_prefix_[i + 1] = fwd_prefix_[i] + fwd;
   }
 
   persist_prefix_.assign(static_cast<size_t>(n) + 1, 0);

@@ -36,7 +36,9 @@
 // parameters stage-locally.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "graph/net.hpp"
@@ -44,6 +46,15 @@
 #include "sim/device_spec.hpp"
 
 namespace sn::graph {
+
+/// Observed-cost override for the stage balance: fill `*fwd_seconds` /
+/// `*bwd_seconds` with measured per-execution kernel seconds for the layer
+/// named `name` and return true, or return false (outputs untouched) to fall
+/// back to the analytic roofline for that layer. obs::CostProfile's
+/// layer_seconds has exactly this shape — wrap it in a lambda to keep the
+/// graph layer free of an obs dependency.
+using LayerCostFn =
+    std::function<bool(const std::string& name, double* fwd_seconds, double* bwd_seconds)>;
 
 /// How the partition cost model charges stash-and-recompute forwards.
 /// kNone is the legacy balance (forward + backward only) that GPipe-era
@@ -76,9 +87,12 @@ class NetPartitioner {
   /// balance is computed against (defaults match the single-device sim).
   /// `device_capacity` > 0 enables memory awareness: stages whose working-set
   /// floor exceeds it are rejected (0 = unlimited, the pre-capacity default).
+  /// `observed` (profile-guided partitioning) overrides per-layer seconds in
+  /// the balance; null keeps the analytic roofline and cuts byte-identical
+  /// to the pre-profile releases (pinned by test_partitioner).
   explicit NetPartitioner(const Net& net, sim::DeviceSpec spec = sim::k40c_spec(),
                           sim::LinkSpec link = sim::pcie_p2p_link_spec(),
-                          uint64_t device_capacity = 0);
+                          uint64_t device_capacity = 0, LayerCostFn observed = nullptr);
 
   /// Route positions i (0 < i < route size) where the net may be cut between
   /// route[i-1] and route[i]: exactly one layer output crosses. Ascending.
@@ -89,6 +103,8 @@ class NetPartitioner {
   int boundary_producer(int cut) const;
 
   /// Modeled forward+backward seconds of one layer (roofline cost model).
+  /// Always analytic — the observed override applies only to the balance
+  /// prefixes, so callers can compare analytic vs profile-guided weight.
   double layer_seconds(const Layer* l) const;
 
   /// Peak working-set floor of stage [begin, end) under full offload:
@@ -129,6 +145,7 @@ class NetPartitioner {
   sim::CostModel cost_;
   sim::LinkSpec link_;
   uint64_t device_capacity_ = 0;
+  LayerCostFn observed_;  ///< null = analytic balance
   std::vector<int> pos_;         ///< layer id -> route position
   std::vector<double> prefix_;   ///< prefix_[i] = sum of layer_seconds(route[0..i))
   std::vector<double> fwd_prefix_;  ///< forward-only seconds prefix (remat weighting)

@@ -1,0 +1,267 @@
+#include "obs/cost_profile.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
+
+namespace sn::obs {
+
+namespace {
+
+// Per-device per-iteration bucket accumulator indices.
+enum Bucket : size_t {
+  kBCompute,
+  kBH2D,
+  kBD2H,
+  kBP2P,
+  kBCollective,
+  kBStallTransfer,
+  kBStallPipeline,
+  kBStallCollective,
+  kBucketCount,
+};
+
+const char* bucket_key(size_t b) {
+  switch (b) {
+    case kBCompute: return "compute";
+    case kBH2D: return "h2d";
+    case kBD2H: return "d2h";
+    case kBP2P: return "p2p";
+    case kBCollective: return "collective";
+    case kBStallTransfer: return "stall_transfer";
+    case kBStallPipeline: return "stall_pipeline";
+    case kBStallCollective: return "stall_collective";
+    default: return "?";
+  }
+}
+
+void write_stat(util::JsonWriter& w, const ProfileStat& s) {
+  // 17 significant digits: doubles survive the write -> parse round trip
+  // bit-exactly (pinned by test_cost_profile).
+  w.begin_object(util::JsonWriter::kInline);
+  w.key("median").value_sci(s.median, 17);
+  w.key("lo").value_sci(s.lo, 17);
+  w.key("hi").value_sci(s.hi, 17);
+  w.key("n").value(s.n);
+  w.end_object();
+}
+
+ProfileStat read_stat(const util::JsonValue& v) {
+  ProfileStat s;
+  s.median = v.get("median").as_number();
+  s.lo = v.get("lo").as_number();
+  s.hi = v.get("hi").as_number();
+  s.n = static_cast<uint64_t>(v.get("n").as_number());
+  return s;
+}
+
+}  // namespace
+
+ProfileStat ProfileStat::from_samples(std::vector<double> samples) {
+  ProfileStat s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  s.median = n % 2 == 1 ? samples[n / 2] : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  s.lo = samples.front();
+  s.hi = samples.back();
+  return s;
+}
+
+CostProfile CostProfile::from_session(const TraceSession& session) {
+  // name -> (fwd samples, bwd samples), sorted by construction (std::map).
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>> layer_samples;
+  CostProfile prof;
+
+  for (int dev : session.devices()) {
+    const TraceRecorder* rec = session.recorder(dev);
+    const auto spans = rec->spans();
+
+    DeviceCost dc;
+    dc.device = dev;
+    std::array<std::vector<double>, kBucketCount> iter_samples;
+    std::array<double, kBucketCount> acc{};
+    bool saw_any = false;
+
+    auto close_iteration = [&] {
+      for (size_t b = 0; b < kBucketCount; ++b) {
+        iter_samples[b].push_back(acc[b]);
+        acc[b] = 0.0;
+      }
+      dc.iterations++;
+    };
+
+    for (const auto& s : spans) {
+      if (dc.stage < 0 && s.stage >= 0) dc.stage = s.stage;
+      if (dc.replica < 0 && s.replica >= 0) dc.replica = s.replica;
+      const double dur = s.vend - s.vbegin;
+      switch (s.kind) {
+        case SpanKind::kCompute: {
+          saw_any = true;
+          acc[kBCompute] += dur;
+          // Runtime::exec_step names kernels "<layer>:f" / "<layer>:b";
+          // anything else (e.g. "sgd") is device occupancy, not a layer.
+          const size_t colon = s.name.rfind(':');
+          if (colon != std::string::npos && colon + 2 == s.name.size()) {
+            auto& ls = layer_samples[s.name.substr(0, colon)];
+            if (s.name[colon + 1] == 'f') ls.first.push_back(dur);
+            if (s.name[colon + 1] == 'b') ls.second.push_back(dur);
+          }
+          break;
+        }
+        case SpanKind::kH2D: saw_any = true; acc[kBH2D] += dur; break;
+        case SpanKind::kD2H: saw_any = true; acc[kBD2H] += dur; break;
+        case SpanKind::kP2P: saw_any = true; acc[kBP2P] += dur; break;
+        case SpanKind::kCollective: saw_any = true; acc[kBCollective] += dur; break;
+        case SpanKind::kStall:
+          saw_any = true;
+          switch (s.stall) {
+            case StallSource::kTransfer: acc[kBStallTransfer] += dur; break;
+            case StallSource::kPipelineRecv: acc[kBStallPipeline] += dur; break;
+            case StallSource::kCollective: acc[kBStallCollective] += dur; break;
+            case StallSource::kNone: break;
+          }
+          break;
+        case SpanKind::kScheduleOp:
+          // The trainers mark every iteration boundary; one marker closes
+          // one occupancy sample per bucket.
+          if (s.name == "drain-end") close_iteration();
+          break;
+        case SpanKind::kAlloc:
+          break;
+      }
+    }
+    // Marker-free traces (single-device Runtime loops) are one sample.
+    if (dc.iterations == 0 && saw_any) close_iteration();
+
+    dc.compute = ProfileStat::from_samples(std::move(iter_samples[kBCompute]));
+    dc.h2d = ProfileStat::from_samples(std::move(iter_samples[kBH2D]));
+    dc.d2h = ProfileStat::from_samples(std::move(iter_samples[kBD2H]));
+    dc.p2p = ProfileStat::from_samples(std::move(iter_samples[kBP2P]));
+    dc.collective = ProfileStat::from_samples(std::move(iter_samples[kBCollective]));
+    dc.stall_transfer = ProfileStat::from_samples(std::move(iter_samples[kBStallTransfer]));
+    dc.stall_pipeline = ProfileStat::from_samples(std::move(iter_samples[kBStallPipeline]));
+    dc.stall_collective = ProfileStat::from_samples(std::move(iter_samples[kBStallCollective]));
+    prof.add_device(std::move(dc));
+  }
+
+  for (auto& [name, fb] : layer_samples) {
+    LayerCost lc;
+    lc.name = name;
+    lc.fwd = ProfileStat::from_samples(std::move(fb.first));
+    lc.bwd = ProfileStat::from_samples(std::move(fb.second));
+    prof.add_layer(std::move(lc));
+  }
+  return prof;
+}
+
+void CostProfile::add_layer(LayerCost lc) {
+  layer_index_[lc.name] = layers_.size();
+  layers_.push_back(std::move(lc));
+}
+
+void CostProfile::add_device(DeviceCost dc) { devices_.push_back(std::move(dc)); }
+
+const LayerCost* CostProfile::layer(const std::string& name) const {
+  auto it = layer_index_.find(name);
+  return it == layer_index_.end() ? nullptr : &layers_[it->second];
+}
+
+bool CostProfile::layer_seconds(const std::string& name, double* fwd_seconds,
+                                double* bwd_seconds) const {
+  const LayerCost* lc = layer(name);
+  // Only a layer observed in BOTH directions can replace the analytic
+  // fwd+bwd seconds; a partial observation would skew the balance.
+  if (!lc || lc->fwd.n == 0 || lc->bwd.n == 0) return false;
+  *fwd_seconds = lc->fwd.median;
+  *bwd_seconds = lc->bwd.median;
+  return true;
+}
+
+void CostProfile::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("kind").value("cost_profile");
+  w.key("layers").begin_array();
+  for (const auto& lc : layers_) {
+    w.begin_object();
+    w.key("name").value(lc.name);
+    w.key("fwd");
+    write_stat(w, lc.fwd);
+    w.key("bwd");
+    write_stat(w, lc.bwd);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("devices").begin_array();
+  for (const auto& dc : devices_) {
+    w.begin_object();
+    w.key("device").value(dc.device);
+    w.key("stage").value(dc.stage);
+    w.key("replica").value(dc.replica);
+    w.key("iterations").value(dc.iterations);
+    const ProfileStat* stats[kBucketCount] = {
+        &dc.compute, &dc.h2d, &dc.d2h, &dc.p2p, &dc.collective,
+        &dc.stall_transfer, &dc.stall_pipeline, &dc.stall_collective};
+    for (size_t b = 0; b < kBucketCount; ++b) {
+      w.key(bucket_key(b));
+      write_stat(w, *stats[b]);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string CostProfile::to_json() const {
+  util::JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+bool CostProfile::save(const std::string& path) const {
+  util::JsonWriter w;
+  write_json(w);
+  return w.save(path);
+}
+
+CostProfile CostProfile::from_json(const util::JsonValue& doc) {
+  if (const util::JsonValue* kind = doc.find("kind");
+      !kind || !kind->is_string() || kind->as_string() != "cost_profile") {
+    throw util::JsonError("cost_profile: document kind is not \"cost_profile\"");
+  }
+  CostProfile prof;
+  for (size_t i = 0; i < doc.get("layers").size(); ++i) {
+    const util::JsonValue& v = doc.get("layers").at(i);
+    LayerCost lc;
+    lc.name = v.get("name").as_string();
+    lc.fwd = read_stat(v.get("fwd"));
+    lc.bwd = read_stat(v.get("bwd"));
+    prof.add_layer(std::move(lc));
+  }
+  for (size_t i = 0; i < doc.get("devices").size(); ++i) {
+    const util::JsonValue& v = doc.get("devices").at(i);
+    DeviceCost dc;
+    dc.device = static_cast<int>(v.get("device").as_number());
+    dc.stage = static_cast<int>(v.get("stage").as_number());
+    dc.replica = static_cast<int>(v.get("replica").as_number());
+    dc.iterations = static_cast<uint64_t>(v.get("iterations").as_number());
+    ProfileStat* stats[kBucketCount] = {
+        &dc.compute, &dc.h2d, &dc.d2h, &dc.p2p, &dc.collective,
+        &dc.stall_transfer, &dc.stall_pipeline, &dc.stall_collective};
+    for (size_t b = 0; b < kBucketCount; ++b) *stats[b] = read_stat(v.get(bucket_key(b)));
+    prof.add_device(std::move(dc));
+  }
+  return prof;
+}
+
+CostProfile CostProfile::load(const std::string& path) {
+  return from_json(util::parse_json_file(path));
+}
+
+}  // namespace sn::obs

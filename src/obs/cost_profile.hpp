@@ -1,0 +1,122 @@
+// obs::CostProfile — observed per-layer / per-device cost structure lifted
+// out of a TraceSession (ISSUE 10 tentpole).
+//
+// The partitioner balances stages on the analytic sim::CostModel roofline,
+// but the Runtime charges what it actually *chose* — convolutions pick a
+// per-step algorithm whose efficiency differs from the static default, and
+// exposed transfer/collective time is a property of the schedule, not the
+// FLOP count. A CostProfile closes that loop: it aggregates the recorded
+// spans into
+//
+//   * per-LAYER forward/backward kernel seconds — every kCompute span is
+//     named "<layer>:f" / "<layer>:b" by Runtime::exec_step, so one layer
+//     accumulates one sample per execution (microbatches, iterations and
+//     re-materializations all count; that is the point — remat-heavy
+//     schedules observe the forward twice);
+//   * per-DEVICE occupancy buckets (compute, H2D, D2H, P2P, collective,
+//     stall split by StallSource), one sample per iteration, split at the
+//     "drain-end" markers the trainers record (a marker-free single-device
+//     trace is one sample).
+//
+// Every aggregate is a ProfileStat {median, lo, hi, n} — the same dispersion
+// shape the perf-trajectory harness records — so a profile captured on a
+// noisy run still yields a robust balance input. Profiles persist through
+// util::JsonWriter and load back through util::JsonValue; doubles round-trip
+// bit-exactly (17-significant-digit scientific notation), pinned by
+// test_cost_profile.
+//
+// The consumer seam is graph::NetPartitioner's LayerCostFn: a loaded profile
+// wrapped in that lambda (the trainers' cost_profile config field does it)
+// replaces the analytic per-layer seconds in the cut DP with observed
+// medians; layers the profile never saw fall back to the roofline. Passing
+// no profile keeps the analytic path byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sn::util {
+class JsonWriter;
+class JsonValue;
+}  // namespace sn::util
+
+namespace sn::obs {
+
+class TraceSession;
+
+/// Robust dispersion over n samples: median with the observed [lo, hi] range.
+struct ProfileStat {
+  double median = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  uint64_t n = 0;
+
+  static ProfileStat from_samples(std::vector<double> samples);
+};
+
+/// Observed kernel seconds of one layer, per execution at the traced
+/// microbatch size (directly comparable to NetPartitioner's analytic
+/// per-layer seconds: the trainers cut the probe net at microbatch size).
+struct LayerCost {
+  std::string name;
+  ProfileStat fwd;
+  ProfileStat bwd;
+};
+
+/// Observed per-iteration occupancy of one device (stall split by source).
+struct DeviceCost {
+  int device = -1;
+  int stage = -1;
+  int replica = -1;
+  uint64_t iterations = 0;  ///< drain-end markers seen (1 for marker-free traces)
+  ProfileStat compute;
+  ProfileStat h2d;
+  ProfileStat d2h;
+  ProfileStat p2p;
+  ProfileStat collective;
+  ProfileStat stall_transfer;
+  ProfileStat stall_pipeline;
+  ProfileStat stall_collective;
+};
+
+class CostProfile {
+ public:
+  /// Aggregate a recorded session (see file comment for the sample rules).
+  static CostProfile from_session(const TraceSession& session);
+
+  /// Parse a document produced by write_json; util::JsonError on malformed
+  /// or wrong-kind input.
+  static CostProfile from_json(const util::JsonValue& doc);
+  /// Load + parse a saved profile; util::JsonError on I/O or parse failure.
+  static CostProfile load(const std::string& path);
+
+  /// Serialize as one JSON object value (caller has positioned the writer).
+  void write_json(util::JsonWriter& w) const;
+  std::string to_json() const;
+  bool save(const std::string& path) const;
+
+  /// Layers sorted by name; devices sorted by id (deterministic export).
+  const std::vector<LayerCost>& layers() const { return layers_; }
+  const std::vector<DeviceCost>& devices() const { return devices_; }
+  const LayerCost* layer(const std::string& name) const;
+
+  /// Observed median seconds for `name`; false (outputs untouched) when the
+  /// profile has no complete fwd+bwd observation for that layer. Wrap this
+  /// in a graph::LayerCostFn lambda to guide the partitioner (the trainers'
+  /// cost_profile config field does exactly that).
+  bool layer_seconds(const std::string& name, double* fwd_seconds, double* bwd_seconds) const;
+
+  /// Assembly hooks for tests and synthetic profiles. Keep layers sorted by
+  /// name and devices by id if byte-stable serialization matters.
+  void add_layer(LayerCost lc);
+  void add_device(DeviceCost dc);
+
+ private:
+  std::vector<LayerCost> layers_;
+  std::vector<DeviceCost> devices_;
+  std::map<std::string, size_t> layer_index_;
+};
+
+}  // namespace sn::obs

@@ -1,0 +1,64 @@
+#include "obs/metrics_serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sn::obs {
+
+OneShotTextServer::OneShotTextServer(int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("OneShotTextServer: socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd_, 1) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("OneShotTextServer: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+OneShotTextServer::~OneShotTextServer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool OneShotTextServer::serve_once(const std::string& body) {
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return false;
+  // Drain whatever request head arrived; one read is enough for a scraper's
+  // GET line and we never parse it.
+  char scratch[1024];
+  (void)::read(conn, scratch, sizeof scratch);
+  std::string resp =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n"
+      "Connection: close\r\n\r\n" + body;
+  size_t off = 0;
+  while (off < resp.size()) {
+    const ssize_t n = ::write(conn, resp.data() + off, resp.size() - off);
+    if (n <= 0) {
+      ::close(conn);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(conn);
+  return true;
+}
+
+}  // namespace sn::obs

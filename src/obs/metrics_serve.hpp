@@ -1,0 +1,41 @@
+// obs::OneShotTextServer — a minimal loopback scrape surface for the
+// Prometheus exposition (ISSUE 10 tentpole).
+//
+// The future inference server will own a real HTTP listener; until then the
+// tools need *something* a scraper (or curl, or a test) can hit to pull
+// MetricsRegistry::to_prometheus() output. This is deliberately tiny: bind
+// one loopback TCP socket, accept one connection, write one HTTP/1.0
+// response (Content-Type text/plain; version=0.0.4), close. No threads, no
+// request parsing beyond draining the request head, no keep-alive — the
+// caller decides whether to loop (trace_report --metrics-listen serves one
+// scrape per invocation; tests bind port 0 for an ephemeral port).
+#pragma once
+
+#include <string>
+
+namespace sn::obs {
+
+class OneShotTextServer {
+ public:
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and listen.
+  /// Throws std::runtime_error when the socket cannot be bound.
+  explicit OneShotTextServer(int port);
+  ~OneShotTextServer();
+
+  OneShotTextServer(const OneShotTextServer&) = delete;
+  OneShotTextServer& operator=(const OneShotTextServer&) = delete;
+
+  /// The actually-bound port (resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Block for one connection, serve `body` as the full response, close the
+  /// connection. Returns false on accept/write failure (the listener stays
+  /// usable for another call either way).
+  bool serve_once(const std::string& body);
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace sn::obs

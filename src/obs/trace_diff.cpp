@@ -1,0 +1,259 @@
+#include "obs/trace_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
+
+namespace sn::obs {
+
+namespace {
+
+/// Fixed bucket taxonomy, report order. Unknown categories (a future
+/// SpanKind) append after these in name order.
+const char* const kBucketOrder[] = {
+    "compute", "h2d", "d2h", "p2p", "collective",
+    "stall:transfer", "stall:pipeline_recv", "stall:collective", "stall:none",
+    "schedule", "alloc",
+};
+
+/// Span identity: the deterministic export emits spans in record order per
+/// device, so the k-th occurrence of (pid, tid, bucket, name) corresponds
+/// across traces (schedule-op identity).
+using SpanKey = std::tuple<int, int, std::string, std::string>;
+
+struct SideTotals {
+  std::vector<double> durations;  ///< seconds, document order
+};
+
+/// Duration spans of one trace keyed by identity; `total` sums everything.
+void collect(const util::JsonValue& doc, std::map<SpanKey, SideTotals>* out, double* total,
+             const std::string& origin) {
+  const util::JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is_array()) {
+    throw util::JsonError("trace_diff: " + origin + " is not a Chrome trace (no traceEvents)");
+  }
+  for (size_t i = 0; i < events->size(); ++i) {
+    const util::JsonValue& e = events->at(i);
+    const util::JsonValue* ph = e.find("ph");
+    if (!ph || !ph->is_string() || ph->as_string() != "X") continue;  // meta / flow rows
+    std::string cat = e.get("cat").as_string();
+    if (cat == "dma_chunk") continue;  // wall-clock-only rows: nondeterministic
+    if (cat == "stall") {
+      const util::JsonValue* args = e.find("args");
+      const util::JsonValue* src = args ? args->find("stall") : nullptr;
+      cat += ":" + (src && src->is_string() ? src->as_string() : std::string("none"));
+    }
+    const double dur = e.get("dur").as_number() * 1e-6;  // exported in microseconds
+    SpanKey key{static_cast<int>(e.get("pid").as_number()),
+                static_cast<int>(e.get("tid").as_number()), std::move(cat),
+                e.get("name").as_string()};
+    (*out)[std::move(key)].durations.push_back(dur);
+    *total += dur;
+  }
+}
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace
+
+TraceDiffReport diff_traces(const util::JsonValue& base, const util::JsonValue& cand,
+                            size_t max_movers) {
+  TraceDiffReport rep;
+  std::map<SpanKey, SideTotals> bspans, cspans;
+  collect(base, &bspans, &rep.base_total_seconds, "baseline");
+  collect(cand, &cspans, &rep.cand_total_seconds, "candidate");
+
+  std::map<std::string, TraceDiffBucket> buckets;
+  for (const char* b : kBucketOrder) buckets[b].bucket = b;
+  std::vector<TraceDiffSpanDelta> movers;
+
+  // Walk the key union (std::map keeps it deterministic).
+  auto bi = bspans.begin();
+  auto ci = cspans.begin();
+  auto handle = [&](const SpanKey& key, const SideTotals* b, const SideTotals* c) {
+    const auto& [device, stream, bucket_name, span_name] = key;
+    TraceDiffBucket& bucket = buckets[bucket_name];
+    if (bucket.bucket.empty()) bucket.bucket = bucket_name;
+    const size_t nb = b ? b->durations.size() : 0;
+    const size_t nc = c ? c->durations.size() : 0;
+    const size_t m = std::min(nb, nc);
+    TraceDiffSpanDelta d;
+    d.device = device;
+    d.stream = stream;
+    d.bucket = bucket_name;
+    d.name = span_name;
+    d.occurrences = m;
+    for (size_t k = 0; k < m; ++k) {
+      d.base_seconds += b->durations[k];
+      d.cand_seconds += c->durations[k];
+    }
+    bucket.matched += m;
+    bucket.base_seconds += d.base_seconds;
+    bucket.cand_seconds += d.cand_seconds;
+    rep.matched += m;
+    for (size_t k = m; k < nb; ++k) bucket.base_only_seconds += b->durations[k];
+    for (size_t k = m; k < nc; ++k) bucket.cand_only_seconds += c->durations[k];
+    bucket.base_only += nb - m;
+    bucket.cand_only += nc - m;
+    rep.base_only += nb - m;
+    rep.cand_only += nc - m;
+    if (m > 0 && d.delta() != 0.0) movers.push_back(std::move(d));
+  };
+  while (bi != bspans.end() || ci != cspans.end()) {
+    if (ci == cspans.end() || (bi != bspans.end() && bi->first < ci->first)) {
+      handle(bi->first, &bi->second, nullptr);
+      ++bi;
+    } else if (bi == bspans.end() || ci->first < bi->first) {
+      handle(ci->first, nullptr, &ci->second);
+      ++ci;
+    } else {
+      handle(bi->first, &bi->second, &ci->second);
+      ++bi, ++ci;
+    }
+  }
+
+  // Fixed taxonomy order first, then any unknown categories by name.
+  for (const char* b : kBucketOrder) {
+    rep.buckets.push_back(buckets[b]);
+    buckets.erase(b);
+  }
+  for (auto& [name, bucket] : buckets) rep.buckets.push_back(std::move(bucket));
+
+  std::stable_sort(movers.begin(), movers.end(),
+                   [](const TraceDiffSpanDelta& a, const TraceDiffSpanDelta& b) {
+                     const double da = std::fabs(a.delta()), db = std::fabs(b.delta());
+                     if (da != db) return da > db;
+                     return std::tie(a.device, a.stream, a.bucket, a.name) <
+                            std::tie(b.device, b.stream, b.bucket, b.name);
+                   });
+  if (movers.size() > max_movers) movers.resize(max_movers);
+  rep.top_movers = std::move(movers);
+  return rep;
+}
+
+TraceDiffReport diff_trace_files(const std::string& base_path, const std::string& cand_path,
+                                 size_t max_movers) {
+  TraceDiffReport rep = diff_traces(util::parse_json_file(base_path),
+                                    util::parse_json_file(cand_path), max_movers);
+  rep.base_path = base_path;
+  rep.cand_path = cand_path;
+  return rep;
+}
+
+std::string TraceDiffReport::render_table() const {
+  std::string out;
+  out += "trace_diff: baseline=" + (base_path.empty() ? "<inline>" : base_path) +
+         " candidate=" + (cand_path.empty() ? "<inline>" : cand_path) + "\n";
+  out += "spans: matched=" + std::to_string(matched) +
+         " base_only=" + std::to_string(base_only) +
+         " cand_only=" + std::to_string(cand_only) + "\n";
+  out += "total: base=" + fmt("%.6f", base_total_seconds) + "s cand=" +
+         fmt("%.6f", cand_total_seconds) + "s delta=" + fmt("%+.6f", delta()) + "s";
+  if (base_total_seconds > 0.0) {
+    out += " (" + fmt("%+.2f", 100.0 * delta() / base_total_seconds) + "%)";
+  }
+  out += "\n\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "%-22s %9s %14s %14s %14s\n", "bucket", "matched",
+                "base_s", "cand_s", "delta_s");
+  out += line;
+  for (const auto& b : rep_buckets_nonzero()) {
+    std::snprintf(line, sizeof line, "%-22s %9llu %14.6f %14.6f %+14.6f\n", b.bucket.c_str(),
+                  static_cast<unsigned long long>(b.matched),
+                  b.base_seconds + b.base_only_seconds, b.cand_seconds + b.cand_only_seconds,
+                  b.delta());
+    out += line;
+  }
+  if (!top_movers.empty()) {
+    out += "\ntop movers:\n";
+    for (const auto& m : top_movers) {
+      std::snprintf(line, sizeof line,
+                    "  dev%d/tid%d %-14s %-24s n=%llu base=%.6f cand=%.6f delta=%+.6f\n",
+                    m.device, m.stream, m.bucket.c_str(), m.name.c_str(),
+                    static_cast<unsigned long long>(m.occurrences), m.base_seconds,
+                    m.cand_seconds, m.delta());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::vector<TraceDiffBucket> TraceDiffReport::rep_buckets_nonzero() const {
+  std::vector<TraceDiffBucket> out;
+  for (const auto& b : buckets) {
+    if (b.matched || b.base_only || b.cand_only) out.push_back(b);
+  }
+  return out;
+}
+
+void TraceDiffReport::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("kind").value("trace_diff_report");
+  w.key("baseline").value(base_path.empty() ? "<inline>" : base_path);
+  w.key("candidate").value(cand_path.empty() ? "<inline>" : cand_path);
+  w.key("spans").begin_object(util::JsonWriter::kInline);
+  w.key("matched").value(matched);
+  w.key("base_only").value(base_only);
+  w.key("cand_only").value(cand_only);
+  w.end_object();
+  w.key("total").begin_object(util::JsonWriter::kInline);
+  w.key("base_seconds").value_sci(base_total_seconds, 9);
+  w.key("cand_seconds").value_sci(cand_total_seconds, 9);
+  w.key("delta_seconds").value_sci(delta(), 9);
+  w.end_object();
+  w.key("buckets").begin_array();
+  for (const auto& b : buckets) {
+    w.begin_object(util::JsonWriter::kInline);
+    w.key("bucket").value(b.bucket);
+    w.key("matched").value(b.matched);
+    w.key("base_seconds").value_sci(b.base_seconds, 9);
+    w.key("cand_seconds").value_sci(b.cand_seconds, 9);
+    w.key("base_only").value(b.base_only);
+    w.key("cand_only").value(b.cand_only);
+    w.key("base_only_seconds").value_sci(b.base_only_seconds, 9);
+    w.key("cand_only_seconds").value_sci(b.cand_only_seconds, 9);
+    w.key("delta_seconds").value_sci(b.delta(), 9);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("top_movers").begin_array();
+  for (const auto& m : top_movers) {
+    w.begin_object(util::JsonWriter::kInline);
+    w.key("device").value(m.device);
+    w.key("stream").value(m.stream);
+    w.key("bucket").value(m.bucket);
+    w.key("name").value(m.name);
+    w.key("occurrences").value(m.occurrences);
+    w.key("base_seconds").value_sci(m.base_seconds, 9);
+    w.key("cand_seconds").value_sci(m.cand_seconds, 9);
+    w.key("delta_seconds").value_sci(m.delta(), 9);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string TraceDiffReport::to_json() const {
+  util::JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+bool TraceDiffReport::save(const std::string& path) const {
+  util::JsonWriter w;
+  write_json(w);
+  return w.save(path);
+}
+
+}  // namespace sn::obs

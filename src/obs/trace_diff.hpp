@@ -1,0 +1,109 @@
+// obs::trace_diff — span-level attribution of the wall-time delta between
+// two trace exports (ISSUE 10 tentpole).
+//
+// The perf-gate's trajectory_diff can say "cell X regressed 12% out of
+// band", but not *why*. trace_diff answers that from the traces themselves:
+// it loads two Chrome-trace JSON files (the deterministic virtual-clock
+// export of obs::export_chrome_trace), aligns them span by span, and
+// attributes the per-span duration deltas to buckets — compute, the four
+// transfer kinds, collective, and stall split by StallSource — so a
+// regression report names the bucket (and the top individual spans) that
+// moved.
+//
+// Alignment uses schedule-op identity, not timestamps: the column-schedule
+// engine replays a deterministic op list, so the k-th span with a given
+// (device, stream, category, name) in the baseline corresponds to the k-th
+// in the candidate even when every timestamp shifted. Spans present on only
+// one side (a changed schedule, a different prefetch depth) are counted and
+// attributed separately rather than force-matched.
+//
+// The report renders two ways: a human attribution table (render_table, the
+// CI artifact) and a machine-readable JSON document (write_json, kind
+// "trace_diff_report", checkable via trajectory_diff --schema-check).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sn::util {
+class JsonWriter;
+class JsonValue;
+}  // namespace sn::util
+
+namespace sn::obs {
+
+/// One attribution bucket's aligned totals. `bucket` is the span category
+/// ("compute", "h2d", "d2h", "p2p", "collective", "schedule", "alloc") with
+/// stalls split by source ("stall:transfer", "stall:pipeline_recv",
+/// "stall:collective", "stall:none").
+struct TraceDiffBucket {
+  std::string bucket;
+  uint64_t matched = 0;            ///< span pairs aligned across both traces
+  double base_seconds = 0.0;       ///< matched spans' baseline duration
+  double cand_seconds = 0.0;       ///< matched spans' candidate duration
+  uint64_t base_only = 0;          ///< spans with no candidate counterpart
+  uint64_t cand_only = 0;
+  double base_only_seconds = 0.0;
+  double cand_only_seconds = 0.0;
+
+  /// Bucket wall-time delta including unmatched spans: what the candidate
+  /// spends here beyond the baseline.
+  double delta() const {
+    return (cand_seconds + cand_only_seconds) - (base_seconds + base_only_seconds);
+  }
+};
+
+/// One aligned span identity's delta (summed over its occurrences), for the
+/// "top movers" section of the report.
+struct TraceDiffSpanDelta {
+  int device = -1;
+  int stream = 0;
+  std::string bucket;
+  std::string name;
+  uint64_t occurrences = 0;   ///< matched pairs under this identity
+  double base_seconds = 0.0;
+  double cand_seconds = 0.0;
+
+  double delta() const { return cand_seconds - base_seconds; }
+};
+
+struct TraceDiffReport {
+  std::string base_path;   ///< origin labels (file names or "<inline>")
+  std::string cand_path;
+  /// Buckets in fixed taxonomy order (every bucket present, zero or not),
+  /// so reports diff cleanly across runs.
+  std::vector<TraceDiffBucket> buckets;
+  /// Span identities ranked by |delta| descending, capped at `max_movers`
+  /// passed to diff_traces; ties broken by (device, stream, bucket, name).
+  std::vector<TraceDiffSpanDelta> top_movers;
+  uint64_t matched = 0;
+  uint64_t base_only = 0;
+  uint64_t cand_only = 0;
+  double base_total_seconds = 0.0;  ///< all spans, both matched and not
+  double cand_total_seconds = 0.0;
+
+  double delta() const { return cand_total_seconds - base_total_seconds; }
+
+  /// Buckets that saw at least one span on either side (table rendering).
+  std::vector<TraceDiffBucket> rep_buckets_nonzero() const;
+
+  /// Human attribution table (the CI perf-gate artifact).
+  std::string render_table() const;
+  /// Machine-readable document, kind "trace_diff_report".
+  void write_json(util::JsonWriter& w) const;
+  std::string to_json() const;
+  bool save(const std::string& path) const;
+};
+
+/// Diff two parsed Chrome-trace documents (deterministic export shape:
+/// duration events with cat/pid/tid; dma_chunk wall rows are ignored).
+/// util::JsonError on documents that are not Chrome traces.
+TraceDiffReport diff_traces(const util::JsonValue& base, const util::JsonValue& cand,
+                            size_t max_movers = 10);
+
+/// Load + diff two trace files; util::JsonError on I/O or parse failure.
+TraceDiffReport diff_trace_files(const std::string& base_path, const std::string& cand_path,
+                                 size_t max_movers = 10);
+
+}  // namespace sn::obs

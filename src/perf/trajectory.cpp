@@ -396,6 +396,92 @@ size_t check_diff_report(const util::JsonValue& doc, const std::string& origin) 
   return entries->size();
 }
 
+size_t check_trace_diff_report(const util::JsonValue& doc, const std::string& origin) {
+  if (!doc.is_object()) fail(origin, "trace diff report must be a JSON object");
+  if (req_number(doc, "schema_version", origin, "report") != 1.0) {
+    fail(origin, "report: unsupported schema_version");
+  }
+  if (req_string(doc, "kind", origin, "report") != "trace_diff_report") {
+    fail(origin, "report: kind must be \"trace_diff_report\"");
+  }
+  req_string(doc, "baseline", origin, "report");
+  req_string(doc, "candidate", origin, "report");
+  const util::JsonValue* spans = doc.find("spans");
+  if (!spans || !spans->is_object()) fail(origin, "report: missing \"spans\" object");
+  for (const char* k : {"matched", "base_only", "cand_only"}) {
+    req_number(*spans, k, origin, "spans");
+  }
+  const util::JsonValue* total = doc.find("total");
+  if (!total || !total->is_object()) fail(origin, "report: missing \"total\" object");
+  for (const char* k : {"base_seconds", "cand_seconds", "delta_seconds"}) {
+    req_number(*total, k, origin, "total");
+  }
+  const util::JsonValue* buckets = doc.find("buckets");
+  if (!buckets || !buckets->is_array() || buckets->size() == 0) {
+    fail(origin, "report: missing \"buckets\" array");
+  }
+  for (size_t i = 0; i < buckets->size(); ++i) {
+    const util::JsonValue& b = buckets->at(i);
+    std::string ctx = "bucket " + std::to_string(i);
+    req_string(b, "bucket", origin, ctx);
+    for (const char* k : {"matched", "base_seconds", "cand_seconds", "delta_seconds"}) {
+      req_number(b, k, origin, ctx);
+    }
+  }
+  const util::JsonValue* movers = doc.find("top_movers");
+  if (!movers || !movers->is_array()) fail(origin, "report: missing \"top_movers\" array");
+  for (size_t i = 0; i < movers->size(); ++i) {
+    const util::JsonValue& m = movers->at(i);
+    std::string ctx = "mover " + std::to_string(i);
+    req_string(m, "bucket", origin, ctx);
+    req_string(m, "name", origin, ctx);
+    req_number(m, "delta_seconds", origin, ctx);
+  }
+  return buckets->size();
+}
+
+size_t check_cost_profile(const util::JsonValue& doc, const std::string& origin) {
+  if (!doc.is_object()) fail(origin, "cost profile must be a JSON object");
+  if (req_number(doc, "schema_version", origin, "profile") != 1.0) {
+    fail(origin, "profile: unsupported schema_version");
+  }
+  if (req_string(doc, "kind", origin, "profile") != "cost_profile") {
+    fail(origin, "profile: kind must be \"cost_profile\"");
+  }
+  auto check_stat = [&](const util::JsonValue& holder, const char* key,
+                        const std::string& ctx) {
+    const util::JsonValue* s = holder.find(key);
+    if (!s || !s->is_object()) fail(origin, ctx + ": missing stat \"" + key + "\"");
+    const double lo = req_number(*s, "lo", origin, ctx);
+    const double med = req_number(*s, "median", origin, ctx);
+    const double hi = req_number(*s, "hi", origin, ctx);
+    req_number(*s, "n", origin, ctx);
+    if (!(lo <= med && med <= hi)) fail(origin, ctx + ": requires lo <= median <= hi");
+  };
+  const util::JsonValue* layers = doc.find("layers");
+  if (!layers || !layers->is_array()) fail(origin, "profile: missing \"layers\" array");
+  for (size_t i = 0; i < layers->size(); ++i) {
+    const util::JsonValue& l = layers->at(i);
+    std::string ctx = "layer \"" + req_string(l, "name", origin, "layer") + "\"";
+    check_stat(l, "fwd", ctx);
+    check_stat(l, "bwd", ctx);
+  }
+  const util::JsonValue* devices = doc.find("devices");
+  if (!devices || !devices->is_array()) fail(origin, "profile: missing \"devices\" array");
+  for (size_t i = 0; i < devices->size(); ++i) {
+    const util::JsonValue& d = devices->at(i);
+    std::string ctx = "device " + std::to_string(i);
+    req_number(d, "device", origin, ctx);
+    req_number(d, "iterations", origin, ctx);
+    for (const char* k : {"compute", "h2d", "d2h", "p2p", "collective", "stall_transfer",
+                          "stall_pipeline", "stall_collective"}) {
+      check_stat(d, k, ctx);
+    }
+  }
+  if (layers->size() + devices->size() == 0) fail(origin, "profile: empty profile");
+  return layers->size() + devices->size();
+}
+
 int class_rank(DeltaClass c) {
   switch (c) {
     case DeltaClass::kRegression: return 0;
@@ -618,6 +704,8 @@ size_t schema_check(const util::JsonValue& doc, const std::string& kind,
   if (kind == "chrome_trace") return check_chrome_trace(doc, origin);
   if (kind == "metrics") return check_metrics(doc, origin);
   if (kind == "diff_report") return check_diff_report(doc, origin);
+  if (kind == "trace_diff_report") return check_trace_diff_report(doc, origin);
+  if (kind == "cost_profile") return check_cost_profile(doc, origin);
   fail(origin, "unknown schema kind \"" + kind + "\"");
 }
 

@@ -143,7 +143,8 @@ void write_diff_report(const DiffReport& rep, const DiffOptions& opt, util::Json
 /// Validate a bench/tool JSON document against its expected shape; returns
 /// the row/cell/event count, throws TrajectoryError naming the violation.
 /// Kinds: pipeline_stages, hybrid_grid, stream_overlap, prefetch_lookahead,
-/// sweep, trajectory, chrome_trace, metrics, diff_report.
+/// sweep, trajectory, chrome_trace, metrics, diff_report, trace_diff_report,
+/// cost_profile.
 size_t schema_check(const util::JsonValue& doc, const std::string& kind,
                     const std::string& origin);
 

@@ -191,6 +191,35 @@ TEST(NetPartitioner, CapacityRejectsCutsWhoseStageCannotFit) {
   }
 }
 
+TEST(NetPartitioner, NullObservedProviderKeepsCutsByteIdentical) {
+  // The profile-guided seam (ISSUE 10) must be invisible when unused: a null
+  // LayerCostFn — and a provider that declines every layer — produce the
+  // exact plan of the legacy analytic ctor, down to the last double bit, so
+  // every downstream schedule stays byte-identical.
+  auto net = graph::build_mini_alexnet(4);
+  NetPartitioner legacy(*net);
+  NetPartitioner null_provider(*net, sim::k40c_spec(), sim::pcie_p2p_link_spec(), 0, nullptr);
+  NetPartitioner declining(*net, sim::k40c_spec(), sim::pcie_p2p_link_spec(), 0,
+                           [](const std::string&, double*, double*) { return false; });
+  for (int stages : {1, 2}) {
+    auto a = legacy.partition(stages);
+    for (NetPartitioner* p : {&null_provider, &declining}) {
+      auto b = p->partition(stages);
+      EXPECT_EQ(a.cuts, b.cuts);
+      EXPECT_EQ(a.max_stage_seconds, b.max_stage_seconds);  // exact, not NEAR
+      ASSERT_EQ(a.stages.size(), b.stages.size());
+      for (size_t s = 0; s < a.stages.size(); ++s) {
+        EXPECT_EQ(a.stages[s].compute_seconds, b.stages[s].compute_seconds);
+      }
+    }
+  }
+  // Remat weighting flows through the same prefixes: parity there too.
+  auto a = legacy.partition(2, graph::StageRecompute::kAllButLast);
+  auto b = null_provider.partition(2, graph::StageRecompute::kAllButLast);
+  EXPECT_EQ(a.cuts, b.cuts);
+  EXPECT_EQ(a.max_stage_seconds, b.max_stage_seconds);
+}
+
 TEST(ExtractStage, SplitsLayersAndPreservesNames) {
   auto net = graph::build_mini_alexnet(4);
   NetPartitioner part(*net);
